@@ -1,0 +1,133 @@
+//! Ablation benchmarks for the design choices called out in `DESIGN.md` §2:
+//! sorted top-order list, CA re-placement, contiguity-bit marking, and the
+//! SpOT table geometry / filter. Each ablation reports the *quality* impact
+//! (as a one-shot measurement printed before timing) and the time cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use contig_buddy::MachineConfig;
+use contig_core::{CaConfig, CaPaging, SpotConfig, SpotPredictor};
+use contig_mm::{contiguous_mappings, System, SystemConfig, VmaKind};
+use contig_tlb::{Access, MissHandler, WalkResult};
+use contig_types::{PageSize, PhysAddr, VirtAddr, VirtRange};
+
+fn fragmented_system(sorted_top: bool) -> System {
+    let mut mc = MachineConfig::single_node_mib(128);
+    mc.sorted_top_list = sorted_top;
+    let mut sys = System::new(SystemConfig::new(mc));
+    let _hog = contig_buddy::Hog::occupy(sys.machine_mut(), 0.35, 5);
+    std::mem::forget(_hog); // keep the pressure for the system's lifetime
+    sys
+}
+
+fn run_ca(sys: &mut System, config: CaConfig) -> usize {
+    let pid = sys.spawn();
+    let vma = sys
+        .aspace_mut(pid)
+        .map_vma(VirtRange::new(VirtAddr::new(0x4000_0000), 24 << 20), VmaKind::Anon);
+    let mut ca = CaPaging::with_config(config);
+    sys.populate_vma(&mut ca, pid, vma).unwrap();
+    let runs = contiguous_mappings(sys.aspace(pid).page_table()).len();
+    sys.exit(pid);
+    runs
+}
+
+/// Ablation 1+2: CA with/without re-placement, on sorted vs LIFO top lists.
+fn bench_ca_ablations(c: &mut Criterion) {
+    // Print the quality impact once.
+    for (name, sorted, replacement) in [
+        ("full CA", true, true),
+        ("no sorted list", false, true),
+        ("no re-placement", true, false),
+    ] {
+        let mut sys = fragmented_system(sorted);
+        let runs = run_ca(
+            &mut sys,
+            CaConfig { replacement, ..CaConfig::default() },
+        );
+        eprintln!("ablation quality [{name}]: {runs} contiguous runs for a 24 MiB VMA");
+    }
+    let mut group = c.benchmark_group("ca_ablations");
+    group.sample_size(15);
+    for (name, sorted, replacement) in [
+        ("full", true, true),
+        ("unsorted_top_list", false, true),
+        ("no_replacement", true, false),
+        ("no_marking", true, true),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut sys = fragmented_system(sorted);
+                let config = CaConfig {
+                    replacement,
+                    mark_contig_bits: name != "no_marking",
+                    ..CaConfig::default()
+                };
+                run_ca(&mut sys, config)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 5: SpOT table geometry and the contiguity-bit fill filter. The
+/// predictable instruction changes its offset at phase boundaries (as real
+/// instructions do when the workload moves between regions); during the
+/// confidence-drop window after each change, contiguity-less noise can steal
+/// its slot — unless the OS filter keeps such offsets out of the table.
+fn bench_spot_ablations(c: &mut Criterion) {
+    let run = |config: SpotConfig| {
+        let mut spot = SpotPredictor::new(config);
+        for i in 0..50_000u64 {
+            // Predictable stream: one instruction, offset switches between
+            // two large mappings every 500 misses (phase change).
+            let phase = (i / 500) % 2;
+            let va = VirtAddr::new((1 << 33) + (i * 0x3000) % (1 << 30));
+            let pa = va.raw() - (1 << 32) - phase * (1 << 31);
+            let walk = WalkResult {
+                pa: PhysAddr::new(pa),
+                size: PageSize::Base4K,
+                refs: 24,
+                contig: true,
+                write: false,
+            };
+            spot.on_miss(Access::read(0x10, va), &walk);
+            // Noise: scattered 4 KiB mappings, no contiguity bit, many PCs.
+            let nva = VirtAddr::new((1 << 36) + (i * 0x9151) % (1 << 30));
+            let nwalk = WalkResult {
+                pa: PhysAddr::new((i * 0x1357) % (1 << 30)),
+                size: PageSize::Base4K,
+                refs: 24,
+                contig: false,
+                write: false,
+            };
+            for k in 0..3 {
+                spot.on_miss(Access::read(0x18 + (i % 23) * 8 + k * 256, nva), &nwalk);
+            }
+        }
+        spot.stats()
+    };
+    for (name, config) in [
+        ("filtered_32x4", SpotConfig::default()),
+        ("unfiltered_32x4", SpotConfig { require_contig_bit: false, ..SpotConfig::default() }),
+        ("filtered_8x4", SpotConfig { entries: 8, ..SpotConfig::default() }),
+        ("filtered_128x4", SpotConfig { entries: 128, ..SpotConfig::default() }),
+    ] {
+        let s = run(config);
+        eprintln!(
+            "ablation quality [{name}]: correct {:.1}%, mispredict {:.1}%, fills {}",
+            s.correct_rate() * 100.0,
+            s.mispredict_rate() * 100.0,
+            s.fills
+        );
+    }
+    let mut group = c.benchmark_group("spot_ablations");
+    group.bench_function("filtered", |b| b.iter(|| run(SpotConfig::default())));
+    group.bench_function("unfiltered", |b| {
+        b.iter(|| run(SpotConfig { require_contig_bit: false, ..SpotConfig::default() }))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ca_ablations, bench_spot_ablations);
+criterion_main!(benches);

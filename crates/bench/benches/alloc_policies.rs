@@ -1,0 +1,44 @@
+//! Real wall-clock cost of each placement policy's allocation path — the
+//! microbenchmark counterpart of Fig. 11's "software overhead" claim: CA's
+//! placement decisions must cost no more than the default fault path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use contig_baselines::EagerPaging;
+use contig_buddy::MachineConfig;
+use contig_core::CaPaging;
+use contig_mm::{DefaultThpPolicy, PlacementPolicy, System, VmaKind};
+use contig_sim::PolicyKind;
+use contig_types::{VirtAddr, VirtRange};
+
+const VMA_BYTES: u64 = 64 << 20;
+
+fn populate(kind: PolicyKind) {
+    let mut sys = System::new(kind.system_config(MachineConfig::single_node_mib(256)));
+    let pid = sys.spawn();
+    let vma = sys
+        .aspace_mut(pid)
+        .map_vma(VirtRange::new(VirtAddr::new(0x4000_0000), VMA_BYTES), VmaKind::Anon);
+    let mut policy: Box<dyn PlacementPolicy> = match kind {
+        PolicyKind::Ca => Box::new(CaPaging::new()),
+        PolicyKind::Eager => Box::new(EagerPaging::new()),
+        _ => Box::new(DefaultThpPolicy),
+    };
+    sys.populate_vma(&mut *policy, pid, vma).unwrap();
+    assert_eq!(sys.aspace(pid).mapped_bytes(), VMA_BYTES);
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("populate_64MiB_vma");
+    group.throughput(Throughput::Bytes(VMA_BYTES));
+    group.sample_size(20);
+    for kind in [PolicyKind::Thp, PolicyKind::Ca, PolicyKind::Eager] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| populate(kind));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Cost of keeping the contiguity map up to date — the paper's claim that
+//! "keeping the map up to date does not affect performance" (§III-B), plus
+//! the next-fit search itself.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use contig_buddy::{ContiguityMap, Zone, ZoneConfig};
+use contig_types::Pfn;
+
+fn bench_map_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contiguity_map");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("free_then_alloc_1024_blocks", |b| {
+        b.iter(|| {
+            let mut map = ContiguityMap::new(10);
+            // Interleaved pattern: merges and splits exercise both paths.
+            for i in 0..512u64 {
+                map.on_block_freed(Pfn::new(i * 2048));
+            }
+            for i in 0..512u64 {
+                map.on_block_freed(Pfn::new(i * 2048 + 1024));
+            }
+            for i in 0..512u64 {
+                map.on_block_allocated(Pfn::new(i * 2048 + 1024));
+            }
+            map
+        });
+    });
+    group.bench_function("next_fit_search_fragmented", |b| {
+        let mut map = ContiguityMap::new(10);
+        for i in 0..1024u64 {
+            map.on_block_freed(Pfn::new(i * 2048));
+        }
+        b.iter(|| {
+            // A mix of fitting and too-large requests.
+            std::hint::black_box(map.next_fit(512));
+            std::hint::black_box(map.next_fit(1 << 20));
+        });
+    });
+    group.finish();
+}
+
+fn bench_targeted_alloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zone_alloc");
+    group.throughput(Throughput::Elements(512));
+    group.bench_function("targeted_512_huge_pages", |b| {
+        b.iter(|| {
+            let mut zone = Zone::new(ZoneConfig::with_frames(1 << 20));
+            for i in 0..512u64 {
+                zone.alloc_specific(Pfn::new(i * 512), 9).unwrap();
+            }
+            zone
+        });
+    });
+    group.bench_function("default_512_huge_pages", |b| {
+        b.iter(|| {
+            let mut zone = Zone::new(ZoneConfig::with_frames(1 << 20));
+            for _ in 0..512u64 {
+                zone.alloc(9).unwrap();
+            }
+            zone
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_map_updates, bench_targeted_alloc);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! TLB-simulation throughput and SpOT prediction-table operation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use contig_core::{SpotConfig, SpotPredictor};
+use contig_tlb::{
+    Access, MemorySim, MissHandler, NoScheme, TlbConfig, TranslationBackend, WalkResult,
+};
+use contig_types::{PageSize, PhysAddr, VirtAddr};
+
+struct Identity;
+
+impl TranslationBackend for Identity {
+    fn walk(&self, va: VirtAddr) -> Option<WalkResult> {
+        Some(WalkResult {
+            pa: PhysAddr::new(va.raw() ^ (1 << 40)),
+            size: PageSize::Huge2M,
+            refs: 15,
+            contig: true,
+            write: false,
+        })
+    }
+}
+
+const ACCESSES: u64 = 100_000;
+
+fn trace() -> Vec<Access> {
+    (0..ACCESSES)
+        .map(|i| Access::read(0x10 + (i % 4) * 8, VirtAddr::new((i * 76_543) % (1 << 32))))
+        .collect()
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlb_sim");
+    group.throughput(Throughput::Elements(ACCESSES));
+    let t = trace();
+    group.bench_function("no_scheme", |b| {
+        b.iter(|| {
+            let mut sim = MemorySim::new(TlbConfig::broadwell(), Default::default());
+            sim.run(&Identity, &mut NoScheme, t.iter().copied());
+            sim.report()
+        });
+    });
+    group.bench_function("with_spot", |b| {
+        b.iter(|| {
+            let mut sim = MemorySim::new(TlbConfig::broadwell(), Default::default());
+            let mut spot = SpotPredictor::new(SpotConfig::default());
+            sim.run(&Identity, &mut spot, t.iter().copied());
+            (sim.report(), spot.stats())
+        });
+    });
+    group.finish();
+}
+
+fn bench_prediction_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spot_table");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("on_miss_10k", |b| {
+        let walk = |va: VirtAddr| WalkResult {
+            pa: PhysAddr::new(va.raw() - (1 << 30)),
+            size: PageSize::Base4K,
+            refs: 24,
+            contig: true,
+            write: false,
+        };
+        b.iter(|| {
+            let mut spot = SpotPredictor::new(SpotConfig::default());
+            for i in 0..10_000u64 {
+                let va = VirtAddr::new((1 << 31) + i * 0x5000);
+                spot.on_miss(Access::read(i % 48, va), &walk(va));
+            }
+            spot.stats()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim, bench_prediction_table);
+criterion_main!(benches);

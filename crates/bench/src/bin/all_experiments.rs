@@ -1,0 +1,37 @@
+//! Runs every table/figure regenerator in sequence — the one-command
+//! reproduction of the paper's evaluation section.
+//!
+//! Each experiment is also available as its own binary (`fig07`, `table1`,
+//! ...); this wrapper simply invokes the same entry points in order and is
+//! what `EXPERIMENTS.md` is written from.
+
+use std::process::Command;
+
+fn main() {
+    let experiments = [
+        "fig01b", "fig01c", "table1", "fig07", "fig08", "fig09", "fig10", "fig11", "table5",
+        "table6", "fig12", "fig13", "fig14", "table7", "ext_5level", "ext_combinations",
+        "ext_shadow",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut failed = Vec::new();
+    for name in experiments {
+        println!("\n{}\n", "=".repeat(72));
+        let status = Command::new(dir.join(name))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e} (build with --bins first)"));
+        if !status.success() {
+            failed.push(name);
+        }
+    }
+    println!("\n{}", "=".repeat(72));
+    if failed.is_empty() {
+        println!("all experiments completed");
+    } else {
+        println!("FAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Table I: number of vRMM ranges and vHC anchor entries needed to map 99 %
+//! of each workload's footprint in virtualized execution, under default THP
+//! and under CA paging.
+
+use contig_bench::{header, Options};
+use contig_metrics::{geomean_counts, TextTable};
+use contig_sim::translation;
+use contig_workloads::Workload;
+
+fn main() {
+    let opts = Options::from_args();
+    header("Table I — vRMM ranges vs vHC anchor entries (99% coverage)", "paper Table I", &opts);
+    let env = opts.env();
+    let mut table = TextTable::new(&[
+        "workload",
+        "THP ranges",
+        "THP vHC entries",
+        "CA ranges",
+        "CA vHC entries",
+    ]);
+    let mut cols: [Vec<u64>; 4] = Default::default();
+    for w in Workload::ALL {
+        let row = translation::table_one_row(&env, w);
+        table.row(&[
+            w.name().to_string(),
+            row.thp_ranges.to_string(),
+            row.thp_anchors.to_string(),
+            row.ca_ranges.to_string(),
+            row.ca_anchors.to_string(),
+        ]);
+        cols[0].push(row.thp_ranges as u64);
+        cols[1].push(row.thp_anchors as u64);
+        cols[2].push(row.ca_ranges as u64);
+        cols[3].push(row.ca_anchors as u64);
+    }
+    table.row(&[
+        "geomean".to_string(),
+        format!("{:.0}", geomean_counts(&cols[0])),
+        format!("{:.0}", geomean_counts(&cols[1])),
+        format!("{:.0}", geomean_counts(&cols[2])),
+        format!("{:.0}", geomean_counts(&cols[3])),
+    ]);
+    println!("{}", table.render());
+    println!("paper values (geomean): THP 7223 ranges / 8485 entries; CA 23 ranges /");
+    println!("914 entries — CA shrinks both by orders of magnitude, but vHC's virtual");
+    println!("alignment restrictions leave it ~38x behind ranges.");
+}

@@ -1,0 +1,47 @@
+//! Table VII: estimation of unsafe load instructions (USLs) — SpOT's
+//! speculative windows versus branch prediction's (Spectre).
+
+use contig_bench::{header, pct, Options};
+use contig_metrics::{geomean, TextTable};
+use contig_sim::{translation, TranslationConfig};
+use contig_workloads::Workload;
+
+fn main() {
+    let opts = Options::from_args();
+    header("Table VII — unsafe-load (USL) estimation", "paper Table VII", &opts);
+    let env = opts.env();
+    let mut table = TextTable::new(&[
+        "workload",
+        "branches/instr",
+        "DTLB miss/instr",
+        "Spectre USL/instr",
+        "SpOT USL/instr",
+    ]);
+    let mut cols: [Vec<f64>; 4] = Default::default();
+    for w in Workload::ALL {
+        let run = translation::run_translation(&env, w, TranslationConfig::Spot, opts.accesses, 42);
+        let usl = translation::usl_estimate(&run, &env);
+        table.row(&[
+            w.name().to_string(),
+            pct(usl.branch_fraction),
+            pct(usl.dtlb_miss_fraction),
+            pct(usl.spectre_usl_fraction),
+            pct(usl.spot_usl_fraction),
+        ]);
+        cols[0].push(usl.branch_fraction.max(1e-9));
+        cols[1].push(usl.dtlb_miss_fraction.max(1e-9));
+        cols[2].push(usl.spectre_usl_fraction.max(1e-9));
+        cols[3].push(usl.spot_usl_fraction.max(1e-9));
+    }
+    table.row(&[
+        "geomean".to_string(),
+        pct(geomean(&cols[0]).unwrap_or(0.0)),
+        pct(geomean(&cols[1]).unwrap_or(0.0)),
+        pct(geomean(&cols[2]).unwrap_or(0.0)),
+        pct(geomean(&cols[3]).unwrap_or(0.0)),
+    ]);
+    println!("{}", table.render());
+    println!("paper values (geomean): 5.87% branches, 0.25% DTLB misses, 16.5% Spectre");
+    println!("USLs, 2.9% SpOT USLs — SpOT's windows are longer (page walks, ~81 cycles)");
+    println!("but far rarer, so InvisiSpec-style mitigation costs <2%.");
+}

@@ -1,0 +1,102 @@
+//! Shared plumbing for the experiment binaries: argument parsing and
+//! paper-versus-measured report formatting.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! `DESIGN.md` §3 for the index) and accepts:
+//!
+//! - `--scale N` — footprint/machine/TLB scale divisor (default 64; the
+//!   library tests use 1024);
+//! - `--accesses N` — trace length for translation experiments (default 2M);
+//! - `--runs N` — repetitions where the figure sweeps runs (Fig. 1b).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use contig_sim::Env;
+use contig_workloads::Scale;
+
+/// Parsed command-line options shared by the experiment binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Scale divisor (`--scale`).
+    pub scale: u64,
+    /// Trace length for TLB simulations (`--accesses`).
+    pub accesses: u64,
+    /// Repetitions for multi-run figures (`--runs`).
+    pub runs: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self { scale: 64, accesses: 2_000_000, runs: 10 }
+    }
+}
+
+impl Options {
+    /// Parses `std::env::args`, ignoring unknown flags.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message when a flag is missing its value or the
+    /// value does not parse.
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let take = |i: &mut usize| -> u64 {
+                *i += 1;
+                args.get(*i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("usage: [--scale N] [--accesses N] [--runs N]"))
+            };
+            match args[i].as_str() {
+                "--scale" => opts.scale = take(&mut i),
+                "--accesses" => opts.accesses = take(&mut i),
+                "--runs" => opts.runs = take(&mut i) as usize,
+                other => eprintln!("ignoring unknown flag {other}"),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The experiment environment for these options.
+    pub fn env(&self) -> Env {
+        Env::new(Scale(self.scale))
+    }
+}
+
+/// Prints the standard experiment header.
+pub fn header(what: &str, paper_ref: &str, opts: &Options) {
+    println!("== {what} ==");
+    println!("reproduces: {paper_ref}");
+    println!(
+        "scale 1/{} (machine {} MiB, TLB scaled to match)\n",
+        opts.scale,
+        opts.env().machine_mib()
+    );
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_full_scale() {
+        let o = Options::default();
+        assert_eq!(o.scale, 64);
+        assert_eq!(o.env().machine_mib(), 4096);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.165), "16.5%");
+        assert_eq!(pct(0.0), "0.0%");
+    }
+}

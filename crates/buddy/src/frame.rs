@@ -1,0 +1,231 @@
+//! Per-frame metadata: the simulator's analogue of Linux's `mem_map`.
+//!
+//! CA paging examines the availability of a *target* page "relying completely
+//! on existing OS metadata" (paper §III-B): in Linux via `struct page`'s
+//! `_mapcount`/`_count`, here via [`FrameTable`] lookups.
+
+use contig_types::Pfn;
+
+/// State of one 4 KiB physical frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FrameState {
+    /// First frame of a free buddy block of the recorded order.
+    FreeHead {
+        /// Buddy order of the free block this frame heads.
+        order: u32,
+    },
+    /// Free frame inside a free block headed elsewhere.
+    FreeTail,
+    /// First frame of an allocated block of the recorded order.
+    AllocatedHead {
+        /// Buddy order of the allocation this frame heads.
+        order: u32,
+    },
+    /// Allocated frame inside an allocation headed elsewhere.
+    AllocatedTail,
+}
+
+impl FrameState {
+    /// Whether the frame is free (head or tail of a free block).
+    pub const fn is_free(self) -> bool {
+        matches!(self, FrameState::FreeHead { .. } | FrameState::FreeTail)
+    }
+}
+
+/// Dense per-frame metadata for one zone, indexed by frame number relative to
+/// the zone base.
+#[derive(Clone, Debug)]
+pub struct FrameTable {
+    base: Pfn,
+    states: Vec<FrameState>,
+}
+
+impl FrameTable {
+    /// A table of `frames` frames starting at absolute frame number `base`,
+    /// all initially free tails (the zone constructor installs the heads).
+    pub fn new(base: Pfn, frames: u64) -> Self {
+        Self { base, states: vec![FrameState::FreeTail; frames as usize] }
+    }
+
+    /// First frame number of the zone.
+    pub const fn base(&self) -> Pfn {
+        self.base
+    }
+
+    /// Number of frames tracked.
+    pub fn len(&self) -> u64 {
+        self.states.len() as u64
+    }
+
+    /// Whether the table tracks zero frames.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Whether `pfn` falls inside this zone.
+    pub fn contains(&self, pfn: Pfn) -> bool {
+        pfn >= self.base && pfn.raw() < self.base.raw() + self.len()
+    }
+
+    fn index(&self, pfn: Pfn) -> usize {
+        debug_assert!(self.contains(pfn), "{pfn} outside zone [{}, +{})", self.base, self.len());
+        (pfn.raw() - self.base.raw()) as usize
+    }
+
+    /// State of the given frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pfn` is outside the zone.
+    pub fn state(&self, pfn: Pfn) -> FrameState {
+        self.states[self.index(pfn)]
+    }
+
+    /// Sets the state of the given frame.
+    pub(crate) fn set_state(&mut self, pfn: Pfn, state: FrameState) {
+        let idx = self.index(pfn);
+        self.states[idx] = state;
+    }
+
+    /// Whether the frame is currently free. This is the check CA paging
+    /// performs on its allocation target before attempting to claim it.
+    pub fn is_free(&self, pfn: Pfn) -> bool {
+        self.contains(pfn) && self.state(pfn).is_free()
+    }
+
+    /// Marks `1 << order` frames starting at `head` as a free block.
+    pub(crate) fn mark_free_block(&mut self, head: Pfn, order: u32) {
+        self.set_state(head, FrameState::FreeHead { order });
+        for i in 1..(1u64 << order) {
+            self.set_state(head.add(i), FrameState::FreeTail);
+        }
+    }
+
+    /// Marks `1 << order` frames starting at `head` as an allocated block.
+    pub(crate) fn mark_allocated_block(&mut self, head: Pfn, order: u32) {
+        self.set_state(head, FrameState::AllocatedHead { order });
+        for i in 1..(1u64 << order) {
+            self.set_state(head.add(i), FrameState::AllocatedTail);
+        }
+    }
+
+    /// Finds the head and order of the free buddy block containing `pfn`,
+    /// if the frame is free.
+    ///
+    /// Buddy blocks are naturally aligned, so the head must be one of the
+    /// `max_order + 1` alignment candidates of `pfn`; we test them from the
+    /// smallest up.
+    pub fn free_block_containing(&self, pfn: Pfn, max_order: u32) -> Option<(Pfn, u32)> {
+        if !self.contains(pfn) || !self.state(pfn).is_free() {
+            return None;
+        }
+        for order in 0..=max_order {
+            let candidate = Pfn::new(self.base.raw() + ((pfn.raw() - self.base.raw()) & !((1u64 << order) - 1)));
+            if let FrameState::FreeHead { order: found } = self.state(candidate) {
+                if found >= order && pfn.raw() < candidate.raw() + (1 << found) {
+                    return Some((candidate, found));
+                }
+            }
+        }
+        None
+    }
+
+    /// Iterates maximal runs of consecutive free frames as `(head, len)`
+    /// pairs, ignoring buddy block boundaries. This is the *unaligned* free
+    /// contiguity the paper's Fig. 9 histograms.
+    pub fn free_runs(&self) -> impl Iterator<Item = (Pfn, u64)> + '_ {
+        FreeRuns { table: self, cursor: 0 }
+    }
+}
+
+struct FreeRuns<'a> {
+    table: &'a FrameTable,
+    cursor: usize,
+}
+
+impl Iterator for FreeRuns<'_> {
+    type Item = (Pfn, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let states = &self.table.states;
+        while self.cursor < states.len() && !states[self.cursor].is_free() {
+            self.cursor += 1;
+        }
+        if self.cursor >= states.len() {
+            return None;
+        }
+        let start = self.cursor;
+        while self.cursor < states.len() && states[self.cursor].is_free() {
+            self.cursor += 1;
+        }
+        Some((self.table.base.add(start as u64), (self.cursor - start) as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_and_query_blocks() {
+        let mut t = FrameTable::new(Pfn::new(100), 64);
+        t.mark_free_block(Pfn::new(100), 5);
+        t.mark_allocated_block(Pfn::new(132), 5);
+        assert!(t.is_free(Pfn::new(100)));
+        assert!(t.is_free(Pfn::new(131)));
+        assert!(!t.is_free(Pfn::new(132)));
+        assert!(!t.is_free(Pfn::new(163)));
+        assert_eq!(t.state(Pfn::new(100)), FrameState::FreeHead { order: 5 });
+        assert_eq!(t.state(Pfn::new(132)), FrameState::AllocatedHead { order: 5 });
+    }
+
+    #[test]
+    fn out_of_zone_frames_are_not_free() {
+        let t = FrameTable::new(Pfn::new(10), 4);
+        assert!(!t.is_free(Pfn::new(9)));
+        assert!(!t.is_free(Pfn::new(14)));
+    }
+
+    #[test]
+    fn find_containing_free_block() {
+        let mut t = FrameTable::new(Pfn::new(0), 64);
+        t.mark_free_block(Pfn::new(32), 5);
+        t.mark_allocated_block(Pfn::new(0), 5);
+        assert_eq!(t.free_block_containing(Pfn::new(40), 5), Some((Pfn::new(32), 5)));
+        assert_eq!(t.free_block_containing(Pfn::new(32), 5), Some((Pfn::new(32), 5)));
+        assert_eq!(t.free_block_containing(Pfn::new(63), 5), Some((Pfn::new(32), 5)));
+        assert_eq!(t.free_block_containing(Pfn::new(0), 5), None);
+    }
+
+    #[test]
+    fn free_block_containing_with_unaligned_zone_base() {
+        // Zone bases need not be aligned to the top order; containment must
+        // use zone-relative alignment.
+        let mut t = FrameTable::new(Pfn::new(96), 64);
+        t.mark_free_block(Pfn::new(96), 4);
+        t.mark_allocated_block(Pfn::new(112), 4);
+        t.mark_free_block(Pfn::new(128), 5);
+        assert_eq!(t.free_block_containing(Pfn::new(100), 5), Some((Pfn::new(96), 4)));
+        assert_eq!(t.free_block_containing(Pfn::new(140), 5), Some((Pfn::new(128), 5)));
+    }
+
+    #[test]
+    fn free_runs_merge_adjacent_blocks() {
+        let mut t = FrameTable::new(Pfn::new(0), 16);
+        t.mark_allocated_block(Pfn::new(0), 1);
+        t.mark_free_block(Pfn::new(2), 1);
+        t.mark_free_block(Pfn::new(4), 2);
+        t.mark_allocated_block(Pfn::new(8), 3);
+        let runs: Vec<_> = t.free_runs().collect();
+        assert_eq!(runs, vec![(Pfn::new(2), 6)]);
+    }
+
+    #[test]
+    fn free_runs_handle_trailing_run() {
+        let mut t = FrameTable::new(Pfn::new(0), 8);
+        t.mark_allocated_block(Pfn::new(0), 2);
+        t.mark_free_block(Pfn::new(4), 2);
+        let runs: Vec<_> = t.free_runs().collect();
+        assert_eq!(runs, vec![(Pfn::new(4), 4)]);
+    }
+}

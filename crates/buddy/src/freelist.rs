@@ -1,0 +1,199 @@
+//! Per-order free lists with O(1)/O(log n) arbitrary removal.
+//!
+//! Linux's buddy free lists are intrusive doubly-linked lists: blocks are
+//! pushed and popped at the head (LIFO) and can be unlinked from the middle
+//! when a targeted allocation splits them. CA paging additionally keeps the
+//! MAX_ORDER list *sorted by physical address* (paper §III-C, "fragmentation
+//! restraint") so that fallback 4 KiB allocations carve the lowest block
+//! instead of splintering random large blocks.
+
+use std::collections::{BTreeSet, HashMap};
+
+use contig_types::Pfn;
+
+/// A free list for one buddy order.
+///
+/// Two disciplines are supported, mirroring the kernel default and the paper's
+/// sorted-MAX_ORDER-list optimization.
+#[derive(Clone, Debug)]
+pub enum FreeList {
+    /// LIFO discipline (kernel default): `pop` returns the most recently
+    /// inserted block, which after a history of scattered frees yields
+    /// scattered allocations — the behaviour that inhibits contiguity.
+    Lifo(LifoList),
+    /// Address-sorted discipline: `pop` returns the lowest-addressed block.
+    Sorted(BTreeSet<Pfn>),
+}
+
+impl FreeList {
+    /// Creates an empty list with the requested discipline.
+    pub fn new(sorted: bool) -> Self {
+        if sorted {
+            FreeList::Sorted(BTreeSet::new())
+        } else {
+            FreeList::Lifo(LifoList::default())
+        }
+    }
+
+    /// Number of blocks on the list.
+    pub fn len(&self) -> usize {
+        match self {
+            FreeList::Lifo(l) => l.order.len(),
+            FreeList::Sorted(s) => s.len(),
+        }
+    }
+
+    /// Whether the list holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a block head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already on the list (a double free).
+    pub fn insert(&mut self, pfn: Pfn) {
+        let fresh = match self {
+            FreeList::Lifo(l) => l.insert(pfn),
+            FreeList::Sorted(s) => s.insert(pfn),
+        };
+        assert!(fresh, "block {pfn} double-inserted into free list");
+    }
+
+    /// Removes and returns a block according to the list discipline.
+    pub fn pop(&mut self) -> Option<Pfn> {
+        match self {
+            FreeList::Lifo(l) => l.pop(),
+            FreeList::Sorted(s) => {
+                let first = *s.iter().next()?;
+                s.remove(&first);
+                Some(first)
+            }
+        }
+    }
+
+    /// Removes a specific block, returning whether it was present.
+    pub fn remove(&mut self, pfn: Pfn) -> bool {
+        match self {
+            FreeList::Lifo(l) => l.remove(pfn),
+            FreeList::Sorted(s) => s.remove(&pfn),
+        }
+    }
+
+    /// Whether the block is on the list.
+    pub fn contains(&self, pfn: Pfn) -> bool {
+        match self {
+            FreeList::Lifo(l) => l.index.contains_key(&pfn),
+            FreeList::Sorted(s) => s.contains(&pfn),
+        }
+    }
+
+    /// Iterates the blocks in unspecified (LIFO) or ascending (sorted) order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = Pfn> + '_> {
+        match self {
+            FreeList::Lifo(l) => Box::new(l.order.iter().copied()),
+            FreeList::Sorted(s) => Box::new(s.iter().copied()),
+        }
+    }
+}
+
+/// Insertion-ordered set with O(1) insert, pop-back, and swap-removal.
+#[derive(Clone, Debug, Default)]
+pub struct LifoList {
+    order: Vec<Pfn>,
+    index: HashMap<Pfn, usize>,
+}
+
+impl LifoList {
+    fn insert(&mut self, pfn: Pfn) -> bool {
+        if self.index.contains_key(&pfn) {
+            return false;
+        }
+        self.index.insert(pfn, self.order.len());
+        self.order.push(pfn);
+        true
+    }
+
+    fn pop(&mut self) -> Option<Pfn> {
+        let pfn = self.order.pop()?;
+        self.index.remove(&pfn);
+        Some(pfn)
+    }
+
+    fn remove(&mut self, pfn: Pfn) -> bool {
+        let Some(pos) = self.index.remove(&pfn) else {
+            return false;
+        };
+        self.order.swap_remove(pos);
+        if let Some(&moved) = self.order.get(pos) {
+            self.index.insert(moved, pos);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_pops_most_recent() {
+        let mut l = FreeList::new(false);
+        l.insert(Pfn::new(10));
+        l.insert(Pfn::new(20));
+        l.insert(Pfn::new(5));
+        assert_eq!(l.pop(), Some(Pfn::new(5)));
+        assert_eq!(l.pop(), Some(Pfn::new(20)));
+        assert_eq!(l.pop(), Some(Pfn::new(10)));
+        assert_eq!(l.pop(), None);
+    }
+
+    #[test]
+    fn sorted_pops_lowest_address() {
+        let mut l = FreeList::new(true);
+        l.insert(Pfn::new(10));
+        l.insert(Pfn::new(20));
+        l.insert(Pfn::new(5));
+        assert_eq!(l.pop(), Some(Pfn::new(5)));
+        assert_eq!(l.pop(), Some(Pfn::new(10)));
+        assert_eq!(l.pop(), Some(Pfn::new(20)));
+    }
+
+    #[test]
+    fn middle_removal_keeps_index_consistent() {
+        let mut l = FreeList::new(false);
+        for i in 0..8 {
+            l.insert(Pfn::new(i * 4));
+        }
+        assert!(l.remove(Pfn::new(8)));
+        assert!(!l.remove(Pfn::new(8)));
+        assert!(!l.contains(Pfn::new(8)));
+        // Every other element still reachable.
+        let mut seen = Vec::new();
+        while let Some(p) = l.pop() {
+            seen.push(p.raw());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 4, 12, 16, 20, 24, 28]);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-inserted")]
+    fn double_insert_panics() {
+        let mut l = FreeList::new(false);
+        l.insert(Pfn::new(1));
+        l.insert(Pfn::new(1));
+    }
+
+    #[test]
+    fn len_tracks_mutations() {
+        let mut l = FreeList::new(true);
+        assert!(l.is_empty());
+        l.insert(Pfn::new(3));
+        l.insert(Pfn::new(9));
+        assert_eq!(l.len(), 2);
+        l.remove(Pfn::new(3));
+        assert_eq!(l.len(), 1);
+    }
+}

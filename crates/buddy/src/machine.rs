@@ -1,0 +1,447 @@
+//! A physical machine: one buddy [`Zone`] per NUMA node plus node-fill
+//! allocation policy, mirroring how Linux keeps a buddy instance and a
+//! separate `contiguity_map` per `struct zone` (paper §III-B).
+
+use contig_types::{AllocError, PageSize, PhysRange, Pfn};
+
+use crate::stats::FreeBlockHistogram;
+use crate::zone::{Zone, ZoneConfig, ZoneCounters};
+
+/// Index of a NUMA node / zone within a [`Machine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+/// Construction parameters for a [`Machine`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Frame count of each NUMA node, in node order. Nodes are laid out
+    /// consecutively in the physical address space.
+    pub node_frames: Vec<u64>,
+    /// Largest buddy order maintained per zone.
+    pub top_order: u32,
+    /// Keep top-order free lists address-sorted (CA paging optimization).
+    pub sorted_top_list: bool,
+}
+
+impl MachineConfig {
+    /// A machine with the given per-node sizes in MiB and default parameters.
+    pub fn with_node_mib(nodes: &[u64]) -> Self {
+        Self {
+            node_frames: nodes.iter().map(|mib| mib * 256).collect(),
+            top_order: crate::zone::DEFAULT_TOP_ORDER,
+            sorted_top_list: false,
+        }
+    }
+
+    /// Single-node machine of the given size in MiB (the paper turns NUMA off
+    /// for the fragmentation experiments).
+    pub fn single_node_mib(mib: u64) -> Self {
+        Self::with_node_mib(&[mib])
+    }
+}
+
+/// A multi-zone physical memory with first-fill node selection: allocations
+/// prefer the lowest-numbered node with space, spilling to the next when a
+/// node runs dry (how BT ends up spanning two nodes in the paper).
+///
+/// # Examples
+///
+/// ```
+/// use contig_buddy::{Machine, MachineConfig};
+/// use contig_types::PageSize;
+///
+/// let mut m = Machine::new(MachineConfig::with_node_mib(&[64, 64]));
+/// let pfn = m.alloc_page(PageSize::Huge2M)?;
+/// assert!(m.node_of(pfn).is_some());
+/// m.free_page(pfn, PageSize::Huge2M);
+/// # Ok::<(), contig_types::AllocError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Machine {
+    zones: Vec<Zone>,
+    /// Contiguity reservations (the paper's §III-D extension): regions a
+    /// placement owner has claimed for its future faults. Reservations only
+    /// steer *placement decisions* — ordinary allocations ignore them, so
+    /// demand paging and memory availability are unaffected.
+    reservations: Vec<(u64, PhysRange)>,
+    /// Next-fit rover for reservation-aware placement, as a byte address.
+    reservation_rover: u64,
+}
+
+impl Machine {
+    /// Builds the machine with consecutive zones, all memory free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no nodes are configured.
+    pub fn new(config: MachineConfig) -> Self {
+        assert!(!config.node_frames.is_empty(), "machine needs at least one node");
+        let mut zones = Vec::with_capacity(config.node_frames.len());
+        let mut base = 0u64;
+        for &frames in &config.node_frames {
+            zones.push(Zone::new(ZoneConfig {
+                base: Pfn::new(base),
+                frames,
+                top_order: config.top_order,
+                sorted_top_list: config.sorted_top_list,
+            }));
+            base += frames;
+        }
+        Machine { zones, reservations: Vec::new(), reservation_rover: 0 }
+    }
+
+    /// Number of NUMA nodes.
+    pub fn nodes(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// The zone of one node.
+    pub fn zone(&self, node: NodeId) -> &Zone {
+        &self.zones[node.0]
+    }
+
+    /// Mutable access to one node's zone.
+    pub fn zone_mut(&mut self, node: NodeId) -> &mut Zone {
+        &mut self.zones[node.0]
+    }
+
+    /// Iterates all zones in node order.
+    pub fn iter_zones(&self) -> impl Iterator<Item = &Zone> {
+        self.zones.iter()
+    }
+
+    /// The node owning frame `pfn`, if any.
+    pub fn node_of(&self, pfn: Pfn) -> Option<NodeId> {
+        self.zones.iter().position(|z| z.contains(pfn)).map(NodeId)
+    }
+
+    /// Total frames across nodes.
+    pub fn total_frames(&self) -> u64 {
+        self.zones.iter().map(Zone::total_frames).sum()
+    }
+
+    /// Free frames across nodes.
+    pub fn free_frames(&self) -> u64 {
+        self.zones.iter().map(Zone::free_frames).sum()
+    }
+
+    /// Whether a frame is currently free on its owning node.
+    pub fn is_free(&self, pfn: Pfn) -> bool {
+        self.node_of(pfn).is_some_and(|n| self.zones[n.0].is_free(pfn))
+    }
+
+    /// Allocates a block of `1 << order` frames from the first node with
+    /// space (default kernel placement).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::OutOfMemory`] when every node is exhausted.
+    pub fn alloc(&mut self, order: u32) -> Result<Pfn, AllocError> {
+        for zone in &mut self.zones {
+            match zone.alloc(order) {
+                Ok(pfn) => return Ok(pfn),
+                Err(AllocError::OutOfMemory { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(AllocError::OutOfMemory { order })
+    }
+
+    /// Allocates one page of the given size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AllocError`] from [`Machine::alloc`].
+    pub fn alloc_page(&mut self, size: PageSize) -> Result<Pfn, AllocError> {
+        self.alloc(size.order())
+    }
+
+    /// Targeted allocation on whichever node owns the frame.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::OutOfZone`] if no node owns the block;
+    /// [`AllocError::TargetBusy`] if the block is (partially) in use.
+    pub fn alloc_specific(&mut self, target: Pfn, order: u32) -> Result<(), AllocError> {
+        let node = self.node_of(target).ok_or(AllocError::OutOfZone { target })?;
+        self.zones[node.0].alloc_specific(target, order)
+    }
+
+    /// Targeted allocation of one page of the given size.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::alloc_specific`].
+    pub fn alloc_page_at(&mut self, target: Pfn, size: PageSize) -> Result<(), AllocError> {
+        self.alloc_specific(target, size.order())
+    }
+
+    /// Frees a block on its owning node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node owns the block, on double free, or on order mismatch.
+    pub fn free(&mut self, head: Pfn, order: u32) {
+        let node = self.node_of(head).expect("freed block belongs to no node");
+        self.zones[node.0].free(head, order);
+    }
+
+    /// Frees one page of the given size.
+    pub fn free_page(&mut self, head: Pfn, size: PageSize) {
+        self.free(head, size.order());
+    }
+
+    /// Splits an allocated block into independently freeable sub-blocks on
+    /// its owning node (see [`Zone::split_allocated`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node owns the block, or per [`Zone::split_allocated`].
+    pub fn split_allocated(&mut self, head: Pfn, new_order: u32) {
+        let node = self.node_of(head).expect("split target belongs to no node");
+        self.zones[node.0].split_allocated(head, new_order);
+    }
+
+    /// Next-fit placement across nodes: tries each node's contiguity map in
+    /// node-fill order, returning the first cluster able to fit `bytes`; if
+    /// none fits entirely, returns the largest cluster found machine-wide.
+    pub fn next_fit_cluster(&mut self, bytes: u64) -> Option<PhysRange> {
+        let mut best: Option<PhysRange> = None;
+        for zone in &mut self.zones {
+            if let Some(r) = zone.next_fit_cluster(bytes) {
+                if r.len() >= bytes {
+                    return Some(r);
+                }
+                if best.as_ref().is_none_or(|b| r.len() > b.len()) {
+                    best = Some(r);
+                }
+            }
+        }
+        best
+    }
+
+    /// Records a contiguity reservation for `owner`: other owners'
+    /// reservation-aware placements ([`Machine::next_fit_cluster_excluding`])
+    /// will avoid this region. Ordinary allocations are unaffected.
+    pub fn reserve(&mut self, owner: u64, range: PhysRange) {
+        self.reservations.push((owner, range));
+    }
+
+    /// Drops every reservation held by `owner` (process exit, re-placement).
+    pub fn release_reservations(&mut self, owner: u64) {
+        self.reservations.retain(|&(o, _)| o != owner);
+    }
+
+    /// Total bytes currently under reservation.
+    pub fn reserved_bytes(&self) -> u64 {
+        self.reservations.iter().map(|(_, r)| r.len()).sum()
+    }
+
+    /// Reservation-aware next-fit placement: like
+    /// [`Machine::next_fit_cluster`], but the free clusters are first clipped
+    /// against every reservation *not* held by `owner`, so competing
+    /// placements are steered away from each other's claimed regions
+    /// (paper §III-D).
+    pub fn next_fit_cluster_excluding(&mut self, owner: u64, bytes: u64) -> Option<PhysRange> {
+        // Gather clipped candidate sub-ranges from every zone's map.
+        let mut candidates: Vec<PhysRange> = Vec::new();
+        for zone in &self.zones {
+            for cluster in zone.contiguity_map().iter() {
+                candidates.extend(subtract_reservations(
+                    cluster.range(),
+                    &self.reservations,
+                    owner,
+                ));
+            }
+        }
+        candidates.retain(|r| !r.is_empty());
+        candidates.sort_by_key(|r| r.start());
+        if candidates.is_empty() {
+            return None;
+        }
+        let rover = self.reservation_rover;
+        let pick = candidates
+            .iter()
+            .filter(|r| r.start().raw() > rover)
+            .chain(candidates.iter().filter(|r| r.start().raw() <= rover))
+            .find(|r| r.len() >= bytes)
+            .copied()
+            .or_else(|| candidates.iter().max_by_key(|r| r.len()).copied());
+        if let Some(r) = pick {
+            self.reservation_rover = r.end().raw().saturating_sub(1);
+        }
+        pick
+    }
+
+    /// Machine-wide unaligned free-run histogram (Fig. 9).
+    pub fn free_block_histogram(&self) -> FreeBlockHistogram {
+        FreeBlockHistogram::from_runs(self.zones.iter().flat_map(|z| {
+            z.frame_table().free_runs().collect::<Vec<_>>()
+        }))
+    }
+
+    /// Sum of per-zone event counters.
+    pub fn counters(&self) -> ZoneCounters {
+        let mut total = ZoneCounters::default();
+        for z in &self.zones {
+            let c = z.counters();
+            total.allocs += c.allocs;
+            total.targeted_allocs += c.targeted_allocs;
+            total.targeted_misses += c.targeted_misses;
+            total.frees += c.frees;
+            total.splits += c.splits;
+            total.coalesces += c.coalesces;
+        }
+        total
+    }
+
+    /// Runs [`Zone::verify_integrity`] on every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn verify_integrity(&self) {
+        for z in &self.zones {
+            z.verify_integrity();
+        }
+    }
+}
+
+/// Subtracts every reservation not held by `owner` from `range`, returning
+/// the remaining sub-ranges in address order.
+fn subtract_reservations(
+    range: PhysRange,
+    reservations: &[(u64, PhysRange)],
+    owner: u64,
+) -> Vec<PhysRange> {
+    let mut pieces = vec![range];
+    for &(o, res) in reservations {
+        if o == owner {
+            continue;
+        }
+        let mut next = Vec::with_capacity(pieces.len() + 1);
+        for piece in pieces {
+            if !piece.overlaps(&res) {
+                next.push(piece);
+                continue;
+            }
+            if res.start() > piece.start() {
+                next.push(PhysRange::from_bounds(piece.start(), res.start()));
+            }
+            if res.end() < piece.end() {
+                next.push(PhysRange::from_bounds(res.end(), piece.end()));
+            }
+        }
+        pieces = next;
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_are_laid_out_consecutively() {
+        let m = Machine::new(MachineConfig::with_node_mib(&[4, 4]));
+        assert_eq!(m.nodes(), 2);
+        assert_eq!(m.zone(NodeId(0)).base(), Pfn::new(0));
+        assert_eq!(m.zone(NodeId(1)).base(), Pfn::new(1024));
+        assert_eq!(m.node_of(Pfn::new(1023)), Some(NodeId(0)));
+        assert_eq!(m.node_of(Pfn::new(1024)), Some(NodeId(1)));
+        assert_eq!(m.node_of(Pfn::new(2048)), None);
+    }
+
+    #[test]
+    fn allocation_spills_to_second_node() {
+        let mut m = Machine::new(MachineConfig::with_node_mib(&[4, 4]));
+        // Drain node 0 (1024 frames = 1 top-order block at order 10).
+        let a = m.alloc(10).unwrap();
+        assert_eq!(m.node_of(a), Some(NodeId(0)));
+        let b = m.alloc(10).unwrap();
+        assert_eq!(m.node_of(b), Some(NodeId(1)));
+        assert!(m.alloc(10).is_err());
+    }
+
+    #[test]
+    fn targeted_allocation_routes_to_owning_node() {
+        let mut m = Machine::new(MachineConfig::with_node_mib(&[4, 4]));
+        m.alloc_specific(Pfn::new(1500), 0).unwrap();
+        assert!(!m.is_free(Pfn::new(1500)));
+        m.free(Pfn::new(1500), 0);
+        assert!(m.is_free(Pfn::new(1500)));
+        m.verify_integrity();
+    }
+
+    #[test]
+    fn next_fit_prefers_fitting_cluster() {
+        let mut m = Machine::new(MachineConfig::with_node_mib(&[8, 8]));
+        // Make node 0's single cluster smaller than node 1's by carving it.
+        m.zone_mut(NodeId(0)).alloc_specific(Pfn::new(1024), 10).unwrap();
+        let r = m.next_fit_cluster(8 << 20).unwrap();
+        assert_eq!(r.start().page_number(), Pfn::new(2048), "full 8 MiB only on node 1");
+    }
+
+    #[test]
+    fn next_fit_falls_back_to_largest_anywhere() {
+        let mut m = Machine::new(MachineConfig::with_node_mib(&[8, 8]));
+        m.zone_mut(NodeId(0)).alloc_specific(Pfn::new(1024), 10).unwrap();
+        m.zone_mut(NodeId(1)).alloc_specific(Pfn::new(2048 + 512), 9).unwrap();
+        // No cluster fits 16 MiB; largest is node0's low 4 MiB? node0: [0,1024) = 4MiB,
+        // [2048..) on node 0 is 8 MiB minus... node0 frames: 2048, hole at 1024..2048 →
+        // cluster [0,1024) of 4 MiB. Node 1: holes split it into [2048,2560) 2 MiB and
+        // [3072,4096) 4 MiB. Largest overall: 4 MiB at frame 0 (first found).
+        let r = m.next_fit_cluster(16 << 20).unwrap();
+        assert_eq!(r.len(), 4 << 20);
+    }
+
+    #[test]
+    fn reservations_steer_placement_but_not_allocation() {
+        let mut m = Machine::new(MachineConfig::with_node_mib(&[16]));
+        // Owner 1 reserves the first half of the single 16 MiB cluster.
+        let half = PhysRange::new(contig_types::PhysAddr::new(0), 8 << 20);
+        m.reserve(1, half);
+        // Another owner's placement lands beyond the reservation...
+        let r = m.next_fit_cluster_excluding(2, 4 << 20).unwrap();
+        assert!(r.start().raw() >= (8 << 20), "placement {r} inside foreign reservation");
+        // ...while the owner itself still sees the full cluster...
+        let own = m.next_fit_cluster_excluding(1, 16 << 20).unwrap();
+        assert_eq!(own.len(), 16 << 20);
+        // ...and ordinary allocation is unaffected.
+        assert!(m.alloc(9).is_ok());
+        m.release_reservations(1);
+        assert_eq!(m.reserved_bytes(), 0);
+    }
+
+    #[test]
+    fn reservation_subtraction_splits_ranges() {
+        let range = PhysRange::new(contig_types::PhysAddr::new(0x1000), 0x9000);
+        let reservations = vec![
+            (7u64, PhysRange::new(contig_types::PhysAddr::new(0x3000), 0x2000)),
+            (9u64, PhysRange::new(contig_types::PhysAddr::new(0x8000), 0x1000)),
+        ];
+        let pieces = subtract_reservations(range, &reservations, 9);
+        // Owner 9 ignores its own reservation: only [0x3000,0x5000) is cut.
+        assert_eq!(
+            pieces,
+            vec![
+                PhysRange::new(contig_types::PhysAddr::new(0x1000), 0x2000),
+                PhysRange::new(contig_types::PhysAddr::new(0x5000), 0x5000),
+            ]
+        );
+        let foreign = subtract_reservations(range, &reservations, 1);
+        assert_eq!(foreign.len(), 3);
+    }
+
+    #[test]
+    fn counters_aggregate_across_zones() {
+        let mut m = Machine::new(MachineConfig::with_node_mib(&[4, 4]));
+        let a = m.alloc(10).unwrap();
+        let b = m.alloc(10).unwrap();
+        m.free(a, 10);
+        m.free(b, 10);
+        let c = m.counters();
+        assert_eq!(c.allocs, 2);
+        assert_eq!(c.frees, 2);
+    }
+}

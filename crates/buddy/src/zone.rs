@@ -1,0 +1,664 @@
+//! The buddy allocator for one physical-memory zone (one NUMA node).
+
+use contig_types::{AllocError, PageSize, PhysRange, Pfn};
+
+use crate::contiguity::ContiguityMap;
+use crate::frame::{FrameState, FrameTable};
+use crate::freelist::FreeList;
+use crate::stats::FreeBlockHistogram;
+
+/// Default top buddy order: blocks of `2^10` frames = 4 MiB, matching Linux's
+/// `MAX_ORDER = 11` convention of eleven lists for orders `0..=10`.
+pub const DEFAULT_TOP_ORDER: u32 = 10;
+
+/// Construction parameters for a [`Zone`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ZoneConfig {
+    /// First absolute frame number of the zone.
+    pub base: Pfn,
+    /// Number of 4 KiB frames in the zone.
+    pub frames: u64,
+    /// Largest buddy order maintained (Linux default 10 → 4 MiB blocks).
+    /// The eager-paging baseline raises this to keep larger blocks.
+    pub top_order: u32,
+    /// Keep the top-order free list sorted by physical address so fallback
+    /// allocations carve low addresses first (paper §III-C). The default
+    /// kernel uses LIFO lists.
+    pub sorted_top_list: bool,
+}
+
+impl ZoneConfig {
+    /// A zone of `frames` frames at base 0 with kernel-default parameters.
+    pub fn with_frames(frames: u64) -> Self {
+        Self { base: Pfn::new(0), frames, top_order: DEFAULT_TOP_ORDER, sorted_top_list: false }
+    }
+
+    /// Same, but sized in mebibytes for readability in tests and examples.
+    pub fn with_mib(mib: u64) -> Self {
+        Self::with_frames(mib * 256)
+    }
+}
+
+/// Event counters exposed for the software-overhead experiments (Fig. 11).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ZoneCounters {
+    /// Successful untargeted allocations.
+    pub allocs: u64,
+    /// Successful targeted (`alloc_specific`) allocations.
+    pub targeted_allocs: u64,
+    /// Targeted allocations that failed because the frame was busy.
+    pub targeted_misses: u64,
+    /// Frees performed.
+    pub frees: u64,
+    /// Block splits performed.
+    pub splits: u64,
+    /// Buddy coalesces performed.
+    pub coalesces: u64,
+}
+
+/// A power-of-two buddy allocator with eager coalescing, targeted allocation,
+/// and a [`ContiguityMap`] tracking unaligned runs of free top-order blocks.
+///
+/// # Examples
+///
+/// ```
+/// use contig_buddy::{Zone, ZoneConfig};
+/// use contig_types::PageSize;
+///
+/// let mut zone = Zone::new(ZoneConfig::with_mib(64));
+/// let huge = zone.alloc(PageSize::Huge2M.order())?;
+/// let base = zone.alloc(0)?;
+/// zone.free(huge, PageSize::Huge2M.order());
+/// zone.free(base, 0);
+/// assert_eq!(zone.free_frames(), zone.total_frames());
+/// # Ok::<(), contig_types::AllocError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zone {
+    config: ZoneConfig,
+    frames: FrameTable,
+    free_lists: Vec<FreeList>,
+    free_frames: u64,
+    contiguity: ContiguityMap,
+    counters: ZoneCounters,
+}
+
+impl Zone {
+    /// Builds the zone with all memory free, pre-coalesced into the largest
+    /// blocks the zone-relative alignment allows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero or `top_order` exceeds 31.
+    pub fn new(config: ZoneConfig) -> Self {
+        assert!(config.frames > 0, "zone must contain at least one frame");
+        assert!(config.top_order < 32, "top order {} too large", config.top_order);
+        let mut free_lists: Vec<FreeList> = (0..=config.top_order)
+            .map(|order| FreeList::new(config.sorted_top_list && order == config.top_order))
+            .collect();
+        let frames_table = FrameTable::new(config.base, config.frames);
+        let mut zone = Zone {
+            config,
+            frames: frames_table,
+            free_lists: Vec::new(),
+            free_frames: 0,
+            contiguity: ContiguityMap::new(config.top_order),
+            counters: ZoneCounters::default(),
+        };
+        // Seed free blocks: greedily install maximal aligned blocks.
+        let mut rel = 0u64;
+        while rel < config.frames {
+            let mut order = config.top_order;
+            loop {
+                let size = 1u64 << order;
+                if rel.is_multiple_of(size) && rel + size <= config.frames {
+                    break;
+                }
+                order -= 1;
+            }
+            let head = config.base.add(rel);
+            zone.frames.mark_free_block(head, order);
+            free_lists[order as usize].insert(head);
+            if order == config.top_order {
+                zone.contiguity.on_block_freed(head);
+            }
+            zone.free_frames += 1 << order;
+            rel += 1 << order;
+        }
+        zone.free_lists = free_lists;
+        zone
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> &ZoneConfig {
+        &self.config
+    }
+
+    /// Total frames in the zone.
+    pub fn total_frames(&self) -> u64 {
+        self.config.frames
+    }
+
+    /// Currently free frames.
+    pub fn free_frames(&self) -> u64 {
+        self.free_frames
+    }
+
+    /// First frame of the zone.
+    pub fn base(&self) -> Pfn {
+        self.config.base
+    }
+
+    /// Whether `pfn` belongs to this zone.
+    pub fn contains(&self, pfn: Pfn) -> bool {
+        self.frames.contains(pfn)
+    }
+
+    /// Whether the frame is currently free (the CA-paging target check).
+    pub fn is_free(&self, pfn: Pfn) -> bool {
+        self.frames.is_free(pfn)
+    }
+
+    /// Read-only view of the per-frame metadata.
+    pub fn frame_table(&self) -> &FrameTable {
+        &self.frames
+    }
+
+    /// Read-only view of the contiguity map.
+    pub fn contiguity_map(&self) -> &ContiguityMap {
+        &self.contiguity
+    }
+
+    /// Mutable access to the contiguity map — exposed for placement policies
+    /// that drive the next-fit rover.
+    pub fn contiguity_map_mut(&mut self) -> &mut ContiguityMap {
+        &mut self.contiguity
+    }
+
+    /// Event counters.
+    pub fn counters(&self) -> &ZoneCounters {
+        &self.counters
+    }
+
+    /// Allocates a block of `1 << order` frames wherever the free lists
+    /// provide one, splitting larger blocks as needed — the kernel-default
+    /// "random" placement that CA paging replaces.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::OutOfMemory`] when no block of the order (or larger)
+    /// is free.
+    pub fn alloc(&mut self, order: u32) -> Result<Pfn, AllocError> {
+        if order > self.config.top_order {
+            return Err(AllocError::OutOfMemory { order });
+        }
+        let mut found = None;
+        for o in order..=self.config.top_order {
+            if !self.free_lists[o as usize].is_empty() {
+                found = Some(o);
+                break;
+            }
+        }
+        let from_order = found.ok_or(AllocError::OutOfMemory { order })?;
+        let block = self.take_from_list(from_order).expect("list just reported non-empty");
+        let head = self.split_to(block, from_order, order);
+        self.frames.mark_allocated_block(head, order);
+        self.free_frames -= 1 << order;
+        self.counters.allocs += 1;
+        Ok(head)
+    }
+
+    /// Allocates precisely the block `[target, target + 2^order)`. This is the
+    /// core CA-paging operation: claim the frame the VMA offset designates.
+    ///
+    /// # Errors
+    ///
+    /// - [`AllocError::OutOfZone`] if the block is not fully inside the zone.
+    /// - [`AllocError::TargetBusy`] if any frame of the block is allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not aligned to `order` (zone-relative), which
+    /// indicates a caller bug rather than an allocation race.
+    pub fn alloc_specific(&mut self, target: Pfn, order: u32) -> Result<(), AllocError> {
+        let rel = target.raw().wrapping_sub(self.config.base.raw());
+        assert!(rel.is_multiple_of(1 << order), "targeted block {target} unaligned for order {order}");
+        if !self.contains(target) || !self.contains(target.add((1 << order) - 1)) {
+            return Err(AllocError::OutOfZone { target });
+        }
+        // With eager coalescing, a fully-free aligned 2^order region is always
+        // covered by a single free block of order >= `order`; find it.
+        let (head, found_order) = self
+            .frames
+            .free_block_containing(target, self.config.top_order)
+            .ok_or(AllocError::TargetBusy { target })
+            .inspect_err(|_| self.counters.targeted_misses += 1)?;
+        if found_order < order || head.raw() + (1 << found_order) < target.raw() + (1 << order) {
+            // The containing block is too small: some frame in the target
+            // range is busy.
+            self.counters.targeted_misses += 1;
+            return Err(AllocError::TargetBusy { target });
+        }
+        self.remove_from_list(head, found_order);
+        let head = self.split_towards(head, found_order, target, order);
+        debug_assert_eq!(head, target);
+        self.frames.mark_allocated_block(target, order);
+        self.free_frames -= 1 << order;
+        self.counters.targeted_allocs += 1;
+        Ok(())
+    }
+
+    /// Frees the block `[head, head + 2^order)`, eagerly coalescing buddies
+    /// up to the top order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free or when the block was allocated with a different
+    /// order.
+    pub fn free(&mut self, head: Pfn, order: u32) {
+        match self.frames.state(head) {
+            FrameState::AllocatedHead { order: o } => {
+                assert_eq!(o, order, "block {head} freed with order {order}, allocated {o}");
+            }
+            s => panic!("invalid free of {head} in state {s:?}"),
+        }
+        self.counters.frees += 1;
+        self.free_frames += 1 << order;
+        let mut head = head;
+        let mut order = order;
+        // Coalesce with the buddy while it is free and the same order.
+        while order < self.config.top_order {
+            let rel = head.raw() - self.config.base.raw();
+            let buddy_rel = rel ^ (1 << order);
+            let buddy = self.config.base.add(buddy_rel);
+            if buddy_rel + (1 << order) > self.config.frames {
+                break;
+            }
+            let buddy_free = matches!(
+                self.frames.state(buddy),
+                FrameState::FreeHead { order: bo } if bo == order
+            );
+            if !buddy_free {
+                break;
+            }
+            self.remove_from_list(buddy, order);
+            self.counters.coalesces += 1;
+            head = if buddy_rel < rel { buddy } else { head };
+            order += 1;
+        }
+        self.frames.mark_free_block(head, order);
+        self.insert_into_list(head, order);
+    }
+
+    /// Convenience wrapper: allocate one page of the given size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AllocError`] from [`Zone::alloc`].
+    pub fn alloc_page(&mut self, size: PageSize) -> Result<Pfn, AllocError> {
+        self.alloc(size.order())
+    }
+
+    /// Splits an *allocated* block into `2^(order - new_order)` independently
+    /// freeable allocated blocks of `new_order` — Linux's `split_page()`.
+    /// Eager paging uses this after grabbing a high-order block so the pages
+    /// can later be returned at mapping granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head` is not the head of an allocated block or the block's
+    /// order is below `new_order`.
+    pub fn split_allocated(&mut self, head: Pfn, new_order: u32) {
+        let order = match self.frames.state(head) {
+            FrameState::AllocatedHead { order } => order,
+            s => panic!("split_allocated on {head} in state {s:?}"),
+        };
+        assert!(
+            order >= new_order,
+            "cannot split order-{order} allocation at {head} into order {new_order}"
+        );
+        if order == new_order {
+            return;
+        }
+        let pieces = 1u64 << (order - new_order);
+        for i in 0..pieces {
+            self.frames.mark_allocated_block(head.add(i << new_order), new_order);
+        }
+        self.counters.splits += pieces - 1;
+    }
+
+    /// Next-fit placement over the contiguity map (paper Fig. 4). Returns the
+    /// chosen free cluster as a byte range.
+    pub fn next_fit_cluster(&mut self, bytes: u64) -> Option<PhysRange> {
+        let frames = bytes.div_ceil(contig_types::BASE_PAGE_SIZE);
+        self.contiguity.next_fit(frames).map(|c| c.range())
+    }
+
+    /// Histogram of *unaligned* maximal free runs (paper Fig. 9).
+    pub fn free_block_histogram(&self) -> FreeBlockHistogram {
+        FreeBlockHistogram::from_runs(self.frames.free_runs())
+    }
+
+    /// Exhaustively checks the allocator's internal invariants. Intended for
+    /// tests; cost is linear in zone size.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn verify_integrity(&self) {
+        // 1. Free lists and frame states agree.
+        let mut listed_free = 0u64;
+        for order in 0..=self.config.top_order {
+            for head in self.free_lists[order as usize].iter() {
+                match self.frames.state(head) {
+                    FrameState::FreeHead { order: o } => {
+                        assert_eq!(o, order, "list order mismatch at {head}");
+                    }
+                    s => panic!("listed block {head} has state {s:?}"),
+                }
+                let rel = head.raw() - self.config.base.raw();
+                assert_eq!(rel % (1 << order), 0, "unaligned free block {head} order {order}");
+                listed_free += 1 << order;
+            }
+        }
+        assert_eq!(listed_free, self.free_frames, "free frame accounting drifted");
+        // 2. Every frame state is consistent with exactly one covering block.
+        let mut rel = 0u64;
+        let mut counted_free = 0u64;
+        while rel < self.config.frames {
+            let head = self.config.base.add(rel);
+            match self.frames.state(head) {
+                FrameState::FreeHead { order } => {
+                    assert!(
+                        self.free_lists[order as usize].contains(head),
+                        "free head {head} missing from list {order}"
+                    );
+                    for i in 1..(1u64 << order) {
+                        assert_eq!(
+                            self.frames.state(head.add(i)),
+                            FrameState::FreeTail,
+                            "free block {head} has non-tail interior frame"
+                        );
+                    }
+                    counted_free += 1 << order;
+                    rel += 1 << order;
+                }
+                FrameState::AllocatedHead { order } => {
+                    for i in 1..(1u64 << order) {
+                        assert_eq!(
+                            self.frames.state(head.add(i)),
+                            FrameState::AllocatedTail,
+                            "allocated block {head} has non-tail interior frame"
+                        );
+                    }
+                    rel += 1 << order;
+                }
+                s => panic!("dangling {s:?} at {head} outside any block"),
+            }
+        }
+        assert_eq!(counted_free, self.free_frames, "frame scan disagrees with accounting");
+        // 3. Contiguity map mirrors the top-order list exactly.
+        let top = self.config.top_order;
+        let mut blocks: Vec<Pfn> = self.free_lists[top as usize].iter().collect();
+        blocks.sort_unstable();
+        let mut expected = ContiguityMap::new(top);
+        for b in &blocks {
+            expected.on_block_freed(*b);
+        }
+        let got: Vec<_> = self.contiguity.iter().collect();
+        let want: Vec<_> = expected.iter().collect();
+        assert_eq!(got, want, "contiguity map diverged from top-order free list");
+    }
+
+    fn take_from_list(&mut self, order: u32) -> Option<Pfn> {
+        let head = self.free_lists[order as usize].pop()?;
+        if order == self.config.top_order {
+            self.contiguity.on_block_allocated(head);
+        }
+        Some(head)
+    }
+
+    fn remove_from_list(&mut self, head: Pfn, order: u32) {
+        let removed = self.free_lists[order as usize].remove(head);
+        assert!(removed, "block {head} missing from free list {order}");
+        if order == self.config.top_order {
+            self.contiguity.on_block_allocated(head);
+        }
+    }
+
+    fn insert_into_list(&mut self, head: Pfn, order: u32) {
+        self.free_lists[order as usize].insert(head);
+        if order == self.config.top_order {
+            self.contiguity.on_block_freed(head);
+        }
+    }
+
+    /// Splits `block` of `from` order down until a block of `to` order remains
+    /// at the lowest address; frees the upper halves. Returns the head.
+    fn split_to(&mut self, block: Pfn, from: u32, to: u32) -> Pfn {
+        let mut order = from;
+        while order > to {
+            order -= 1;
+            self.counters.splits += 1;
+            let upper = block.add(1 << order);
+            self.frames.mark_free_block(upper, order);
+            self.insert_into_list(upper, order);
+        }
+        block
+    }
+
+    /// Splits `block` of `from` order down so that exactly the range
+    /// `[target, target + 2^to)` remains; frees every sibling half.
+    fn split_towards(&mut self, block: Pfn, from: u32, target: Pfn, to: u32) -> Pfn {
+        let mut head = block;
+        let mut order = from;
+        while order > to {
+            order -= 1;
+            self.counters.splits += 1;
+            let lower = head;
+            let upper = head.add(1 << order);
+            if target.raw() >= upper.raw() {
+                self.frames.mark_free_block(lower, order);
+                self.insert_into_list(lower, order);
+                head = upper;
+            } else {
+                self.frames.mark_free_block(upper, order);
+                self.insert_into_list(upper, order);
+                head = lower;
+            }
+        }
+        head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zone(frames: u64) -> Zone {
+        Zone::new(ZoneConfig::with_frames(frames))
+    }
+
+    #[test]
+    fn fresh_zone_is_fully_free_and_coalesced() {
+        let z = zone(4096);
+        assert_eq!(z.free_frames(), 4096);
+        z.verify_integrity();
+        assert_eq!(z.contiguity_map().len(), 1);
+        assert_eq!(z.contiguity_map().largest().unwrap().frames, 4096);
+    }
+
+    #[test]
+    fn odd_sized_zone_seeds_maximal_blocks() {
+        let z = zone(1024 + 512 + 3);
+        assert_eq!(z.free_frames(), 1539);
+        z.verify_integrity();
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_restores_state() {
+        let mut z = zone(2048);
+        let a = z.alloc(0).unwrap();
+        let b = z.alloc(9).unwrap();
+        let c = z.alloc(3).unwrap();
+        assert_eq!(z.free_frames(), 2048 - 1 - 512 - 8);
+        z.verify_integrity();
+        z.free(a, 0);
+        z.free(c, 3);
+        z.free(b, 9);
+        assert_eq!(z.free_frames(), 2048);
+        z.verify_integrity();
+        assert_eq!(z.contiguity_map().largest().unwrap().frames, 2048);
+    }
+
+    #[test]
+    fn alloc_specific_claims_exact_frame() {
+        let mut z = zone(4096);
+        let target = Pfn::new(1234);
+        z.alloc_specific(target, 0).unwrap();
+        assert!(!z.is_free(target));
+        assert!(z.is_free(Pfn::new(1233)));
+        assert!(z.is_free(Pfn::new(1235)));
+        z.verify_integrity();
+        z.free(target, 0);
+        z.verify_integrity();
+        assert_eq!(z.free_frames(), 4096);
+    }
+
+    #[test]
+    fn alloc_specific_huge_page() {
+        let mut z = zone(4096);
+        let target = Pfn::new(1024);
+        z.alloc_specific(target, 9).unwrap();
+        assert_eq!(z.free_frames(), 4096 - 512);
+        assert!(!z.is_free(Pfn::new(1535)));
+        assert!(z.is_free(Pfn::new(1536)));
+        z.verify_integrity();
+    }
+
+    #[test]
+    fn alloc_specific_busy_target_fails() {
+        let mut z = zone(1024);
+        z.alloc_specific(Pfn::new(100), 0).unwrap();
+        assert_eq!(
+            z.alloc_specific(Pfn::new(100), 0),
+            Err(AllocError::TargetBusy { target: Pfn::new(100) })
+        );
+        // A huge request overlapping the busy frame also fails.
+        assert_eq!(
+            z.alloc_specific(Pfn::new(0), 9),
+            Err(AllocError::TargetBusy { target: Pfn::new(0) })
+        );
+        assert_eq!(z.counters().targeted_misses, 2);
+    }
+
+    #[test]
+    fn alloc_specific_out_of_zone() {
+        let mut z = zone(1280);
+        assert_eq!(
+            z.alloc_specific(Pfn::new(4096), 0),
+            Err(AllocError::OutOfZone { target: Pfn::new(4096) })
+        );
+        // Aligned order-9 block [1024, 1536) straddling the zone end at 1280.
+        assert_eq!(
+            z.alloc_specific(Pfn::new(1024), 9),
+            Err(AllocError::OutOfZone { target: Pfn::new(1024) })
+        );
+    }
+
+    #[test]
+    fn out_of_memory_reports_order() {
+        let mut z = zone(64);
+        assert_eq!(z.alloc(9), Err(AllocError::OutOfMemory { order: 9 }));
+        for _ in 0..64 {
+            z.alloc(0).unwrap();
+        }
+        assert_eq!(z.alloc(0), Err(AllocError::OutOfMemory { order: 0 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid free")]
+    fn double_free_panics() {
+        let mut z = zone(64);
+        let p = z.alloc(0).unwrap();
+        z.free(p, 0);
+        z.free(p, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "freed with order")]
+    fn mismatched_order_free_panics() {
+        let mut z = zone(64);
+        let p = z.alloc(2).unwrap();
+        z.free(p, 3);
+    }
+
+    #[test]
+    fn coalescing_rebuilds_large_blocks() {
+        let mut z = zone(1024);
+        let pages: Vec<_> = (0..1024).map(|_| z.alloc(0).unwrap()).collect();
+        assert_eq!(z.free_frames(), 0);
+        for p in pages {
+            z.free(p, 0);
+        }
+        z.verify_integrity();
+        assert_eq!(z.contiguity_map().largest().unwrap().frames, 1024);
+        assert!(z.counters().coalesces >= 1023);
+    }
+
+    #[test]
+    fn nonzero_base_zone_operations() {
+        let mut z = Zone::new(ZoneConfig {
+            base: Pfn::new(1 << 20),
+            frames: 2048,
+            top_order: DEFAULT_TOP_ORDER,
+            sorted_top_list: false,
+        });
+        let p = z.alloc(9).unwrap();
+        assert!(p >= Pfn::new(1 << 20));
+        z.alloc_specific(Pfn::new((1 << 20) + 512), 9).unwrap();
+        z.verify_integrity();
+    }
+
+    #[test]
+    fn sorted_top_list_hands_out_lowest_blocks() {
+        // On a fresh zone every free block sits on the top-order list; the
+        // first order-0 allocation must split a top-order block. The sorted
+        // discipline carves the lowest-addressed one so the rest of the zone
+        // stays unsplintered; the kernel-default LIFO list splinters the most
+        // recently inserted (highest) block.
+        let mut sorted =
+            Zone::new(ZoneConfig { sorted_top_list: true, ..ZoneConfig::with_frames(8192) });
+        assert_eq!(sorted.alloc(0).unwrap(), Pfn::new(0));
+        let mut lifo = zone(8192);
+        assert_eq!(lifo.alloc(0).unwrap(), Pfn::new(8192 - 1024));
+    }
+
+    #[test]
+    fn contiguity_map_tracks_alloc_and_free() {
+        let mut z = zone(4096);
+        assert_eq!(z.contiguity_map().len(), 1);
+        // Claim the middle top-order block: the cluster splits.
+        z.alloc_specific(Pfn::new(1024), DEFAULT_TOP_ORDER).unwrap();
+        assert_eq!(z.contiguity_map().len(), 2);
+        z.free(Pfn::new(1024), DEFAULT_TOP_ORDER);
+        assert_eq!(z.contiguity_map().len(), 1);
+        z.verify_integrity();
+    }
+
+    #[test]
+    fn next_fit_cluster_returns_byte_range() {
+        let mut z = zone(4096);
+        let r = z.next_fit_cluster(1 << 20).unwrap();
+        assert_eq!(r.len(), 4096 * 4096);
+    }
+
+    #[test]
+    fn raised_top_order_supports_bigger_blocks() {
+        let mut z = Zone::new(ZoneConfig { top_order: 14, ..ZoneConfig::with_frames(1 << 15) });
+        let p = z.alloc(14).unwrap();
+        assert_eq!(z.free_frames(), (1 << 15) - (1 << 14));
+        z.free(p, 14);
+        z.verify_integrity();
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests of the buddy allocator's invariants under arbitrary
+//! operation sequences.
+
+use proptest::prelude::*;
+
+use contig_buddy::{ContiguityMap, Zone, ZoneConfig};
+use contig_types::Pfn;
+
+/// An abstract allocator operation the strategy generates.
+#[derive(Clone, Debug)]
+enum Op {
+    Alloc { order: u32 },
+    AllocSpecific { slot: u64, order: u32 },
+    FreeOldest,
+    FreeNewest,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..=10).prop_map(|order| Op::Alloc { order }),
+        (0u64..4096, 0u32..=9).prop_map(|(slot, order)| Op::AllocSpecific { slot, order }),
+        Just(Op::FreeOldest),
+        Just(Op::FreeNewest),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any operation sequence leaves the zone internally consistent and
+    /// conserves frames exactly.
+    #[test]
+    fn zone_invariants_hold_under_arbitrary_ops(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut zone = Zone::new(ZoneConfig::with_frames(4096));
+        let mut live: Vec<(Pfn, u32)> = Vec::new();
+        let mut live_frames = 0u64;
+        for op in ops {
+            match op {
+                Op::Alloc { order } => {
+                    if let Ok(head) = zone.alloc(order) {
+                        live.push((head, order));
+                        live_frames += 1 << order;
+                    }
+                }
+                Op::AllocSpecific { slot, order } => {
+                    let target = Pfn::new((slot << order) % 4096);
+                    if target.raw() + (1 << order) <= 4096
+                        && zone.alloc_specific(target, order).is_ok()
+                    {
+                        live.push((target, order));
+                        live_frames += 1 << order;
+                    }
+                }
+                Op::FreeOldest => {
+                    if !live.is_empty() {
+                        let (head, order) = live.remove(0);
+                        zone.free(head, order);
+                        live_frames -= 1 << order;
+                    }
+                }
+                Op::FreeNewest => {
+                    if let Some((head, order)) = live.pop() {
+                        zone.free(head, order);
+                        live_frames -= 1 << order;
+                    }
+                }
+            }
+            prop_assert_eq!(zone.free_frames(), 4096 - live_frames);
+        }
+        zone.verify_integrity();
+        // Full teardown coalesces back to pristine.
+        for (head, order) in live {
+            zone.free(head, order);
+        }
+        prop_assert_eq!(zone.free_frames(), 4096);
+        zone.verify_integrity();
+        prop_assert_eq!(zone.contiguity_map().largest().unwrap().frames, 4096);
+    }
+
+    /// Allocated blocks never overlap each other.
+    #[test]
+    fn allocations_are_disjoint(orders in proptest::collection::vec(0u32..=9, 1..40)) {
+        let mut zone = Zone::new(ZoneConfig::with_frames(8192));
+        let mut owned: Vec<(u64, u64)> = Vec::new();
+        for order in orders {
+            if let Ok(head) = zone.alloc(order) {
+                let start = head.raw();
+                let end = start + (1 << order);
+                for &(s, e) in &owned {
+                    prop_assert!(end <= s || start >= e, "[{start},{end}) overlaps [{s},{e})");
+                }
+                owned.push((start, end));
+            }
+        }
+    }
+
+    /// The contiguity map always mirrors a reference rebuilt from scratch,
+    /// and next-fit returns a cluster that really is free.
+    #[test]
+    fn contiguity_map_matches_reference(
+        targets in proptest::collection::vec(0u64..8, 1..8),
+        request_frames in 1u64..4096,
+    ) {
+        let mut zone = Zone::new(ZoneConfig::with_frames(8192));
+        for t in targets {
+            let _ = zone.alloc_specific(Pfn::new(t * 1024), 10);
+        }
+        // Reference: rebuild from the frame table's free runs restricted to
+        // whole top-order blocks.
+        let mut reference = ContiguityMap::new(10);
+        for block in 0..8u64 {
+            let head = Pfn::new(block * 1024);
+            if zone.frame_table().is_free(head)
+                && matches!(zone.frame_table().state(head), contig_buddy::FrameState::FreeHead { order: 10 })
+            {
+                reference.on_block_freed(head);
+            }
+        }
+        let got: Vec<_> = zone.contiguity_map().iter().collect();
+        let want: Vec<_> = reference.iter().collect();
+        prop_assert_eq!(got, want);
+        if let Some(cluster) = zone.contiguity_map().best_fit(request_frames) {
+            for f in 0..cluster.frames.min(8) {
+                prop_assert!(zone.is_free(cluster.start.add(f)));
+            }
+        }
+    }
+
+    /// `alloc_specific` succeeds exactly when every frame of the target
+    /// block is free.
+    #[test]
+    fn alloc_specific_iff_block_free(
+        pre in proptest::collection::vec(0u64..512, 0..64),
+        target_slot in 0u64..64,
+        order in 0u32..=3,
+    ) {
+        let mut zone = Zone::new(ZoneConfig::with_frames(512));
+        for p in pre {
+            let _ = zone.alloc_specific(Pfn::new(p), 0);
+        }
+        let target = Pfn::new((target_slot << order) % 512);
+        let all_free =
+            (0..(1u64 << order)).all(|i| zone.is_free(target.add(i)));
+        let result = zone.alloc_specific(target, order);
+        prop_assert_eq!(result.is_ok(), all_free, "target {} order {}", target, order);
+        zone.verify_integrity();
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of CA paging and SpOT under arbitrary inputs.
+
+use proptest::prelude::*;
+
+use contig_buddy::MachineConfig;
+use contig_core::{CaPaging, SpotConfig, SpotPredictor};
+use contig_mm::{contiguous_mappings, System, SystemConfig, VmaKind};
+use contig_tlb::{Access, MissHandler, MissHandling, WalkResult};
+use contig_types::{PageSize, PhysAddr, VirtAddr, VirtRange};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// CA paging fully maps any set of disjoint VMAs touched in any order,
+    /// conserving frames exactly; on a fresh machine the number of
+    /// contiguous runs never exceeds the number of placement decisions.
+    #[test]
+    fn ca_paging_maps_everything_in_any_touch_order(
+        vma_count in 1usize..5,
+        sizes_mb in proptest::collection::vec(1u64..8, 4).prop_map(|v| v.into_iter().map(|x| x * 2).collect::<Vec<_>>()),
+        seed in any::<u64>(),
+    ) {
+        let mut sys = System::new(SystemConfig::new(MachineConfig::single_node_mib(256)));
+        let pid = sys.spawn();
+        let mut ranges = Vec::new();
+        let mut base = 0x1_0000_0000u64;
+        for i in 0..vma_count {
+            let len = sizes_mb[i % sizes_mb.len()] << 20;
+            let range = VirtRange::new(VirtAddr::new(base), len);
+            sys.aspace_mut(pid).map_vma(range, VmaKind::Anon);
+            ranges.push(range);
+            base += len + (64 << 20);
+        }
+        // Touch every huge region across all VMAs in a seed-scrambled order.
+        let mut touches: Vec<VirtAddr> = ranges
+            .iter()
+            .flat_map(|r| r.iter_pages().step_by(512).map(VirtAddr::from))
+            .collect();
+        let n = touches.len();
+        for i in 0..n {
+            let j = ((seed.rotate_left(i as u32) as usize) ^ i) % n;
+            touches.swap(i, j);
+        }
+        let mut ca = CaPaging::new();
+        for va in touches {
+            sys.touch(&mut ca, pid, va).unwrap();
+        }
+        let total: u64 = ranges.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(sys.aspace(pid).mapped_bytes(), total);
+        // Every run boundary is caused by a VMA boundary, a placement
+        // decision, or a fallback after a busy target (each busy target can
+        // strand at most two discontinuities: the fallback page itself plus
+        // the resumption point).
+        let runs = contiguous_mappings(sys.aspace(pid).page_table()).len();
+        let stats = ca.stats();
+        let bound = vma_count + stats.placements as usize + 2 * stats.target_busy as usize;
+        prop_assert!(runs <= bound,
+            "{} runs exceed bound {} ({} placements, {} busy)",
+            runs, bound, stats.placements, stats.target_busy);
+        sys.exit(pid);
+        prop_assert_eq!(sys.machine().free_frames(), sys.machine().total_frames());
+        sys.machine().verify_integrity();
+    }
+
+    /// SpOT never panics, its counters always sum to the misses observed,
+    /// and it never predicts before two confirming walks for a PC.
+    #[test]
+    fn spot_counters_are_consistent(
+        misses in proptest::collection::vec((0u64..8, 0u64..1 << 24, any::<bool>()), 1..400),
+        entries_pow in 0u32..4,
+        ways_pow in 0u32..2,
+    ) {
+        let ways = 1usize << ways_pow;
+        let entries = (1usize << entries_pow).max(ways) * ways;
+        let mut spot = SpotPredictor::new(SpotConfig {
+            entries,
+            ways,
+            require_contig_bit: false,
+            predict_threshold: 1,
+        });
+        let mut first_outcomes: std::collections::HashMap<u64, u64> = Default::default();
+        for (seen, (pc, page, write)) in misses.into_iter().enumerate() {
+            let va = VirtAddr::new(page << 12);
+            // Derive a pa that is offset-consistent per pc so confidence can
+            // build: pa = va - pc * 2^20.
+            let pa = PhysAddr::new(va.raw().wrapping_sub(pc << 20));
+            let walk = WalkResult { pa, size: PageSize::Base4K, refs: 24, contig: true, write };
+            let outcome = spot.on_miss(Access { pc, va, write }, &walk);
+            let count = first_outcomes.entry(pc).or_insert(0);
+            *count += 1;
+            if *count <= 2 {
+                prop_assert_eq!(
+                    outcome,
+                    MissHandling::Exposed,
+                    "prediction before confidence was built (pc {}, miss {})",
+                    pc,
+                    count
+                );
+            }
+            let s = spot.stats();
+            prop_assert_eq!(s.total(), seen as u64 + 1);
+        }
+    }
+
+    /// With a constant per-PC offset, accuracy converges to 100 % minus the
+    /// two training misses.
+    #[test]
+    fn spot_converges_on_stable_offsets(pcs in 1u64..6, misses_per_pc in 3u64..50) {
+        let mut spot = SpotPredictor::new(SpotConfig::default());
+        for round in 0..misses_per_pc {
+            for pc in 0..pcs {
+                let va = VirtAddr::new((1 << 45) + (round << 16) + (pc << 40));
+                let pa = PhysAddr::new(va.raw() - (pc << 30) - (1 << 29));
+                let walk = WalkResult { pa, size: PageSize::Base4K, refs: 24, contig: true, write: false };
+                spot.on_miss(Access::read(pc, va), &walk);
+            }
+        }
+        let s = spot.stats();
+        prop_assert_eq!(s.mispredicted, 0);
+        prop_assert_eq!(s.correct, (misses_per_pc - 2) * pcs);
+        prop_assert_eq!(s.no_prediction, 2 * pcs);
+    }
+}

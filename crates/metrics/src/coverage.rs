@@ -1,0 +1,156 @@
+//! Contiguity coverage metrics: the paper's three headline numbers
+//! (§VI-A) — footprint coverage of the 32 and 128 largest mappings, and the
+//! number of mappings needed to cover 99 % of the footprint.
+
+use contig_types::ContigMapping;
+
+/// Coverage statistics of one set of contiguous mappings.
+///
+/// # Examples
+///
+/// ```
+/// use contig_metrics::CoverageStats;
+/// use contig_types::{ContigMapping, PhysAddr, VirtAddr};
+///
+/// let maps = vec![
+///     ContigMapping::new(VirtAddr::new(0), PhysAddr::new(0x10_0000), 99 << 20),
+///     ContigMapping::new(VirtAddr::new(1 << 30), PhysAddr::new(0x90_0000), 1 << 20),
+/// ];
+/// let c = CoverageStats::from_mappings(&maps);
+/// assert_eq!(c.mappings_for_coverage(0.99), 1);
+/// assert!((c.top_k_coverage(1) - 0.99).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoverageStats {
+    /// Mapping lengths in bytes, sorted descending.
+    lens: Vec<u64>,
+    total: u64,
+}
+
+impl CoverageStats {
+    /// Computes the statistics from a mapping set.
+    pub fn from_mappings(mappings: &[ContigMapping]) -> Self {
+        let mut lens: Vec<u64> = mappings.iter().map(|m| m.len()).collect();
+        lens.sort_unstable_by_key(|&l| std::cmp::Reverse(l));
+        let total = lens.iter().sum();
+        Self { lens, total }
+    }
+
+    /// Total mapped bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of mappings.
+    pub fn mapping_count(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// Fraction of the footprint covered by the `k` largest mappings.
+    pub fn top_k_coverage(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let covered: u64 = self.lens.iter().take(k).sum();
+        covered as f64 / self.total as f64
+    }
+
+    /// Smallest number of mappings covering at least `coverage` of the
+    /// footprint (0 for an empty footprint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coverage` is outside `(0, 1]`.
+    pub fn mappings_for_coverage(&self, coverage: f64) -> usize {
+        assert!(coverage > 0.0 && coverage <= 1.0, "coverage {coverage} out of range");
+        if self.total == 0 {
+            return 0;
+        }
+        let goal = (self.total as f64 * coverage).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, len) in self.lens.iter().enumerate() {
+            acc += len;
+            if acc >= goal {
+                return i + 1;
+            }
+        }
+        self.lens.len()
+    }
+
+    /// Length of the largest mapping.
+    pub fn largest_bytes(&self) -> u64 {
+        self.lens.first().copied().unwrap_or(0)
+    }
+}
+
+/// A point in a contiguity timeline (Fig. 1c, Fig. 10): coverage sampled at
+/// a simulated instant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimelinePoint {
+    /// Sample position (faults serviced, epochs run, or simulated ns —
+    /// whatever the experiment sweeps).
+    pub t: u64,
+    /// Top-32 coverage at the sample.
+    pub top32: f64,
+    /// Footprint mapped so far, bytes.
+    pub mapped_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contig_types::{PhysAddr, VirtAddr};
+
+    fn mapping(len: u64) -> ContigMapping {
+        ContigMapping::new(VirtAddr::new(0x1000), PhysAddr::new(0x2000), len)
+    }
+
+    #[test]
+    fn empty_footprint() {
+        let c = CoverageStats::from_mappings(&[]);
+        assert_eq!(c.total_bytes(), 0);
+        assert_eq!(c.top_k_coverage(32), 0.0);
+        assert_eq!(c.mappings_for_coverage(0.99), 0);
+        assert_eq!(c.largest_bytes(), 0);
+    }
+
+    #[test]
+    fn top_k_is_monotone_in_k() {
+        let maps: Vec<_> = (1..=100u64).map(|i| mapping(i << 20)).collect();
+        let c = CoverageStats::from_mappings(&maps);
+        let mut prev = 0.0;
+        for k in [1, 2, 4, 8, 32, 128] {
+            let cov = c.top_k_coverage(k);
+            assert!(cov >= prev);
+            prev = cov;
+        }
+        assert!((c.top_k_coverage(1000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mappings_for_coverage_counts_exactly() {
+        // Four equal mappings: 99 % needs all four; 75 % needs three; 50 % two.
+        let maps = vec![mapping(1 << 20); 4];
+        let c = CoverageStats::from_mappings(&maps);
+        assert_eq!(c.mappings_for_coverage(0.99), 4);
+        assert_eq!(c.mappings_for_coverage(0.75), 3);
+        assert_eq!(c.mappings_for_coverage(0.5), 2);
+        assert_eq!(c.mappings_for_coverage(1.0), 4);
+    }
+
+    #[test]
+    fn skewed_distribution_favors_few_mappings() {
+        let mut maps = vec![mapping(990 << 20)];
+        maps.extend(std::iter::repeat_n(mapping(1 << 20), 10));
+        let c = CoverageStats::from_mappings(&maps);
+        assert_eq!(c.mappings_for_coverage(0.99), 1);
+        assert_eq!(c.mapping_count(), 11);
+        assert_eq!(c.largest_bytes(), 990 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_coverage_rejected() {
+        CoverageStats::from_mappings(&[]).mappings_for_coverage(0.0);
+    }
+}

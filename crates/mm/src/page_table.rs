@@ -1,0 +1,526 @@
+//! A 4-level x86-64-style radix page table.
+//!
+//! The table is "software-walked": translation returns the number of table
+//! levels touched so the TLB simulator can charge page-walk memory references
+//! exactly as hardware would (4 for a base page, 3 for a 2 MiB leaf at the
+//! PMD level, and `(g+1)*(h+1)-1` for a nested 2D walk).
+
+use contig_types::{PageSize, Pfn, TranslateError, VirtAddr};
+
+use crate::pte::{Pte, PteFlags};
+
+/// Entries per table at every level (x86-64: 9 bits of index).
+pub const ENTRIES_PER_TABLE: usize = 512;
+/// Default number of radix levels (PGD, PUD, PMD, PT).
+pub const LEVELS: u32 = 4;
+/// Radix levels with Intel's 57-bit "la57" extension (5-level paging). The
+/// paper's introduction names 5-level paging as a looming multiplier of
+/// nested-walk costs: a 5×5 nested walk issues up to 35 references.
+pub const LEVELS_LA57: u32 = 5;
+
+/// Level at which 2 MiB leaves live (1 = PT, 2 = PMD, ...).
+const HUGE_LEVEL: u32 = 2;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slot {
+    Empty,
+    Table(u32),
+    Leaf(Pte),
+}
+
+#[derive(Clone, Debug)]
+struct Table {
+    slots: Box<[Slot; ENTRIES_PER_TABLE]>,
+    live: u16,
+}
+
+impl Table {
+    fn new() -> Self {
+        Self { slots: Box::new([Slot::Empty; ENTRIES_PER_TABLE]), live: 0 }
+    }
+}
+
+/// The result of a successful page-table walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Translation {
+    /// First 4 KiB frame of the leaf page.
+    pub pfn: Pfn,
+    /// Leaf page size.
+    pub size: PageSize,
+    /// Leaf flags.
+    pub flags: PteFlags,
+    /// Table levels referenced by the walk (4 for 4 KiB, 3 for 2 MiB).
+    pub levels: u32,
+}
+
+impl Translation {
+    /// The frame backing the specific 4 KiB page of `va` (for huge leaves,
+    /// the base frame plus the intra-page index).
+    pub fn frame_for(&self, va: VirtAddr) -> Pfn {
+        match self.size {
+            PageSize::Base4K => self.pfn,
+            PageSize::Huge2M => {
+                self.pfn.add(va.page_offset(PageSize::Huge2M) >> contig_types::BASE_PAGE_SHIFT)
+            }
+        }
+    }
+}
+
+/// A mapped region reported by [`PageTable::iter_mappings`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MappedPage {
+    /// Virtual address of the page start.
+    pub va: VirtAddr,
+    /// Leaf entry.
+    pub pte: Pte,
+    /// Page size of the leaf.
+    pub size: PageSize,
+}
+
+/// A 4-level radix page table with 4 KiB and 2 MiB leaves.
+///
+/// # Examples
+///
+/// ```
+/// use contig_mm::{PageTable, Pte, PteFlags};
+/// use contig_types::{PageSize, Pfn, VirtAddr};
+///
+/// let mut pt = PageTable::new();
+/// pt.map(VirtAddr::new(0x20_0000), Pte::new(Pfn::new(512), PteFlags::WRITE), PageSize::Huge2M);
+/// let t = pt.translate(VirtAddr::new(0x20_1234)).unwrap();
+/// assert_eq!(t.size, PageSize::Huge2M);
+/// assert_eq!(t.frame_for(VirtAddr::new(0x20_1234)), Pfn::new(513));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PageTable {
+    tables: Vec<Table>,
+    root: u32,
+    levels: u32,
+    mapped_base_pages: u64,
+    mapped_huge_pages: u64,
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageTable {
+    /// An empty 4-level page table.
+    pub fn new() -> Self {
+        Self::with_levels(LEVELS)
+    }
+
+    /// An empty page table with the given radix depth (4 = x86-64 default,
+    /// 5 = la57). Deeper tables translate the same addresses but issue more
+    /// walk references.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `levels` is 4 or 5.
+    pub fn with_levels(levels: u32) -> Self {
+        assert!((LEVELS..=LEVELS_LA57).contains(&levels), "unsupported radix depth {levels}");
+        Self {
+            tables: vec![Table::new()],
+            root: 0,
+            levels,
+            mapped_base_pages: 0,
+            mapped_huge_pages: 0,
+        }
+    }
+
+    /// The radix depth (4 or 5).
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Number of mapped 4 KiB leaves.
+    pub fn mapped_base_pages(&self) -> u64 {
+        self.mapped_base_pages
+    }
+
+    /// Number of mapped 2 MiB leaves.
+    pub fn mapped_huge_pages(&self) -> u64 {
+        self.mapped_huge_pages
+    }
+
+    /// Total mapped bytes.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.mapped_base_pages * PageSize::Base4K.bytes()
+            + self.mapped_huge_pages * PageSize::Huge2M.bytes()
+    }
+
+    /// Radix index of `va` at `level` (1-based from the leaf level).
+    fn index(va: VirtAddr, level: u32) -> usize {
+        ((va.raw() >> (contig_types::BASE_PAGE_SHIFT + 9 * (level - 1))) & 0x1ff) as usize
+    }
+
+    fn leaf_level(size: PageSize) -> u32 {
+        match size {
+            PageSize::Base4K => 1,
+            PageSize::Huge2M => HUGE_LEVEL,
+        }
+    }
+
+    /// Installs a leaf mapping `va -> pte` of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is not size-aligned, if the slot already holds a
+    /// mapping, or if a huge mapping would overlap existing 4 KiB leaves.
+    pub fn map(&mut self, va: VirtAddr, pte: Pte, size: PageSize) {
+        assert!(va.is_aligned(size), "mapping {va} unaligned for {size}");
+        let leaf_level = Self::leaf_level(size);
+        let mut table = self.root;
+        for level in (leaf_level + 1..=self.levels).rev() {
+            let idx = Self::index(va, level);
+            table = match self.tables[table as usize].slots[idx] {
+                Slot::Table(t) => t,
+                Slot::Empty => {
+                    let t = self.tables.len() as u32;
+                    self.tables.push(Table::new());
+                    self.tables[table as usize].slots[idx] = Slot::Table(t);
+                    self.tables[table as usize].live += 1;
+                    t
+                }
+                Slot::Leaf(_) => panic!("mapping {va} overlaps an existing huge leaf"),
+            };
+        }
+        let idx = Self::index(va, leaf_level);
+        match self.tables[table as usize].slots[idx] {
+            Slot::Empty => {
+                self.tables[table as usize].slots[idx] = Slot::Leaf(pte);
+                self.tables[table as usize].live += 1;
+            }
+            Slot::Leaf(_) => panic!("double map at {va}"),
+            // A leftover (empty) leaf table from earlier 4 KiB mappings may
+            // be replaced by a huge leaf — the promotion path does exactly
+            // this after unmapping the base pages.
+            Slot::Table(t) if self.tables[t as usize].live == 0 => {
+                self.tables[table as usize].slots[idx] = Slot::Leaf(pte);
+            }
+            Slot::Table(_) => panic!("huge mapping at {va} overlaps 4 KiB leaves"),
+        }
+        match size {
+            PageSize::Base4K => self.mapped_base_pages += 1,
+            PageSize::Huge2M => self.mapped_huge_pages += 1,
+        }
+    }
+
+    /// Removes the leaf covering `va` (for huge leaves, any interior address
+    /// removes the whole 2 MiB leaf), returning the entry and its size.
+    ///
+    /// Intermediate tables are left in place (like a kernel that does not
+    /// reclaim page-table pages eagerly); translation correctness is
+    /// unaffected.
+    pub fn unmap(&mut self, va: VirtAddr) -> Option<(Pte, PageSize)> {
+        let mut table = self.root;
+        for level in (2..=self.levels).rev() {
+            let idx = Self::index(va, level);
+            match self.tables[table as usize].slots[idx] {
+                Slot::Table(t) => table = t,
+                Slot::Leaf(pte) if level == HUGE_LEVEL => {
+                    // Any address inside the huge leaf removes the whole leaf.
+                    self.tables[table as usize].slots[idx] = Slot::Empty;
+                    self.tables[table as usize].live -= 1;
+                    self.mapped_huge_pages -= 1;
+                    return Some((pte, PageSize::Huge2M));
+                }
+                _ => return None,
+            }
+        }
+        let idx = Self::index(va, 1);
+        match self.tables[table as usize].slots[idx] {
+            Slot::Leaf(pte) => {
+                self.tables[table as usize].slots[idx] = Slot::Empty;
+                self.tables[table as usize].live -= 1;
+                self.mapped_base_pages -= 1;
+                Some((pte, PageSize::Base4K))
+            }
+            _ => None,
+        }
+    }
+
+    /// Walks the table for `va`.
+    ///
+    /// # Errors
+    ///
+    /// [`TranslateError::NotMapped`] when no leaf covers `va`.
+    pub fn translate(&self, va: VirtAddr) -> Result<Translation, TranslateError> {
+        let mut table = self.root;
+        let mut levels = 0;
+        for level in (2..=self.levels).rev() {
+            levels += 1;
+            let idx = Self::index(va, level);
+            match self.tables[table as usize].slots[idx] {
+                Slot::Table(t) => table = t,
+                Slot::Leaf(pte) if level == HUGE_LEVEL => {
+                    return Ok(Translation {
+                        pfn: pte.pfn,
+                        size: PageSize::Huge2M,
+                        flags: pte.flags,
+                        levels,
+                    });
+                }
+                _ => return Err(TranslateError::NotMapped { addr: va }),
+            }
+        }
+        levels += 1;
+        let idx = Self::index(va, 1);
+        match self.tables[table as usize].slots[idx] {
+            Slot::Leaf(pte) => {
+                Ok(Translation { pfn: pte.pfn, size: PageSize::Base4K, flags: pte.flags, levels })
+            }
+            _ => Err(TranslateError::NotMapped { addr: va }),
+        }
+    }
+
+    /// Whether any leaf exists inside the 2 MiB-aligned region containing
+    /// `va`. O(levels): the THP fault path uses this to decide whether a huge
+    /// fault is still possible.
+    pub fn huge_region_populated(&self, va: VirtAddr) -> bool {
+        let mut table = self.root;
+        for level in (HUGE_LEVEL..=self.levels).rev() {
+            let idx = Self::index(va, level);
+            match self.tables[table as usize].slots[idx] {
+                Slot::Table(t) => table = t,
+                Slot::Leaf(_) => return true,
+                Slot::Empty => return false,
+            }
+        }
+        // Reached the PT table under the PMD slot: populated iff any live leaf.
+        self.tables[table as usize].live > 0
+    }
+
+    /// Mutates the flags of the leaf covering `va`, returning the new flags.
+    pub fn update_flags(
+        &mut self,
+        va: VirtAddr,
+        update: impl FnOnce(PteFlags) -> PteFlags,
+    ) -> Option<PteFlags> {
+        let mut table = self.root;
+        for level in (2..=self.levels).rev() {
+            let idx = Self::index(va, level);
+            match self.tables[table as usize].slots[idx] {
+                Slot::Table(t) => table = t,
+                Slot::Leaf(_) if level == HUGE_LEVEL => {
+                    if let Slot::Leaf(ref mut pte) = self.tables[table as usize].slots[idx] {
+                        pte.flags = update(pte.flags);
+                        return Some(pte.flags);
+                    }
+                    unreachable!()
+                }
+                _ => return None,
+            }
+        }
+        let idx = Self::index(va, 1);
+        if let Slot::Leaf(ref mut pte) = self.tables[table as usize].slots[idx] {
+            pte.flags = update(pte.flags);
+            Some(pte.flags)
+        } else {
+            None
+        }
+    }
+
+    /// Replaces the frame of the leaf covering `va` (used by migration and
+    /// COW break), preserving size. Returns the old entry.
+    pub fn remap(&mut self, va: VirtAddr, new: Pte) -> Option<(Pte, PageSize)> {
+        let (old, size) = self.unmap(va)?;
+        self.map(va.align_down(size), new, size);
+        Some((old, size))
+    }
+
+    /// Iterates every leaf in ascending virtual-address order.
+    pub fn iter_mappings(&self) -> impl Iterator<Item = MappedPage> + '_ {
+        MappingIter { pt: self, stack: vec![(self.root, self.levels, 0, 0)] }
+    }
+}
+
+struct MappingIter<'a> {
+    pt: &'a PageTable,
+    /// (table, level, next slot index, va prefix)
+    stack: Vec<(u32, u32, usize, u64)>,
+}
+
+impl Iterator for MappingIter<'_> {
+    type Item = MappedPage;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some((table, level, idx, prefix)) = self.stack.pop() {
+            if idx >= ENTRIES_PER_TABLE {
+                continue;
+            }
+            self.stack.push((table, level, idx + 1, prefix));
+            let va_bits =
+                prefix | ((idx as u64) << (contig_types::BASE_PAGE_SHIFT + 9 * (level - 1)));
+            match self.pt.tables[table as usize].slots[idx] {
+                Slot::Empty => {}
+                Slot::Table(t) => self.stack.push((t, level - 1, 0, va_bits)),
+                Slot::Leaf(pte) => {
+                    let size =
+                        if level == HUGE_LEVEL { PageSize::Huge2M } else { PageSize::Base4K };
+                    return Some(MappedPage { va: VirtAddr::new(va_bits), pte, size });
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pte(pfn: u64) -> Pte {
+        Pte::new(Pfn::new(pfn), PteFlags::WRITE)
+    }
+
+    #[test]
+    fn map_translate_unmap_base_page() {
+        let mut pt = PageTable::new();
+        let va = VirtAddr::new(0x7f12_3456_7000);
+        pt.map(va, pte(42), PageSize::Base4K);
+        let t = pt.translate(va + 0xabc).unwrap();
+        assert_eq!(t.pfn, Pfn::new(42));
+        assert_eq!(t.size, PageSize::Base4K);
+        assert_eq!(t.levels, 4);
+        assert_eq!(pt.unmap(va), Some((pte(42), PageSize::Base4K)));
+        assert!(pt.translate(va).is_err());
+        assert_eq!(pt.mapped_base_pages(), 0);
+    }
+
+    #[test]
+    fn huge_leaf_walk_touches_three_levels() {
+        let mut pt = PageTable::new();
+        let va = VirtAddr::new(0x4000_0000);
+        pt.map(va, pte(512), PageSize::Huge2M);
+        let t = pt.translate(va + 0x10_1234).unwrap();
+        assert_eq!(t.size, PageSize::Huge2M);
+        assert_eq!(t.levels, 3);
+        assert_eq!(t.frame_for(va + 0x10_1234), Pfn::new(512 + 0x101));
+        assert_eq!(pt.mapped_bytes(), 2 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "double map")]
+    fn double_map_panics() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr::new(0x1000), pte(1), PageSize::Base4K);
+        pt.map(VirtAddr::new(0x1000), pte(2), PageSize::Base4K);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_huge_map_panics() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr::new(0x1000), pte(1), PageSize::Huge2M);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn huge_over_base_panics() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr::new(0x20_0000), pte(1), PageSize::Base4K);
+        pt.map(VirtAddr::new(0x20_0000), pte(2), PageSize::Huge2M);
+    }
+
+    #[test]
+    fn adjacent_mappings_do_not_interfere() {
+        let mut pt = PageTable::new();
+        for i in 0..1024u64 {
+            pt.map(VirtAddr::new(i * 0x1000), pte(i), PageSize::Base4K);
+        }
+        for i in 0..1024u64 {
+            assert_eq!(pt.translate(VirtAddr::new(i * 0x1000)).unwrap().pfn, Pfn::new(i));
+        }
+        assert_eq!(pt.mapped_base_pages(), 1024);
+    }
+
+    #[test]
+    fn huge_region_populated_detects_leaves() {
+        let mut pt = PageTable::new();
+        assert!(!pt.huge_region_populated(VirtAddr::new(0x20_0000)));
+        pt.map(VirtAddr::new(0x20_1000), pte(5), PageSize::Base4K);
+        assert!(pt.huge_region_populated(VirtAddr::new(0x20_0000)));
+        assert!(pt.huge_region_populated(VirtAddr::new(0x3f_ffff)));
+        assert!(!pt.huge_region_populated(VirtAddr::new(0x40_0000)));
+        pt.unmap(VirtAddr::new(0x20_1000));
+        assert!(!pt.huge_region_populated(VirtAddr::new(0x20_0000)));
+    }
+
+    #[test]
+    fn iter_mappings_yields_sorted_leaves() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr::new(0x40_0000), pte(100), PageSize::Huge2M);
+        pt.map(VirtAddr::new(0x1000), pte(1), PageSize::Base4K);
+        pt.map(VirtAddr::new(0x7f00_0000_0000), pte(9), PageSize::Base4K);
+        let all: Vec<_> = pt.iter_mappings().collect();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].va, VirtAddr::new(0x1000));
+        assert_eq!(all[1].va, VirtAddr::new(0x40_0000));
+        assert_eq!(all[1].size, PageSize::Huge2M);
+        assert_eq!(all[2].va, VirtAddr::new(0x7f00_0000_0000));
+    }
+
+    #[test]
+    fn update_flags_sets_contiguity_bit() {
+        let mut pt = PageTable::new();
+        let va = VirtAddr::new(0x5000);
+        pt.map(va, pte(3), PageSize::Base4K);
+        let flags = pt.update_flags(va, |f| f | PteFlags::CONTIG).unwrap();
+        assert!(flags.contains(PteFlags::CONTIG));
+        assert!(pt.translate(va).unwrap().flags.contains(PteFlags::CONTIG));
+        assert_eq!(pt.update_flags(VirtAddr::new(0x9000), |f| f), None);
+    }
+
+    #[test]
+    fn remap_replaces_frame_in_place() {
+        let mut pt = PageTable::new();
+        let va = VirtAddr::new(0x60_0000);
+        pt.map(va, pte(100), PageSize::Huge2M);
+        let (old, size) = pt.remap(va + 0x1000, pte(700)).unwrap();
+        assert_eq!(old.pfn, Pfn::new(100));
+        assert_eq!(size, PageSize::Huge2M);
+        assert_eq!(pt.translate(va).unwrap().pfn, Pfn::new(700));
+    }
+
+    #[test]
+    fn five_level_table_translates_with_extra_reference() {
+        let mut pt = PageTable::with_levels(LEVELS_LA57);
+        assert_eq!(pt.levels(), 5);
+        let va = VirtAddr::new(0x7f12_3456_7000);
+        pt.map(va, pte(42), PageSize::Base4K);
+        let t = pt.translate(va).unwrap();
+        assert_eq!(t.pfn, Pfn::new(42));
+        assert_eq!(t.levels, 5, "la57 walks one extra level");
+        let hva = VirtAddr::new(0x40_0000);
+        pt.map(hva, pte(512), PageSize::Huge2M);
+        assert_eq!(pt.translate(hva).unwrap().levels, 4);
+        // Addresses using bit 48+ no longer alias into the 4-level space.
+        let high = VirtAddr::new(1 << 48);
+        pt.map(high, pte(7), PageSize::Base4K);
+        assert_eq!(pt.translate(high).unwrap().pfn, Pfn::new(7));
+        assert_eq!(pt.translate(VirtAddr::new(0)).err().is_some(), true);
+        // Iteration and unmap work across the deeper radix.
+        assert_eq!(pt.iter_mappings().count(), 3);
+        assert!(pt.unmap(high).is_some());
+        assert_eq!(pt.iter_mappings().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported radix depth")]
+    fn unsupported_depth_rejected() {
+        let _ = PageTable::with_levels(3);
+    }
+
+    #[test]
+    fn unmap_missing_returns_none() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.unmap(VirtAddr::new(0x1000)), None);
+        pt.map(VirtAddr::new(0x40_0000), pte(1), PageSize::Huge2M);
+        // Any interior address removes the covering huge leaf.
+        assert_eq!(pt.unmap(VirtAddr::new(0x40_1000)), Some((pte(1), PageSize::Huge2M)));
+        assert_eq!(pt.unmap(VirtAddr::new(0x40_0000)), None);
+    }
+}

@@ -1,0 +1,793 @@
+//! The simulated OS instance: physical machine + processes + page cache,
+//! with the demand-paging fault driver that consults a [`PlacementPolicy`].
+
+use std::collections::HashMap;
+
+use contig_buddy::{Machine, MachineConfig};
+use contig_types::{AllocError, FaultError, PageSize, Pfn, VirtAddr};
+
+use crate::aspace::{AddressSpace, VmaId};
+use crate::page_cache::{CacheAllocMode, PageCache};
+use crate::policy::{FaultCtx, FaultKind, Placement, PlacementPolicy};
+use crate::pte::{Pte, PteFlags};
+use crate::stats::LatencyModel;
+use crate::vma::VmaKind;
+
+/// Process identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+/// How many placement retries a single fault may burn before the driver
+/// forces a default allocation; guards against pathological policies.
+const MAX_PLACEMENT_RETRIES: u32 = 16;
+
+/// Outcome of one serviced fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultOutcome {
+    /// Frame the page was mapped onto (first frame for huge pages).
+    pub pfn: Pfn,
+    /// Page size actually mapped (may be 4 KiB after THP fallback).
+    pub size: PageSize,
+    /// Whether the page was already present (spurious fault short-circuit).
+    pub already_mapped: bool,
+}
+
+/// Construction parameters for a [`System`].
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Physical memory layout.
+    pub machine: MachineConfig,
+    /// Transparent huge pages enabled (the paper's default).
+    pub thp: bool,
+    /// Page-cache allocation discipline.
+    pub cache_mode: CacheAllocMode,
+    /// Fault latency model.
+    pub latency: LatencyModel,
+    /// Record per-fault latencies for percentile reporting (Table V).
+    pub record_latencies: bool,
+    /// Page-table radix depth: 4 (x86-64 default) or 5 (la57). The paper's
+    /// introduction flags 5-level paging as a coming multiplier of
+    /// nested-walk cost.
+    pub pt_levels: u32,
+}
+
+impl SystemConfig {
+    /// Kernel defaults (THP on) over the given machine.
+    pub fn new(machine: MachineConfig) -> Self {
+        Self {
+            machine,
+            thp: true,
+            cache_mode: CacheAllocMode::Default,
+            latency: LatencyModel::default(),
+            record_latencies: false,
+            pt_levels: crate::page_table::LEVELS,
+        }
+    }
+}
+
+/// A simulated OS instance.
+///
+/// The system owns physical memory, the page cache, and all process address
+/// spaces; the placement policy is passed into each fault so one system can
+/// be driven under different strategies in a single experiment.
+///
+/// # Examples
+///
+/// ```
+/// use contig_buddy::MachineConfig;
+/// use contig_mm::{DefaultThpPolicy, System, SystemConfig, VmaKind};
+/// use contig_types::{VirtAddr, VirtRange};
+///
+/// let mut sys = System::new(SystemConfig::new(MachineConfig::single_node_mib(64)));
+/// let pid = sys.spawn();
+/// sys.aspace_mut(pid).map_vma(VirtRange::new(VirtAddr::new(0x40_0000), 0x40_0000), VmaKind::Anon);
+/// let mut policy = DefaultThpPolicy;
+/// let out = sys.touch(&mut policy, pid, VirtAddr::new(0x40_1234))?;
+/// assert!(!out.already_mapped);
+/// # Ok::<(), contig_types::FaultError>(())
+/// ```
+#[derive(Debug)]
+pub struct System {
+    machine: Machine,
+    processes: HashMap<Pid, AddressSpace>,
+    page_cache: PageCache,
+    next_pid: u32,
+    thp: bool,
+    latency: LatencyModel,
+    record_latencies: bool,
+    pt_levels: u32,
+    /// Reference counts for frames shared by COW; absent means exclusively
+    /// owned by its single mapper.
+    shared: HashMap<Pfn, u32>,
+    /// Simulated clock, advanced by fault costs.
+    now_ns: u64,
+}
+
+impl System {
+    /// Boots a system with all memory free.
+    pub fn new(config: SystemConfig) -> Self {
+        Self {
+            machine: Machine::new(config.machine),
+            processes: HashMap::new(),
+            page_cache: PageCache::new(config.cache_mode),
+            next_pid: 1,
+            thp: config.thp,
+            latency: config.latency,
+            record_latencies: config.record_latencies,
+            pt_levels: config.pt_levels,
+            shared: HashMap::new(),
+            now_ns: 0,
+        }
+    }
+
+    /// Creates an empty process.
+    pub fn spawn(&mut self) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let mut aspace = if self.record_latencies {
+            AddressSpace::with_latency_recording()
+        } else {
+            AddressSpace::new()
+        };
+        aspace.set_page_table_levels(self.pt_levels);
+        self.processes.insert(pid, aspace);
+        pid
+    }
+
+    /// The machine's physical memory.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to physical memory (daemons, fragmenters).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The system page cache.
+    pub fn page_cache(&self) -> &PageCache {
+        &self.page_cache
+    }
+
+    /// Mutable access to the page cache.
+    pub fn page_cache_mut(&mut self) -> &mut PageCache {
+        &mut self.page_cache
+    }
+
+    /// Evicts every cached page of `file`, returning its frames to the
+    /// machine (page-cache reclaim under memory pressure).
+    pub fn evict_file(&mut self, file: crate::page_cache::FileId) {
+        self.page_cache.evict_file(&mut self.machine, file);
+    }
+
+    /// Partially evicts `file`: pages whose index satisfies `pred` are
+    /// reclaimed, the rest stay cached (LRU-style partial reclaim).
+    pub fn evict_file_pages_where(
+        &mut self,
+        file: crate::page_cache::FileId,
+        pred: impl Fn(u64) -> bool,
+    ) -> u64 {
+        self.page_cache.evict_pages_where(&mut self.machine, file, pred)
+    }
+
+    /// Whether THP is enabled.
+    pub fn thp_enabled(&self) -> bool {
+        self.thp
+    }
+
+    /// The simulated clock in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// A process address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown pid.
+    pub fn aspace(&self, pid: Pid) -> &AddressSpace {
+        &self.processes[&pid]
+    }
+
+    /// Mutable access to a process address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown pid.
+    pub fn aspace_mut(&mut self, pid: Pid) -> &mut AddressSpace {
+        self.processes.get_mut(&pid).expect("unknown pid")
+    }
+
+    /// Iterates live pids in creation order.
+    pub fn pids(&self) -> Vec<Pid> {
+        let mut pids: Vec<_> = self.processes.keys().copied().collect();
+        pids.sort_unstable();
+        pids
+    }
+
+    /// Touches `va`: services a demand fault if the page is absent.
+    ///
+    /// # Errors
+    ///
+    /// As for [`System::fault`], except that touching a present page is not
+    /// an error.
+    pub fn touch(
+        &mut self,
+        policy: &mut dyn PlacementPolicy,
+        pid: Pid,
+        va: VirtAddr,
+    ) -> Result<FaultOutcome, FaultError> {
+        if let Ok(t) = self.processes[&pid].page_table().translate(va) {
+            return Ok(FaultOutcome { pfn: t.pfn, size: t.size, already_mapped: true });
+        }
+        self.fault(policy, pid, va, FaultKind::Anon)
+    }
+
+    /// Touches `va` for writing: breaks copy-on-write shares.
+    ///
+    /// # Errors
+    ///
+    /// As for [`System::fault`].
+    pub fn touch_write(
+        &mut self,
+        policy: &mut dyn PlacementPolicy,
+        pid: Pid,
+        va: VirtAddr,
+    ) -> Result<FaultOutcome, FaultError> {
+        let translation = self.processes[&pid].page_table().translate(va);
+        match translation {
+            Ok(t) if t.flags.contains(PteFlags::COW) => self.fault(policy, pid, va, FaultKind::Cow),
+            Ok(t) => Ok(FaultOutcome { pfn: t.pfn, size: t.size, already_mapped: true }),
+            Err(_) => self.fault(policy, pid, va, FaultKind::Anon),
+        }
+    }
+
+    /// Services a page fault at `va` under the given placement policy.
+    ///
+    /// The driver picks the fault size (THP when the 2 MiB region is fully
+    /// inside the VMA and still unpopulated), asks the policy for a
+    /// placement, performs the allocation — looping through
+    /// [`PlacementPolicy::on_target_busy`] on targeted misses — maps the
+    /// page, and finally invokes [`PlacementPolicy::post_map`].
+    ///
+    /// # Errors
+    ///
+    /// - [`FaultError::UnmappedAddress`] outside any VMA.
+    /// - [`FaultError::AlreadyMapped`] when the page is present (and not a
+    ///   COW break).
+    /// - [`FaultError::OutOfMemory`] when physical memory is exhausted.
+    pub fn fault(
+        &mut self,
+        policy: &mut dyn PlacementPolicy,
+        pid: Pid,
+        va: VirtAddr,
+        kind: FaultKind,
+    ) -> Result<FaultOutcome, FaultError> {
+        let aspace = self.processes.get_mut(&pid).expect("unknown pid");
+        let vma_id =
+            aspace.vma_containing(va).ok_or(FaultError::UnmappedAddress { addr: va })?;
+        let vma_kind = aspace.vma(vma_id).kind();
+        let kind = match vma_kind {
+            VmaKind::File { .. } if kind == FaultKind::Anon => FaultKind::FileRead,
+            _ => kind,
+        };
+        match kind {
+            FaultKind::Cow => self.cow_fault(policy, pid, vma_id, va),
+            FaultKind::FileRead => self.file_fault(policy, pid, vma_id, va),
+            FaultKind::Anon => self.anon_fault(policy, pid, vma_id, va),
+        }
+    }
+
+    fn anon_fault(
+        &mut self,
+        policy: &mut dyn PlacementPolicy,
+        pid: Pid,
+        vma_id: VmaId,
+        va: VirtAddr,
+    ) -> Result<FaultOutcome, FaultError> {
+        let aspace = self.processes.get_mut(&pid).expect("unknown pid");
+        // Size decision: huge when THP is on, the aligned 2 MiB region lies
+        // inside the VMA, and nothing in the region is mapped yet.
+        let vma_range = aspace.vma(vma_id).range();
+        let mut size = PageSize::Base4K;
+        if self.thp && !policy.prefers_base_pages() {
+            let huge_start = va.align_down(PageSize::Huge2M);
+            let huge_end = huge_start + PageSize::Huge2M.bytes();
+            let inside = vma_range.contains(huge_start)
+                && (huge_end.raw() == vma_range.end().raw()
+                    || vma_range.contains(VirtAddr::new(huge_end.raw() - 1)));
+            if inside && !aspace.page_table().huge_region_populated(va) {
+                size = PageSize::Huge2M;
+            }
+        }
+        loop {
+            match self.try_alloc_and_map(policy, pid, vma_id, va, size, FaultKind::Anon) {
+                Ok(out) => return Ok(out),
+                Err(FaultError::OutOfMemory { .. }) if size == PageSize::Huge2M => {
+                    // THP fallback: retry the fault with a base page.
+                    self.processes
+                        .get_mut(&pid)
+                        .expect("unknown pid")
+                        .stats_mut()
+                        .thp_fallbacks += 1;
+                    size = PageSize::Base4K;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn try_alloc_and_map(
+        &mut self,
+        policy: &mut dyn PlacementPolicy,
+        pid: Pid,
+        vma_id: VmaId,
+        va: VirtAddr,
+        size: PageSize,
+        kind: FaultKind,
+    ) -> Result<FaultOutcome, FaultError> {
+        let fault_va = va.align_down(size);
+        let aspace = self.processes.get_mut(&pid).expect("unknown pid");
+        if aspace.page_table().translate(fault_va).is_ok() {
+            return Err(FaultError::AlreadyMapped { addr: va });
+        }
+        let (vma, page_table, stats) = aspace.fault_parts(vma_id);
+        let mut ctx = FaultCtx {
+            machine: &mut self.machine,
+            vma,
+            page_table,
+            page_cache: &mut self.page_cache,
+            va: fault_va,
+            size,
+            kind,
+            stats,
+            extra_zeroed_pages: 0,
+        };
+        let placements_before = ctx.stats.placements;
+        let mut decision = policy.on_fault(&mut ctx);
+        let mut retries = 0;
+        let pfn = loop {
+            match decision {
+                Placement::Handled => {
+                    // The policy mapped the page (and possibly much more)
+                    // itself; account one fault at whatever it zeroed.
+                    let t = ctx
+                        .page_table
+                        .translate(fault_va)
+                        .expect("policy reported Handled without mapping the fault");
+                    let latency = self.latency.fault_ns(
+                        t.size.base_pages() + ctx.extra_zeroed_pages,
+                        ctx.stats.placements - placements_before,
+                    );
+                    ctx.stats.record_fault(t.size, latency);
+                    self.now_ns += latency;
+                    return Ok(FaultOutcome {
+                        pfn: t.pfn,
+                        size: t.size,
+                        already_mapped: false,
+                    });
+                }
+                Placement::Default => match ctx.machine.alloc_page(size) {
+                    Ok(pfn) => break pfn,
+                    Err(_) => return Err(FaultError::OutOfMemory { addr: va, size }),
+                },
+                Placement::Target(target) => {
+                    match ctx.machine.alloc_page_at(target, size) {
+                        Ok(()) => {
+                            ctx.stats.ca_target_hits += 1;
+                            break target;
+                        }
+                        Err(AllocError::OutOfMemory { .. }) => {
+                            return Err(FaultError::OutOfMemory { addr: va, size })
+                        }
+                        Err(_) => {
+                            ctx.stats.ca_target_misses += 1;
+                            retries += 1;
+                            if retries > MAX_PLACEMENT_RETRIES {
+                                decision = Placement::Default;
+                            } else {
+                                decision = policy.on_target_busy(&mut ctx, target);
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        let mut flags = PteFlags::WRITE;
+        if kind == FaultKind::Cow {
+            // The broken copy is private again.
+        }
+        if ctx.vma.kind() != VmaKind::Anon {
+            flags |= PteFlags::FILE;
+        }
+        ctx.page_table.map(fault_va, Pte::new(pfn, flags), size);
+        policy.post_map(&mut ctx, pfn);
+        let latency = self.latency.fault_ns(
+            size.base_pages() + ctx.extra_zeroed_pages,
+            ctx.stats.placements - placements_before,
+        );
+        ctx.stats.record_fault(size, latency);
+        self.now_ns += latency;
+        Ok(FaultOutcome { pfn, size, already_mapped: false })
+    }
+
+    fn cow_fault(
+        &mut self,
+        policy: &mut dyn PlacementPolicy,
+        pid: Pid,
+        vma_id: VmaId,
+        va: VirtAddr,
+    ) -> Result<FaultOutcome, FaultError> {
+        let aspace = self.processes.get_mut(&pid).expect("unknown pid");
+        let t = aspace
+            .page_table()
+            .translate(va)
+            .map_err(|_| FaultError::UnmappedAddress { addr: va })?;
+        if !t.flags.contains(PteFlags::COW) {
+            return Ok(FaultOutcome { pfn: t.pfn, size: t.size, already_mapped: true });
+        }
+        let size = t.size;
+        let old_pfn = t.pfn;
+        let page_va = va.align_down(size);
+        // Allocate the private copy through the policy so CA keeps COW pages
+        // contiguous too.
+        let (vma, page_table, stats) = aspace.fault_parts(vma_id);
+        let mut ctx = FaultCtx {
+            machine: &mut self.machine,
+            vma,
+            page_table,
+            page_cache: &mut self.page_cache,
+            va: page_va,
+            size,
+            kind: FaultKind::Cow,
+            stats,
+            extra_zeroed_pages: 0,
+        };
+        let placements_before = ctx.stats.placements;
+        let mut decision = policy.on_fault(&mut ctx);
+        let mut retries = 0;
+        let new_pfn = loop {
+            match decision {
+                Placement::Handled | Placement::Default => match ctx.machine.alloc_page(size) {
+                    Ok(pfn) => break pfn,
+                    Err(_) => return Err(FaultError::OutOfMemory { addr: va, size }),
+                },
+                Placement::Target(target) => match ctx.machine.alloc_page_at(target, size) {
+                    Ok(()) => {
+                        ctx.stats.ca_target_hits += 1;
+                        break target;
+                    }
+                    Err(AllocError::OutOfMemory { .. }) => {
+                        return Err(FaultError::OutOfMemory { addr: va, size })
+                    }
+                    Err(_) => {
+                        ctx.stats.ca_target_misses += 1;
+                        retries += 1;
+                        if retries > MAX_PLACEMENT_RETRIES {
+                            decision = Placement::Default;
+                        } else {
+                            decision = policy.on_target_busy(&mut ctx, target);
+                        }
+                    }
+                },
+            }
+        };
+        ctx.page_table.remap(page_va, Pte::new(new_pfn, PteFlags::WRITE));
+        policy.post_map(&mut ctx, new_pfn);
+        let latency = self
+            .latency
+            .fault_ns(size.base_pages(), ctx.stats.placements - placements_before);
+        ctx.stats.cow_faults += 1;
+        ctx.stats.record_fault(size, latency);
+        self.now_ns += latency;
+        // Drop our reference to the shared original.
+        self.unshare_frame(old_pfn, size);
+        Ok(FaultOutcome { pfn: new_pfn, size, already_mapped: false })
+    }
+
+    fn file_fault(
+        &mut self,
+        policy: &mut dyn PlacementPolicy,
+        pid: Pid,
+        vma_id: VmaId,
+        va: VirtAddr,
+    ) -> Result<FaultOutcome, FaultError> {
+        /// Pages fetched around a file fault, like Linux's default readahead
+        /// window (128 KiB).
+        const READAHEAD_PAGES: u64 = 32;
+        let aspace = self.processes.get_mut(&pid).expect("unknown pid");
+        let vma = aspace.vma(vma_id);
+        let VmaKind::File { file, start_page } = vma.kind() else {
+            unreachable!("file fault on anonymous VMA");
+        };
+        let vma_start = vma.range().start();
+        let vma_pages = vma.range().pages();
+        let page_va = va.align_down(PageSize::Base4K);
+        let vma_index = (page_va - vma_start) / PageSize::Base4K.bytes();
+        let file_index = start_page + vma_index;
+        let window = READAHEAD_PAGES.min(vma_pages - vma_index);
+        self.page_cache
+            .readahead(&mut self.machine, file, file_index, window)
+            .map_err(|_| FaultError::OutOfMemory { addr: va, size: PageSize::Base4K })?;
+        let pfn = self.page_cache.lookup(file, file_index).expect("readahead populated");
+        let aspace = self.processes.get_mut(&pid).expect("unknown pid");
+        if aspace.page_table().translate(page_va).is_ok() {
+            return Err(FaultError::AlreadyMapped { addr: va });
+        }
+        aspace
+            .page_table_mut()
+            .map(page_va, Pte::new(pfn, PteFlags::FILE), PageSize::Base4K);
+        // Give the policy its post-map hook (CA marks contiguity bits on
+        // page-cache mappings too).
+        let (vma, page_table, stats) = aspace.fault_parts(vma_id);
+        let mut ctx = FaultCtx {
+            machine: &mut self.machine,
+            vma,
+            page_table,
+            page_cache: &mut self.page_cache,
+            va: page_va,
+            size: PageSize::Base4K,
+            kind: FaultKind::FileRead,
+            stats,
+            extra_zeroed_pages: 0,
+        };
+        policy.post_map(&mut ctx, pfn);
+        let latency = self.latency.fault_ns(1, 0);
+        aspace.stats_mut().record_fault(PageSize::Base4K, latency);
+        self.now_ns += latency;
+        Ok(FaultOutcome { pfn, size: PageSize::Base4K, already_mapped: false })
+    }
+
+    /// Marks every mapped page of `pid`'s VMA at `vma_id` copy-on-write and
+    /// shares it into a new process, as `fork` would. Returns the child pid.
+    pub fn fork_vma(&mut self, pid: Pid, vma_id: VmaId) -> Pid {
+        let child = self.spawn();
+        let parent = self.processes.get_mut(&pid).expect("unknown pid");
+        let range = parent.vma(vma_id).range();
+        let kind = parent.vma(vma_id).kind();
+        let mut pages = Vec::new();
+        {
+            let pt = parent.page_table_mut();
+            for mapped in pt.iter_mappings().filter(|m| range.contains(m.va)).collect::<Vec<_>>() {
+                pt.update_flags(mapped.va, |f| f | PteFlags::COW);
+                pages.push(mapped);
+            }
+        }
+        let child_aspace = self.processes.get_mut(&child).expect("child pid");
+        child_aspace.map_vma(range, kind);
+        for m in &pages {
+            child_aspace
+                .page_table_mut()
+                .map(m.va, Pte::new(m.pte.pfn, m.pte.flags | PteFlags::COW), m.size);
+            let count = self.shared.entry(m.pte.pfn).or_insert(1);
+            *count += 1;
+        }
+        child
+    }
+
+    fn unshare_frame(&mut self, pfn: Pfn, size: PageSize) {
+        match self.shared.get_mut(&pfn) {
+            Some(count) if *count > 1 => *count -= 1,
+            Some(_) => {
+                self.shared.remove(&pfn);
+                self.machine.free_page(pfn, size);
+            }
+            None => self.machine.free_page(pfn, size),
+        }
+    }
+
+    /// Terminates a process, releasing every frame it exclusively owns.
+    /// Page-cache frames survive (they belong to the cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown pid.
+    pub fn exit(&mut self, pid: Pid) {
+        let aspace = self.processes.remove(&pid).expect("unknown pid");
+        for m in aspace.page_table().iter_mappings() {
+            if m.pte.flags.contains(PteFlags::FILE) {
+                continue;
+            }
+            if m.pte.flags.contains(PteFlags::COW) {
+                self.unshare_frame(m.pte.pfn, m.size);
+            } else {
+                self.machine.free_page(m.pte.pfn, m.size);
+            }
+        }
+    }
+
+    /// Faults every page of a VMA in virtual-address order — the touch loop
+    /// used by allocation-phase-heavy workloads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first fault failure.
+    pub fn populate_vma(
+        &mut self,
+        policy: &mut dyn PlacementPolicy,
+        pid: Pid,
+        vma_id: VmaId,
+    ) -> Result<(), FaultError> {
+        let range = self.processes[&pid].vma(vma_id).range();
+        let mut va = range.start();
+        while va < range.end() {
+            let out = self.touch(policy, pid, va)?;
+            va = va.align_down(out.size) + out.size.bytes();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BasePagesPolicy, DefaultThpPolicy};
+    use contig_types::VirtRange;
+
+    fn small_system() -> System {
+        System::new(SystemConfig::new(MachineConfig::single_node_mib(64)))
+    }
+
+    fn anon_vma(sys: &mut System, pid: Pid, start: u64, len: u64) -> VmaId {
+        sys.aspace_mut(pid).map_vma(VirtRange::new(VirtAddr::new(start), len), VmaKind::Anon)
+    }
+
+    #[test]
+    fn first_touch_faults_huge_when_aligned() {
+        let mut sys = small_system();
+        let pid = sys.spawn();
+        anon_vma(&mut sys, pid, 0x40_0000, 0x40_0000);
+        let mut policy = DefaultThpPolicy;
+        let out = sys.touch(&mut policy, pid, VirtAddr::new(0x40_1234)).unwrap();
+        assert_eq!(out.size, PageSize::Huge2M);
+        assert!(!out.already_mapped);
+        // Second touch hits the installed translation.
+        let again = sys.touch(&mut policy, pid, VirtAddr::new(0x5f_ffff)).unwrap();
+        assert!(again.already_mapped);
+        assert_eq!(sys.aspace(pid).stats().faults_2m, 1);
+    }
+
+    #[test]
+    fn unaligned_vma_edges_fault_base_pages() {
+        let mut sys = small_system();
+        let pid = sys.spawn();
+        // VMA not 2 MiB aligned: starts mid-region.
+        anon_vma(&mut sys, pid, 0x10_0000, 0x10_0000);
+        let mut policy = DefaultThpPolicy;
+        let out = sys.touch(&mut policy, pid, VirtAddr::new(0x10_0000)).unwrap();
+        assert_eq!(out.size, PageSize::Base4K);
+    }
+
+    #[test]
+    fn base_pages_policy_never_faults_huge() {
+        let mut sys = System::new(SystemConfig {
+            thp: false,
+            ..SystemConfig::new(MachineConfig::single_node_mib(64))
+        });
+        let pid = sys.spawn();
+        anon_vma(&mut sys, pid, 0x40_0000, 0x40_0000);
+        let mut policy = BasePagesPolicy;
+        let out = sys.touch(&mut policy, pid, VirtAddr::new(0x40_0000)).unwrap();
+        assert_eq!(out.size, PageSize::Base4K);
+    }
+
+    #[test]
+    fn fault_outside_vma_is_segfault() {
+        let mut sys = small_system();
+        let pid = sys.spawn();
+        let mut policy = DefaultThpPolicy;
+        let err = sys.touch(&mut policy, pid, VirtAddr::new(0x123_0000)).unwrap_err();
+        assert!(matches!(err, FaultError::UnmappedAddress { .. }));
+    }
+
+    #[test]
+    fn populate_then_exit_returns_all_memory() {
+        let mut sys = small_system();
+        let pid = sys.spawn();
+        let vma = anon_vma(&mut sys, pid, 0x40_0000, 0x80_0000);
+        let mut policy = DefaultThpPolicy;
+        sys.populate_vma(&mut policy, pid, vma).unwrap();
+        assert_eq!(sys.aspace(pid).mapped_bytes(), 0x80_0000);
+        let used = sys.machine().total_frames() - sys.machine().free_frames();
+        assert_eq!(used, 0x80_0000 / 4096);
+        sys.exit(pid);
+        assert_eq!(sys.machine().free_frames(), sys.machine().total_frames());
+        sys.machine().verify_integrity();
+    }
+
+    #[test]
+    fn thp_fallback_when_memory_tight() {
+        // 4 MiB machine, 2 MiB hole: huge fault must fall back to 4 KiB once
+        // no order-9 block is left.
+        let mut sys = System::new(SystemConfig::new(MachineConfig::with_node_mib(&[4])));
+        // Shred the machine: claim every frame individually, then free every
+        // other one — plenty of 4 KiB pages remain but no 2 MiB run.
+        let mut held = Vec::new();
+        while let Ok(p) = sys.machine_mut().alloc(0) {
+            held.push(p);
+        }
+        for p in held.iter().step_by(2) {
+            sys.machine_mut().free(*p, 0);
+        }
+        let pid = sys.spawn();
+        anon_vma(&mut sys, pid, 0x40_0000, 0x40_0000);
+        let mut policy = DefaultThpPolicy;
+        let out = sys.touch(&mut policy, pid, VirtAddr::new(0x40_0000)).unwrap();
+        assert_eq!(out.size, PageSize::Base4K);
+        assert_eq!(sys.aspace(pid).stats().thp_fallbacks, 1);
+    }
+
+    #[test]
+    fn cow_fork_and_write_break() {
+        let mut sys = small_system();
+        let parent = sys.spawn();
+        let vma = anon_vma(&mut sys, parent, 0x40_0000, 0x20_0000);
+        let mut policy = DefaultThpPolicy;
+        sys.populate_vma(&mut policy, parent, vma).unwrap();
+        let before = sys.machine().free_frames();
+        let child = sys.fork_vma(parent, vma);
+        assert_eq!(sys.machine().free_frames(), before, "fork allocates nothing");
+        // Child write breaks the share.
+        let out = sys.touch_write(&mut policy, child, VirtAddr::new(0x40_0000)).unwrap();
+        assert!(!out.already_mapped);
+        assert_eq!(sys.aspace(child).stats().cow_faults, 1);
+        assert_eq!(sys.machine().free_frames(), before - 512);
+        // Parent still reads its original frame, now unshared on child exit.
+        sys.exit(child);
+        sys.exit(parent);
+        assert_eq!(sys.machine().free_frames(), sys.machine().total_frames());
+        sys.machine().verify_integrity();
+    }
+
+    #[test]
+    fn file_vma_faults_through_page_cache() {
+        let mut sys = small_system();
+        let file = sys.page_cache_mut().create_file();
+        let pid = sys.spawn();
+        let vma_range = VirtRange::new(VirtAddr::new(0x200_0000), 0x40_0000);
+        sys.aspace_mut(pid).map_vma(vma_range, VmaKind::File { file, start_page: 0 });
+        let mut policy = DefaultThpPolicy;
+        let out = sys.touch(&mut policy, pid, VirtAddr::new(0x200_0000)).unwrap();
+        assert_eq!(out.size, PageSize::Base4K);
+        // Readahead cached a window beyond the fault.
+        assert!(sys.page_cache().cached_pages(file) >= 32);
+        // Exit does not free cache frames.
+        let cached = sys.page_cache().cached_pages(file);
+        sys.exit(pid);
+        assert_eq!(sys.page_cache().cached_pages(file), cached);
+        let free_after = sys.machine().free_frames();
+        assert_eq!(free_after, sys.machine().total_frames() - cached);
+    }
+
+    #[test]
+    fn out_of_memory_surfaces_after_fallback() {
+        let mut sys = System::new(SystemConfig::new(MachineConfig::with_node_mib(&[1])));
+        let pid = sys.spawn();
+        anon_vma(&mut sys, pid, 0x40_0000, 0x40_0000);
+        let mut policy = DefaultThpPolicy;
+        // 1 MiB machine: one huge fault cannot be served; falls back to 4 KiB
+        // pages until those run out too.
+        let mut last = Ok(());
+        for i in 0..1024u64 {
+            match sys.touch(&mut policy, pid, VirtAddr::new(0x40_0000 + i * 4096)) {
+                Ok(_) => {}
+                Err(e) => {
+                    last = Err(e);
+                    break;
+                }
+            }
+        }
+        assert!(matches!(last, Err(FaultError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn clock_advances_with_faults() {
+        let mut sys = small_system();
+        let pid = sys.spawn();
+        anon_vma(&mut sys, pid, 0x40_0000, 0x40_0000);
+        let mut policy = DefaultThpPolicy;
+        assert_eq!(sys.now_ns(), 0);
+        sys.touch(&mut policy, pid, VirtAddr::new(0x40_0000)).unwrap();
+        assert!(sys.now_ns() > 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of the page table and VMA metadata against simple
+//! reference models.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use contig_mm::{OffsetSet, PageTable, Pte, PteFlags, MAX_OFFSETS_PER_VMA};
+use contig_types::{MapOffset, PageSize, PhysAddr, Pfn, VirtAddr};
+
+#[derive(Clone, Debug)]
+enum PtOp {
+    Map4k { slot: u64, pfn: u64 },
+    MapHuge { slot: u64, pfn: u64 },
+    Unmap { slot: u64 },
+    SetContig { slot: u64 },
+}
+
+fn pt_op() -> impl Strategy<Value = PtOp> {
+    prop_oneof![
+        (0u64..2048, 0u64..1 << 20).prop_map(|(slot, pfn)| PtOp::Map4k { slot, pfn }),
+        (0u64..4, 0u64..1 << 20).prop_map(|(slot, pfn)| PtOp::MapHuge { slot, pfn }),
+        (0u64..2048).prop_map(|slot| PtOp::Unmap { slot }),
+        (0u64..2048).prop_map(|slot| PtOp::SetContig { slot }),
+    ]
+}
+
+fn va_4k(slot: u64) -> VirtAddr {
+    VirtAddr::new(slot * 4096)
+}
+
+fn va_2m(slot: u64) -> VirtAddr {
+    VirtAddr::new(slot * (2 << 20))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The radix page table behaves exactly like a flat map from 4 KiB page
+    /// numbers to (frame, flags), with huge leaves expanding to 512 entries.
+    #[test]
+    fn page_table_matches_reference(ops in proptest::collection::vec(pt_op(), 1..150)) {
+        let mut pt = PageTable::new();
+        // Reference: 4 KiB page slot -> (frame, flags).
+        let mut reference: HashMap<u64, (u64, PteFlags)> = HashMap::new();
+        for op in ops {
+            match op {
+                PtOp::Map4k { slot, pfn } => {
+                    // Skip if anything (4 KiB or huge) covers the slot.
+                    if reference.contains_key(&slot) {
+                        continue;
+                    }
+                    // A huge mapping cannot be installed over partial leaves,
+                    // and a 4 KiB leaf cannot be installed under a huge leaf;
+                    // the reference tracks at 4 KiB granularity so the check
+                    // above covers both.
+                    pt.map(va_4k(slot), Pte::new(Pfn::new(pfn), PteFlags::WRITE), PageSize::Base4K);
+                    reference.insert(slot, (pfn, PteFlags::WRITE));
+                }
+                PtOp::MapHuge { slot, pfn } => {
+                    let base = slot * 512;
+                    if (base..base + 512).any(|s| reference.contains_key(&s)) {
+                        continue;
+                    }
+                    let pfn = pfn & !511; // frame must be huge-aligned
+                    pt.map(va_2m(slot), Pte::new(Pfn::new(pfn), PteFlags::WRITE), PageSize::Huge2M);
+                    for i in 0..512 {
+                        reference.insert(base + i, (pfn + i, PteFlags::WRITE));
+                    }
+                }
+                PtOp::Unmap { slot } => {
+                    let removed = pt.unmap(va_4k(slot));
+                    match removed {
+                        Some((_, PageSize::Base4K)) => {
+                            prop_assert!(reference.remove(&slot).is_some());
+                        }
+                        Some((_, PageSize::Huge2M)) => {
+                            let base = slot / 512 * 512;
+                            for i in 0..512 {
+                                prop_assert!(reference.remove(&(base + i)).is_some());
+                            }
+                        }
+                        None => prop_assert!(!reference.contains_key(&slot)),
+                    }
+                }
+                PtOp::SetContig { slot } => {
+                    let updated = pt.update_flags(va_4k(slot), |f| f | PteFlags::CONTIG);
+                    if updated.is_some() {
+                        // Huge leaves update all covered reference slots.
+                        let size = pt.translate(va_4k(slot)).unwrap().size;
+                        let (base, n) = match size {
+                            PageSize::Base4K => (slot, 1),
+                            PageSize::Huge2M => (slot / 512 * 512, 512),
+                        };
+                        for i in 0..n {
+                            let e = reference.get_mut(&(base + i)).unwrap();
+                            e.1 |= PteFlags::CONTIG;
+                        }
+                    } else {
+                        prop_assert!(!reference.contains_key(&slot));
+                    }
+                }
+            }
+        }
+        // Final sweep: every reference entry translates identically.
+        for (&slot, &(pfn, flags)) in &reference {
+            let t = pt.translate(va_4k(slot)).expect("reference slot mapped");
+            prop_assert_eq!(t.frame_for(va_4k(slot)), Pfn::new(pfn));
+            prop_assert_eq!(t.flags, flags);
+        }
+        // And the iterator covers exactly the reference (expanded to bytes).
+        let iterated: u64 = pt.iter_mappings().map(|m| m.size.base_pages()).sum();
+        prop_assert_eq!(iterated, reference.len() as u64);
+        prop_assert_eq!(pt.mapped_bytes(), reference.len() as u64 * 4096);
+    }
+
+    /// `iter_mappings` is strictly ordered and non-overlapping.
+    #[test]
+    fn iteration_is_sorted_and_disjoint(slots in proptest::collection::btree_set(0u64..4096, 1..200)) {
+        let mut pt = PageTable::new();
+        for &slot in &slots {
+            pt.map(va_4k(slot * 7 % 4096), Pte::new(Pfn::new(slot), PteFlags::NONE), PageSize::Base4K);
+        }
+        let mut last_end = 0u64;
+        for m in pt.iter_mappings() {
+            prop_assert!(m.va.raw() >= last_end);
+            last_end = m.va.raw() + m.size.bytes();
+        }
+    }
+
+    /// OffsetSet: `nearest` equals the brute-force minimum and the FIFO cap
+    /// holds.
+    #[test]
+    fn offset_set_nearest_matches_bruteforce(
+        entries in proptest::collection::vec((0u64..1 << 30, 0u64..1 << 30), 1..100),
+        probe in 0u64..1 << 30,
+    ) {
+        let mut set = OffsetSet::new();
+        let mut reference: Vec<(u64, MapOffset)> = Vec::new();
+        for (va, pa) in entries {
+            let off = MapOffset::between(VirtAddr::new(va), PhysAddr::new(pa));
+            set.push(VirtAddr::new(va), off);
+            reference.push((va, off));
+            if reference.len() > MAX_OFFSETS_PER_VMA {
+                reference.remove(0);
+            }
+        }
+        prop_assert!(set.len() <= MAX_OFFSETS_PER_VMA);
+        let got = set.nearest(VirtAddr::new(probe));
+        let want_dist = reference.iter().map(|(va, _)| va.abs_diff(probe)).min();
+        let got_dist = got.map(|g| {
+            reference
+                .iter()
+                .filter(|(_, off)| *off == g)
+                .map(|(va, _)| va.abs_diff(probe))
+                .min()
+                .unwrap()
+        });
+        prop_assert_eq!(got_dist, want_dist);
+    }
+}

@@ -1,0 +1,370 @@
+//! Contiguity experiments: Fig. 7 (native, no pressure), Fig. 8 (under
+//! memory pressure), Fig. 12 (virtualized 2D), Fig. 1b (consecutive runs),
+//! Fig. 1c (timeline vs ranger), and Fig. 10 (multi-programmed).
+
+use contig_buddy::Hog;
+use contig_core::CaPaging;
+use contig_metrics::{CoverageStats, TimelinePoint};
+use contig_mm::{contiguous_mappings, System};
+use contig_virt::{two_dimensional_mappings, VirtualMachine, VmConfig};
+use contig_workloads::Workload;
+
+use crate::env::Env;
+use crate::install::{install, install_in_vm, populate_native, populate_vm, spec_ranges};
+use crate::policies::{PolicyKind, PolicyRuntime};
+
+/// The three headline contiguity metrics of Fig. 7/8/12.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ContiguityMetrics {
+    /// Footprint fraction covered by the 32 largest mappings.
+    pub top32: f64,
+    /// Footprint fraction covered by the 128 largest mappings.
+    pub top128: f64,
+    /// Mappings needed for 99 % coverage.
+    pub n99: usize,
+    /// Total mapped bytes.
+    pub footprint: u64,
+}
+
+impl ContiguityMetrics {
+    /// Computes the metrics from a mapping set.
+    pub fn from_coverage(cov: &CoverageStats) -> Self {
+        Self {
+            top32: cov.top_k_coverage(32),
+            top128: cov.top_k_coverage(128),
+            n99: cov.mappings_for_coverage(0.99),
+            footprint: cov.total_bytes(),
+        }
+    }
+}
+
+/// Result of one contiguity run.
+#[derive(Clone, Debug)]
+pub struct ContiguityRun {
+    /// Policy evaluated.
+    pub policy: PolicyKind,
+    /// Workload evaluated.
+    pub workload: Workload,
+    /// Final-state metrics.
+    pub metrics: ContiguityMetrics,
+    /// Top-32 coverage timeline across the allocation phase.
+    pub timeline: Vec<TimelinePoint>,
+    /// Total page faults serviced.
+    pub faults: u64,
+    /// Pages migrated by daemons (ranger/Ingens).
+    pub pages_migrated: u64,
+}
+
+/// Runs one native contiguity experiment.
+///
+/// `pressure` pins that fraction of physical memory with the hog before the
+/// workload starts (Fig. 8); the machine is single-node when pressure is
+/// applied, mirroring the paper's NUMA-off fragmentation runs.
+///
+/// # Panics
+///
+/// Panics if the workload does not fit the (hogged) machine.
+pub fn run_native(
+    env: &Env,
+    workload: Workload,
+    policy: PolicyKind,
+    pressure: f64,
+    seed: u64,
+) -> ContiguityRun {
+    let spec = workload.spec(env.scale);
+    let numa = pressure == 0.0;
+    let mut sys = System::new(policy.system_config(env.native_machine(numa)));
+    crate::install::age_machine(sys.machine_mut(), seed ^ 0xa9e);
+    let _hog = (pressure > 0.0).then(|| Hog::occupy(sys.machine_mut(), pressure, seed));
+    let instance = install(&spec, &mut sys);
+    let mut runtime = PolicyRuntime::new(policy, ranger_budget(env));
+    runtime.plan_ideal(&sys, &spec_ranges(&spec));
+    let mut timeline = Vec::new();
+    populate_native(&mut sys, &mut runtime, &instance, &mut timeline)
+        .unwrap_or_else(|e| panic!("{} under {}: {e}", workload.name(), policy.name()));
+    let maps = contiguous_mappings(sys.aspace(instance.pid).page_table());
+    let cov = CoverageStats::from_mappings(&maps);
+    ContiguityRun {
+        policy,
+        workload,
+        metrics: ContiguityMetrics::from_coverage(&cov),
+        timeline,
+        faults: sys.aspace(instance.pid).stats().total_faults(),
+        pages_migrated: runtime.pages_migrated(),
+    }
+}
+
+/// Ranger's migration budget per epoch, scaled with the environment so its
+/// relative progress rate matches across scales. The budget is deliberately
+/// below the fault stream's allocation rate per daemon tick, so contiguity
+/// arrives late (Fig. 1c) and converges only after the allocation phase.
+pub fn ranger_budget(env: &Env) -> u64 {
+    ((1u64 << 30) / env.scale.0 / 4096).max(512) * 2
+}
+
+/// Runs one virtualized contiguity experiment (Fig. 12): the policy is
+/// installed in the guest *and* host independently; the workload runs twice
+/// without a VM reboot, and the second run's 2D contiguity is reported
+/// (gPA→hPA mappings persist across guest process lifetimes, §III-C).
+pub fn run_virtualized(env: &Env, workload: Workload, policy: PolicyKind) -> ContiguityRun {
+    let spec = workload.spec(env.scale);
+    let guest_cfg = policy.system_config(env.guest_machine());
+    let host_cfg = policy.system_config(env.host_machine());
+    let make_policy = || -> Box<dyn contig_mm::PlacementPolicy> {
+        match policy {
+            PolicyKind::Ca => Box::new(CaPaging::new()),
+            _ => Box::new(contig_mm::DefaultThpPolicy),
+        }
+    };
+    let mut vm = VirtualMachine::new(
+        VmConfig { guest: guest_cfg, host: host_cfg, host_vma_base: contig_types::VirtAddr::new(0x7f00_0000_0000) },
+        make_policy(),
+        make_policy(),
+    );
+    crate::install::age_machine(vm.guest_mut().machine_mut(), 0x61e);
+    crate::install::age_machine(vm.host_mut().machine_mut(), 0x62f);
+    // First (warm-up) run: populate and exit, leaving the host dimension
+    // populated and the guest buddy state aged.
+    let warmup = install_in_vm(&spec, &mut vm);
+    let mut scratch = Vec::new();
+    populate_vm(&mut vm, &warmup, &mut scratch)
+        .unwrap_or_else(|e| panic!("warm-up {}: {e}", workload.name()));
+    vm.exit_guest_process(warmup.pid);
+    // Measured run.
+    let instance = install_in_vm(&spec, &mut vm);
+    let mut timeline = Vec::new();
+    populate_vm(&mut vm, &instance, &mut timeline)
+        .unwrap_or_else(|e| panic!("measured {}: {e}", workload.name()));
+    let maps = two_dimensional_mappings(&vm, instance.pid);
+    let cov = CoverageStats::from_mappings(&maps);
+    ContiguityRun {
+        policy,
+        workload,
+        metrics: ContiguityMetrics::from_coverage(&cov),
+        timeline,
+        faults: vm.guest().aspace(instance.pid).stats().total_faults(),
+        pages_migrated: 0,
+    }
+}
+
+/// Fig. 1b: `runs` consecutive executions of the workload on one machine
+/// whose page cache ages across runs; returns the final top-32 coverage of
+/// each run.
+pub fn run_consecutive(
+    env: &Env,
+    workload: Workload,
+    policy: PolicyKind,
+    runs: usize,
+) -> Vec<f64> {
+    let spec = workload.spec(env.scale);
+    let mut sys = System::new(policy.system_config(env.native_machine(true)));
+    crate::install::age_machine(sys.machine_mut(), 0x1b);
+    let mut coverages = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        // Page-cache aging: evict oldest files until the footprint fits.
+        evict_until_fits(&mut sys, spec.footprint_bytes());
+        let instance = install(&spec, &mut sys);
+        let mut runtime = PolicyRuntime::new(policy, ranger_budget(env));
+        runtime.plan_ideal(&sys, &spec_ranges(&spec));
+        let mut timeline = Vec::new();
+        populate_native(&mut sys, &mut runtime, &instance, &mut timeline)
+            .unwrap_or_else(|e| panic!("consecutive {}: {e}", workload.name()));
+        let maps = contiguous_mappings(sys.aspace(instance.pid).page_table());
+        coverages.push(CoverageStats::from_mappings(&maps).top_k_coverage(32));
+        sys.exit(instance.pid);
+    }
+    coverages
+}
+
+/// Page-cache reclaim: free memory for the next run the way a kernel does —
+/// partial LRU eviction first (leaving scattered long-lived remnants that
+/// fragment the physical address space across the consecutive runs of
+/// Fig. 1b), whole files only when that is not enough.
+fn evict_until_fits(sys: &mut System, need_bytes: u64) {
+    /// Alternating 16 MiB stripes (4096 pages) survive partial reclaim.
+    const STRIPE_PAGES: u64 = 4096;
+    let need_frames = need_bytes / 4096 + (need_bytes / 4096 / 8);
+    let files = sys.page_cache().file_count();
+    for file in 0..files {
+        if sys.machine().free_frames() >= need_frames {
+            return;
+        }
+        let f = contig_mm::FileId(file);
+        if sys.page_cache().cached_pages(f) > 0 {
+            sys.evict_file_pages_where(f, |idx| (idx / STRIPE_PAGES) % 2 == 0);
+        }
+    }
+    for file in 0..files {
+        if sys.machine().free_frames() >= need_frames {
+            return;
+        }
+        let f = contig_mm::FileId(file);
+        if sys.page_cache().cached_pages(f) > 0 {
+            sys.evict_file(f);
+        }
+    }
+}
+
+/// Fig. 10: two instances of the workload populated concurrently
+/// (chunk-interleaved); returns each instance's final top-32 coverage.
+/// `pressure` optionally pins memory with the hog first (the reservation
+/// extension's stress case).
+pub fn run_multiprogrammed(
+    env: &Env,
+    workload: Workload,
+    policy: PolicyKind,
+    pressure: f64,
+) -> [f64; 2] {
+    let spec = workload.spec(env.scale);
+    let numa = pressure == 0.0;
+    let mut sys = System::new(policy.system_config(env.native_machine(numa)));
+    crate::install::age_machine(sys.machine_mut(), 0x10a);
+    let _hog = (pressure > 0.0).then(|| Hog::occupy(sys.machine_mut(), pressure, 0x10b));
+    let a = install(&spec, &mut sys);
+    // Second instance at shifted virtual addresses (fresh process, same
+    // layout: virtual spaces are per-process so the same bases are fine).
+    let b = install(&spec, &mut sys);
+    let mut rt_a = PolicyRuntime::new(policy, ranger_budget(env));
+    let mut rt_b = PolicyRuntime::new(policy, ranger_budget(env));
+    rt_a.plan_ideal(&sys, &spec_ranges(&spec));
+    rt_b.plan_ideal(&sys, &spec_ranges(&spec));
+    // Interleave the two processes chunk by chunk.
+    let ranges = spec_ranges(&spec);
+    let mut cursors = [
+        ranges.iter().map(|r| r.start()).collect::<Vec<_>>(),
+        ranges.iter().map(|r| r.start()).collect::<Vec<_>>(),
+    ];
+    let mut chunks = 0usize;
+    loop {
+        let mut progressed = false;
+        for (which, (instance, runtime)) in
+            [(&a, &mut rt_a), (&b, &mut rt_b)].into_iter().enumerate()
+        {
+            for (i, range) in ranges.iter().enumerate() {
+                let cursor = &mut cursors[which][i];
+                if *cursor >= range.end() {
+                    continue;
+                }
+                let chunk_end = contig_types::VirtAddr::new(
+                    (cursor.raw() + crate::install::CHUNK_BYTES).min(range.end().raw()),
+                );
+                while *cursor < chunk_end {
+                    let out = sys
+                        .touch(runtime.policy_mut(), instance.pid, *cursor)
+                        .unwrap_or_else(|e| panic!("multiprog fault: {e}"));
+                    *cursor = cursor.align_down(out.size) + out.size.bytes();
+                }
+                progressed = true;
+                chunks += 1;
+                if chunks.is_multiple_of(crate::install::TICK_EVERY_CHUNKS) {
+                    runtime.tick(&mut sys, &[a.pid, b.pid]);
+                }
+                break; // one chunk per process per round
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let cov = |pid| {
+        let maps = contiguous_mappings(sys.aspace(pid).page_table());
+        CoverageStats::from_mappings(&maps).top_k_coverage(32)
+    };
+    [cov(a.pid), cov(b.pid)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Env {
+        Env::tiny()
+    }
+
+    #[test]
+    fn fig7_shape_ca_matches_eager_and_beats_thp() {
+        let w = Workload::XsBench;
+        let thp = run_native(&env(), w, PolicyKind::Thp, 0.0, 1);
+        let ca = run_native(&env(), w, PolicyKind::Ca, 0.0, 1);
+        let eager = run_native(&env(), w, PolicyKind::Eager, 0.0, 1);
+        // Eager populates each VMA in one shot and so never races itself;
+        // CA's interleaved faults cost a few sub-VMA re-placements (the paper
+        // likewise reports ~27 mappings for CA where eager needs fewer).
+        // Same order of magnitude is the Fig. 7 claim.
+        assert!(
+            ca.metrics.n99 <= eager.metrics.n99 * 4,
+            "CA ~ eager on a fresh machine: CA n99 {} vs eager n99 {}",
+            ca.metrics.n99,
+            eager.metrics.n99
+        );
+        // At test scale THP's count is bounded by footprint/4 MiB; the bench
+        // binaries at full scale show the orders-of-magnitude gap.
+        assert!(
+            thp.metrics.n99 >= 5 * ca.metrics.n99.max(1),
+            "THP needs far more mappings: {} vs {}",
+            thp.metrics.n99,
+            ca.metrics.n99
+        );
+        assert!(ca.metrics.top32 > 0.95);
+    }
+
+    #[test]
+    fn fig8_shape_ca_beats_eager_under_pressure() {
+        let w = Workload::Svm;
+        let ca = run_native(&env(), w, PolicyKind::Ca, 0.4, 7);
+        let eager = run_native(&env(), w, PolicyKind::Eager, 0.4, 7);
+        assert!(
+            ca.metrics.top128 >= eager.metrics.top128,
+            "CA {:.3} must stay at least at eager's level {:.3} under pressure",
+            ca.metrics.top128,
+            eager.metrics.top128
+        );
+        let ideal = run_native(&env(), w, PolicyKind::Ideal, 0.4, 7);
+        assert!(ca.metrics.top128 >= ideal.metrics.top128 * 0.85, "CA follows ideal");
+    }
+
+    #[test]
+    fn fig1c_shape_ranger_lags_ca_midway() {
+        // A larger scale so top-32 coverage can discriminate (at tiny scale
+        // the whole footprint fits in 32 scattered runs).
+        let env = Env::new(contig_workloads::Scale(256));
+        let w = Workload::XsBench;
+        let ca = run_native(&env, w, PolicyKind::Ca, 0.0, 3);
+        let ranger = run_native(&env, w, PolicyKind::Ranger, 0.0, 3);
+        // Compare coverage midway through the allocation phase.
+        let midway = |run: &ContiguityRun| {
+            let mid = run.timeline.len() / 2;
+            run.timeline[mid].top32
+        };
+        assert!(
+            midway(&ca) > midway(&ranger),
+            "CA generates contiguity instantly; ranger needs migrations to catch up"
+        );
+        assert!(ranger.pages_migrated > 0);
+        assert_eq!(ca.pages_migrated, 0);
+    }
+
+    #[test]
+    fn fig12_virtualized_2d_contiguity() {
+        // PageRank has few, large VMAs so the mapping counts are dominated
+        // by placement quality rather than VMA count.
+        let w = Workload::PageRank;
+        let thp = run_virtualized(&env(), w, PolicyKind::Thp);
+        let ca = run_virtualized(&env(), w, PolicyKind::Ca);
+        assert!(
+            ca.metrics.n99 * 2 <= thp.metrics.n99,
+            "CA 2D mappings {} ≪ THP {}",
+            ca.metrics.n99,
+            thp.metrics.n99
+        );
+        assert!(ca.metrics.top128 > 0.9, "got {}", ca.metrics.top128);
+    }
+
+    #[test]
+    fn fig10_multiprogrammed_instances_both_covered() {
+        let covs = run_multiprogrammed(&env(), Workload::Svm, PolicyKind::Ca, 0.0);
+        for c in covs {
+            assert!(c > 0.8, "each instance keeps high coverage, got {c}");
+        }
+    }
+}

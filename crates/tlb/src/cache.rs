@@ -1,0 +1,201 @@
+//! A generic set-associative cache with LRU replacement, used for every TLB
+//! structure in the hierarchy.
+
+/// A set-associative, LRU-replaced cache over opaque `u64` keys.
+///
+/// # Examples
+///
+/// ```
+/// use contig_tlb::SetAssocCache;
+///
+/// let mut c = SetAssocCache::new(4, 2); // 4 entries, 2-way -> 2 sets
+/// assert!(!c.access(10));
+/// c.fill(10);
+/// assert!(c.access(10));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    sets: usize,
+    ways: usize,
+    /// `sets * ways` slots: `(key, last-touch tick)`.
+    slots: Vec<Option<(u64, u64)>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// A cache of `entries` total entries organized into `ways`-way sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive multiple of `ways`.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0 && entries > 0, "cache must have entries");
+        assert!(entries.is_multiple_of(ways), "{entries} entries not divisible into {ways} ways");
+        Self {
+            sets: entries / ways,
+            ways,
+            slots: vec![None; entries],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A fully-associative cache of `entries` entries.
+    pub fn fully_associative(entries: usize) -> Self {
+        Self::new(entries, entries)
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    fn set_of(&self, key: u64) -> usize {
+        (key % self.sets as u64) as usize
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn access(&mut self, key: u64) -> bool {
+        self.tick += 1;
+        let set = self.set_of(key);
+        let base = set * self.ways;
+        for (k, touched) in self.slots[base..base + self.ways].iter_mut().flatten() {
+            if *k == key {
+                *touched = self.tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Whether `key` is cached, without touching recency or counters.
+    pub fn peek(&self, key: u64) -> bool {
+        let set = self.set_of(key);
+        let base = set * self.ways;
+        self.slots[base..base + self.ways]
+            .iter()
+            .any(|s| s.map(|(k, _)| k == key).unwrap_or(false))
+    }
+
+    /// Inserts `key`, evicting the LRU way of its set if needed. Inserting a
+    /// present key refreshes it.
+    pub fn fill(&mut self, key: u64) {
+        self.tick += 1;
+        let set = self.set_of(key);
+        let base = set * self.ways;
+        // Refresh when present.
+        for (k, touched) in self.slots[base..base + self.ways].iter_mut().flatten() {
+            if *k == key {
+                *touched = self.tick;
+                return;
+            }
+        }
+        // Empty way, else LRU victim.
+        let victim = (base..base + self.ways)
+            .min_by_key(|&i| self.slots[i].map(|(_, t)| t).unwrap_or(0))
+            .expect("set has ways");
+        self.slots[victim] = Some((key, self.tick));
+    }
+
+    /// Removes `key` if present (TLB shootdown), returning whether it was.
+    pub fn invalidate(&mut self, key: u64) -> bool {
+        let set = self.set_of(key);
+        let base = set * self.ways;
+        for slot in &mut self.slots[base..base + self.ways] {
+            if slot.map(|(k, _)| k == key).unwrap_or(false) {
+                *slot = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drops every entry.
+    pub fn flush(&mut self) {
+        self.slots.fill(None);
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent_within_set() {
+        let mut c = SetAssocCache::fully_associative(2);
+        c.fill(1);
+        c.fill(2);
+        assert!(c.access(1)); // 1 now most recent
+        c.fill(3); // evicts 2
+        assert!(c.peek(1));
+        assert!(!c.peek(2));
+        assert!(c.peek(3));
+    }
+
+    #[test]
+    fn sets_isolate_conflicts() {
+        let mut c = SetAssocCache::new(4, 2); // sets: keys mod 2
+        c.fill(0);
+        c.fill(2);
+        c.fill(4); // evicts 0 (set 0 LRU)
+        assert!(!c.peek(0));
+        assert!(c.peek(2));
+        assert!(c.peek(4));
+        c.fill(1); // set 1 untouched by the above
+        assert!(c.peek(1));
+    }
+
+    #[test]
+    fn refill_refreshes_instead_of_duplicating() {
+        let mut c = SetAssocCache::fully_associative(2);
+        c.fill(7);
+        c.fill(7);
+        c.fill(8);
+        assert!(c.peek(7));
+        assert!(c.peek(8));
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut c = SetAssocCache::new(8, 4);
+        for k in 0..8 {
+            c.fill(k);
+        }
+        assert!(c.invalidate(3));
+        assert!(!c.invalidate(3));
+        c.flush();
+        for k in 0..8 {
+            assert!(!c.peek(k));
+        }
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = SetAssocCache::new(2, 1);
+        c.access(5);
+        c.fill(5);
+        c.access(5);
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn bad_geometry_panics() {
+        let _ = SetAssocCache::new(10, 4);
+    }
+}

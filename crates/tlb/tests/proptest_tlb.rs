@@ -1,0 +1,139 @@
+//! Property-based tests of the TLB structures against reference models.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use contig_tlb::{SetAssocCache, TlbConfig, TlbGeometry, TlbHierarchy, TlbHit};
+use contig_types::{PageSize, VirtAddr};
+
+#[derive(Clone, Debug)]
+enum CacheOp {
+    Access(u64),
+    Fill(u64),
+    Invalidate(u64),
+}
+
+fn cache_op(key_space: u64) -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (0..key_space).prop_map(CacheOp::Access),
+        (0..key_space).prop_map(CacheOp::Fill),
+        (0..key_space).prop_map(CacheOp::Invalidate),
+    ]
+}
+
+/// Reference LRU for a fully-associative cache: a recency-ordered deque.
+#[derive(Default)]
+struct RefLru {
+    entries: VecDeque<u64>, // front = LRU, back = MRU
+    capacity: usize,
+}
+
+impl RefLru {
+    fn access(&mut self, key: u64) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&k| k == key) {
+            self.entries.remove(pos);
+            self.entries.push_back(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, key: u64) {
+        if let Some(pos) = self.entries.iter().position(|&k| k == key) {
+            self.entries.remove(pos);
+        } else if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(key);
+    }
+
+    fn invalidate(&mut self, key: u64) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&k| k == key) {
+            self.entries.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A fully-associative SetAssocCache is observationally equal to the
+    /// textbook LRU model.
+    #[test]
+    fn fully_associative_matches_reference_lru(
+        capacity in 1usize..12,
+        ops in proptest::collection::vec(cache_op(32), 1..300),
+    ) {
+        let mut cache = SetAssocCache::fully_associative(capacity);
+        let mut reference = RefLru { capacity, ..Default::default() };
+        for op in ops {
+            match op {
+                CacheOp::Access(k) => {
+                    prop_assert_eq!(cache.access(k), reference.access(k), "access {}", k);
+                }
+                CacheOp::Fill(k) => {
+                    cache.fill(k);
+                    reference.fill(k);
+                }
+                CacheOp::Invalidate(k) => {
+                    prop_assert_eq!(cache.invalidate(k), reference.invalidate(k));
+                }
+            }
+        }
+        for k in 0..32 {
+            prop_assert_eq!(cache.peek(k), reference.entries.contains(&k), "final state {}", k);
+        }
+    }
+
+    /// Set-associative placement never exceeds capacity and keys stay in
+    /// their own set.
+    #[test]
+    fn sets_partition_the_key_space(
+        fills in proptest::collection::vec(0u64..1000, 1..200),
+    ) {
+        let mut cache = SetAssocCache::new(16, 4);
+        for &k in &fills {
+            cache.fill(k);
+        }
+        // A key can only evict keys of the same set: filling 100 keys of set
+        // 0 must never evict a resident key of set 1.
+        let mut probe = SetAssocCache::new(16, 4);
+        probe.fill(1); // set 1
+        for i in 0..100u64 {
+            probe.fill(i * 4); // all set 0
+        }
+        prop_assert!(probe.peek(1));
+    }
+
+    /// Hierarchy soundness: after a fill, a lookup of any address inside the
+    /// filled page hits; a flush forgets everything.
+    #[test]
+    fn hierarchy_fill_then_hit(pages in proptest::collection::vec((0u64..1 << 20, any::<bool>()), 1..64)) {
+        let mut tlb = TlbHierarchy::new(TlbConfig {
+            l1_4k: TlbGeometry { entries: 4, ways: 4 },
+            l1_2m: TlbGeometry { entries: 4, ways: 4 },
+            l2: TlbGeometry { entries: 64, ways: 4 },
+        });
+        for &(page, huge) in &pages {
+            let (va, size) = if huge {
+                (VirtAddr::new((page % 512) << 21), PageSize::Huge2M)
+            } else {
+                (VirtAddr::new(page << 12), PageSize::Base4K)
+            };
+            tlb.fill(va, size);
+            prop_assert_ne!(tlb.lookup(va + size.bytes() / 2), TlbHit::Miss);
+        }
+        tlb.flush();
+        let (lookups_before, ..) = tlb.stats();
+        for &(page, _) in pages.iter().take(8) {
+            prop_assert_eq!(tlb.lookup(VirtAddr::new(page << 12)), TlbHit::Miss);
+        }
+        let (lookups_after, ..) = tlb.stats();
+        prop_assert_eq!(lookups_after - lookups_before, pages.len().min(8) as u64);
+    }
+}

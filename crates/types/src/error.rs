@@ -1,0 +1,139 @@
+//! Error types shared across the workspace.
+
+use core::fmt;
+use std::error::Error;
+
+use crate::addr::VirtAddr;
+use crate::page::{PageSize, Pfn};
+
+/// Failure of a physical-memory allocation request.
+///
+/// # Examples
+///
+/// ```
+/// use contig_types::AllocError;
+/// let err = AllocError::OutOfMemory { order: 9 };
+/// assert!(err.to_string().contains("order 9"));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AllocError {
+    /// No free block of the requested order exists in the zone.
+    OutOfMemory {
+        /// Buddy order of the failed request.
+        order: u32,
+    },
+    /// A targeted allocation found the requested frame already in use.
+    TargetBusy {
+        /// The frame that was requested and found occupied.
+        target: Pfn,
+    },
+    /// The requested frame lies outside the zone.
+    OutOfZone {
+        /// The offending frame.
+        target: Pfn,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory { order } => {
+                write!(f, "no free block of order {order} available")
+            }
+            AllocError::TargetBusy { target } => {
+                write!(f, "targeted frame {target} is already allocated")
+            }
+            AllocError::OutOfZone { target } => {
+                write!(f, "frame {target} lies outside the physical zone")
+            }
+        }
+    }
+}
+
+impl Error for AllocError {}
+
+/// Failure of a page-fault service request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultError {
+    /// The faulting address is not covered by any VMA (a segfault).
+    UnmappedAddress {
+        /// The faulting virtual address.
+        addr: VirtAddr,
+    },
+    /// The backing allocator ran out of physical memory.
+    OutOfMemory {
+        /// The faulting virtual address.
+        addr: VirtAddr,
+        /// Page size that was being allocated.
+        size: PageSize,
+    },
+    /// The page is already present (spurious fault).
+    AlreadyMapped {
+        /// The faulting virtual address.
+        addr: VirtAddr,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::UnmappedAddress { addr } => {
+                write!(f, "fault at {addr} outside any VMA")
+            }
+            FaultError::OutOfMemory { addr, size } => {
+                write!(f, "out of memory servicing a {size} fault at {addr}")
+            }
+            FaultError::AlreadyMapped { addr } => {
+                write!(f, "spurious fault at already-mapped address {addr}")
+            }
+        }
+    }
+}
+
+impl Error for FaultError {}
+
+/// Failure to translate a virtual address through a page table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TranslateError {
+    /// No translation is installed for the address.
+    NotMapped {
+        /// The untranslatable virtual address.
+        addr: VirtAddr,
+    },
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::NotMapped { addr } => write!(f, "no translation for {addr}"),
+        }
+    }
+}
+
+impl Error for TranslateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_error<E: Error + Send + Sync + 'static>() {}
+
+    #[test]
+    fn error_traits() {
+        assert_error::<AllocError>();
+        assert_error::<FaultError>();
+        assert_error::<TranslateError>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        for msg in [
+            AllocError::OutOfMemory { order: 0 }.to_string(),
+            FaultError::UnmappedAddress { addr: VirtAddr::new(0x1000) }.to_string(),
+            TranslateError::NotMapped { addr: VirtAddr::new(0) }.to_string(),
+        ] {
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+    }
+}

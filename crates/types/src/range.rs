@@ -1,0 +1,240 @@
+//! Half-open address ranges in the virtual and physical spaces.
+
+use core::fmt;
+
+use crate::addr::{MapOffset, PhysAddr, VirtAddr};
+use crate::page::{PageSize, Pfn, Vpn};
+
+macro_rules! addr_range {
+    ($(#[$doc:meta])* $name:ident, $addr:ident, $page_number:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name {
+            start: $addr,
+            len: u64,
+        }
+
+        impl $name {
+            /// A range of `len` bytes starting at `start`.
+            pub const fn new(start: $addr, len: u64) -> Self {
+                Self { start, len }
+            }
+
+            /// The half-open range `[start, end)`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `end < start`.
+            pub fn from_bounds(start: $addr, end: $addr) -> Self {
+                assert!(end >= start, "range end {} precedes start {}", end, start);
+                Self { start, len: end.raw() - start.raw() }
+            }
+
+            /// First byte address of the range.
+            pub const fn start(&self) -> $addr {
+                self.start
+            }
+
+            /// One past the last byte address.
+            pub const fn end(&self) -> $addr {
+                $addr::new(self.start.raw() + self.len)
+            }
+
+            /// Length in bytes.
+            pub const fn len(&self) -> u64 {
+                self.len
+            }
+
+            /// Whether the range is empty.
+            pub const fn is_empty(&self) -> bool {
+                self.len == 0
+            }
+
+            /// Length in whole 4 KiB pages (the range is assumed page aligned).
+            pub const fn pages(&self) -> u64 {
+                self.len >> crate::page::BASE_PAGE_SHIFT
+            }
+
+            /// Whether `addr` falls inside the range.
+            pub const fn contains(&self, addr: $addr) -> bool {
+                addr.raw() >= self.start.raw() && addr.raw() < self.start.raw() + self.len
+            }
+
+            /// Whether `other` lies entirely inside this range.
+            pub const fn contains_range(&self, other: &Self) -> bool {
+                other.start.raw() >= self.start.raw()
+                    && other.start.raw() + other.len <= self.start.raw() + self.len
+            }
+
+            /// Whether the two ranges share at least one byte.
+            pub const fn overlaps(&self, other: &Self) -> bool {
+                self.start.raw() < other.start.raw() + other.len
+                    && other.start.raw() < self.start.raw() + self.len
+            }
+
+            /// First page number of the range.
+            pub const fn first_page(&self) -> $page_number {
+                self.start.page_number()
+            }
+
+            /// Iterates over the 4 KiB page numbers covered by the range.
+            pub fn iter_pages(&self) -> impl Iterator<Item = $page_number> {
+                let first = self.start.raw() >> crate::page::BASE_PAGE_SHIFT;
+                let last = (self.start.raw() + self.len + crate::page::BASE_PAGE_SIZE - 1)
+                    >> crate::page::BASE_PAGE_SHIFT;
+                (first..last).map($page_number::new)
+            }
+
+            /// Whether both endpoints sit on boundaries of `size`.
+            pub const fn is_aligned(&self, size: PageSize) -> bool {
+                self.start.is_aligned(size) && self.len & (size.bytes() - 1) == 0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "[{}, {})", self.start(), self.end())
+            }
+        }
+    };
+}
+
+addr_range! {
+    /// A half-open range of virtual addresses, e.g. the extent of a VMA.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use contig_types::{VirtRange, VirtAddr};
+    /// let r = VirtRange::new(VirtAddr::new(0x1000), 0x3000);
+    /// assert!(r.contains(VirtAddr::new(0x2fff)));
+    /// assert!(!r.contains(VirtAddr::new(0x4000)));
+    /// assert_eq!(r.pages(), 3);
+    /// ```
+    VirtRange, VirtAddr, Vpn
+}
+
+addr_range! {
+    /// A half-open range of physical addresses, e.g. a free block cluster.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use contig_types::{PhysRange, PhysAddr};
+    /// let a = PhysRange::new(PhysAddr::new(0x0), 0x2000);
+    /// let b = PhysRange::new(PhysAddr::new(0x1000), 0x2000);
+    /// assert!(a.overlaps(&b));
+    /// ```
+    PhysRange, PhysAddr, Pfn
+}
+
+/// A larger-than-a-page contiguous virtual-to-physical mapping
+/// `[base, base+len) → [base-offset, base-offset+len)` (paper Fig. 1a).
+///
+/// This is the unit in which contiguity statistics are reported: the paper's
+/// "32 largest mappings coverage" counts these. It is also the range-translation
+/// representation used by the vRMM baseline (`[Base, Limit, Offset]`).
+///
+/// # Examples
+///
+/// ```
+/// use contig_types::{ContigMapping, VirtAddr, PhysAddr};
+/// let m = ContigMapping::new(VirtAddr::new(0x10_0000), PhysAddr::new(0x4_0000), 0x8000);
+/// assert_eq!(m.translate(VirtAddr::new(0x10_2345)), Some(PhysAddr::new(0x4_2345)));
+/// assert_eq!(m.translate(VirtAddr::new(0x18_0000)), None);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ContigMapping {
+    /// Virtual extent of the mapping.
+    pub virt: VirtRange,
+    /// Common `va - pa` identifier of every page in the mapping.
+    pub offset: MapOffset,
+}
+
+impl ContigMapping {
+    /// A contiguous mapping of `len` bytes from `va` onto `pa`.
+    pub fn new(va: VirtAddr, pa: PhysAddr, len: u64) -> Self {
+        Self { virt: VirtRange::new(va, len), offset: MapOffset::between(va, pa) }
+    }
+
+    /// Length of the mapping in bytes.
+    pub const fn len(&self) -> u64 {
+        self.virt.len()
+    }
+
+    /// Whether the mapping covers zero bytes.
+    pub const fn is_empty(&self) -> bool {
+        self.virt.is_empty()
+    }
+
+    /// Physical extent of the mapping.
+    pub fn phys(&self) -> PhysRange {
+        PhysRange::new(self.offset.apply(self.virt.start()), self.virt.len())
+    }
+
+    /// Translates `va` if it falls inside the mapping.
+    pub fn translate(&self, va: VirtAddr) -> Option<PhysAddr> {
+        if self.virt.contains(va) {
+            Some(self.offset.apply(va))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for ContigMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} ({} KiB)", self.virt, self.offset, self.len() / 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_construction() {
+        let r = VirtRange::from_bounds(VirtAddr::new(0x1000), VirtAddr::new(0x4000));
+        assert_eq!(r.len(), 0x3000);
+        assert_eq!(r.end(), VirtAddr::new(0x4000));
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes")]
+    fn inverted_bounds_panic() {
+        let _ = PhysRange::from_bounds(PhysAddr::new(0x2000), PhysAddr::new(0x1000));
+    }
+
+    #[test]
+    fn containment_and_overlap() {
+        let outer = PhysRange::new(PhysAddr::new(0x0), 0x10000);
+        let inner = PhysRange::new(PhysAddr::new(0x4000), 0x1000);
+        let disjoint = PhysRange::new(PhysAddr::new(0x10000), 0x1000);
+        assert!(outer.contains_range(&inner));
+        assert!(outer.overlaps(&inner));
+        assert!(!outer.overlaps(&disjoint));
+        assert!(!outer.contains_range(&disjoint));
+    }
+
+    #[test]
+    fn page_iteration() {
+        let r = VirtRange::new(VirtAddr::new(0x2000), 0x3000);
+        let pages: Vec<_> = r.iter_pages().collect();
+        assert_eq!(pages, vec![Vpn::new(2), Vpn::new(3), Vpn::new(4)]);
+    }
+
+    #[test]
+    fn alignment_checks() {
+        assert!(VirtRange::new(VirtAddr::new(0x20_0000), 0x40_0000).is_aligned(PageSize::Huge2M));
+        assert!(!VirtRange::new(VirtAddr::new(0x20_1000), 0x40_0000).is_aligned(PageSize::Huge2M));
+        assert!(!VirtRange::new(VirtAddr::new(0x20_0000), 0x1000).is_aligned(PageSize::Huge2M));
+    }
+
+    #[test]
+    fn contig_mapping_phys_extent() {
+        let m = ContigMapping::new(VirtAddr::new(0x9000), PhysAddr::new(0x1000), 0x2000);
+        assert_eq!(m.phys(), PhysRange::new(PhysAddr::new(0x1000), 0x2000));
+        assert_eq!(m.len(), 0x2000);
+    }
+}

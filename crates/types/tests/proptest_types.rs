@@ -1,0 +1,76 @@
+//! Property-based tests of the address arithmetic foundations.
+
+use proptest::prelude::*;
+
+use contig_types::{ContigMapping, MapOffset, PageSize, PhysAddr, VirtAddr, VirtRange};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `MapOffset::between` / `apply` round-trip at every address of a
+    /// mapping, in both offset directions.
+    #[test]
+    fn offset_roundtrips(va in 0u64..1 << 47, pa in 0u64..1 << 46, delta in 0u64..1 << 20) {
+        let off = MapOffset::between(VirtAddr::new(va), PhysAddr::new(pa));
+        prop_assert_eq!(off.apply(VirtAddr::new(va)), PhysAddr::new(pa));
+        let shifted = VirtAddr::new(va + delta);
+        prop_assert_eq!(off.apply(shifted), PhysAddr::new(pa + delta));
+        // try_apply agrees with apply whenever it succeeds.
+        if let Some(p) = off.try_apply(shifted) {
+            prop_assert_eq!(p, off.apply(shifted));
+        }
+    }
+
+    /// Alignment identities: align_down ≤ addr < align_down + size, and
+    /// align_up - align_down ∈ {0, size}.
+    #[test]
+    fn alignment_identities(addr in 0u64..1 << 47) {
+        for size in [PageSize::Base4K, PageSize::Huge2M] {
+            let a = VirtAddr::new(addr);
+            let down = a.align_down(size);
+            let up = a.align_up(size);
+            prop_assert!(down <= a);
+            prop_assert!(a.raw() - down.raw() < size.bytes());
+            prop_assert!(up >= a);
+            let diff = up.raw() - down.raw();
+            prop_assert!(diff == 0 || diff == size.bytes());
+            prop_assert!(down.is_aligned(size));
+            prop_assert!(up.is_aligned(size));
+        }
+    }
+
+    /// Range containment / overlap are consistent with interval arithmetic.
+    #[test]
+    fn range_relations(a_start in 0u64..1 << 30, a_len in 1u64..1 << 20,
+                       b_start in 0u64..1 << 30, b_len in 1u64..1 << 20) {
+        let a = VirtRange::new(VirtAddr::new(a_start), a_len);
+        let b = VirtRange::new(VirtAddr::new(b_start), b_len);
+        let overlap = a_start < b_start + b_len && b_start < a_start + a_len;
+        prop_assert_eq!(a.overlaps(&b), overlap);
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        if a.contains_range(&b) {
+            prop_assert!(a.overlaps(&b));
+            prop_assert!(a.len() >= b.len());
+        }
+        // Page iteration covers exactly the touched pages.
+        let pages: Vec<_> = a.iter_pages().collect();
+        prop_assert_eq!(pages.first().copied().map(u64::from), Some(a_start >> 12));
+        prop_assert_eq!(
+            pages.last().copied().map(u64::from),
+            Some((a_start + a_len - 1) >> 12)
+        );
+    }
+
+    /// Mapping translation is defined exactly inside the virtual extent.
+    #[test]
+    fn mapping_translation_domain(start in 0u64..1 << 40, len in 4096u64..1 << 24, probe in 0u64..1 << 25) {
+        let m = ContigMapping::new(VirtAddr::new(start), PhysAddr::new(start / 2), len);
+        let p = VirtAddr::new(start + probe);
+        let inside = probe < len;
+        prop_assert_eq!(m.translate(p).is_some(), inside);
+        if inside {
+            prop_assert_eq!(m.translate(p).unwrap(), PhysAddr::new(start / 2 + probe));
+        }
+        prop_assert_eq!(m.phys().len(), m.len());
+    }
+}

@@ -1,0 +1,457 @@
+//! The virtual machine: a guest OS instance whose physical memory is demand-
+//! backed by a host OS instance, exactly like QEMU/KVM nested paging.
+//!
+//! The guest's "physical" frames are addresses inside one big host VMA (the
+//! VM memory region); touching guest-physical memory for the first time
+//! raises a *nested fault* that the host services with its own placement
+//! policy. CA paging therefore applies to each dimension independently
+//! (paper §III-C, "Virtualized execution") with zero coordination.
+
+use contig_buddy::MachineConfig;
+use contig_mm::{
+    FaultKind, FaultOutcome, PlacementPolicy, Pid, System, SystemConfig, VmaId, VmaKind,
+};
+use contig_types::{FaultError, PageSize, PhysAddr, Pfn, VirtAddr, VirtRange};
+
+/// Construction parameters for a [`VirtualMachine`].
+#[derive(Clone, Debug)]
+pub struct VmConfig {
+    /// Guest-visible physical memory layout (the guest buddy allocator runs
+    /// over this).
+    pub guest: SystemConfig,
+    /// Host physical memory layout.
+    pub host: SystemConfig,
+    /// Guest-physical address where the VM memory region starts inside the
+    /// host VMA space (arbitrary; kept non-zero to catch confusion between
+    /// the address spaces).
+    pub host_vma_base: VirtAddr,
+}
+
+impl VmConfig {
+    /// A VM with `guest_mib` of guest memory on a host with `host_mib`,
+    /// both single-node with default (THP) configurations.
+    pub fn with_mib(guest_mib: u64, host_mib: u64) -> Self {
+        Self {
+            guest: SystemConfig::new(MachineConfig::single_node_mib(guest_mib)),
+            host: SystemConfig::new(MachineConfig::single_node_mib(host_mib)),
+            host_vma_base: VirtAddr::new(0x7f00_0000_0000),
+        }
+    }
+}
+
+/// A nested-paging virtual machine: guest [`System`] + host [`System`].
+///
+/// The guest and host placement policies are owned by the VM so both
+/// dimensions run their strategy on every fault path.
+///
+/// # Examples
+///
+/// ```
+/// use contig_mm::{DefaultThpPolicy, VmaKind};
+/// use contig_types::{VirtAddr, VirtRange};
+/// use contig_virt::{VirtualMachine, VmConfig};
+///
+/// let mut vm = VirtualMachine::new(
+///     VmConfig::with_mib(64, 128),
+///     Box::new(DefaultThpPolicy),
+///     Box::new(DefaultThpPolicy),
+/// );
+/// let pid = vm.guest_mut().spawn();
+/// vm.guest_mut()
+///     .aspace_mut(pid)
+///     .map_vma(VirtRange::new(VirtAddr::new(0x40_0000), 4 << 20), VmaKind::Anon);
+/// vm.touch(pid, VirtAddr::new(0x40_0000))?;
+/// // The walk composes guest and host translations.
+/// assert!(vm.translate_2d(pid, VirtAddr::new(0x40_0000)).is_some());
+/// # Ok::<(), contig_types::FaultError>(())
+/// ```
+pub struct VirtualMachine {
+    guest: System,
+    host: System,
+    guest_policy: Box<dyn PlacementPolicy>,
+    host_policy: Box<dyn PlacementPolicy>,
+    host_pid: Pid,
+    host_vma: VmaId,
+    host_vma_base: VirtAddr,
+}
+
+impl std::fmt::Debug for VirtualMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualMachine")
+            .field("guest_policy", &self.guest_policy.name())
+            .field("host_policy", &self.host_policy.name())
+            .field("guest_frames", &self.guest.machine().total_frames())
+            .field("host_frames", &self.host.machine().total_frames())
+            .finish()
+    }
+}
+
+impl VirtualMachine {
+    /// Boots a VM: creates the host process owning the VM memory region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the guest memory does not fit the host VMA space.
+    pub fn new(
+        config: VmConfig,
+        guest_policy: Box<dyn PlacementPolicy>,
+        host_policy: Box<dyn PlacementPolicy>,
+    ) -> Self {
+        let guest = System::new(config.guest);
+        let mut host = System::new(config.host);
+        let host_pid = host.spawn();
+        let guest_bytes = guest.machine().total_frames() * PageSize::Base4K.bytes();
+        let host_vma = host.aspace_mut(host_pid).map_vma(
+            VirtRange::new(config.host_vma_base, guest_bytes),
+            VmaKind::Anon,
+        );
+        Self {
+            guest,
+            host,
+            guest_policy,
+            host_policy,
+            host_pid,
+            host_vma,
+            host_vma_base: config.host_vma_base,
+        }
+    }
+
+    /// The guest OS instance.
+    pub fn guest(&self) -> &System {
+        &self.guest
+    }
+
+    /// Mutable access to the guest OS (spawn processes, map VMAs).
+    pub fn guest_mut(&mut self) -> &mut System {
+        &mut self.guest
+    }
+
+    /// The host OS instance.
+    pub fn host(&self) -> &System {
+        &self.host
+    }
+
+    /// Mutable access to the host OS (fragmenters, daemons).
+    pub fn host_mut(&mut self) -> &mut System {
+        &mut self.host
+    }
+
+    /// The host process backing this VM.
+    pub fn host_pid(&self) -> Pid {
+        self.host_pid
+    }
+
+    /// The host VMA holding the VM memory region.
+    pub fn host_vma(&self) -> VmaId {
+        self.host_vma
+    }
+
+    /// Host virtual address corresponding to guest-physical `gpa`.
+    pub fn host_va_of(&self, gpa: PhysAddr) -> VirtAddr {
+        VirtAddr::new(self.host_vma_base.raw() + gpa.raw())
+    }
+
+    /// Touches guest virtual address `va` in process `pid`, servicing the
+    /// guest fault and any nested fault it raises.
+    ///
+    /// # Errors
+    ///
+    /// Guest faults propagate [`FaultError`]; nested out-of-host-memory is
+    /// reported as [`FaultError::OutOfMemory`] at the guest address.
+    pub fn touch(&mut self, pid: Pid, va: VirtAddr) -> Result<FaultOutcome, FaultError> {
+        let out = self.guest.touch(&mut *self.guest_policy, pid, va)?;
+        if !out.already_mapped {
+            self.back_fault(pid, va, out)?;
+        }
+        Ok(out)
+    }
+
+    /// Write-touches `va`, breaking guest copy-on-write.
+    ///
+    /// # Errors
+    ///
+    /// As for [`VirtualMachine::touch`].
+    pub fn touch_write(&mut self, pid: Pid, va: VirtAddr) -> Result<FaultOutcome, FaultError> {
+        let out = self.guest.touch_write(&mut *self.guest_policy, pid, va)?;
+        if !out.already_mapped {
+            self.back_fault(pid, va, out)?;
+        }
+        Ok(out)
+    }
+
+    /// Services one guest page fault of an explicit kind.
+    ///
+    /// # Errors
+    ///
+    /// As for [`VirtualMachine::touch`].
+    pub fn fault(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        kind: FaultKind,
+    ) -> Result<FaultOutcome, FaultError> {
+        let out = self.guest.fault(&mut *self.guest_policy, pid, va, kind)?;
+        self.back_fault(pid, va, out)?;
+        Ok(out)
+    }
+
+    /// Ensures host backing for whatever guest memory the fault touched:
+    /// the allocated anonymous page, or the page-cache readahead window for
+    /// file faults.
+    fn back_fault(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        out: FaultOutcome,
+    ) -> Result<(), FaultError> {
+        // Anonymous (and COW) faults allocate exactly `out`.
+        self.back_gpa_range(PhysAddr::from(out.pfn), out.size.bytes())?;
+        // File faults additionally populated a readahead window; back every
+        // cached frame of the window (idempotent for already-backed frames).
+        let aspace = self.guest.aspace(pid);
+        if let Some(vma_id) = aspace.vma_containing(va) {
+            if let VmaKind::File { file, start_page } = aspace.vma(vma_id).kind() {
+                let vma_start = aspace.vma(vma_id).range().start();
+                let index = start_page + (va.align_down(PageSize::Base4K) - vma_start) / 4096;
+                let window_end = index + 32;
+                let mut frames = Vec::new();
+                for i in index..window_end {
+                    if let Some(pfn) = self.guest.page_cache().lookup(file, i) {
+                        frames.push(pfn);
+                    }
+                }
+                for pfn in frames {
+                    self.back_gpa_range(PhysAddr::from(pfn), PageSize::Base4K.bytes())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Nested fault service: back `[gpa, gpa + len)` with host memory.
+    fn back_gpa_range(&mut self, gpa: PhysAddr, len: u64) -> Result<(), FaultError> {
+        let mut hva = self.host_va_of(gpa);
+        let end = self.host_va_of(gpa) + len;
+        while hva < end {
+            let out = self.host.touch(&mut *self.host_policy, self.host_pid, hva)?;
+            // Advance past whatever the host mapped (a huge host page may
+            // cover far more than the guest page that faulted).
+            let mapped_end = hva.align_down(out.size) + out.size.bytes();
+            hva = mapped_end;
+        }
+        Ok(())
+    }
+
+    /// Faults every page of a guest VMA in address order (allocation phase).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first fault failure.
+    pub fn populate_vma(&mut self, pid: Pid, vma: VmaId) -> Result<(), FaultError> {
+        let range = self.guest.aspace(pid).vma(vma).range();
+        let mut va = range.start();
+        while va < range.end() {
+            let out = self.touch(pid, va)?;
+            va = va.align_down(out.size) + out.size.bytes();
+        }
+        Ok(())
+    }
+
+    /// Full two-dimensional translation gVA → hPA for one 4 KiB page.
+    ///
+    /// Returns `(host physical address, guest leaf size, host leaf size,
+    /// guest flags ∧ host flags CONTIG, walk levels)` — everything the nested
+    /// walker produces. `None` when either dimension is unmapped.
+    pub fn translate_2d(&self, pid: Pid, va: VirtAddr) -> Option<TwoDTranslation> {
+        let g = self.guest.aspace(pid).page_table().translate(va).ok()?;
+        let gpa = PhysAddr::from(g.frame_for(va)) + va.page_offset(PageSize::Base4K);
+        let hva = self.host_va_of(gpa);
+        let h = self.host.aspace(self.host_pid).page_table().translate(hva).ok()?;
+        let hpa = PhysAddr::from(h.frame_for(hva)) + hva.page_offset(PageSize::Base4K);
+        Some(TwoDTranslation {
+            hpa,
+            guest_size: g.size,
+            host_size: h.size,
+            guest_levels: g.levels,
+            host_levels: h.levels,
+            contig: g.flags.contains(contig_mm::PteFlags::CONTIG)
+                && h.flags.contains(contig_mm::PteFlags::CONTIG),
+            write: g.flags.contains(contig_mm::PteFlags::WRITE),
+        })
+    }
+
+    /// Terminates a guest process. Host backing persists (the hypervisor
+    /// keeps gPA→hPA mappings as long as the VM lives — §III-C).
+    pub fn exit_guest_process(&mut self, pid: Pid) {
+        self.guest.exit(pid);
+    }
+
+    /// The frame backing `gpa` on the host, if the nested mapping exists.
+    pub fn host_frame_of(&self, gpa: PhysAddr) -> Option<Pfn> {
+        let hva = self.host_va_of(gpa);
+        let t = self.host.aspace(self.host_pid).page_table().translate(hva).ok()?;
+        Some(t.frame_for(hva))
+    }
+}
+
+/// The product of a nested page walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TwoDTranslation {
+    /// Final host-physical address.
+    pub hpa: PhysAddr,
+    /// Guest leaf page size.
+    pub guest_size: PageSize,
+    /// Host leaf page size.
+    pub host_size: PageSize,
+    /// Guest radix levels walked.
+    pub guest_levels: u32,
+    /// Host radix levels walked.
+    pub host_levels: u32,
+    /// Contiguity bit set in both dimensions (SpOT's fill filter).
+    pub contig: bool,
+    /// Guest mapping is writable.
+    pub write: bool,
+}
+
+impl TwoDTranslation {
+    /// Effective cacheable page size: the smaller of the two dimensions.
+    pub fn effective_size(&self) -> PageSize {
+        self.guest_size.min(self.host_size)
+    }
+
+    /// Memory references of the nested walk.
+    pub fn walk_refs(&self) -> u32 {
+        (self.guest_levels + 1) * (self.host_levels + 1) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contig_mm::DefaultThpPolicy;
+
+    fn vm() -> VirtualMachine {
+        VirtualMachine::new(
+            VmConfig::with_mib(64, 128),
+            Box::new(DefaultThpPolicy),
+            Box::new(DefaultThpPolicy),
+        )
+    }
+
+    fn map_anon(vm: &mut VirtualMachine, pid: Pid, start: u64, len: u64) -> VmaId {
+        vm.guest_mut()
+            .aspace_mut(pid)
+            .map_vma(VirtRange::new(VirtAddr::new(start), len), VmaKind::Anon)
+    }
+
+    #[test]
+    fn guest_fault_triggers_nested_fault() {
+        let mut vm = vm();
+        let pid = vm.guest_mut().spawn();
+        map_anon(&mut vm, pid, 0x40_0000, 4 << 20);
+        let host_free_before = vm.host().machine().free_frames();
+        vm.touch(pid, VirtAddr::new(0x40_0000)).unwrap();
+        assert!(
+            vm.host().machine().free_frames() < host_free_before,
+            "nested fault must consume host memory"
+        );
+        // Both dimensions mapped with huge pages on a fresh system.
+        let t = vm.translate_2d(pid, VirtAddr::new(0x40_0000)).unwrap();
+        assert_eq!(t.guest_size, PageSize::Huge2M);
+        assert_eq!(t.host_size, PageSize::Huge2M);
+        assert_eq!(t.effective_size(), PageSize::Huge2M);
+        assert_eq!(t.walk_refs(), 15);
+    }
+
+    #[test]
+    fn second_touch_is_tlb_only() {
+        let mut vm = vm();
+        let pid = vm.guest_mut().spawn();
+        map_anon(&mut vm, pid, 0x40_0000, 4 << 20);
+        vm.touch(pid, VirtAddr::new(0x40_0000)).unwrap();
+        let host_faults = vm.host().aspace(vm.host_pid()).stats().total_faults();
+        let out = vm.touch(pid, VirtAddr::new(0x40_1000)).unwrap();
+        assert!(out.already_mapped);
+        assert_eq!(vm.host().aspace(vm.host_pid()).stats().total_faults(), host_faults);
+    }
+
+    #[test]
+    fn host_mappings_survive_guest_process_exit() {
+        let mut vm = vm();
+        let pid = vm.guest_mut().spawn();
+        let vma = map_anon(&mut vm, pid, 0x40_0000, 8 << 20);
+        vm.populate_vma(pid, vma).unwrap();
+        let host_used =
+            vm.host().machine().total_frames() - vm.host().machine().free_frames();
+        vm.exit_guest_process(pid);
+        // Guest frames returned to the guest buddy, host backing intact.
+        assert_eq!(
+            vm.guest().machine().free_frames(),
+            vm.guest().machine().total_frames()
+        );
+        assert_eq!(
+            vm.host().machine().total_frames() - vm.host().machine().free_frames(),
+            host_used
+        );
+    }
+
+    #[test]
+    fn translate_2d_none_outside_mappings() {
+        let vm = {
+            let mut v = vm();
+            let pid = v.guest_mut().spawn();
+            map_anon(&mut v, pid, 0x40_0000, 2 << 20);
+            v.touch(pid, VirtAddr::new(0x40_0000)).unwrap();
+            v
+        };
+        let pid = vm.guest().pids()[0];
+        assert!(vm.translate_2d(pid, VirtAddr::new(0x40_0000)).is_some());
+        assert!(vm.translate_2d(pid, VirtAddr::new(0x100_0000)).is_none());
+    }
+
+    #[test]
+    fn consecutive_workloads_reuse_host_backing() {
+        let mut vm = vm();
+        // First guest process populates, exits.
+        let a = vm.guest_mut().spawn();
+        let vma_a = map_anon(&mut vm, a, 0x40_0000, 8 << 20);
+        vm.populate_vma(a, vma_a).unwrap();
+        vm.exit_guest_process(a);
+        let host_faults_after_a = vm.host().aspace(vm.host_pid()).stats().total_faults();
+        // Second process reuses the same guest frames: no new nested faults.
+        let b = vm.guest_mut().spawn();
+        let vma_b = map_anon(&mut vm, b, 0x40_0000, 8 << 20);
+        vm.populate_vma(b, vma_b).unwrap();
+        assert_eq!(
+            vm.host().aspace(vm.host_pid()).stats().total_faults(),
+            host_faults_after_a,
+            "gPA→hPA persists across guest process lifetimes"
+        );
+    }
+
+    #[test]
+    fn mixed_page_sizes_compose() {
+        // Tiny host memory forces host 4 KiB fallback under a guest huge page.
+        let mut vm = VirtualMachine::new(
+            VmConfig::with_mib(16, 4),
+            Box::new(DefaultThpPolicy),
+            Box::new(DefaultThpPolicy),
+        );
+        let pid = vm.guest_mut().spawn();
+        map_anon(&mut vm, pid, 0x40_0000, 2 << 20);
+        // Shred host memory so only 4 KiB blocks remain.
+        let mut held = Vec::new();
+        while let Ok(p) = vm.host_mut().machine_mut().alloc(0) {
+            held.push(p);
+        }
+        for p in held.iter().step_by(2) {
+            vm.host_mut().machine_mut().free(*p, 0);
+        }
+        vm.touch(pid, VirtAddr::new(0x40_0000)).unwrap();
+        let t = vm.translate_2d(pid, VirtAddr::new(0x40_0000)).unwrap();
+        assert_eq!(t.guest_size, PageSize::Huge2M);
+        assert_eq!(t.host_size, PageSize::Base4K);
+        assert_eq!(t.effective_size(), PageSize::Base4K);
+        assert_eq!(t.walk_refs(), (3 + 1) * (4 + 1) - 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the nested-paging composition.
+
+use proptest::prelude::*;
+
+use contig_mm::{DefaultThpPolicy, VmaKind};
+use contig_types::{PageSize, PhysAddr, VirtAddr, VirtRange};
+use contig_virt::{two_dimensional_mappings, VirtualMachine, VmConfig};
+
+fn populated_vm(
+    sizes_mb: &[u64],
+    touch_order: &[u64],
+) -> (VirtualMachine, contig_mm::Pid, Vec<VirtRange>) {
+    let mut vm = VirtualMachine::new(
+        VmConfig::with_mib(256, 320),
+        Box::new(DefaultThpPolicy),
+        Box::new(DefaultThpPolicy),
+    );
+    let pid = vm.guest_mut().spawn();
+    let mut ranges = Vec::new();
+    let mut base = 0x1_0000_0000u64;
+    for &mb in sizes_mb {
+        let range = VirtRange::new(VirtAddr::new(base), mb << 20);
+        vm.guest_mut().aspace_mut(pid).map_vma(range, VmaKind::Anon);
+        ranges.push(range);
+        base += (mb << 20) + (32 << 20);
+    }
+    // Touch huge regions in the scrambled order, possibly multiple times.
+    let all_regions: Vec<VirtAddr> = ranges
+        .iter()
+        .flat_map(|r| r.iter_pages().step_by(512).map(VirtAddr::from))
+        .collect();
+    for &t in touch_order {
+        let va = all_regions[(t as usize) % all_regions.len()];
+        vm.touch(pid, va).unwrap();
+    }
+    for &va in &all_regions {
+        vm.touch(pid, va).unwrap();
+    }
+    (vm, pid, ranges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// 2D mapping extraction is exact: it covers every mapped byte once, and
+    /// each run's offset translation agrees with the two-step walk at run
+    /// boundaries and interior probes.
+    #[test]
+    fn two_dimensional_mappings_are_exact(
+        sizes_mb in proptest::collection::vec(2u64..10, 1..4).prop_map(|v| v.into_iter().map(|x| x * 2).collect::<Vec<_>>()),
+        touch_order in proptest::collection::vec(0u64..64, 0..12),
+    ) {
+        let (vm, pid, ranges) = populated_vm(&sizes_mb, &touch_order);
+        let maps = two_dimensional_mappings(&vm, pid);
+        let total: u64 = maps.iter().map(|m| m.len()).sum();
+        let expect: u64 = ranges.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(total, expect, "2D extraction must cover the footprint exactly");
+        // Runs are sorted, disjoint, and translation-consistent.
+        let mut last_end = 0u64;
+        for m in &maps {
+            prop_assert!(m.virt.start().raw() >= last_end, "overlapping runs");
+            last_end = m.virt.end().raw();
+            for probe in [
+                m.virt.start(),
+                m.virt.start() + ((m.len() / 2) & !0xfff),
+                VirtAddr::new(m.virt.end().raw() - 4096),
+            ] {
+                let composed = m.offset.apply(probe);
+                let walked = vm.translate_2d(pid, probe).expect("mapped").hpa
+                    + probe.page_offset(PageSize::Base4K);
+                let walked_page = PhysAddr::new(walked.raw() & !0xfff);
+                let composed_page = PhysAddr::new(composed.raw() & !0xfff);
+                prop_assert_eq!(composed_page, walked_page, "mismatch at {}", probe);
+            }
+        }
+    }
+
+    /// Effective page size is the min of the two dimensions, and nested walk
+    /// references follow the (g+1)(h+1)-1 formula.
+    #[test]
+    fn nested_walk_costs_follow_formula(
+        sizes_mb in proptest::collection::vec(1u64..5, 1..3).prop_map(|v| v.into_iter().map(|x| x * 2).collect::<Vec<_>>()),
+        touch_order in proptest::collection::vec(0u64..32, 0..8),
+    ) {
+        let (vm, pid, ranges) = populated_vm(&sizes_mb, &touch_order);
+        for r in &ranges {
+            let t = vm.translate_2d(pid, r.start()).expect("mapped");
+            prop_assert_eq!(t.effective_size(), t.guest_size.min(t.host_size));
+            prop_assert_eq!(t.walk_refs(), (t.guest_levels + 1) * (t.host_levels + 1) - 1);
+            // THP on fresh systems: both dimensions huge -> 15 refs.
+            prop_assert!(t.walk_refs() <= 24);
+        }
+    }
+}

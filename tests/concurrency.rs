@@ -1,0 +1,136 @@
+//! Concurrency coverage: the CA-paging replacement-claim semantics of paper
+//! §III-C, thread-safety of the core types, and parallel experiment runs.
+
+use std::sync::Arc;
+
+use contig::prelude::*;
+use crossbeam::thread;
+use parking_lot::Mutex;
+
+#[test]
+fn core_types_are_send_and_sync() {
+    fn assert_send<T: Send>() {}
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Machine>();
+    assert_send_sync::<PageTable>();
+    assert_send_sync::<CaPaging>();
+    assert_send_sync::<SpotPredictor>();
+    assert_send::<System>();
+    assert_send::<VirtualMachine>();
+}
+
+/// Paper §III-C: when two faults of the same VMA fail concurrently, only the
+/// first may run a re-placement; the other retries through the fresh offset.
+/// We emulate the race by holding the claim while a fault runs.
+#[test]
+fn replacement_claim_prevents_duplicate_placements() {
+    let mut sys = System::new(SystemConfig::new(MachineConfig::single_node_mib(64)));
+    let pid = sys.spawn();
+    let vma = sys
+        .aspace_mut(pid)
+        .map_vma(VirtRange::new(VirtAddr::new(0x40_0000), 8 << 20), VmaKind::Anon);
+    let mut ca = CaPaging::new();
+    // First fault establishes the offset.
+    sys.touch(&mut ca, pid, VirtAddr::new(0x40_0000)).unwrap();
+    // Sabotage the next target so the fault must re-place, while another
+    // in-flight fault "holds" the claim.
+    let next_target = sys
+        .aspace(pid)
+        .vma(vma)
+        .offsets()
+        .nearest(VirtAddr::new(0x60_0000))
+        .unwrap()
+        .apply(VirtAddr::new(0x60_0000))
+        .page_number();
+    sys.machine_mut().alloc_specific(next_target, 9).unwrap();
+    sys.aspace_mut(pid).vma_mut(vma).claim_replacement();
+    let offsets_before = sys.aspace(pid).vma(vma).offsets().len();
+    sys.touch(&mut ca, pid, VirtAddr::new(0x60_0000)).unwrap();
+    let offsets_after = sys.aspace(pid).vma(vma).offsets().len();
+    assert_eq!(
+        offsets_before, offsets_after,
+        "a held claim must suppress the re-placement (no new offset)"
+    );
+    assert!(ca.stats().replacement_races > 0);
+    sys.aspace_mut(pid).vma_mut(vma).release_replacement();
+    // With the claim free, the next busy target re-places normally.
+    let t2 = sys
+        .aspace(pid)
+        .vma(vma)
+        .offsets()
+        .nearest(VirtAddr::new(0x80_0000))
+        .unwrap()
+        .apply(VirtAddr::new(0x80_0000))
+        .page_number();
+    sys.machine_mut().alloc_specific(t2, 9).unwrap();
+    sys.touch(&mut ca, pid, VirtAddr::new(0x80_0000)).unwrap();
+    assert!(sys.aspace(pid).vma(vma).offsets().len() > offsets_after);
+}
+
+/// Independent systems can run on separate threads (the experiment harness
+/// pattern); results equal the single-threaded run.
+#[test]
+fn parallel_experiments_match_sequential() {
+    let run_one = |seed: u64| {
+        let mut sys = System::new(SystemConfig::new(MachineConfig::single_node_mib(64)));
+        let hog = Hog::occupy(sys.machine_mut(), 0.25, seed);
+        let pid = sys.spawn();
+        let vma = sys
+            .aspace_mut(pid)
+            .map_vma(VirtRange::new(VirtAddr::new(0x40_0000), 16 << 20), VmaKind::Anon);
+        let mut ca = CaPaging::new();
+        sys.populate_vma(&mut ca, pid, vma).unwrap();
+        let maps = contiguous_mappings(sys.aspace(pid).page_table());
+        drop(hog);
+        maps.len()
+    };
+    let sequential: Vec<usize> = (0..4).map(run_one).collect();
+    let parallel = Arc::new(Mutex::new(vec![0usize; 4]));
+    thread::scope(|s| {
+        for seed in 0..4u64 {
+            let parallel = Arc::clone(&parallel);
+            s.spawn(move |_| {
+                let got = run_one(seed);
+                parallel.lock()[seed as usize] = got;
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(*parallel.lock(), sequential);
+}
+
+/// A shared system behind a mutex services interleaved faults from multiple
+/// threads without corrupting buddy state.
+#[test]
+fn threaded_faults_on_shared_system() {
+    let sys = Arc::new(Mutex::new(System::new(SystemConfig::new(
+        MachineConfig::single_node_mib(128),
+    ))));
+    let mut pids = Vec::new();
+    for _ in 0..4 {
+        let mut guard = sys.lock();
+        let pid = guard.spawn();
+        guard
+            .aspace_mut(pid)
+            .map_vma(VirtRange::new(VirtAddr::new(0x40_0000), 8 << 20), VmaKind::Anon);
+        pids.push(pid);
+    }
+    thread::scope(|s| {
+        for &pid in &pids {
+            let sys = Arc::clone(&sys);
+            s.spawn(move |_| {
+                let mut ca = CaPaging::new();
+                for i in 0..(8 << 20) / (2 << 20) {
+                    let va = VirtAddr::new(0x40_0000 + i * (2 << 20));
+                    sys.lock().touch(&mut ca, pid, va).unwrap();
+                }
+            });
+        }
+    })
+    .unwrap();
+    let guard = sys.lock();
+    for &pid in &pids {
+        assert_eq!(guard.aspace(pid).mapped_bytes(), 8 << 20);
+    }
+    guard.machine().verify_integrity();
+}

@@ -1,0 +1,146 @@
+//! Cross-crate integration: the full pipeline from buddy allocator to SpOT
+//! predictions, exercised through the facade crate's public API.
+
+use contig::prelude::*;
+use contig_tlb::NoScheme;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn aged_system(mib: u64) -> System {
+    let mut sys = System::new(SystemConfig::new(MachineConfig::single_node_mib(mib)));
+    let mut blocks = Vec::new();
+    while let Ok(b) = sys.machine_mut().alloc(contig_buddy::DEFAULT_TOP_ORDER) {
+        blocks.push(b);
+    }
+    // Shuffle the free-list order like a long-running system's.
+    blocks.shuffle(&mut StdRng::seed_from_u64(0xA6E));
+    for b in blocks {
+        sys.machine_mut().free(b, contig_buddy::DEFAULT_TOP_ORDER);
+    }
+    sys
+}
+
+#[test]
+fn ca_paging_beats_thp_on_aged_machine() {
+    for policy_is_ca in [false, true] {
+        let mut sys = aged_system(128);
+        let pid = sys.spawn();
+        let vma = sys
+            .aspace_mut(pid)
+            .map_vma(VirtRange::new(VirtAddr::new(0x4000_0000), 32 << 20), VmaKind::Anon);
+        let count = if policy_is_ca {
+            let mut ca = CaPaging::new();
+            sys.populate_vma(&mut ca, pid, vma).unwrap();
+            contiguous_mappings(sys.aspace(pid).page_table()).len()
+        } else {
+            let mut thp = DefaultThpPolicy;
+            sys.populate_vma(&mut thp, pid, vma).unwrap();
+            contiguous_mappings(sys.aspace(pid).page_table()).len()
+        };
+        if policy_is_ca {
+            assert_eq!(count, 1, "CA must coalesce the whole VMA");
+        } else {
+            assert!(count > 4, "an aged machine must scatter THP, got {count}");
+        }
+        // Physical memory fully conserved and consistent either way.
+        sys.exit(pid);
+        assert_eq!(sys.machine().free_frames(), sys.machine().total_frames());
+        sys.machine().verify_integrity();
+    }
+}
+
+#[test]
+fn nested_vm_spot_pipeline_hides_walks() {
+    let mut vm = VirtualMachine::new(
+        VmConfig::with_mib(128, 192),
+        Box::new(CaPaging::new()),
+        Box::new(CaPaging::new()),
+    );
+    let pid = vm.guest_mut().spawn();
+    let vma = vm
+        .guest_mut()
+        .aspace_mut(pid)
+        .map_vma(VirtRange::new(VirtAddr::new(0x4000_0000), 48 << 20), VmaKind::Anon);
+    vm.populate_vma(pid, vma).unwrap();
+
+    // One instruction striding the region: after warm-up every last-level
+    // miss must be predicted from the single 2D offset.
+    let backend = VmBackend::new(&vm, pid);
+    let mut spot = SpotPredictor::new(SpotConfig::default());
+    let mut sim = MemorySim::new(TlbConfig::broadwell_scaled(512), Default::default());
+    for i in 0..200_000u64 {
+        let va = VirtAddr::new(0x4000_0000 + (i * 8192) % (48 << 20));
+        sim.step(&backend, &mut spot, Access::read(0x42, va));
+    }
+    let report = sim.report();
+    assert!(report.walks > 100, "the trace must stress the TLB, got {} walks", report.walks);
+    let stats = spot.stats();
+    assert!(
+        stats.correct_rate() > 0.95,
+        "single-mapping strides must predict, got {:.3}",
+        stats.correct_rate()
+    );
+    assert_eq!(stats.mispredicted, 0);
+    // Every walk carried nested (2D) reference counts.
+    assert!(report.walk_refs >= report.walks * 15);
+}
+
+#[test]
+fn vrmm_and_spot_agree_on_coverage() {
+    // Both schemes exploit the same CA contiguity; with one mapping, both
+    // hide essentially everything after warm-up.
+    let mut sys = aged_system(128);
+    let pid = sys.spawn();
+    let vma = sys
+        .aspace_mut(pid)
+        .map_vma(VirtRange::new(VirtAddr::new(0x4000_0000), 32 << 20), VmaKind::Anon);
+    let mut ca = CaPaging::new();
+    sys.populate_vma(&mut ca, pid, vma).unwrap();
+    let maps = contiguous_mappings(sys.aspace(pid).page_table());
+    assert_eq!(maps.len(), 1);
+
+    let backend = NativeBackend::new(sys.aspace(pid).page_table());
+    let trace: Vec<Access> = (0..100_000u64)
+        .map(|i| Access::read(0x7, VirtAddr::new(0x4000_0000 + (i * 12_288) % (32 << 20))))
+        .collect();
+
+    let mut rmm = contig_baselines::VrmmRangeTlb::new(32, maps);
+    let mut sim_rmm = MemorySim::new(TlbConfig::broadwell_scaled(512), Default::default());
+    sim_rmm.run(&backend, &mut rmm, trace.iter().copied());
+    let r = sim_rmm.report();
+    assert_eq!(r.exposed, 1, "only the very first miss fills the range TLB");
+    assert_eq!(r.hidden, r.walks - 1);
+
+    let mut spot = SpotPredictor::new(SpotConfig::default());
+    let mut sim_spot = MemorySim::new(TlbConfig::broadwell_scaled(512), Default::default());
+    sim_spot.run(&backend, &mut spot, trace.iter().copied());
+    let s = spot.stats();
+    assert!(s.correct as f64 / s.total() as f64 > 0.99);
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let mut none = NoScheme;
+        let mut sys = aged_system(64);
+        let pid = sys.spawn();
+        let vma = sys
+            .aspace_mut(pid)
+            .map_vma(VirtRange::new(VirtAddr::new(0x4000_0000), 16 << 20), VmaKind::Anon);
+        let mut ca = CaPaging::new();
+        sys.populate_vma(&mut ca, pid, vma).unwrap();
+        let spec = Workload::Svm.spec(Scale::tiny());
+        let mut gen = TraceGenerator::new(&spec, 99);
+        let mut sim = MemorySim::new(TlbConfig::broadwell_scaled(1024), Default::default());
+        let backend = NativeBackend::new(sys.aspace(pid).page_table());
+        for _ in 0..10_000 {
+            let a = gen.next_access();
+            // Only the model VMA exists in this process; clamp into it.
+            let va = VirtAddr::new(0x4000_0000 + a.va.raw() % (16 << 20));
+            sim.step(&backend, &mut none, Access::read(a.pc, va));
+        }
+        sim.report()
+    };
+    assert_eq!(run(), run());
+}
