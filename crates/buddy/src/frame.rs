@@ -136,6 +136,15 @@ impl FrameTable {
     pub fn free_runs(&self) -> impl Iterator<Item = (Pfn, u64)> + '_ {
         FreeRuns { table: self, cursor: 0 }
     }
+
+    /// Iterates every allocated block as `(head, order)` pairs in address
+    /// order — the compaction migrate-scanner's candidate source.
+    pub fn allocated_blocks(&self) -> impl Iterator<Item = (Pfn, u32)> + '_ {
+        self.states.iter().enumerate().filter_map(|(i, s)| match s {
+            FrameState::AllocatedHead { order } => Some((self.base.add(i as u64), *order)),
+            _ => None,
+        })
+    }
 }
 
 struct FreeRuns<'a> {

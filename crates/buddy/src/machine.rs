@@ -2,7 +2,7 @@
 //! allocation policy, mirroring how Linux keeps a buddy instance and a
 //! separate `contiguity_map` per `struct zone` (paper §III-B).
 
-use contig_types::{AllocError, PageSize, PhysRange, Pfn};
+use contig_types::{AllocError, FailPolicy, PageSize, PhysRange, Pfn};
 
 use crate::stats::FreeBlockHistogram;
 use crate::zone::{Zone, ZoneConfig, ZoneCounters};
@@ -128,6 +128,36 @@ impl Machine {
     /// Whether a frame is currently free on its owning node.
     pub fn is_free(&self, pfn: Pfn) -> bool {
         self.node_of(pfn).is_some_and(|n| self.zones[n.0].is_free(pfn))
+    }
+
+    /// Whether any node has a free block of at least `order`.
+    pub fn has_free_block(&self, order: u32) -> bool {
+        self.zones.iter().any(|z| z.has_free_block(order))
+    }
+
+    /// Installs a fault-injection policy on every zone (each zone gets its
+    /// own clone, so probabilistic streams stay per-zone deterministic).
+    pub fn set_fail_policy(&mut self, policy: FailPolicy) {
+        for zone in &mut self.zones {
+            zone.set_fail_policy(policy.clone());
+        }
+    }
+
+    /// Removes fault injection from every zone.
+    pub fn clear_fail_policy(&mut self) {
+        for zone in &mut self.zones {
+            zone.clear_fail_policy();
+        }
+    }
+
+    /// Total failures injected across all zones.
+    pub fn injected_failures(&self) -> u64 {
+        self.zones.iter().map(|z| z.fail_policy().injected()).sum()
+    }
+
+    /// Total allocation attempts the injectors observed across all zones.
+    pub fn fail_attempts(&self) -> u64 {
+        self.zones.iter().map(|z| z.fail_policy().attempts()).sum()
     }
 
     /// Allocates a block of `1 << order` frames from the first node with

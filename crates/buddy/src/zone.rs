@@ -1,6 +1,6 @@
 //! The buddy allocator for one physical-memory zone (one NUMA node).
 
-use contig_types::{AllocError, PageSize, PhysRange, Pfn};
+use contig_types::{AllocError, FailPolicy, PageSize, PhysRange, Pfn};
 
 use crate::contiguity::ContiguityMap;
 use crate::frame::{FrameState, FrameTable};
@@ -81,6 +81,9 @@ pub struct Zone {
     free_frames: u64,
     contiguity: ContiguityMap,
     counters: ZoneCounters,
+    /// Deterministic fault injection consulted before every allocation
+    /// attempt; [`FailPolicy::never`] (the default) costs one branch.
+    fail: FailPolicy,
 }
 
 impl Zone {
@@ -104,6 +107,7 @@ impl Zone {
             free_frames: 0,
             contiguity: ContiguityMap::new(config.top_order),
             counters: ZoneCounters::default(),
+            fail: FailPolicy::never(),
         };
         // Seed free blocks: greedily install maximal aligned blocks.
         let mut rel = 0u64;
@@ -180,6 +184,48 @@ impl Zone {
         &self.counters
     }
 
+    /// Installs a fault-injection policy consulted before every allocation
+    /// attempt (see [`FailPolicy`]). Replaces any previous policy.
+    pub fn set_fail_policy(&mut self, policy: FailPolicy) {
+        self.fail = policy;
+    }
+
+    /// The fault-injection policy in force (attempt/injection counters live
+    /// on it).
+    pub fn fail_policy(&self) -> &FailPolicy {
+        &self.fail
+    }
+
+    /// Removes any fault-injection policy, returning the old one with its
+    /// final counters.
+    pub fn clear_fail_policy(&mut self) -> FailPolicy {
+        std::mem::take(&mut self.fail)
+    }
+
+    /// Whether a free block of at least `order` exists (without allocating).
+    pub fn has_free_block(&self, order: u32) -> bool {
+        if order > self.config.top_order {
+            return false;
+        }
+        (order..=self.config.top_order).any(|o| !self.free_lists[o as usize].is_empty())
+    }
+
+    /// The lowest-addressed free block head of order at least `order` whose
+    /// head lies strictly below `below`. Compaction uses this as the
+    /// migration destination scanner: movable blocks near the end of the
+    /// zone are packed down into the lowest free space.
+    pub fn lowest_free_block(&self, order: u32, below: Pfn) -> Option<Pfn> {
+        let mut best: Option<Pfn> = None;
+        for o in order..=self.config.top_order {
+            for head in self.free_lists[o as usize].iter() {
+                if head < below && best.is_none_or(|b| head < b) {
+                    best = Some(head);
+                }
+            }
+        }
+        best
+    }
+
     /// Allocates a block of `1 << order` frames wherever the free lists
     /// provide one, splitting larger blocks as needed — the kernel-default
     /// "random" placement that CA paging replaces.
@@ -187,9 +233,12 @@ impl Zone {
     /// # Errors
     ///
     /// [`AllocError::OutOfMemory`] when no block of the order (or larger)
-    /// is free.
+    /// is free, or when the installed [`FailPolicy`] injects a failure.
     pub fn alloc(&mut self, order: u32) -> Result<Pfn, AllocError> {
         if order > self.config.top_order {
+            return Err(AllocError::OutOfMemory { order });
+        }
+        if self.fail.should_fail(order) {
             return Err(AllocError::OutOfMemory { order });
         }
         let mut found = None;
@@ -200,7 +249,13 @@ impl Zone {
             }
         }
         let from_order = found.ok_or(AllocError::OutOfMemory { order })?;
-        let block = self.take_from_list(from_order).expect("list just reported non-empty");
+        let Some(block) = self.take_from_list(from_order) else {
+            // Invariant: the scan above saw this list non-empty and nothing
+            // ran in between. Degrade to an allocation failure rather than
+            // crashing the fault path if bookkeeping ever drifts.
+            debug_assert!(false, "free list {from_order} empty after non-empty check");
+            return Err(AllocError::OutOfMemory { order });
+        };
         let head = self.split_to(block, from_order, order);
         self.frames.mark_allocated_block(head, order);
         self.free_frames -= 1 << order;
@@ -213,18 +268,25 @@ impl Zone {
     ///
     /// # Errors
     ///
+    /// - [`AllocError::Unaligned`] if `target` is not aligned to `order`
+    ///   (zone-relative) — a placement-policy bug, reported as a typed error
+    ///   so a misbehaving policy cannot crash the fault path.
     /// - [`AllocError::OutOfZone`] if the block is not fully inside the zone.
-    /// - [`AllocError::TargetBusy`] if any frame of the block is allocated.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `target` is not aligned to `order` (zone-relative), which
-    /// indicates a caller bug rather than an allocation race.
+    /// - [`AllocError::TargetBusy`] if any frame of the block is allocated,
+    ///   or when the installed [`FailPolicy`] injects a failure.
     pub fn alloc_specific(&mut self, target: Pfn, order: u32) -> Result<(), AllocError> {
         let rel = target.raw().wrapping_sub(self.config.base.raw());
-        assert!(rel.is_multiple_of(1 << order), "targeted block {target} unaligned for order {order}");
+        if !rel.is_multiple_of(1 << order) {
+            return Err(AllocError::Unaligned { target, order });
+        }
         if !self.contains(target) || !self.contains(target.add((1 << order) - 1)) {
             return Err(AllocError::OutOfZone { target });
+        }
+        if self.fail.should_fail(order) {
+            // Injected targeted failures surface as a busy target: the
+            // realistic race where another allocation claimed the frame
+            // between the policy's free check and the claim attempt.
+            return Err(AllocError::TargetBusy { target });
         }
         // With eager coalescing, a fully-free aligned 2^order region is always
         // covered by a single free block of order >= `order`; find it.
@@ -651,6 +713,68 @@ mod tests {
         let mut z = zone(4096);
         let r = z.next_fit_cluster(1 << 20).unwrap();
         assert_eq!(r.len(), 4096 * 4096);
+    }
+
+    #[test]
+    fn unaligned_target_is_typed_error_not_panic() {
+        let mut z = zone(1024);
+        assert_eq!(
+            z.alloc_specific(Pfn::new(3), 2),
+            Err(contig_types::AllocError::Unaligned { target: Pfn::new(3), order: 2 })
+        );
+        assert_eq!(z.free_frames(), 1024, "failed claim must not leak frames");
+        z.verify_integrity();
+    }
+
+    #[test]
+    fn fail_policy_injects_oom_without_corrupting_state() {
+        use contig_types::{FailMode, FailPolicy};
+        let mut z = zone(1024);
+        z.set_fail_policy(FailPolicy::new(FailMode::EveryNth { n: 2 }));
+        let a = z.alloc(0).unwrap();
+        assert_eq!(z.alloc(0), Err(AllocError::OutOfMemory { order: 0 }));
+        let b = z.alloc(0).unwrap();
+        assert_eq!(z.fail_policy().attempts(), 3);
+        assert_eq!(z.fail_policy().injected(), 1);
+        z.free(a, 0);
+        z.free(b, 0);
+        z.verify_integrity();
+        assert_eq!(z.free_frames(), 1024);
+        let final_policy = z.clear_fail_policy();
+        assert_eq!(final_policy.injected(), 1);
+        assert!(!z.fail_policy().is_armed());
+    }
+
+    #[test]
+    fn fail_policy_injects_busy_on_targeted_alloc() {
+        use contig_types::{FailMode, FailPolicy};
+        let mut z = zone(1024);
+        z.set_fail_policy(FailPolicy::new(FailMode::Nth { n: 1 }));
+        assert_eq!(
+            z.alloc_specific(Pfn::new(0), 0),
+            Err(AllocError::TargetBusy { target: Pfn::new(0) })
+        );
+        // The injected miss is not a real one: zone counters stay clean and
+        // the very next attempt succeeds.
+        assert_eq!(z.counters().targeted_misses, 0);
+        z.alloc_specific(Pfn::new(0), 0).unwrap();
+        z.verify_integrity();
+    }
+
+    #[test]
+    fn free_block_queries_for_compaction() {
+        let mut z = zone(2048);
+        assert!(z.has_free_block(10));
+        assert!(!z.has_free_block(11));
+        // Claim everything, then free only the higher top-order block.
+        let mut blocks: Vec<_> = (0..2).map(|_| z.alloc(10).unwrap()).collect();
+        blocks.sort_unstable();
+        assert!(!z.has_free_block(0));
+        assert_eq!(z.lowest_free_block(0, Pfn::new(2048)), None);
+        z.free(blocks[1], 10);
+        assert!(z.has_free_block(10));
+        assert_eq!(z.lowest_free_block(0, Pfn::new(2048)), Some(Pfn::new(1024)));
+        assert_eq!(z.lowest_free_block(0, Pfn::new(1024)), None, "strictly below");
     }
 
     #[test]

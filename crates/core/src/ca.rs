@@ -72,6 +72,9 @@ pub struct CaStats {
     /// Re-placements suppressed because another fault held the VMA's
     /// replacement claim.
     pub replacement_races: u64,
+    /// Placements whose contiguity target was shrunk because preceding
+    /// targets were repeatedly busy (graceful degradation under pressure).
+    pub degraded_placements: u64,
 }
 
 /// The CA paging placement policy.
@@ -108,6 +111,9 @@ pub struct CaPaging {
     ewma_run_pages: u64,
     /// Current marking threshold (equals the config value unless adaptive).
     threshold: u64,
+    /// Busy targets seen since the last successful map: under memory
+    /// pressure, each one halves the next placement's contiguity ambition.
+    consecutive_busy: u32,
 }
 
 impl Default for CaPaging {
@@ -130,6 +136,7 @@ impl CaPaging {
             instance: CA_INSTANCE_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             ewma_run_pages: config.contig_threshold_pages,
             threshold: config.contig_threshold_pages,
+            consecutive_busy: 0,
         }
     }
 
@@ -167,11 +174,20 @@ impl CaPaging {
     /// The key is the whole VMA size on the first placement and the
     /// remaining unmapped bytes on sub-VMA re-placements (paper §III-C).
     fn place(&mut self, ctx: &mut FaultCtx<'_>) -> Placement {
-        let key_bytes = if ctx.vma.offsets().is_empty() {
+        let mut key_bytes = if ctx.vma.offsets().is_empty() {
             ctx.vma.range().len()
         } else {
             ctx.vma.remaining_from(ctx.va).max(ctx.size.bytes())
         };
+        if self.consecutive_busy > 0 {
+            // Graceful degradation: repeated busy targets mean the machine is
+            // under contiguity pressure, so halve the ambition per failure
+            // (floored at the fault size) instead of chasing runs that the
+            // contiguity map can no longer deliver.
+            let shrink = self.consecutive_busy.min(8);
+            key_bytes = (key_bytes >> shrink).max(ctx.size.bytes());
+            self.stats.degraded_placements += 1;
+        }
         self.stats.placements += 1;
         ctx.stats.placements += 1;
         let owner = self.owner_of(ctx.vma.range().start().raw());
@@ -257,6 +273,7 @@ impl PlacementPolicy for CaPaging {
 
     fn on_target_busy(&mut self, ctx: &mut FaultCtx<'_>, _busy: Pfn) -> Placement {
         self.stats.target_busy += 1;
+        self.consecutive_busy = self.consecutive_busy.saturating_add(1);
         if ctx.size == PageSize::Base4K {
             // 4 KiB failures skip offset tracking and fall back (paper:
             // decisions on top of huge pages amortize placement cost).
@@ -282,6 +299,8 @@ impl PlacementPolicy for CaPaging {
     }
 
     fn post_map(&mut self, ctx: &mut FaultCtx<'_>, mapped: Pfn) {
+        // A successful map ends the pressure streak.
+        self.consecutive_busy = 0;
         if !self.config.mark_contig_bits {
             return;
         }
@@ -391,6 +410,23 @@ mod tests {
         assert!(ca.stats().placements > 1, "sub-VMA placements expected");
         // CA still harvests multi-block clusters: far fewer runs than huge pages.
         assert!(maps.len() < 8, "got {} runs", maps.len());
+        drop(hog);
+    }
+
+    #[test]
+    fn repeated_busy_targets_shrink_placement_ambition() {
+        let mut sys = system(64);
+        let hog = contig_buddy::Hog::occupy(sys.machine_mut(), 0.5, 3);
+        let pid = sys.spawn();
+        let vma = anon(&mut sys, pid, 0x40_0000, 16 << 20);
+        let mut ca = CaPaging::new();
+        sys.populate_vma(&mut ca, pid, vma).unwrap();
+        assert_eq!(sys.aspace(pid).mapped_bytes(), 16 << 20);
+        assert!(ca.stats().target_busy > 0, "hogged memory must produce busy targets");
+        assert!(
+            ca.stats().degraded_placements > 0,
+            "re-placements after busy targets must shrink their ambition"
+        );
         drop(hog);
     }
 

@@ -32,21 +32,25 @@
 #![warn(missing_docs)]
 
 mod aspace;
+mod audit;
 mod extract;
 mod page_cache;
 mod page_table;
 mod policy;
 mod pte;
+mod recovery;
 mod stats;
 mod system;
 mod vma;
 
 pub use aspace::{AddressSpace, VmaId};
+pub use audit::{AuditReport, AuditViolation};
 pub use extract::{compose_mappings, contiguous_mappings};
 pub use page_cache::{CacheAllocMode, FileId, PageCache};
 pub use page_table::{MappedPage, PageTable, Translation, ENTRIES_PER_TABLE, LEVELS, LEVELS_LA57};
 pub use policy::{BasePagesPolicy, DefaultThpPolicy, FaultCtx, FaultKind, Placement, PlacementPolicy};
 pub use pte::{Pte, PteFlags};
+pub use recovery::{CompactOutcome, RecoveryConfig, RecoveryStats};
 pub use stats::{FaultStats, LatencyModel};
 pub use system::{FaultOutcome, Pid, System, SystemConfig};
 pub use vma::{OffsetSet, Vma, VmaKind, MAX_OFFSETS_PER_VMA};

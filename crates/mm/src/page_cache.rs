@@ -110,6 +110,22 @@ impl PageCache {
         self.files[file.0 as usize].pages.values().copied().collect()
     }
 
+    /// Iterates `(file page index, frame)` pairs of `file` in index order —
+    /// the reverse-map source for reclaim, compaction, and the auditor.
+    pub fn pages_of(&self, file: FileId) -> impl Iterator<Item = (u64, Pfn)> + '_ {
+        self.files[file.0 as usize].pages.iter().map(|(&idx, &pfn)| (idx, pfn))
+    }
+
+    /// Retargets a cached page onto a different frame (compaction migrated
+    /// its contents). The caller owns both frames' buddy bookkeeping.
+    pub(crate) fn relocate_page(&mut self, file: FileId, index: u64, new_pfn: Pfn) {
+        let entry = self.files[file.0 as usize]
+            .pages
+            .get_mut(&index)
+            .expect("relocating a page that is not cached");
+        *entry = new_pfn;
+    }
+
     /// Ensures file pages `[start, start + count)` are cached, allocating
     /// missing ones according to the cache's discipline.
     ///

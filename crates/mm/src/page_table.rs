@@ -501,7 +501,7 @@ mod tests {
         let high = VirtAddr::new(1 << 48);
         pt.map(high, pte(7), PageSize::Base4K);
         assert_eq!(pt.translate(high).unwrap().pfn, Pfn::new(7));
-        assert_eq!(pt.translate(VirtAddr::new(0)).err().is_some(), true);
+        assert!(pt.translate(VirtAddr::new(0)).is_err());
         // Iteration and unmap work across the deeper radix.
         assert_eq!(pt.iter_mappings().count(), 3);
         assert!(pt.unmap(high).is_some());

@@ -1,0 +1,543 @@
+//! Memory-pressure recovery: page-cache reclaim, buddy compaction by page
+//! migration, and the bounded retry escalation the fault driver runs when an
+//! allocation comes back out-of-memory.
+//!
+//! The escalation mirrors the kernel's slow path: first drop clean page-cache
+//! pages (`shrink_node`), then migrate movable allocations to assemble a free
+//! block of the failing order (`try_to_compact_pages`), then retry the
+//! allocation a bounded number of times before degrading the request (THP
+//! falls back to a base page, readahead shrinks to a single page) and finally
+//! surfacing a typed error. Every stage keeps a counter in [`RecoveryStats`]
+//! so experiments can attribute survived pressure to its cause.
+
+use std::collections::{BTreeSet, HashMap};
+
+use contig_buddy::NodeId;
+use contig_types::{PageSize, Pfn, VirtAddr};
+
+use crate::page_cache::FileId;
+use crate::pte::{Pte, PteFlags};
+use crate::system::{Pid, System};
+
+/// Tunables of the out-of-memory recovery escalation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Run the page-cache reclaim stage.
+    pub reclaim: bool,
+    /// Run the compaction (migration) stage for order > 0 requests.
+    pub compaction: bool,
+    /// Recovery rounds a single fault may burn per request size before it
+    /// degrades (THP fallback) or fails.
+    pub max_retries: u32,
+    /// Cache pages evicted per reclaim pass at most.
+    pub reclaim_batch: u64,
+    /// Blocks migrated per compaction pass at most.
+    pub compact_budget: u64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            reclaim: true,
+            compaction: true,
+            max_retries: 2,
+            reclaim_batch: 256,
+            compact_budget: 128,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Recovery disabled entirely: the first out-of-memory surfaces
+    /// immediately (the pre-recovery behaviour, useful as a baseline).
+    pub fn disabled() -> Self {
+        Self { reclaim: false, compaction: false, max_retries: 0, ..Self::default() }
+    }
+}
+
+/// Per-stage counters of the recovery escalation. All monotonic; exact under
+/// a fixed seed and workload, so tests can assert run-to-run determinism.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Allocation failures that entered the escalation.
+    pub oom_events: u64,
+    /// Reclaim passes executed.
+    pub reclaim_passes: u64,
+    /// Page-cache pages evicted by reclaim.
+    pub reclaimed_pages: u64,
+    /// Compaction passes executed.
+    pub compaction_passes: u64,
+    /// Buddy blocks migrated by compaction.
+    pub migrated_blocks: u64,
+    /// Base frames moved by those migrations.
+    pub migrated_frames: u64,
+    /// Allocation retries after a recovery stage reported progress.
+    pub retries: u64,
+    /// Huge requests degraded to base pages after recovery failed.
+    pub order_backoffs: u64,
+    /// Readahead windows shrunk to a single page under pressure.
+    pub readahead_shrinks: u64,
+    /// Faults that ultimately succeeded after at least one recovery round.
+    pub recovered_faults: u64,
+    /// Faults that failed even after the full escalation.
+    pub hard_ooms: u64,
+}
+
+/// Result of one [`System::compact`] pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactOutcome {
+    /// Buddy blocks migrated.
+    pub migrated_blocks: u64,
+    /// Base frames those blocks covered.
+    pub migrated_frames: u64,
+}
+
+/// How one migrated block is referenced, so the move can fix every pointer.
+enum MoveKind {
+    /// Exactly one anonymous PTE covering the whole block.
+    Anon { pid: Pid, va: VirtAddr, flags: PteFlags },
+    /// A page-cache page (order 0) plus any FILE PTEs referencing it.
+    Cache { file: FileId, index: u64, ptes: Vec<(Pid, VirtAddr, PteFlags)> },
+}
+
+impl System {
+    /// The recovery tunables in force.
+    pub fn recovery_config(&self) -> &RecoveryConfig {
+        &self.recovery
+    }
+
+    /// Replaces the recovery tunables.
+    pub fn set_recovery_config(&mut self, config: RecoveryConfig) {
+        self.recovery = config;
+    }
+
+    /// Cumulative recovery counters.
+    pub fn recovery_stats(&self) -> &RecoveryStats {
+        &self.recovery_stats
+    }
+
+    /// One round of the escalation: reclaim, then compaction, stopping as
+    /// soon as a free block of `order` exists. Returns whether the caller
+    /// should retry its allocation.
+    pub(crate) fn try_recover(&mut self, order: u32) -> bool {
+        if self.machine.has_free_block(order) {
+            // The failure was injected or transient; the block is there.
+            return true;
+        }
+        let cfg = self.recovery;
+        if cfg.reclaim {
+            self.recovery_stats.reclaim_passes += 1;
+            let n = self.reclaim_cache_pages(cfg.reclaim_batch);
+            self.recovery_stats.reclaimed_pages += n;
+            if self.machine.has_free_block(order) {
+                return true;
+            }
+        }
+        if cfg.compaction && order > 0 {
+            self.recovery_stats.compaction_passes += 1;
+            let out = self.compact(order, cfg.compact_budget);
+            self.recovery_stats.migrated_blocks += out.migrated_blocks;
+            self.recovery_stats.migrated_frames += out.migrated_frames;
+            if self.machine.has_free_block(order) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Evicts up to `batch` page-cache pages, clean (unmapped) pages first.
+    /// Mapped file pages are unmapped from every referencing process before
+    /// eviction, so no page table is left with a dangling translation.
+    pub fn reclaim_cache_pages(&mut self, batch: u64) -> u64 {
+        if batch == 0 {
+            return 0;
+        }
+        // Reverse map of FILE PTEs so mapped victims can be unmapped first.
+        let mut file_ptes: HashMap<Pfn, Vec<(Pid, VirtAddr)>> = HashMap::new();
+        for pid in self.pids() {
+            for m in self.processes[&pid].page_table().iter_mappings() {
+                if m.pte.flags.contains(PteFlags::FILE) {
+                    file_ptes.entry(m.pte.pfn).or_default().push((pid, m.va));
+                }
+            }
+        }
+        let mut evicted = 0u64;
+        // Pass 1: clean pages nothing maps — the cheap victims.
+        for f in 0..self.page_cache.file_count() {
+            if evicted >= batch {
+                break;
+            }
+            let file = FileId(f);
+            let victims: BTreeSet<u64> = self
+                .page_cache
+                .pages_of(file)
+                .filter(|(_, pfn)| !file_ptes.contains_key(pfn))
+                .map(|(idx, _)| idx)
+                .take((batch - evicted) as usize)
+                .collect();
+            if victims.is_empty() {
+                continue;
+            }
+            evicted += self.page_cache.evict_pages_where(&mut self.machine, file, |idx| {
+                victims.contains(&idx)
+            });
+        }
+        // Pass 2: mapped file pages, unmapping every referencing PTE first.
+        for f in 0..self.page_cache.file_count() {
+            if evicted >= batch {
+                break;
+            }
+            let file = FileId(f);
+            let victims: Vec<(u64, Pfn)> = self
+                .page_cache
+                .pages_of(file)
+                .take((batch - evicted) as usize)
+                .collect();
+            if victims.is_empty() {
+                continue;
+            }
+            for (_, pfn) in &victims {
+                if let Some(refs) = file_ptes.get(pfn) {
+                    for &(pid, va) in refs {
+                        if let Some(aspace) = self.processes.get_mut(&pid) {
+                            aspace.page_table_mut().unmap(va);
+                        }
+                    }
+                }
+            }
+            let indices: BTreeSet<u64> = victims.iter().map(|&(idx, _)| idx).collect();
+            evicted += self.page_cache.evict_pages_where(&mut self.machine, file, |idx| {
+                indices.contains(&idx)
+            });
+        }
+        evicted
+    }
+
+    /// One compaction pass: migrates movable allocated blocks downward (the
+    /// kernel's migrate scanner walks from the zone end, its free scanner
+    /// from the start) until a free block of at least `target_order` exists
+    /// or `budget` block moves are spent.
+    ///
+    /// A block is movable when the simulator can fix every reference to it:
+    /// an anonymous mapping exactly covering the block and owned by a single
+    /// process, or an order-0 page-cache page (with its FILE mappings).
+    /// COW-shared frames and raw allocations with no mapping (pinned memory,
+    /// fragmenter hogs) are immovable, as in the kernel.
+    pub fn compact(&mut self, target_order: u32, budget: u64) -> CompactOutcome {
+        let mut out = CompactOutcome::default();
+        if budget == 0 {
+            return out;
+        }
+        // Reverse maps: mapping-head frame -> referencing PTEs / cache slot.
+        let mut ptes: HashMap<Pfn, Vec<(Pid, VirtAddr, PageSize, PteFlags)>> = HashMap::new();
+        for pid in self.pids() {
+            for m in self.processes[&pid].page_table().iter_mappings() {
+                ptes.entry(m.pte.pfn).or_default().push((pid, m.va, m.size, m.pte.flags));
+            }
+        }
+        let mut cache_refs: HashMap<Pfn, (FileId, u64)> = HashMap::new();
+        for f in 0..self.page_cache.file_count() {
+            let file = FileId(f);
+            for (idx, pfn) in self.page_cache.pages_of(file) {
+                cache_refs.insert(pfn, (file, idx));
+            }
+        }
+        let mut budget = budget;
+        for node in 0..self.machine.nodes() {
+            if budget == 0 || self.machine.has_free_block(target_order) {
+                break;
+            }
+            let node = NodeId(node);
+            let mut candidates: Vec<(Pfn, u32)> =
+                self.machine.zone(node).frame_table().allocated_blocks().collect();
+            candidates.reverse(); // migrate scanner: highest blocks first
+            for (head, order) in candidates {
+                if budget == 0 || self.machine.zone(node).has_free_block(target_order) {
+                    break;
+                }
+                let Some(dest) = self.machine.zone(node).lowest_free_block(order, head) else {
+                    continue;
+                };
+                let Some(kind) = self.classify_movable(head, order, &ptes, &cache_refs) else {
+                    continue;
+                };
+                // Claim the destination; injection may veto even migration.
+                if self.machine.zone_mut(node).alloc_specific(dest, order).is_err() {
+                    continue;
+                }
+                match kind {
+                    MoveKind::Anon { pid, va, flags } => {
+                        if let Some(aspace) = self.processes.get_mut(&pid) {
+                            aspace.page_table_mut().remap(va, Pte::new(dest, flags));
+                        }
+                    }
+                    MoveKind::Cache { file, index, ptes } => {
+                        self.page_cache.relocate_page(file, index, dest);
+                        for (pid, va, flags) in ptes {
+                            if let Some(aspace) = self.processes.get_mut(&pid) {
+                                aspace.page_table_mut().remap(va, Pte::new(dest, flags));
+                            }
+                        }
+                    }
+                }
+                self.machine.zone_mut(node).free(head, order);
+                let frames = 1u64 << order;
+                out.migrated_blocks += 1;
+                out.migrated_frames += frames;
+                budget -= 1;
+                // Migration copies the block's contents.
+                self.now_ns += frames * self.latency.zero_page_ns;
+            }
+        }
+        out
+    }
+
+    /// Decides whether the allocated block `[head, head + 2^order)` can be
+    /// migrated, and how to fix its references if so.
+    fn classify_movable(
+        &self,
+        head: Pfn,
+        order: u32,
+        ptes: &HashMap<Pfn, Vec<(Pid, VirtAddr, PageSize, PteFlags)>>,
+        cache_refs: &HashMap<Pfn, (FileId, u64)>,
+    ) -> Option<MoveKind> {
+        // No interior frame may be independently referenced: mappings and
+        // cache slots always point at allocation heads, so anything else
+        // means the block is aliased in a way a move cannot fix.
+        for i in 1..(1u64 << order) {
+            let frame = head.add(i);
+            if ptes.contains_key(&frame) || cache_refs.contains_key(&frame) {
+                return None;
+            }
+        }
+        if let Some(&(file, index)) = cache_refs.get(&head) {
+            if order != 0 {
+                return None;
+            }
+            let mut file_ptes = Vec::new();
+            if let Some(refs) = ptes.get(&head) {
+                for &(pid, va, size, flags) in refs {
+                    // A cache frame must only ever be FILE-mapped at 4 KiB;
+                    // anything else is aliased state the auditor reports.
+                    if !flags.contains(PteFlags::FILE) || size != PageSize::Base4K {
+                        return None;
+                    }
+                    file_ptes.push((pid, va, flags));
+                }
+            }
+            return Some(MoveKind::Cache { file, index, ptes: file_ptes });
+        }
+        let refs = ptes.get(&head)?;
+        let &[(pid, va, size, flags)] = refs.as_slice() else {
+            return None; // shared between mappings: pinned
+        };
+        if size.order() != order
+            || flags.contains(PteFlags::COW)
+            || flags.contains(PteFlags::FILE)
+            || self.shared.contains_key(&head)
+        {
+            return None;
+        }
+        Some(MoveKind::Anon { pid, va, flags })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BasePagesPolicy, DefaultThpPolicy};
+    use crate::system::{System, SystemConfig};
+    use crate::vma::VmaKind;
+    use contig_buddy::MachineConfig;
+    use contig_types::{FaultError, VirtRange};
+
+    fn system_mib(mib: u64) -> System {
+        System::new(SystemConfig::new(MachineConfig::single_node_mib(mib)))
+    }
+
+    #[test]
+    fn reclaim_rescues_anon_fault_under_cache_pressure() {
+        let mut sys = system_mib(4);
+        // Fill nearly all memory with page-cache pages.
+        let file = sys.page_cache_mut().create_file();
+        let total = sys.machine().total_frames();
+        sys.reclaim_cache_pages(0); // no-op, exercises the zero-batch path
+        {
+            let (pc, m) = sys.cache_and_machine();
+            pc.readahead(m, file, 0, total - 8).unwrap();
+        }
+        let pid = sys.spawn();
+        sys.aspace_mut(pid)
+            .map_vma(VirtRange::new(contig_types::VirtAddr::new(0x40_0000), 0x10_0000), VmaKind::Anon);
+        let mut policy = BasePagesPolicy;
+        // 256 base faults need far more than the 8 free frames: reclaim must
+        // repeatedly evict cache pages to keep the process running.
+        for i in 0..256u64 {
+            sys.touch(&mut policy, pid, contig_types::VirtAddr::new(0x40_0000 + i * 4096))
+                .unwrap();
+        }
+        let stats = *sys.recovery_stats();
+        assert!(stats.oom_events > 0, "pressure never materialized");
+        assert!(stats.reclaim_passes > 0);
+        assert!(stats.reclaimed_pages > 0);
+        assert!(stats.recovered_faults > 0);
+        assert_eq!(stats.hard_ooms, 0);
+        assert!(sys.audit().is_clean(), "{}", sys.audit());
+        sys.machine().verify_integrity();
+    }
+
+    #[test]
+    fn compaction_assembles_huge_block_from_movable_pages() {
+        let mut sys = system_mib(4);
+        sys.set_recovery_config(RecoveryConfig {
+            compact_budget: 512,
+            ..RecoveryConfig::default()
+        });
+        let a = sys.spawn();
+        let b = sys.spawn();
+        // VMA starts are deliberately 2 MiB-misaligned so every fault is a
+        // movable 4 KiB page even with THP on.
+        for (pid, base) in [(a, 0x40_1000u64), (b, 0x100_1000u64)] {
+            sys.aspace_mut(pid)
+                .map_vma(VirtRange::new(contig_types::VirtAddr::new(base), 0x20_0000), VmaKind::Anon);
+        }
+        let mut policy = BasePagesPolicy;
+        // Interleave 4 KiB faults of the two processes so their frames
+        // alternate, then exit one: memory is half free but shattered.
+        for i in 0..512u64 {
+            sys.touch(&mut policy, a, contig_types::VirtAddr::new(0x40_1000 + i * 4096)).unwrap();
+            sys.touch(&mut policy, b, contig_types::VirtAddr::new(0x100_1000 + i * 4096)).unwrap();
+        }
+        sys.exit(b);
+        assert!(
+            !sys.machine().has_free_block(contig_types::PageSize::Huge2M.order()),
+            "exit pattern unexpectedly left a huge block"
+        );
+        // A huge fault now requires compaction to migrate A's pages.
+        let c = sys.spawn();
+        sys.aspace_mut(c)
+            .map_vma(VirtRange::new(contig_types::VirtAddr::new(0x4000_0000), 0x20_0000), VmaKind::Anon);
+        let mut thp = DefaultThpPolicy;
+        let out = sys.touch(&mut thp, c, contig_types::VirtAddr::new(0x4000_0000)).unwrap();
+        assert_eq!(out.size, contig_types::PageSize::Huge2M, "compaction failed to help");
+        let stats = *sys.recovery_stats();
+        assert!(stats.compaction_passes > 0);
+        assert!(stats.migrated_blocks > 0);
+        assert_eq!(stats.migrated_blocks, stats.migrated_frames, "only 4 KiB moves expected");
+        assert!(stats.recovered_faults > 0);
+        let report = sys.audit();
+        assert!(report.is_clean(), "{report}");
+        sys.machine().verify_integrity();
+        // Process A's translations still resolve to allocated frames.
+        for i in 0..512u64 {
+            let t = sys
+                .aspace(a)
+                .page_table()
+                .translate(contig_types::VirtAddr::new(0x40_1000 + i * 4096))
+                .unwrap();
+            assert!(!sys.machine().is_free(t.pfn));
+        }
+    }
+
+    #[test]
+    fn disabled_recovery_surfaces_immediate_oom() {
+        let mut sys = system_mib(1);
+        sys.set_recovery_config(RecoveryConfig::disabled());
+        let pid = sys.spawn();
+        sys.aspace_mut(pid)
+            .map_vma(VirtRange::new(contig_types::VirtAddr::new(0x40_0000), 0x40_0000), VmaKind::Anon);
+        let mut policy = BasePagesPolicy;
+        let mut failed = false;
+        for i in 0..1024u64 {
+            match sys.touch(&mut policy, pid, contig_types::VirtAddr::new(0x40_0000 + i * 4096)) {
+                Ok(_) => {}
+                Err(FaultError::OutOfMemory { .. }) => {
+                    failed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(failed);
+        let stats = *sys.recovery_stats();
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.reclaim_passes, 0);
+        assert_eq!(stats.compaction_passes, 0);
+        assert_eq!(stats.hard_ooms, 1);
+        assert!(sys.audit().is_clean());
+    }
+
+    #[test]
+    fn cache_pages_migrate_with_their_mappings() {
+        let mut sys = System::new(SystemConfig {
+            thp: false,
+            ..SystemConfig::new(MachineConfig::single_node_mib(4))
+        });
+        sys.set_recovery_config(RecoveryConfig {
+            compact_budget: 512,
+            ..RecoveryConfig::default()
+        });
+        let file = sys.page_cache_mut().create_file();
+        let pid = sys.spawn();
+        let hole = sys.spawn();
+        sys.aspace_mut(pid).map_vma(
+            VirtRange::new(contig_types::VirtAddr::new(0x200_0000), 0x20_0000),
+            VmaKind::File { file, start_page: 0 },
+        );
+        sys.aspace_mut(hole).map_vma(
+            VirtRange::new(contig_types::VirtAddr::new(0x40_0000), 0x40_0000),
+            VmaKind::Anon,
+        );
+        let mut policy = BasePagesPolicy;
+        // Interleave file faults with anon faults until the machine fills,
+        // then drop the anon process: cache pages sit scattered across the
+        // zone with no huge block free.
+        for i in 0..512u64 {
+            sys.touch(&mut policy, pid, contig_types::VirtAddr::new(0x200_0000 + i * 4096))
+                .unwrap();
+            sys.touch(&mut policy, hole, contig_types::VirtAddr::new(0x40_0000 + i * 2 * 4096))
+                .unwrap();
+        }
+        sys.exit(hole);
+        let huge_order = contig_types::PageSize::Huge2M.order();
+        assert!(!sys.machine().has_free_block(huge_order), "zone not fragmented");
+        let before = sys.page_cache().cached_pages(file);
+        let out = sys.compact(huge_order, 512);
+        assert!(out.migrated_blocks > 0, "no cache page moved");
+        assert!(sys.machine().has_free_block(huge_order), "compaction made no huge block");
+        assert_eq!(sys.page_cache().cached_pages(file), before);
+        let report = sys.audit();
+        assert!(report.is_clean(), "{report}");
+        // Every mapped file page still translates to the cached frame.
+        for i in 0..512u64 {
+            let va = contig_types::VirtAddr::new(0x200_0000 + i * 4096);
+            let t = sys.aspace(pid).page_table().translate(va).unwrap();
+            assert_eq!(Some(t.pfn), sys.page_cache().lookup(file, i));
+        }
+        sys.machine().verify_integrity();
+    }
+
+    #[test]
+    fn stage_counters_are_deterministic_across_runs() {
+        let run = || {
+            let mut sys = system_mib(2);
+            let file = sys.page_cache_mut().create_file();
+            {
+                let (pc, m) = sys.cache_and_machine();
+                pc.readahead(m, file, 0, 256).unwrap();
+            }
+            let pid = sys.spawn();
+            sys.aspace_mut(pid).map_vma(
+                VirtRange::new(contig_types::VirtAddr::new(0x40_0000), 0x40_0000),
+                VmaKind::Anon,
+            );
+            let mut policy = DefaultThpPolicy;
+            for i in 0..256u64 {
+                let _ =
+                    sys.touch(&mut policy, pid, contig_types::VirtAddr::new(0x40_0000 + i * 4096));
+            }
+            *sys.recovery_stats()
+        };
+        assert_eq!(run(), run());
+    }
+}

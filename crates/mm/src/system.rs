@@ -4,12 +4,13 @@
 use std::collections::HashMap;
 
 use contig_buddy::{Machine, MachineConfig};
-use contig_types::{AllocError, FaultError, PageSize, Pfn, VirtAddr};
+use contig_types::{AllocError, ContigError, FailPolicy, FaultError, PageSize, Pfn, VirtAddr};
 
 use crate::aspace::{AddressSpace, VmaId};
 use crate::page_cache::{CacheAllocMode, PageCache};
 use crate::policy::{FaultCtx, FaultKind, Placement, PlacementPolicy};
 use crate::pte::{Pte, PteFlags};
+use crate::recovery::{RecoveryConfig, RecoveryStats};
 use crate::stats::LatencyModel;
 use crate::vma::VmaKind;
 
@@ -49,6 +50,8 @@ pub struct SystemConfig {
     /// introduction flags 5-level paging as a coming multiplier of
     /// nested-walk cost.
     pub pt_levels: u32,
+    /// Out-of-memory recovery escalation tunables.
+    pub recovery: RecoveryConfig,
 }
 
 impl SystemConfig {
@@ -61,6 +64,7 @@ impl SystemConfig {
             latency: LatencyModel::default(),
             record_latencies: false,
             pt_levels: crate::page_table::LEVELS,
+            recovery: RecoveryConfig::default(),
         }
     }
 }
@@ -88,19 +92,23 @@ impl SystemConfig {
 /// ```
 #[derive(Debug)]
 pub struct System {
-    machine: Machine,
-    processes: HashMap<Pid, AddressSpace>,
-    page_cache: PageCache,
+    pub(crate) machine: Machine,
+    pub(crate) processes: HashMap<Pid, AddressSpace>,
+    pub(crate) page_cache: PageCache,
     next_pid: u32,
     thp: bool,
-    latency: LatencyModel,
+    pub(crate) latency: LatencyModel,
     record_latencies: bool,
     pt_levels: u32,
     /// Reference counts for frames shared by COW; absent means exclusively
     /// owned by its single mapper.
-    shared: HashMap<Pfn, u32>,
+    pub(crate) shared: HashMap<Pfn, u32>,
     /// Simulated clock, advanced by fault costs.
-    now_ns: u64,
+    pub(crate) now_ns: u64,
+    /// Out-of-memory recovery tunables.
+    pub(crate) recovery: RecoveryConfig,
+    /// Per-stage recovery counters.
+    pub(crate) recovery_stats: RecoveryStats,
 }
 
 impl System {
@@ -117,6 +125,8 @@ impl System {
             pt_levels: config.pt_levels,
             shared: HashMap::new(),
             now_ns: 0,
+            recovery: config.recovery,
+            recovery_stats: RecoveryStats::default(),
         }
     }
 
@@ -152,6 +162,12 @@ impl System {
     /// Mutable access to the page cache.
     pub fn page_cache_mut(&mut self) -> &mut PageCache {
         &mut self.page_cache
+    }
+
+    /// Simultaneous mutable access to the page cache and the machine, for
+    /// callers that populate the cache directly (daemons, tests).
+    pub fn cache_and_machine(&mut self) -> (&mut PageCache, &mut Machine) {
+        (&mut self.page_cache, &mut self.machine)
     }
 
     /// Evicts every cached page of `file`, returning its frames to the
@@ -203,6 +219,47 @@ impl System {
         let mut pids: Vec<_> = self.processes.keys().copied().collect();
         pids.sort_unstable();
         pids
+    }
+
+    /// The COW sharer count recorded for `pfn`, if the frame is shared.
+    pub fn cow_shared_count(&self, pfn: Pfn) -> Option<u32> {
+        self.shared.get(&pfn).copied()
+    }
+
+    /// Installs a fault-injection policy on every zone of the machine.
+    pub fn set_fail_policy(&mut self, policy: FailPolicy) {
+        self.machine.set_fail_policy(policy);
+    }
+
+    /// Removes fault injection from every zone.
+    pub fn clear_fail_policy(&mut self) {
+        self.machine.clear_fail_policy();
+    }
+
+    /// Like [`System::touch`], but failures are wrapped in [`ContigError`]
+    /// carrying the faulting pid and VMA for cross-layer diagnosis.
+    ///
+    /// # Errors
+    ///
+    /// As for [`System::touch`], wrapped with context.
+    pub fn touch_ctx(
+        &mut self,
+        policy: &mut dyn PlacementPolicy,
+        pid: Pid,
+        va: VirtAddr,
+    ) -> Result<FaultOutcome, ContigError> {
+        let vma_start = self
+            .processes
+            .get(&pid)
+            .and_then(|a| a.vma_containing(va))
+            .map(|VmaId(start)| start);
+        self.touch(policy, pid, va).map_err(|e| {
+            let mut err = ContigError::from(e).with_pid(pid.0);
+            if let Some(start) = vma_start {
+                err = err.with_vma(start);
+            }
+            err
+        })
     }
 
     /// Touches `va`: services a demand fault if the page is absent.
@@ -300,17 +357,43 @@ impl System {
                 size = PageSize::Huge2M;
             }
         }
+        // Out-of-memory escalation: recover (reclaim, compaction) and retry
+        // a bounded number of times, then degrade the request size, then
+        // surface a typed error — never panic.
+        let mut recover_attempts = 0u32;
+        let mut recovered = false;
         loop {
             match self.try_alloc_and_map(policy, pid, vma_id, va, size, FaultKind::Anon) {
-                Ok(out) => return Ok(out),
-                Err(FaultError::OutOfMemory { .. }) if size == PageSize::Huge2M => {
-                    // THP fallback: retry the fault with a base page.
-                    self.processes
-                        .get_mut(&pid)
-                        .expect("unknown pid")
-                        .stats_mut()
-                        .thp_fallbacks += 1;
-                    size = PageSize::Base4K;
+                Ok(out) => {
+                    if recovered {
+                        self.recovery_stats.recovered_faults += 1;
+                    }
+                    return Ok(out);
+                }
+                Err(e @ FaultError::OutOfMemory { .. }) => {
+                    self.recovery_stats.oom_events += 1;
+                    recover_attempts += 1;
+                    if recover_attempts <= self.recovery.max_retries
+                        && self.try_recover(size.order())
+                    {
+                        self.recovery_stats.retries += 1;
+                        recovered = true;
+                        continue;
+                    }
+                    if size == PageSize::Huge2M {
+                        // THP fallback: retry the fault with a base page.
+                        self.processes
+                            .get_mut(&pid)
+                            .expect("unknown pid")
+                            .stats_mut()
+                            .thp_fallbacks += 1;
+                        self.recovery_stats.order_backoffs += 1;
+                        size = PageSize::Base4K;
+                        recover_attempts = 0;
+                    } else {
+                        self.recovery_stats.hard_ooms += 1;
+                        return Err(e);
+                    }
                 }
                 Err(e) => return Err(e),
             }
@@ -351,10 +434,17 @@ impl System {
                 Placement::Handled => {
                     // The policy mapped the page (and possibly much more)
                     // itself; account one fault at whatever it zeroed.
-                    let t = ctx
-                        .page_table
-                        .translate(fault_va)
-                        .expect("policy reported Handled without mapping the fault");
+                    let Ok(t) = ctx.page_table.translate(fault_va) else {
+                        // A policy claiming Handled without installing the
+                        // mapping is buggy, but a policy bug must not crash
+                        // the fault driver: fall back to default placement.
+                        debug_assert!(
+                            false,
+                            "policy reported Handled without mapping the fault"
+                        );
+                        decision = Placement::Default;
+                        continue;
+                    };
                     let latency = self.latency.fault_ns(
                         t.size.base_pages() + ctx.extra_zeroed_pages,
                         ctx.stats.placements - placements_before,
@@ -418,6 +508,43 @@ impl System {
         vma_id: VmaId,
         va: VirtAddr,
     ) -> Result<FaultOutcome, FaultError> {
+        // COW breaks cannot degrade their size (the copy must match the
+        // shared page), so the escalation is recover-and-retry only.
+        let mut recover_attempts = 0u32;
+        let mut recovered = false;
+        loop {
+            match self.try_cow_break(policy, pid, vma_id, va) {
+                Ok(out) => {
+                    if recovered && !out.already_mapped {
+                        self.recovery_stats.recovered_faults += 1;
+                    }
+                    return Ok(out);
+                }
+                Err(e @ FaultError::OutOfMemory { size, .. }) => {
+                    self.recovery_stats.oom_events += 1;
+                    recover_attempts += 1;
+                    if recover_attempts <= self.recovery.max_retries
+                        && self.try_recover(size.order())
+                    {
+                        self.recovery_stats.retries += 1;
+                        recovered = true;
+                        continue;
+                    }
+                    self.recovery_stats.hard_ooms += 1;
+                    return Err(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn try_cow_break(
+        &mut self,
+        policy: &mut dyn PlacementPolicy,
+        pid: Pid,
+        vma_id: VmaId,
+        va: VirtAddr,
+    ) -> Result<FaultOutcome, FaultError> {
         let aspace = self.processes.get_mut(&pid).expect("unknown pid");
         let t = aspace
             .page_table()
@@ -428,6 +555,7 @@ impl System {
         }
         let size = t.size;
         let old_pfn = t.pfn;
+        let old_flags = t.flags;
         let page_va = va.align_down(size);
         // Allocate the private copy through the policy so CA keeps COW pages
         // contiguous too.
@@ -480,8 +608,12 @@ impl System {
         ctx.stats.cow_faults += 1;
         ctx.stats.record_fault(size, latency);
         self.now_ns += latency;
-        // Drop our reference to the shared original.
-        self.unshare_frame(old_pfn, size);
+        // Drop our reference to the shared original. File pages are owned by
+        // the page cache, not the COW table: breaking a private file mapping
+        // must not free (or miscount) the cache's frame.
+        if !old_flags.contains(PteFlags::FILE) {
+            self.unshare_frame(old_pfn, size);
+        }
         Ok(FaultOutcome { pfn: new_pfn, size, already_mapped: false })
     }
 
@@ -505,11 +637,43 @@ impl System {
         let page_va = va.align_down(PageSize::Base4K);
         let vma_index = (page_va - vma_start) / PageSize::Base4K.bytes();
         let file_index = start_page + vma_index;
-        let window = READAHEAD_PAGES.min(vma_pages - vma_index);
-        self.page_cache
-            .readahead(&mut self.machine, file, file_index, window)
-            .map_err(|_| FaultError::OutOfMemory { addr: va, size: PageSize::Base4K })?;
-        let pfn = self.page_cache.lookup(file, file_index).expect("readahead populated");
+        let mut window = READAHEAD_PAGES.min(vma_pages - vma_index);
+        // Pressure escalation for readahead: recover and retry, then shrink
+        // the window to the single faulting page before giving up.
+        let mut recover_attempts = 0u32;
+        let mut recovered = false;
+        loop {
+            match self.page_cache.readahead(&mut self.machine, file, file_index, window) {
+                Ok(()) => break,
+                Err(_) => {
+                    self.recovery_stats.oom_events += 1;
+                    recover_attempts += 1;
+                    if recover_attempts <= self.recovery.max_retries && self.try_recover(0) {
+                        self.recovery_stats.retries += 1;
+                        recovered = true;
+                        continue;
+                    }
+                    if window > 1 {
+                        window = 1;
+                        self.recovery_stats.readahead_shrinks += 1;
+                        recover_attempts = 0;
+                    } else {
+                        self.recovery_stats.hard_ooms += 1;
+                        return Err(FaultError::OutOfMemory {
+                            addr: va,
+                            size: PageSize::Base4K,
+                        });
+                    }
+                }
+            }
+        }
+        if recovered {
+            self.recovery_stats.recovered_faults += 1;
+        }
+        let pfn = self
+            .page_cache
+            .lookup(file, file_index)
+            .ok_or(FaultError::OutOfMemory { addr: va, size: PageSize::Base4K })?;
         let aspace = self.processes.get_mut(&pid).expect("unknown pid");
         if aspace.page_table().translate(page_va).is_ok() {
             return Err(FaultError::AlreadyMapped { addr: va });
@@ -559,8 +723,12 @@ impl System {
             child_aspace
                 .page_table_mut()
                 .map(m.va, Pte::new(m.pte.pfn, m.pte.flags | PteFlags::COW), m.size);
-            let count = self.shared.entry(m.pte.pfn).or_insert(1);
-            *count += 1;
+            // File pages are shared through the page cache, which owns their
+            // frames; only anonymous frames enter the COW reference table.
+            if !m.pte.flags.contains(PteFlags::FILE) {
+                let count = self.shared.entry(m.pte.pfn).or_insert(1);
+                *count += 1;
+            }
         }
         child
     }

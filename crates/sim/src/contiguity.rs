@@ -191,7 +191,7 @@ fn evict_until_fits(sys: &mut System, need_bytes: u64) {
         }
         let f = contig_mm::FileId(file);
         if sys.page_cache().cached_pages(f) > 0 {
-            sys.evict_file_pages_where(f, |idx| (idx / STRIPE_PAGES) % 2 == 0);
+            sys.evict_file_pages_where(f, |idx| (idx / STRIPE_PAGES).is_multiple_of(2));
         }
     }
     for file in 0..files {

@@ -160,7 +160,11 @@ impl VirtualMachine {
     /// reported as [`FaultError::OutOfMemory`] at the guest address.
     pub fn touch(&mut self, pid: Pid, va: VirtAddr) -> Result<FaultOutcome, FaultError> {
         let out = self.guest.touch(&mut *self.guest_policy, pid, va)?;
-        if !out.already_mapped {
+        if !out.already_mapped
+            || !self.backing_complete(PhysAddr::from(out.pfn), out.size.bytes())
+        {
+            // Either a fresh guest mapping, or one left unbacked by an
+            // earlier nested-fault OOM: (re-)establish host backing.
             self.back_fault(pid, va, out)?;
         }
         Ok(out)
@@ -173,7 +177,9 @@ impl VirtualMachine {
     /// As for [`VirtualMachine::touch`].
     pub fn touch_write(&mut self, pid: Pid, va: VirtAddr) -> Result<FaultOutcome, FaultError> {
         let out = self.guest.touch_write(&mut *self.guest_policy, pid, va)?;
-        if !out.already_mapped {
+        if !out.already_mapped
+            || !self.backing_complete(PhysAddr::from(out.pfn), out.size.bytes())
+        {
             self.back_fault(pid, va, out)?;
         }
         Ok(out)
@@ -205,7 +211,7 @@ impl VirtualMachine {
         out: FaultOutcome,
     ) -> Result<(), FaultError> {
         // Anonymous (and COW) faults allocate exactly `out`.
-        self.back_gpa_range(PhysAddr::from(out.pfn), out.size.bytes())?;
+        self.back_gpa_range(va, PhysAddr::from(out.pfn), out.size.bytes())?;
         // File faults additionally populated a readahead window; back every
         // cached frame of the window (idempotent for already-backed frames).
         let aspace = self.guest.aspace(pid);
@@ -221,7 +227,7 @@ impl VirtualMachine {
                     }
                 }
                 for pfn in frames {
-                    self.back_gpa_range(PhysAddr::from(pfn), PageSize::Base4K.bytes())?;
+                    self.back_gpa_range(va, PhysAddr::from(pfn), PageSize::Base4K.bytes())?;
                 }
             }
         }
@@ -229,17 +235,51 @@ impl VirtualMachine {
     }
 
     /// Nested fault service: back `[gpa, gpa + len)` with host memory.
-    fn back_gpa_range(&mut self, gpa: PhysAddr, len: u64) -> Result<(), FaultError> {
+    ///
+    /// Host faults run the host's full recovery path (reclaim, compaction,
+    /// order back-off); a hard host OOM is reported at the *guest* virtual
+    /// address `gva`, which is the address the guest workload can act on.
+    fn back_gpa_range(
+        &mut self,
+        gva: VirtAddr,
+        gpa: PhysAddr,
+        len: u64,
+    ) -> Result<(), FaultError> {
         let mut hva = self.host_va_of(gpa);
         let end = self.host_va_of(gpa) + len;
         while hva < end {
-            let out = self.host.touch(&mut *self.host_policy, self.host_pid, hva)?;
+            let out = self
+                .host
+                .touch(&mut *self.host_policy, self.host_pid, hva)
+                .map_err(|e| match e {
+                    FaultError::OutOfMemory { size, .. } => {
+                        FaultError::OutOfMemory { addr: gva, size }
+                    }
+                    other => other,
+                })?;
             // Advance past whatever the host mapped (a huge host page may
             // cover far more than the guest page that faulted).
             let mapped_end = hva.align_down(out.size) + out.size.bytes();
             hva = mapped_end;
         }
         Ok(())
+    }
+
+    /// Whether `[gpa, gpa + len)` is fully backed by host mappings.
+    ///
+    /// A nested-fault OOM can leave a guest mapping without (complete) host
+    /// backing; the fault entry points use this to detect and heal the hole
+    /// on the next touch instead of silently returning `already_mapped`.
+    fn backing_complete(&self, gpa: PhysAddr, len: u64) -> bool {
+        let mut hva = self.host_va_of(gpa);
+        let end = self.host_va_of(gpa) + len;
+        while hva < end {
+            match self.host.aspace(self.host_pid).page_table().translate(hva) {
+                Ok(t) => hva = hva.align_down(t.size) + t.size.bytes(),
+                Err(_) => return false,
+            }
+        }
+        true
     }
 
     /// Faults every page of a guest VMA in address order (allocation phase).

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use contig_audit as audit;
 pub use contig_baselines as baselines;
 pub use contig_buddy as buddy;
 pub use contig_core as core;
@@ -59,6 +60,7 @@ pub use contig_workloads as workloads;
 
 /// The most common imports for driving the simulator.
 pub mod prelude {
+    pub use contig_audit::{audit_vm, AuditReport, AuditViolation, VmAuditReport};
     pub use contig_buddy::{Hog, Machine, MachineConfig, NodeId, Zone, ZoneConfig};
     pub use contig_core::{CaConfig, CaPaging, SpotConfig, SpotPredictor};
     pub use contig_metrics::{CoverageStats, PerfModel};

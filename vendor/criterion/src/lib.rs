@@ -1,0 +1,143 @@
+//! Offline stub of the `criterion` crate.
+//!
+//! Keeps the `contig-bench` benchmark targets compiling (and minimally
+//! runnable) without network access. Each benchmark closure is executed a
+//! handful of times and timed with `std::time::Instant`; there is no
+//! statistical analysis, warm-up, or HTML report — this is a smoke harness,
+//! not a measurement tool. Swap the real criterion back in for publishable
+//! numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const STUB_ITERS: u32 = 3;
+
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..STUB_ITERS {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed() / STUB_ITERS;
+    }
+}
+
+fn run_one(group: &str, id: &dyn Display, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { elapsed: Duration::ZERO };
+    f(&mut bencher);
+    if group.is_empty() {
+        println!("bench {id}: {:?}/iter (stub)", bencher.elapsed);
+    } else {
+        println!("bench {group}/{id}: {:?}/iter (stub)", bencher.elapsed);
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function(
+        &mut self,
+        id: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one("", &id, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _parent: self }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&self.name, &id, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&self.name, &id, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
