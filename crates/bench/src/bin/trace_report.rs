@@ -1,0 +1,187 @@
+//! `trace_report` — BadgerTrap-style observability report for the whole
+//! fault/allocation path.
+//!
+//! Runs a small pressured hog workload (hog pins half the machine, a file
+//! streams through the page cache, CA paging demand-faults an anonymous VMA
+//! under seeded allocation-failure injection, a TLB simulation replays the
+//! mapped footprint), with every subsystem probe feeding one
+//! [`contig_trace::TraceSession`]. Renders the per-subsystem event and
+//! metric summary, writes the raw trace as JSONL (plus a chrome://tracing
+//! view), and self-validates: the binary exits non-zero when the trace is
+//! empty or does not parse back losslessly.
+//!
+//! Flags: `--out PATH` (JSONL, default `trace.jsonl`), `--chrome PATH`
+//! (chrome trace JSON, default `trace_chrome.json`), `--mib N` (machine
+//! size, default 32).
+
+use contig_core::CaPaging;
+use contig_metrics::TextTable;
+use contig_mm::{System, SystemConfig, VmaKind};
+use contig_tlb::{Access, MemorySim, NoScheme, TlbConfig, WalkCostModel};
+use contig_trace::{export_chrome, export_jsonl, parse_jsonl, TraceSession};
+use contig_types::{FailMode, FailPolicy, FaultError, VirtAddr, VirtRange};
+use contig_virt::NativeBackend;
+
+const FILE_BASE: u64 = 0x9000_0000;
+const ANON_BASE: u64 = 0x40_0000;
+
+struct Args {
+    out: String,
+    chrome: String,
+    mib: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "trace.jsonl".to_string(),
+        chrome: "trace_chrome.json".to_string(),
+        mib: 32,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .unwrap_or_else(|| panic!("usage: [--out PATH] [--chrome PATH] [--mib N]"))
+        };
+        match argv[i].as_str() {
+            "--out" => args.out = value(&mut i),
+            "--chrome" => args.chrome = value(&mut i),
+            "--mib" => {
+                args.mib = value(&mut i).parse().expect("--mib expects a number");
+            }
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+        i += 1;
+    }
+    args
+}
+
+/// Drives the traced workload; returns the mapped anonymous bytes.
+fn run_workload(sys: &mut System, session: &TraceSession, mib: u64) -> u64 {
+    let _hog = contig_buddy::Hog::occupy(sys.machine_mut(), 0.5, 11);
+    let pid = sys.spawn();
+    let file = sys.page_cache_mut().create_file();
+    let file_len = (mib << 20) / 8;
+    let anon_len = (mib << 20) / 2;
+    sys.aspace_mut(pid).map_vma(
+        VirtRange::new(VirtAddr::new(FILE_BASE), file_len),
+        VmaKind::File { file, start_page: 0 },
+    );
+    sys.aspace_mut(pid)
+        .map_vma(VirtRange::new(VirtAddr::new(ANON_BASE), anon_len), VmaKind::Anon);
+    sys.set_fail_policy(FailPolicy::new(FailMode::EveryNth { n: 50 }));
+
+    let mut ca = CaPaging::new();
+    ca.set_tracer(session.tracer());
+
+    for i in 0..file_len / 4096 {
+        match sys.touch(&mut ca, pid, VirtAddr::new(FILE_BASE + i * 4096)) {
+            Ok(_) | Err(FaultError::OutOfMemory { .. }) => {}
+            Err(other) => panic!("untyped failure escaped the fault path: {other:?}"),
+        }
+    }
+    let mut va = VirtAddr::new(ANON_BASE);
+    let end = VirtAddr::new(ANON_BASE + anon_len);
+    while va < end {
+        match sys.touch(&mut ca, pid, va) {
+            Ok(out) => va = va.align_down(out.size) + out.size.bytes(),
+            Err(FaultError::OutOfMemory { .. }) => va += 4096u64,
+            Err(other) => panic!("untyped failure escaped the fault path: {other:?}"),
+        }
+    }
+
+    // Replay the anonymous footprint through the TLB model: a strided scan
+    // that produces both TLB hits and last-level misses with page walks.
+    let mut sim = MemorySim::new(TlbConfig::broadwell(), WalkCostModel::default());
+    sim.set_tracer(session.tracer());
+    let backend = NativeBackend::new(sys.aspace(pid).page_table());
+    let mut scheme = NoScheme;
+    let accesses = (0..anon_len / 4096)
+        .filter(|i| sys.aspace(pid).page_table().translate(VirtAddr::new(ANON_BASE + i * 4096)).is_ok())
+        .map(|i| Access::read(1, VirtAddr::new(ANON_BASE + i * 4096)));
+    sim.run(&backend, &mut scheme, accesses);
+
+    // The post-run audit reports through the same trace session.
+    let report = sys.audit();
+    assert!(report.is_clean(), "audit after trace_report workload:\n{report}");
+    sys.aspace(pid).mapped_bytes()
+}
+
+fn main() {
+    let args = parse_args();
+    let session = TraceSession::ring(1 << 20);
+    let mut sys =
+        System::new(SystemConfig::new(contig_buddy::MachineConfig::single_node_mib(args.mib)));
+    sys.set_tracer(session.tracer());
+    let mapped = run_workload(&mut sys, &session, args.mib);
+
+    if !session.tracer().is_enabled() {
+        eprintln!("trace_report: contig-trace probes are compiled out; no trace to report");
+        std::process::exit(1);
+    }
+
+    let records = session.records();
+    let metrics = session.metrics();
+
+    println!("== trace_report — fault/allocation path observability ==");
+    println!(
+        "workload: {} MiB machine, hog + file stream + CA-paged anon VMA ({} MiB mapped), \
+         injection EveryNth(50), TLB replay\n",
+        args.mib,
+        mapped >> 20
+    );
+
+    // Per-subsystem event summary: one row per event/counter name.
+    let mut events = TextTable::new(&["subsystem", "counter", "count"]);
+    for (name, value) in metrics.counters() {
+        let subsystem = name.split('.').next().unwrap_or("?");
+        events.row(&[subsystem.to_string(), name.to_string(), value.to_string()]);
+    }
+    println!("{}", events.render());
+
+    let mut hists = TextTable::new(&["histogram", "samples", "mean", "max"]);
+    for (name, h) in metrics.histograms() {
+        hists.row(&[
+            name.to_string(),
+            h.count().to_string(),
+            format!("{:.1}", h.mean()),
+            h.max().to_string(),
+        ]);
+    }
+    if !hists.is_empty() {
+        println!("{}", hists.render());
+    }
+    println!(
+        "{} events recorded ({} dropped), simulated span {} ns",
+        records.len(),
+        session.dropped(),
+        records.last().map_or(0, |r| r.ts_ns)
+    );
+
+    // Export, then self-validate: the JSONL on disk must be non-empty and
+    // parse back to exactly the records we hold.
+    let jsonl = export_jsonl(&records);
+    std::fs::write(&args.out, &jsonl).expect("writing the JSONL trace");
+    std::fs::write(&args.chrome, export_chrome(&records)).expect("writing the chrome trace");
+    if records.is_empty() || jsonl.trim().is_empty() {
+        eprintln!("trace_report: empty trace — probes are not wired");
+        std::process::exit(1);
+    }
+    match parse_jsonl(&jsonl) {
+        Ok(parsed) if parsed == records => {
+            println!("trace written to {} ({} lines, validated) and {}",
+                args.out, records.len(), args.chrome);
+        }
+        Ok(_) => {
+            eprintln!("trace_report: JSONL round-trip diverged from the recorded events");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("trace_report: exported trace does not parse: {e}");
+            std::process::exit(1);
+        }
+    }
+}

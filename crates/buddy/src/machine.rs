@@ -2,6 +2,7 @@
 //! allocation policy, mirroring how Linux keeps a buddy instance and a
 //! separate `contiguity_map` per `struct zone` (paper §III-B).
 
+use contig_trace::Tracer;
 use contig_types::{AllocError, FailPolicy, PageSize, PhysRange, Pfn};
 
 use crate::stats::FreeBlockHistogram;
@@ -133,6 +134,14 @@ impl Machine {
     /// Whether any node has a free block of at least `order`.
     pub fn has_free_block(&self, order: u32) -> bool {
         self.zones.iter().any(|z| z.has_free_block(order))
+    }
+
+    /// Attaches observability probes to every zone (each zone holds a clone
+    /// of the handle; all feed the same session).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        for zone in &mut self.zones {
+            zone.set_tracer(tracer.clone());
+        }
     }
 
     /// Installs a fault-injection policy on every zone (each zone gets its

@@ -1,5 +1,6 @@
 //! The buddy allocator for one physical-memory zone (one NUMA node).
 
+use contig_trace::{TraceEvent, Tracer};
 use contig_types::{AllocError, FailPolicy, PageSize, PhysRange, Pfn};
 
 use crate::contiguity::ContiguityMap;
@@ -84,6 +85,9 @@ pub struct Zone {
     /// Deterministic fault injection consulted before every allocation
     /// attempt; [`FailPolicy::never`] (the default) costs one branch.
     fail: FailPolicy,
+    /// Observability probes; [`Tracer::disabled`] (the default) costs one
+    /// branch per allocator operation.
+    tracer: Tracer,
 }
 
 impl Zone {
@@ -108,6 +112,7 @@ impl Zone {
             contiguity: ContiguityMap::new(config.top_order),
             counters: ZoneCounters::default(),
             fail: FailPolicy::never(),
+            tracer: Tracer::disabled(),
         };
         // Seed free blocks: greedily install maximal aligned blocks.
         let mut rel = 0u64;
@@ -184,6 +189,18 @@ impl Zone {
         &self.counters
     }
 
+    /// Attaches observability probes: every allocator operation emits a
+    /// `buddy.*` event, injector consultations bump the `fail.attempts`
+    /// counter, and injected failures emit `inject.failure`.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer handle (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Installs a fault-injection policy consulted before every allocation
     /// attempt (see [`FailPolicy`]). Replaces any previous policy.
     pub fn set_fail_policy(&mut self, policy: FailPolicy) {
@@ -238,7 +255,9 @@ impl Zone {
         if order > self.config.top_order {
             return Err(AllocError::OutOfMemory { order });
         }
+        self.tracer.add("fail.attempts", 1);
         if self.fail.should_fail(order) {
+            self.tracer.emit(TraceEvent::InjectedFailure { order, targeted: false });
             return Err(AllocError::OutOfMemory { order });
         }
         let mut found = None;
@@ -248,7 +267,10 @@ impl Zone {
                 break;
             }
         }
-        let from_order = found.ok_or(AllocError::OutOfMemory { order })?;
+        let Some(from_order) = found else {
+            self.tracer.emit(TraceEvent::AllocFailed { order });
+            return Err(AllocError::OutOfMemory { order });
+        };
         let Some(block) = self.take_from_list(from_order) else {
             // Invariant: the scan above saw this list non-empty and nothing
             // ran in between. Degrade to an allocation failure rather than
@@ -256,10 +278,15 @@ impl Zone {
             debug_assert!(false, "free list {from_order} empty after non-empty check");
             return Err(AllocError::OutOfMemory { order });
         };
+        let splits_before = self.counters.splits;
         let head = self.split_to(block, from_order, order);
         self.frames.mark_allocated_block(head, order);
         self.free_frames -= 1 << order;
         self.counters.allocs += 1;
+        if self.tracer.is_enabled() {
+            self.tracer.add("buddy.split", self.counters.splits - splits_before);
+            self.tracer.emit(TraceEvent::Alloc { order, pfn: head.raw() });
+        }
         Ok(head)
     }
 
@@ -282,31 +309,43 @@ impl Zone {
         if !self.contains(target) || !self.contains(target.add((1 << order) - 1)) {
             return Err(AllocError::OutOfZone { target });
         }
+        self.tracer.add("fail.attempts", 1);
         if self.fail.should_fail(order) {
             // Injected targeted failures surface as a busy target: the
             // realistic race where another allocation claimed the frame
             // between the policy's free check and the claim attempt.
+            self.tracer.emit(TraceEvent::InjectedFailure { order, targeted: true });
             return Err(AllocError::TargetBusy { target });
         }
         // With eager coalescing, a fully-free aligned 2^order region is always
         // covered by a single free block of order >= `order`; find it.
-        let (head, found_order) = self
-            .frames
-            .free_block_containing(target, self.config.top_order)
-            .ok_or(AllocError::TargetBusy { target })
-            .inspect_err(|_| self.counters.targeted_misses += 1)?;
+        let miss = |zone: &mut Self| {
+            zone.counters.targeted_misses += 1;
+            zone.tracer.emit(TraceEvent::TargetedMiss { target: target.raw(), order });
+        };
+        let Some((head, found_order)) =
+            self.frames.free_block_containing(target, self.config.top_order)
+        else {
+            miss(self);
+            return Err(AllocError::TargetBusy { target });
+        };
         if found_order < order || head.raw() + (1 << found_order) < target.raw() + (1 << order) {
             // The containing block is too small: some frame in the target
             // range is busy.
-            self.counters.targeted_misses += 1;
+            miss(self);
             return Err(AllocError::TargetBusy { target });
         }
         self.remove_from_list(head, found_order);
+        let splits_before = self.counters.splits;
         let head = self.split_towards(head, found_order, target, order);
         debug_assert_eq!(head, target);
         self.frames.mark_allocated_block(target, order);
         self.free_frames -= 1 << order;
         self.counters.targeted_allocs += 1;
+        if self.tracer.is_enabled() {
+            self.tracer.add("buddy.split", self.counters.splits - splits_before);
+            self.tracer.emit(TraceEvent::TargetedAlloc { target: target.raw(), order });
+        }
         Ok(())
     }
 
@@ -326,6 +365,10 @@ impl Zone {
         }
         self.counters.frees += 1;
         self.free_frames += 1 << order;
+        if self.tracer.is_enabled() {
+            self.tracer.emit(TraceEvent::Free { pfn: head.raw(), order });
+        }
+        let coalesces_before = self.counters.coalesces;
         let mut head = head;
         let mut order = order;
         // Coalesce with the buddy while it is free and the same order.
@@ -350,6 +393,9 @@ impl Zone {
         }
         self.frames.mark_free_block(head, order);
         self.insert_into_list(head, order);
+        if self.tracer.is_enabled() {
+            self.tracer.add("buddy.coalesce", self.counters.coalesces - coalesces_before);
+        }
     }
 
     /// Convenience wrapper: allocate one page of the given size.
@@ -387,6 +433,7 @@ impl Zone {
             self.frames.mark_allocated_block(head.add(i << new_order), new_order);
         }
         self.counters.splits += pieces - 1;
+        self.tracer.add("buddy.split", pieces - 1);
     }
 
     /// Next-fit placement over the contiguity map (paper Fig. 4). Returns the

@@ -17,6 +17,7 @@
 //!    threshold get the reserved contiguity bit that filters SpOT fills.
 
 use contig_mm::{FaultCtx, Placement, PlacementPolicy};
+use contig_trace::{TraceEvent, Tracer};
 use contig_types::{MapOffset, PageSize, PhysAddr, Pfn};
 
 use crate::marking::mark_contiguity;
@@ -114,6 +115,8 @@ pub struct CaPaging {
     /// Busy targets seen since the last successful map: under memory
     /// pressure, each one halves the next placement's contiguity ambition.
     consecutive_busy: u32,
+    /// Trace probe for placement decisions (disabled by default).
+    tracer: Tracer,
 }
 
 impl Default for CaPaging {
@@ -137,7 +140,14 @@ impl CaPaging {
             ewma_run_pages: config.contig_threshold_pages,
             threshold: config.contig_threshold_pages,
             consecutive_busy: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a trace handle; placement decisions, busy targets, and
+    /// achieved contiguity runs are reported through it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The tuning in force.
@@ -179,7 +189,8 @@ impl CaPaging {
         } else {
             ctx.vma.remaining_from(ctx.va).max(ctx.size.bytes())
         };
-        if self.consecutive_busy > 0 {
+        let degraded = self.consecutive_busy > 0;
+        if degraded {
             // Graceful degradation: repeated busy targets mean the machine is
             // under contiguity pressure, so halve the ambition per failure
             // (floored at the fault size) instead of chasing runs that the
@@ -233,6 +244,11 @@ impl CaPaging {
             return Placement::Default;
         };
         debug_assert!(target.is_aligned(ctx.size));
+        self.tracer.emit(TraceEvent::Placement {
+            key_bytes,
+            target: target.page_number().raw(),
+            degraded,
+        });
         Placement::Target(target.page_number())
     }
 
@@ -260,6 +276,7 @@ impl PlacementPolicy for CaPaging {
         match self.target_from_offsets(ctx) {
             Some(target) => {
                 self.stats.offset_allocs += 1;
+                self.tracer.add("ca.offset_alloc", 1);
                 Placement::Target(target)
             }
             None if ctx.vma.offsets().is_empty() => self.place(ctx),
@@ -271,13 +288,15 @@ impl PlacementPolicy for CaPaging {
         }
     }
 
-    fn on_target_busy(&mut self, ctx: &mut FaultCtx<'_>, _busy: Pfn) -> Placement {
+    fn on_target_busy(&mut self, ctx: &mut FaultCtx<'_>, busy: Pfn) -> Placement {
         self.stats.target_busy += 1;
         self.consecutive_busy = self.consecutive_busy.saturating_add(1);
+        self.tracer.emit(TraceEvent::TargetBusy { target: busy.raw() });
         if ctx.size == PageSize::Base4K {
             // 4 KiB failures skip offset tracking and fall back (paper:
             // decisions on top of huge pages amortize placement cost).
             self.stats.fallbacks_4k += 1;
+            self.tracer.add("ca.fallback_4k", 1);
             return Placement::Default;
         }
         if !self.config.replacement {
@@ -306,6 +325,10 @@ impl PlacementPolicy for CaPaging {
         }
         let _ = mapped;
         let run = mark_contiguity(ctx.page_table, ctx.va, self.threshold);
+        if run > 0 && self.tracer.is_enabled() {
+            self.tracer.emit(TraceEvent::ContigRun { pages: run });
+            self.tracer.observe("ca.run_pages", run);
+        }
         if self.config.adaptive_threshold && run > 0 {
             // EWMA of observed run lengths; the threshold tracks an eighth of
             // the average so vast contiguity filters aggressively while

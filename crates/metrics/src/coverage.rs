@@ -96,6 +96,29 @@ pub struct TimelinePoint {
     pub mapped_bytes: u64,
 }
 
+impl TimelinePoint {
+    /// The trace event carrying this sample, for emission through a
+    /// [`contig_trace::Tracer`] and recovery via [`TimelinePoint::from_event`].
+    pub fn to_event(self) -> contig_trace::TraceEvent {
+        contig_trace::TraceEvent::TimelinePoint {
+            t: self.t,
+            top32: self.top32,
+            mapped_bytes: self.mapped_bytes,
+        }
+    }
+
+    /// Recovers the sample from a `metrics.timeline_point` trace event;
+    /// `None` for any other event kind.
+    pub fn from_event(event: &contig_trace::TraceEvent) -> Option<Self> {
+        match *event {
+            contig_trace::TraceEvent::TimelinePoint { t, top32, mapped_bytes } => {
+                Some(Self { t, top32, mapped_bytes })
+            }
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +175,29 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn zero_coverage_rejected() {
         CoverageStats::from_mappings(&[]).mappings_for_coverage(0.0);
+    }
+
+    #[test]
+    fn timeline_points_round_trip_through_jsonl() {
+        let points = vec![
+            TimelinePoint { t: 0, top32: 0.0, mapped_bytes: 0 },
+            TimelinePoint { t: 100, top32: 0.5, mapped_bytes: 8 << 20 },
+            TimelinePoint { t: 200, top32: 0.984375, mapped_bytes: 16 << 20 },
+            TimelinePoint { t: 300, top32: 1.0, mapped_bytes: 32 << 20 },
+        ];
+        let session = contig_trace::TraceSession::ring(0);
+        let tracer = session.tracer();
+        for p in &points {
+            tracer.emit(p.to_event());
+        }
+        let jsonl = contig_trace::export_jsonl(&session.records());
+        let parsed = contig_trace::parse_jsonl(&jsonl).expect("exported trace must parse");
+        let back: Vec<TimelinePoint> =
+            parsed.iter().filter_map(|r| TimelinePoint::from_event(&r.event)).collect();
+        if tracer.is_enabled() {
+            assert_eq!(back, points, "JSONL round-trip must preserve every sample exactly");
+        } else {
+            assert!(back.is_empty(), "probes compiled out: nothing recorded");
+        }
     }
 }

@@ -309,6 +309,12 @@ impl System {
                 });
             }
         }
+        if self.tracer.is_enabled() {
+            self.tracer.emit(contig_trace::TraceEvent::AuditReport {
+                violations: report.violations.len() as u64,
+            });
+            self.tracer.add("audit.violations", report.violations.len() as u64);
+        }
         report
     }
 }

@@ -13,6 +13,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use contig_buddy::NodeId;
+use contig_trace::RecoveryStage;
 use contig_types::{PageSize, Pfn, VirtAddr};
 
 use crate::page_cache::FileId;
@@ -81,6 +82,12 @@ pub struct RecoveryStats {
     pub recovered_faults: u64,
     /// Faults that failed even after the full escalation.
     pub hard_ooms: u64,
+    /// Simulated nanoseconds spent in reclaim passes (cost-model units:
+    /// one page-touch cost per evicted page).
+    pub reclaim_ns: u64,
+    /// Simulated nanoseconds spent in compaction passes (one page-copy cost
+    /// per migrated frame).
+    pub compaction_ns: u64,
 }
 
 /// Result of one [`System::compact`] pass.
@@ -129,15 +136,33 @@ impl System {
             self.recovery_stats.reclaim_passes += 1;
             let n = self.reclaim_cache_pages(cfg.reclaim_batch);
             self.recovery_stats.reclaimed_pages += n;
+            // Cost model: evicting a page costs one page-touch, like
+            // zeroing one (Table IV treats both as one page-sized memory
+            // operation).
+            let ns = n * self.latency.zero_page_ns;
+            self.recovery_stats.reclaim_ns += ns;
+            self.advance_clock(ns);
+            self.trace_recovery(RecoveryStage::ReclaimPass, n, 0, ns);
+            self.tracer.observe("recovery.reclaim_ns", ns);
             if self.machine.has_free_block(order) {
                 return true;
             }
         }
         if cfg.compaction && order > 0 {
             self.recovery_stats.compaction_passes += 1;
+            let before_ns = self.now_ns;
             let out = self.compact(order, cfg.compact_budget);
             self.recovery_stats.migrated_blocks += out.migrated_blocks;
             self.recovery_stats.migrated_frames += out.migrated_frames;
+            let ns = self.now_ns - before_ns;
+            self.recovery_stats.compaction_ns += ns;
+            self.trace_recovery(
+                RecoveryStage::CompactionPass,
+                out.migrated_blocks,
+                out.migrated_frames,
+                ns,
+            );
+            self.tracer.observe("recovery.compaction_ns", ns);
             if self.machine.has_free_block(order) {
                 return true;
             }
@@ -286,7 +311,7 @@ impl System {
                 out.migrated_frames += frames;
                 budget -= 1;
                 // Migration copies the block's contents.
-                self.now_ns += frames * self.latency.zero_page_ns;
+                self.advance_clock(frames * self.latency.zero_page_ns);
             }
         }
         out

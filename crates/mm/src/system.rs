@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use contig_buddy::{Machine, MachineConfig};
+use contig_trace::{FaultClass, RecoveryStage, TraceEvent, Tracer};
 use contig_types::{AllocError, ContigError, FailPolicy, FaultError, PageSize, Pfn, VirtAddr};
 
 use crate::aspace::{AddressSpace, VmaId};
@@ -109,6 +110,8 @@ pub struct System {
     pub(crate) recovery: RecoveryConfig,
     /// Per-stage recovery counters.
     pub(crate) recovery_stats: RecoveryStats,
+    /// Observability probes over the fault path; disabled by default.
+    pub(crate) tracer: Tracer,
 }
 
 impl System {
@@ -127,7 +130,44 @@ impl System {
             now_ns: 0,
             recovery: config.recovery,
             recovery_stats: RecoveryStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches observability probes to the fault driver and, via the
+    /// machine, to every buddy zone. Fault entry/exit, COW breaks,
+    /// readahead, every recovery stage, and audit walks all emit events to
+    /// the handle's session; the simulated clock is mirrored into record
+    /// timestamps.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.machine.set_tracer(tracer.clone());
+        tracer.set_clock(self.now_ns);
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer handle (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Advances the simulated clock and mirrors it into the trace session,
+    /// so records are stamped with the time the work *finished*.
+    pub(crate) fn advance_clock(&mut self, ns: u64) {
+        self.now_ns += ns;
+        self.tracer.set_clock(self.now_ns);
+    }
+
+    /// Emits one `recovery.<stage>` event. Every [`RecoveryStats`] bump has
+    /// exactly one call next to it, so per-stage trace counts equal the
+    /// stats totals — the invariant `tests/pressure_recovery.rs` asserts.
+    pub(crate) fn trace_recovery(
+        &self,
+        stage: RecoveryStage,
+        amount: u64,
+        extra: u64,
+        latency_ns: u64,
+    ) {
+        self.tracer.emit(TraceEvent::Recovery { stage, amount, extra, latency_ns });
     }
 
     /// Creates an empty process.
@@ -321,18 +361,49 @@ impl System {
         kind: FaultKind,
     ) -> Result<FaultOutcome, FaultError> {
         let aspace = self.processes.get_mut(&pid).expect("unknown pid");
-        let vma_id =
-            aspace.vma_containing(va).ok_or(FaultError::UnmappedAddress { addr: va })?;
+        let Some(vma_id) = aspace.vma_containing(va) else {
+            self.tracer.emit(TraceEvent::FaultFailed { pid: pid.0, va: va.raw() });
+            return Err(FaultError::UnmappedAddress { addr: va });
+        };
         let vma_kind = aspace.vma(vma_id).kind();
         let kind = match vma_kind {
             VmaKind::File { .. } if kind == FaultKind::Anon => FaultKind::FileRead,
             _ => kind,
         };
-        match kind {
+        let traced = self.tracer.is_enabled();
+        if traced {
+            let class = match kind {
+                FaultKind::Anon => FaultClass::Anon,
+                FaultKind::Cow => FaultClass::Cow,
+                FaultKind::FileRead => FaultClass::File,
+            };
+            self.tracer.emit(TraceEvent::FaultEnter { pid: pid.0, va: va.raw(), class });
+        }
+        let before_ns = self.now_ns;
+        let result = match kind {
             FaultKind::Cow => self.cow_fault(policy, pid, vma_id, va),
             FaultKind::FileRead => self.file_fault(policy, pid, vma_id, va),
             FaultKind::Anon => self.anon_fault(policy, pid, vma_id, va),
+        };
+        if traced {
+            match &result {
+                Ok(out) if !out.already_mapped => {
+                    let latency_ns = self.now_ns - before_ns;
+                    self.tracer.emit(TraceEvent::FaultExit {
+                        pid: pid.0,
+                        va: va.raw(),
+                        order: out.size.order(),
+                        latency_ns,
+                    });
+                    self.tracer.observe("mm.fault_ns", latency_ns);
+                }
+                Ok(_) => {}
+                Err(_) => {
+                    self.tracer.emit(TraceEvent::FaultFailed { pid: pid.0, va: va.raw() });
+                }
+            }
         }
+        result
     }
 
     fn anon_fault(
@@ -367,16 +438,19 @@ impl System {
                 Ok(out) => {
                     if recovered {
                         self.recovery_stats.recovered_faults += 1;
+                        self.trace_recovery(RecoveryStage::RecoveredFault, 0, 0, 0);
                     }
                     return Ok(out);
                 }
                 Err(e @ FaultError::OutOfMemory { .. }) => {
                     self.recovery_stats.oom_events += 1;
+                    self.trace_recovery(RecoveryStage::OomEvent, size.order().into(), 0, 0);
                     recover_attempts += 1;
                     if recover_attempts <= self.recovery.max_retries
                         && self.try_recover(size.order())
                     {
                         self.recovery_stats.retries += 1;
+                        self.trace_recovery(RecoveryStage::Retry, size.order().into(), 0, 0);
                         recovered = true;
                         continue;
                     }
@@ -388,10 +462,17 @@ impl System {
                             .stats_mut()
                             .thp_fallbacks += 1;
                         self.recovery_stats.order_backoffs += 1;
+                        self.trace_recovery(
+                            RecoveryStage::OrderBackoff,
+                            size.order().into(),
+                            0,
+                            0,
+                        );
                         size = PageSize::Base4K;
                         recover_attempts = 0;
                     } else {
                         self.recovery_stats.hard_ooms += 1;
+                        self.trace_recovery(RecoveryStage::HardOom, size.order().into(), 0, 0);
                         return Err(e);
                     }
                 }
@@ -451,6 +532,7 @@ impl System {
                     );
                     ctx.stats.record_fault(t.size, latency);
                     self.now_ns += latency;
+                    self.tracer.set_clock(self.now_ns);
                     return Ok(FaultOutcome {
                         pfn: t.pfn,
                         size: t.size,
@@ -498,6 +580,7 @@ impl System {
         );
         ctx.stats.record_fault(size, latency);
         self.now_ns += latency;
+        self.tracer.set_clock(self.now_ns);
         Ok(FaultOutcome { pfn, size, already_mapped: false })
     }
 
@@ -517,20 +600,24 @@ impl System {
                 Ok(out) => {
                     if recovered && !out.already_mapped {
                         self.recovery_stats.recovered_faults += 1;
+                        self.trace_recovery(RecoveryStage::RecoveredFault, 0, 0, 0);
                     }
                     return Ok(out);
                 }
                 Err(e @ FaultError::OutOfMemory { size, .. }) => {
                     self.recovery_stats.oom_events += 1;
+                    self.trace_recovery(RecoveryStage::OomEvent, size.order().into(), 0, 0);
                     recover_attempts += 1;
                     if recover_attempts <= self.recovery.max_retries
                         && self.try_recover(size.order())
                     {
                         self.recovery_stats.retries += 1;
+                        self.trace_recovery(RecoveryStage::Retry, size.order().into(), 0, 0);
                         recovered = true;
                         continue;
                     }
                     self.recovery_stats.hard_ooms += 1;
+                    self.trace_recovery(RecoveryStage::HardOom, size.order().into(), 0, 0);
                     return Err(e);
                 }
                 Err(e) => return Err(e),
@@ -608,6 +695,8 @@ impl System {
         ctx.stats.cow_faults += 1;
         ctx.stats.record_fault(size, latency);
         self.now_ns += latency;
+        self.tracer.set_clock(self.now_ns);
+        self.tracer.emit(TraceEvent::CowBreak { pid: pid.0, va: page_va.raw() });
         // Drop our reference to the shared original. File pages are owned by
         // the page cache, not the COW table: breaking a private file mapping
         // must not free (or miscount) the cache's frame.
@@ -647,18 +736,22 @@ impl System {
                 Ok(()) => break,
                 Err(_) => {
                     self.recovery_stats.oom_events += 1;
+                    self.trace_recovery(RecoveryStage::OomEvent, 0, 0, 0);
                     recover_attempts += 1;
                     if recover_attempts <= self.recovery.max_retries && self.try_recover(0) {
                         self.recovery_stats.retries += 1;
+                        self.trace_recovery(RecoveryStage::Retry, 0, 0, 0);
                         recovered = true;
                         continue;
                     }
                     if window > 1 {
                         window = 1;
                         self.recovery_stats.readahead_shrinks += 1;
+                        self.trace_recovery(RecoveryStage::ReadaheadShrink, window, 0, 0);
                         recover_attempts = 0;
                     } else {
                         self.recovery_stats.hard_ooms += 1;
+                        self.trace_recovery(RecoveryStage::HardOom, 0, 0, 0);
                         return Err(FaultError::OutOfMemory {
                             addr: va,
                             size: PageSize::Base4K,
@@ -669,6 +762,14 @@ impl System {
         }
         if recovered {
             self.recovery_stats.recovered_faults += 1;
+            self.trace_recovery(RecoveryStage::RecoveredFault, 0, 0, 0);
+        }
+        if self.tracer.is_enabled() {
+            self.tracer.emit(TraceEvent::Readahead {
+                file: file.0.into(),
+                index: file_index,
+                pages: window,
+            });
         }
         let pfn = self
             .page_cache
@@ -699,6 +800,7 @@ impl System {
         let latency = self.latency.fault_ns(1, 0);
         aspace.stats_mut().record_fault(PageSize::Base4K, latency);
         self.now_ns += latency;
+        self.tracer.set_clock(self.now_ns);
         Ok(FaultOutcome { pfn, size: PageSize::Base4K, already_mapped: false })
     }
 

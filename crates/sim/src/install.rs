@@ -124,7 +124,9 @@ pub fn populate_native(
                 chunks += 1;
                 if chunks.is_multiple_of(TICK_EVERY_CHUNKS) {
                     runtime.tick(sys, &[instance.pid]);
-                    timeline.push(sample_native(sys, instance.pid, chunks as u64));
+                    let p = sample_native(sys, instance.pid, chunks as u64);
+                    sys.tracer().emit(p.to_event());
+                    timeline.push(p);
                 }
             }
         }
@@ -134,7 +136,9 @@ pub fn populate_native(
     for extra in 0..32 {
         let migrated_before = runtime.pages_migrated();
         runtime.tick(sys, &[instance.pid]);
-        timeline.push(sample_native(sys, instance.pid, (chunks + extra + 1) as u64));
+        let p = sample_native(sys, instance.pid, (chunks + extra + 1) as u64);
+        sys.tracer().emit(p.to_event());
+        timeline.push(p);
         if runtime.pages_migrated() == migrated_before {
             break;
         }
@@ -243,12 +247,16 @@ pub fn populate_vm(
                 }
                 chunks += 1;
                 if (chunks as usize).is_multiple_of(TICK_EVERY_CHUNKS) {
-                    timeline.push(sample_vm(vm, instance.pid, chunks));
+                    let p = sample_vm(vm, instance.pid, chunks);
+                    vm.tracer().emit(p.to_event());
+                    timeline.push(p);
                 }
             }
         }
     }
-    timeline.push(sample_vm(vm, instance.pid, chunks + 1));
+    let p = sample_vm(vm, instance.pid, chunks + 1);
+    vm.tracer().emit(p.to_event());
+    timeline.push(p);
     Ok(())
 }
 

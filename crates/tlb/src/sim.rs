@@ -6,6 +6,7 @@
 //! translation scheme (SpOT, vRMM, Direct Segments, or nothing), whose
 //! outcomes feed the linear performance model.
 
+use contig_trace::{TraceEvent, Tracer};
 use contig_types::VirtAddr;
 
 use crate::hierarchy::{TlbConfig, TlbHierarchy, TlbHit};
@@ -142,12 +143,25 @@ pub struct MemorySim {
     tlb: TlbHierarchy,
     cost: WalkCostModel,
     report: SimReport,
+    tracer: Tracer,
 }
 
 impl MemorySim {
     /// A fresh simulator.
     pub fn new(config: TlbConfig, cost: WalkCostModel) -> Self {
-        Self { tlb: TlbHierarchy::new(config), cost, report: SimReport::default() }
+        Self {
+            tlb: TlbHierarchy::new(config),
+            cost,
+            report: SimReport::default(),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Attaches a trace handle: hits feed `tlb.access`/`tlb.l1_hit`/
+    /// `tlb.l2_hit` counters, every last-level miss emits a `tlb.miss` event
+    /// and a `tlb.walk_cycles` histogram sample.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Counters accumulated so far.
@@ -173,16 +187,39 @@ impl MemorySim {
         access: Access,
     ) {
         self.report.accesses += 1;
+        let traced = self.tracer.is_enabled();
+        if traced {
+            self.tracer.add("tlb.access", 1);
+        }
         match self.tlb.lookup(access.va) {
-            TlbHit::L1 => self.report.l1_hits += 1,
-            TlbHit::L2 => self.report.l2_hits += 1,
+            TlbHit::L1 => {
+                self.report.l1_hits += 1;
+                if traced {
+                    self.tracer.add("tlb.l1_hit", 1);
+                }
+            }
+            TlbHit::L2 => {
+                self.report.l2_hits += 1;
+                if traced {
+                    self.tracer.add("tlb.l2_hit", 1);
+                }
+            }
             TlbHit::Miss => {
                 let walk = backend
                     .walk(access.va)
                     .unwrap_or_else(|| panic!("trace touched unmapped address {}", access.va));
                 self.report.walks += 1;
                 self.report.walk_refs += walk.refs as u64;
-                self.report.walk_cycles += self.cost.cycles(walk.refs);
+                let cycles = self.cost.cycles(walk.refs);
+                self.report.walk_cycles += cycles;
+                if traced {
+                    self.tracer.emit(TraceEvent::TlbMiss {
+                        va: access.va.raw(),
+                        refs: walk.refs,
+                        cycles,
+                    });
+                    self.tracer.observe("tlb.walk_cycles", cycles);
+                }
                 self.tlb.fill(access.va.align_down(walk.size), walk.size);
                 match handler.on_miss(access, &walk) {
                     MissHandling::Exposed => self.report.exposed += 1,

@@ -1,0 +1,404 @@
+//! The event taxonomy: every probe point in the workspace emits one of these
+//! variants. Events are small `Copy`-friendly structs of raw integers so the
+//! hot paths never allocate; higher-level types (`VirtAddr`, `Pfn`) are
+//! lowered to their `u64` representation at the probe site.
+
+/// Which translation dimension produced an event in a virtualized run.
+///
+/// Native runs use [`Dim::None`]; a [`crate::Tracer`] handed to a guest or
+/// host `System` by `contig-virt` is tagged so one trace file interleaves
+/// both dimensions distinguishably.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Dim {
+    /// Native (non-virtualized) execution.
+    #[default]
+    None,
+    /// The guest OS dimension (gVA → gPA).
+    Guest,
+    /// The host/hypervisor dimension (gPA → hPA).
+    Host,
+}
+
+impl Dim {
+    /// Short tag used in exports (`-`, `guest`, `host`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Dim::None => "-",
+            Dim::Guest => "guest",
+            Dim::Host => "host",
+        }
+    }
+
+    /// Parses the export tag back; `None` for an unknown tag.
+    pub fn from_tag(s: &str) -> Option<Self> {
+        match s {
+            "-" => Some(Dim::None),
+            "guest" => Some(Dim::Guest),
+            "host" => Some(Dim::Host),
+            _ => None,
+        }
+    }
+}
+
+/// The class of page fault being serviced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// First touch of an anonymous page.
+    Anon,
+    /// Write fault breaking a copy-on-write share.
+    Cow,
+    /// Fault on a file-backed VMA served through the page cache.
+    File,
+}
+
+impl FaultClass {
+    /// Export tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultClass::Anon => "anon",
+            FaultClass::Cow => "cow",
+            FaultClass::File => "file",
+        }
+    }
+
+    /// Parses the export tag back.
+    pub fn from_tag(s: &str) -> Option<Self> {
+        match s {
+            "anon" => Some(FaultClass::Anon),
+            "cow" => Some(FaultClass::Cow),
+            "file" => Some(FaultClass::File),
+            _ => None,
+        }
+    }
+}
+
+/// One stage of the out-of-memory recovery escalation. Each variant maps
+/// one-to-one onto a `RecoveryStats` counter in `contig-mm`, so the number
+/// of `Recovery` events of a stage in a trace equals that counter's total.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RecoveryStage {
+    /// An allocation failure entered the escalation.
+    OomEvent,
+    /// One page-cache reclaim pass (`amount` = pages evicted).
+    ReclaimPass,
+    /// One compaction pass (`amount` = blocks, `extra` = frames migrated).
+    CompactionPass,
+    /// The allocation was retried after a stage reported progress.
+    Retry,
+    /// A huge request degraded to base pages.
+    OrderBackoff,
+    /// A readahead window shrank to a single page.
+    ReadaheadShrink,
+    /// The fault ultimately succeeded after at least one recovery round.
+    RecoveredFault,
+    /// The fault failed even after the full escalation.
+    HardOom,
+}
+
+impl RecoveryStage {
+    /// All stages, in escalation order (useful for report tables).
+    pub const ALL: [RecoveryStage; 8] = [
+        RecoveryStage::OomEvent,
+        RecoveryStage::ReclaimPass,
+        RecoveryStage::CompactionPass,
+        RecoveryStage::Retry,
+        RecoveryStage::OrderBackoff,
+        RecoveryStage::ReadaheadShrink,
+        RecoveryStage::RecoveredFault,
+        RecoveryStage::HardOom,
+    ];
+
+    /// The stage's suffix inside the event name (`recovery.<suffix>`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecoveryStage::OomEvent => "oom_event",
+            RecoveryStage::ReclaimPass => "reclaim_pass",
+            RecoveryStage::CompactionPass => "compaction_pass",
+            RecoveryStage::Retry => "retry",
+            RecoveryStage::OrderBackoff => "order_backoff",
+            RecoveryStage::ReadaheadShrink => "readahead_shrink",
+            RecoveryStage::RecoveredFault => "recovered_fault",
+            RecoveryStage::HardOom => "hard_oom",
+        }
+    }
+
+    /// Parses the suffix back.
+    pub fn from_tag(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|stage| stage.as_str() == s)
+    }
+}
+
+/// A structured trace event. See each variant for the probe site emitting it.
+///
+/// Event *names* are `subsystem.kind` strings ([`TraceEvent::name`]); the
+/// metrics registry counts emissions under exactly that name, so trace files
+/// and counter totals can be cross-checked event-kind by event-kind.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// `buddy.alloc` — an untargeted buddy allocation succeeded.
+    Alloc {
+        /// Buddy order allocated.
+        order: u32,
+        /// Head frame of the block.
+        pfn: u64,
+    },
+    /// `buddy.alloc_failed` — an untargeted allocation found no free block.
+    AllocFailed {
+        /// Buddy order requested.
+        order: u32,
+    },
+    /// `buddy.targeted_alloc` — a CA-paging targeted allocation claimed its
+    /// exact frame.
+    TargetedAlloc {
+        /// Frame claimed.
+        target: u64,
+        /// Buddy order claimed.
+        order: u32,
+    },
+    /// `buddy.targeted_miss` — the targeted frame was busy.
+    TargetedMiss {
+        /// Frame that was busy.
+        target: u64,
+        /// Buddy order requested.
+        order: u32,
+    },
+    /// `buddy.free` — a block returned to the free lists.
+    Free {
+        /// Head frame freed.
+        pfn: u64,
+        /// Buddy order freed.
+        order: u32,
+    },
+    /// `inject.failure` — the installed `FailPolicy` vetoed an allocation
+    /// attempt before the allocator looked at its free lists.
+    InjectedFailure {
+        /// Buddy order of the vetoed attempt.
+        order: u32,
+        /// Whether the attempt was a targeted (`alloc_specific`) one.
+        targeted: bool,
+    },
+    /// `mm.fault_enter` — the fault driver started servicing a fault.
+    FaultEnter {
+        /// Faulting process.
+        pid: u32,
+        /// Faulting virtual address.
+        va: u64,
+        /// Fault class.
+        class: FaultClass,
+    },
+    /// `mm.fault_exit` — the fault completed successfully.
+    FaultExit {
+        /// Faulting process.
+        pid: u32,
+        /// Faulting virtual address.
+        va: u64,
+        /// Buddy order of the page actually mapped (0 after THP fallback).
+        order: u32,
+        /// Simulated nanoseconds the fault consumed, recovery included.
+        latency_ns: u64,
+    },
+    /// `mm.fault_failed` — the fault surfaced a typed error.
+    FaultFailed {
+        /// Faulting process.
+        pid: u32,
+        /// Faulting virtual address.
+        va: u64,
+    },
+    /// `mm.cow_break` — a copy-on-write share was broken by a private copy.
+    CowBreak {
+        /// Writing process.
+        pid: u32,
+        /// Written virtual address.
+        va: u64,
+    },
+    /// `mm.readahead` — a file fault populated a readahead window.
+    Readahead {
+        /// File identifier.
+        file: u64,
+        /// First file page index of the window.
+        index: u64,
+        /// Window length in pages (1 after pressure shrinks).
+        pages: u64,
+    },
+    /// `recovery.<stage>` — one step of the OOM recovery escalation. The
+    /// per-stage meaning of `amount`/`extra` is documented on
+    /// [`RecoveryStage`].
+    Recovery {
+        /// Escalation stage.
+        stage: RecoveryStage,
+        /// Stage-specific magnitude (pages evicted, blocks migrated, order).
+        amount: u64,
+        /// Stage-specific secondary magnitude (frames migrated).
+        extra: u64,
+        /// Simulated cost of the stage in cost-model nanoseconds.
+        latency_ns: u64,
+    },
+    /// `ca.placement` — CA paging ran a placement decision over the
+    /// contiguity map.
+    Placement {
+        /// Contiguity ambition of the search, bytes.
+        key_bytes: u64,
+        /// Frame the decision targets for the current fault.
+        target: u64,
+        /// Whether pressure degraded the ambition below the remaining VMA.
+        degraded: bool,
+    },
+    /// `ca.target_busy` — a targeted frame was busy; CA backs off or
+    /// re-places.
+    TargetBusy {
+        /// The busy frame.
+        target: u64,
+    },
+    /// `ca.contig_run` — contiguity achieved: the run containing the mapped
+    /// page crossed the marking threshold.
+    ContigRun {
+        /// Run length in base pages.
+        pages: u64,
+    },
+    /// `virt.nested_fault` — the hypervisor backed a guest-physical range
+    /// with host memory (one nested-fault span).
+    NestedFault {
+        /// Guest virtual address that triggered the backing.
+        gva: u64,
+        /// First guest-physical address backed.
+        gpa: u64,
+        /// Length of the backed range, bytes.
+        bytes: u64,
+        /// Host simulated nanoseconds consumed by the backing faults.
+        latency_ns: u64,
+    },
+    /// `tlb.miss` — a last-level TLB miss walked the page table(s).
+    TlbMiss {
+        /// Referenced virtual address.
+        va: u64,
+        /// Walker memory references.
+        refs: u32,
+        /// Walk cycles under the cost model (Table IV units).
+        cycles: u64,
+    },
+    /// `audit.report` — a cross-layer invariant audit ran.
+    AuditReport {
+        /// Number of violations found (0 for a clean system).
+        violations: u64,
+    },
+    /// `metrics.timeline_point` — a contiguity-coverage sample (Fig. 1c /
+    /// Fig. 10 timelines), mirroring `contig_metrics::TimelinePoint`.
+    TimelinePoint {
+        /// Sample position (chunks, epochs, or simulated ns).
+        t: u64,
+        /// Top-32 footprint coverage at the sample.
+        top32: f64,
+        /// Footprint mapped so far, bytes.
+        mapped_bytes: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's full name, `subsystem.kind`. Stable: exporters, the
+    /// metrics registry, and report tables all key on this string.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Alloc { .. } => "buddy.alloc",
+            TraceEvent::AllocFailed { .. } => "buddy.alloc_failed",
+            TraceEvent::TargetedAlloc { .. } => "buddy.targeted_alloc",
+            TraceEvent::TargetedMiss { .. } => "buddy.targeted_miss",
+            TraceEvent::Free { .. } => "buddy.free",
+            TraceEvent::InjectedFailure { .. } => "inject.failure",
+            TraceEvent::FaultEnter { .. } => "mm.fault_enter",
+            TraceEvent::FaultExit { .. } => "mm.fault_exit",
+            TraceEvent::FaultFailed { .. } => "mm.fault_failed",
+            TraceEvent::CowBreak { .. } => "mm.cow_break",
+            TraceEvent::Readahead { .. } => "mm.readahead",
+            TraceEvent::Recovery { stage, .. } => match stage {
+                RecoveryStage::OomEvent => "recovery.oom_event",
+                RecoveryStage::ReclaimPass => "recovery.reclaim_pass",
+                RecoveryStage::CompactionPass => "recovery.compaction_pass",
+                RecoveryStage::Retry => "recovery.retry",
+                RecoveryStage::OrderBackoff => "recovery.order_backoff",
+                RecoveryStage::ReadaheadShrink => "recovery.readahead_shrink",
+                RecoveryStage::RecoveredFault => "recovery.recovered_fault",
+                RecoveryStage::HardOom => "recovery.hard_oom",
+            },
+            TraceEvent::Placement { .. } => "ca.placement",
+            TraceEvent::TargetBusy { .. } => "ca.target_busy",
+            TraceEvent::ContigRun { .. } => "ca.contig_run",
+            TraceEvent::NestedFault { .. } => "virt.nested_fault",
+            TraceEvent::TlbMiss { .. } => "tlb.miss",
+            TraceEvent::AuditReport { .. } => "audit.report",
+            TraceEvent::TimelinePoint { .. } => "metrics.timeline_point",
+        }
+    }
+
+    /// The subsystem prefix of [`TraceEvent::name`] (`buddy`, `mm`,
+    /// `recovery`, `ca`, `virt`, `tlb`, `audit`, `inject`, `metrics`).
+    pub fn subsystem(&self) -> &'static str {
+        let name = self.name();
+        name.split_once('.').map_or(name, |(sub, _)| sub)
+    }
+
+    /// The simulated duration the event spans, if it is a span-like event
+    /// (drives the `chrome://tracing` duration exporter).
+    pub fn span_ns(&self) -> Option<u64> {
+        match *self {
+            TraceEvent::FaultExit { latency_ns, .. }
+            | TraceEvent::NestedFault { latency_ns, .. } => Some(latency_ns),
+            TraceEvent::Recovery { latency_ns, .. } if latency_ns > 0 => Some(latency_ns),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded event: sequence number, simulated timestamp, dimension tag,
+/// and the event payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Monotonic per-session sequence number (gap-free unless the sink
+    /// dropped records).
+    pub seq: u64,
+    /// Simulated time of the emission, nanoseconds (the emitting `System`'s
+    /// clock; 0 when no clock was ever set).
+    pub ts_ns: u64,
+    /// Guest/host dimension tag.
+    pub dim: Dim,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_have_subsystem_prefixes() {
+        let e = TraceEvent::Alloc { order: 3, pfn: 42 };
+        assert_eq!(e.name(), "buddy.alloc");
+        assert_eq!(e.subsystem(), "buddy");
+        let r = TraceEvent::Recovery {
+            stage: RecoveryStage::ReclaimPass,
+            amount: 8,
+            extra: 0,
+            latency_ns: 100,
+        };
+        assert_eq!(r.name(), "recovery.reclaim_pass");
+        assert_eq!(r.subsystem(), "recovery");
+        assert_eq!(r.span_ns(), Some(100));
+    }
+
+    #[test]
+    fn stage_tags_roundtrip() {
+        for stage in RecoveryStage::ALL {
+            assert_eq!(RecoveryStage::from_tag(stage.as_str()), Some(stage));
+        }
+        assert_eq!(RecoveryStage::from_tag("nope"), None);
+    }
+
+    #[test]
+    fn dim_and_class_tags_roundtrip() {
+        for d in [Dim::None, Dim::Guest, Dim::Host] {
+            assert_eq!(Dim::from_tag(d.as_str()), Some(d));
+        }
+        for c in [FaultClass::Anon, FaultClass::Cow, FaultClass::File] {
+            assert_eq!(FaultClass::from_tag(c.as_str()), Some(c));
+        }
+    }
+}

@@ -1,0 +1,566 @@
+//! Trace exporters and the matching JSONL parser.
+//!
+//! Two formats are supported, both dependency-free:
+//!
+//! * **JSONL** — one flat JSON object per line, loss-less: a parsed file
+//!   reconstructs the exact [`Record`] stream ([`parse_jsonl`] is the
+//!   inverse of [`export_jsonl`]). This is the archival/CI format.
+//! * **chrome://tracing** — a JSON array of Trace Event Format objects;
+//!   span-like events (`mm.fault_exit`, `virt.nested_fault`,
+//!   `recovery.*` with non-zero latency) become `"ph":"X"` duration slices
+//!   on a per-dimension track, everything else becomes `"ph":"i"`
+//!   instants. Lossy but drag-and-droppable into `chrome://tracing` or
+//!   Perfetto.
+
+use crate::event::{Dim, FaultClass, Record, RecoveryStage, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A scalar value inside a JSONL object.
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    U64(u64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl Value {
+    fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric accessor: a whole float exports as an integer literal
+    /// (`1` for `1.0`), so f64 fields must accept `U64` back.
+    fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// A malformed trace line: 1-based line number plus what went wrong.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The payload fields of an event, in export order.
+fn fields(event: &TraceEvent) -> Vec<(&'static str, Value)> {
+    use TraceEvent as E;
+    use Value as V;
+    match *event {
+        E::Alloc { order, pfn } => {
+            vec![("order", V::U64(order.into())), ("pfn", V::U64(pfn))]
+        }
+        E::AllocFailed { order } => vec![("order", V::U64(order.into()))],
+        E::TargetedAlloc { target, order } => {
+            vec![("target", V::U64(target)), ("order", V::U64(order.into()))]
+        }
+        E::TargetedMiss { target, order } => {
+            vec![("target", V::U64(target)), ("order", V::U64(order.into()))]
+        }
+        E::Free { pfn, order } => {
+            vec![("pfn", V::U64(pfn)), ("order", V::U64(order.into()))]
+        }
+        E::InjectedFailure { order, targeted } => {
+            vec![("order", V::U64(order.into())), ("targeted", V::Bool(targeted))]
+        }
+        E::FaultEnter { pid, va, class } => vec![
+            ("pid", V::U64(pid.into())),
+            ("va", V::U64(va)),
+            ("class", V::Str(class.as_str().to_owned())),
+        ],
+        E::FaultExit { pid, va, order, latency_ns } => vec![
+            ("pid", V::U64(pid.into())),
+            ("va", V::U64(va)),
+            ("order", V::U64(order.into())),
+            ("latency_ns", V::U64(latency_ns)),
+        ],
+        E::FaultFailed { pid, va } => {
+            vec![("pid", V::U64(pid.into())), ("va", V::U64(va))]
+        }
+        E::CowBreak { pid, va } => {
+            vec![("pid", V::U64(pid.into())), ("va", V::U64(va))]
+        }
+        E::Readahead { file, index, pages } => vec![
+            ("file", V::U64(file)),
+            ("index", V::U64(index)),
+            ("pages", V::U64(pages)),
+        ],
+        E::Recovery { stage: _, amount, extra, latency_ns } => vec![
+            ("amount", V::U64(amount)),
+            ("extra", V::U64(extra)),
+            ("latency_ns", V::U64(latency_ns)),
+        ],
+        E::Placement { key_bytes, target, degraded } => vec![
+            ("key_bytes", V::U64(key_bytes)),
+            ("target", V::U64(target)),
+            ("degraded", V::Bool(degraded)),
+        ],
+        E::TargetBusy { target } => vec![("target", V::U64(target))],
+        E::ContigRun { pages } => vec![("pages", V::U64(pages))],
+        E::NestedFault { gva, gpa, bytes, latency_ns } => vec![
+            ("gva", V::U64(gva)),
+            ("gpa", V::U64(gpa)),
+            ("bytes", V::U64(bytes)),
+            ("latency_ns", V::U64(latency_ns)),
+        ],
+        E::TlbMiss { va, refs, cycles } => vec![
+            ("va", V::U64(va)),
+            ("refs", V::U64(refs.into())),
+            ("cycles", V::U64(cycles)),
+        ],
+        E::AuditReport { violations } => vec![("violations", V::U64(violations))],
+        E::TimelinePoint { t, top32, mapped_bytes } => vec![
+            ("t", V::U64(t)),
+            ("top32", V::F64(top32)),
+            ("mapped_bytes", V::U64(mapped_bytes)),
+        ],
+    }
+}
+
+struct FieldMap<'a> {
+    line: usize,
+    map: &'a BTreeMap<String, Value>,
+}
+
+impl FieldMap<'_> {
+    fn err(&self, message: String) -> ParseError {
+        ParseError { line: self.line, message }
+    }
+
+    fn get(&self, key: &str) -> Result<&Value, ParseError> {
+        self.map
+            .get(key)
+            .ok_or_else(|| self.err(format!("missing field `{key}`")))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, ParseError> {
+        self.get(key)?
+            .as_u64()
+            .ok_or_else(|| self.err(format!("field `{key}` is not an integer")))
+    }
+
+    fn u32(&self, key: &str) -> Result<u32, ParseError> {
+        u32::try_from(self.u64(key)?)
+            .map_err(|_| self.err(format!("field `{key}` overflows u32")))
+    }
+
+    fn f64(&self, key: &str) -> Result<f64, ParseError> {
+        self.get(key)?
+            .as_f64()
+            .ok_or_else(|| self.err(format!("field `{key}` is not a number")))
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, ParseError> {
+        self.get(key)?
+            .as_bool()
+            .ok_or_else(|| self.err(format!("field `{key}` is not a bool")))
+    }
+
+    fn str(&self, key: &str) -> Result<&str, ParseError> {
+        self.get(key)?
+            .as_str()
+            .ok_or_else(|| self.err(format!("field `{key}` is not a string")))
+    }
+}
+
+/// Rebuilds the event from its exported name and payload fields.
+fn event_from(name: &str, f: &FieldMap<'_>) -> Result<TraceEvent, ParseError> {
+    use TraceEvent as E;
+    let ev = match name {
+        "buddy.alloc" => E::Alloc { order: f.u32("order")?, pfn: f.u64("pfn")? },
+        "buddy.alloc_failed" => E::AllocFailed { order: f.u32("order")? },
+        "buddy.targeted_alloc" => {
+            E::TargetedAlloc { target: f.u64("target")?, order: f.u32("order")? }
+        }
+        "buddy.targeted_miss" => {
+            E::TargetedMiss { target: f.u64("target")?, order: f.u32("order")? }
+        }
+        "buddy.free" => E::Free { pfn: f.u64("pfn")?, order: f.u32("order")? },
+        "inject.failure" => E::InjectedFailure {
+            order: f.u32("order")?,
+            targeted: f.bool("targeted")?,
+        },
+        "mm.fault_enter" => {
+            let class = f.str("class")?;
+            E::FaultEnter {
+                pid: f.u32("pid")?,
+                va: f.u64("va")?,
+                class: FaultClass::from_tag(class)
+                    .ok_or_else(|| f.err(format!("unknown fault class `{class}`")))?,
+            }
+        }
+        "mm.fault_exit" => E::FaultExit {
+            pid: f.u32("pid")?,
+            va: f.u64("va")?,
+            order: f.u32("order")?,
+            latency_ns: f.u64("latency_ns")?,
+        },
+        "mm.fault_failed" => E::FaultFailed { pid: f.u32("pid")?, va: f.u64("va")? },
+        "mm.cow_break" => E::CowBreak { pid: f.u32("pid")?, va: f.u64("va")? },
+        "mm.readahead" => E::Readahead {
+            file: f.u64("file")?,
+            index: f.u64("index")?,
+            pages: f.u64("pages")?,
+        },
+        "ca.placement" => E::Placement {
+            key_bytes: f.u64("key_bytes")?,
+            target: f.u64("target")?,
+            degraded: f.bool("degraded")?,
+        },
+        "ca.target_busy" => E::TargetBusy { target: f.u64("target")? },
+        "ca.contig_run" => E::ContigRun { pages: f.u64("pages")? },
+        "virt.nested_fault" => E::NestedFault {
+            gva: f.u64("gva")?,
+            gpa: f.u64("gpa")?,
+            bytes: f.u64("bytes")?,
+            latency_ns: f.u64("latency_ns")?,
+        },
+        "tlb.miss" => E::TlbMiss {
+            va: f.u64("va")?,
+            refs: f.u32("refs")?,
+            cycles: f.u64("cycles")?,
+        },
+        "audit.report" => E::AuditReport { violations: f.u64("violations")? },
+        "metrics.timeline_point" => E::TimelinePoint {
+            t: f.u64("t")?,
+            top32: f.f64("top32")?,
+            mapped_bytes: f.u64("mapped_bytes")?,
+        },
+        other => match other.strip_prefix("recovery.") {
+            Some(suffix) => E::Recovery {
+                stage: RecoveryStage::from_tag(suffix)
+                    .ok_or_else(|| f.err(format!("unknown recovery stage `{suffix}`")))?,
+                amount: f.u64("amount")?,
+                extra: f.u64("extra")?,
+                latency_ns: f.u64("latency_ns")?,
+            },
+            None => return Err(f.err(format!("unknown event `{other}`"))),
+        },
+    };
+    Ok(ev)
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        // `{:?}` keeps a decimal point on whole floats and round-trips
+        // shortest; non-finite values cannot occur in our events.
+        Value::F64(x) => {
+            let _ = write!(out, "{x:?}");
+        }
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        // Event field strings are taxonomy tags (`anon`, `guest`) — plain
+        // identifiers, never in need of escaping.
+        Value::Str(s) => {
+            let _ = write!(out, "\"{s}\"");
+        }
+    }
+}
+
+/// Serializes one record as a single flat JSON object line (no trailing
+/// newline).
+pub fn record_to_jsonl(rec: &Record) -> String {
+    let mut out = String::with_capacity(96);
+    let _ = write!(
+        out,
+        "{{\"seq\":{},\"ts_ns\":{},\"dim\":\"{}\",\"ev\":\"{}\"",
+        rec.seq,
+        rec.ts_ns,
+        rec.dim.as_str(),
+        rec.event.name()
+    );
+    for (key, value) in fields(&rec.event) {
+        let _ = write!(out, ",\"{key}\":");
+        write_value(&mut out, &value);
+    }
+    out.push('}');
+    out
+}
+
+/// Serializes a record stream as JSONL, one object per line, trailing
+/// newline included when non-empty.
+pub fn export_jsonl(records: &[Record]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&record_to_jsonl(rec));
+        out.push('\n');
+    }
+    out
+}
+
+/// Tokenizes one flat JSON object line into a key → scalar map.
+fn parse_object(line: &str, lineno: usize) -> Result<BTreeMap<String, Value>, ParseError> {
+    let err = |message: String| ParseError { line: lineno, message };
+    let body = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| err("not a JSON object".to_owned()))?;
+    let mut map = BTreeMap::new();
+    let mut rest = body.trim_start();
+    while !rest.is_empty() {
+        // Key.
+        rest = rest
+            .strip_prefix('"')
+            .ok_or_else(|| err("expected quoted key".to_owned()))?;
+        let close = rest
+            .find('"')
+            .ok_or_else(|| err("unterminated key".to_owned()))?;
+        let key = &rest[..close];
+        rest = rest[close + 1..].trim_start();
+        rest = rest
+            .strip_prefix(':')
+            .ok_or_else(|| err(format!("missing `:` after `{key}`")))?
+            .trim_start();
+        // Value: quoted string, bool, or number.
+        let value;
+        if let Some(after) = rest.strip_prefix('"') {
+            let close = after
+                .find('"')
+                .ok_or_else(|| err(format!("unterminated string for `{key}`")))?;
+            value = Value::Str(after[..close].to_owned());
+            rest = after[close + 1..].trim_start();
+        } else {
+            let end = rest
+                .find([',', '}'])
+                .unwrap_or(rest.len());
+            let token = rest[..end].trim();
+            value = match token {
+                "true" => Value::Bool(true),
+                "false" => Value::Bool(false),
+                _ if token.contains(['.', 'e', 'E']) => Value::F64(
+                    token
+                        .parse::<f64>()
+                        .map_err(|_| err(format!("bad number `{token}` for `{key}`")))?,
+                ),
+                _ => Value::U64(
+                    token
+                        .parse::<u64>()
+                        .map_err(|_| err(format!("bad integer `{token}` for `{key}`")))?,
+                ),
+            };
+            rest = rest[end..].trim_start();
+        }
+        map.insert(key.to_owned(), value);
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after.trim_start();
+        } else if !rest.is_empty() {
+            return Err(err(format!("trailing garbage near `{rest}`")));
+        }
+    }
+    Ok(map)
+}
+
+/// Parses a JSONL trace back into records — the exact inverse of
+/// [`export_jsonl`]. Blank lines are skipped; any malformed line aborts
+/// with a [`ParseError`] naming it.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, ParseError> {
+    let mut records = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let map = parse_object(line, lineno)?;
+        let f = FieldMap { line: lineno, map: &map };
+        let dim_tag = f.str("dim")?;
+        let dim = Dim::from_tag(dim_tag)
+            .ok_or_else(|| f.err(format!("unknown dim `{dim_tag}`")))?;
+        let name = f.str("ev")?.to_owned();
+        records.push(Record {
+            seq: f.u64("seq")?,
+            ts_ns: f.u64("ts_ns")?,
+            dim,
+            event: event_from(&name, &f)?,
+        });
+    }
+    Ok(records)
+}
+
+/// Track (tid) assignment for the chrome exporter: one per dimension.
+fn tid_of(dim: Dim) -> u32 {
+    match dim {
+        Dim::None => 0,
+        Dim::Guest => 1,
+        Dim::Host => 2,
+    }
+}
+
+/// Serializes a record stream in Chrome Trace Event Format (a JSON array).
+///
+/// Span-like events become `"ph":"X"` duration slices ending at the
+/// record's timestamp; the rest become `"ph":"i"` instants. Timestamps are
+/// microseconds as the format requires; sub-microsecond simulated latencies
+/// keep their fractional part.
+pub fn export_chrome(records: &[Record]) -> String {
+    let mut out = String::from("[");
+    for (i, rec) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let name = rec.event.name();
+        let cat = rec.event.subsystem();
+        let tid = tid_of(rec.dim);
+        match rec.event.span_ns() {
+            Some(dur_ns) => {
+                let start_ns = rec.ts_ns.saturating_sub(dur_ns);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\
+                     \"ts\":{:?},\"dur\":{:?},\"pid\":1,\"tid\":{tid}}}",
+                    start_ns as f64 / 1000.0,
+                    dur_ns as f64 / 1000.0,
+                );
+            }
+            None => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\
+                     \"s\":\"t\",\"ts\":{:?},\"pid\":1,\"tid\":{tid}}}",
+                    rec.ts_ns as f64 / 1000.0,
+                );
+            }
+        }
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Dim, FaultClass, RecoveryStage, TraceEvent};
+
+    fn sample_records() -> Vec<Record> {
+        let events = vec![
+            TraceEvent::Alloc { order: 3, pfn: 512 },
+            TraceEvent::AllocFailed { order: 9 },
+            TraceEvent::TargetedAlloc { target: 1024, order: 0 },
+            TraceEvent::TargetedMiss { target: 1025, order: 0 },
+            TraceEvent::Free { pfn: 512, order: 3 },
+            TraceEvent::InjectedFailure { order: 9, targeted: true },
+            TraceEvent::FaultEnter { pid: 7, va: 0x40_0000, class: FaultClass::Anon },
+            TraceEvent::FaultExit { pid: 7, va: 0x40_0000, order: 9, latency_ns: 1900 },
+            TraceEvent::FaultFailed { pid: 7, va: 0x41_0000 },
+            TraceEvent::CowBreak { pid: 8, va: 0x42_0000 },
+            TraceEvent::Readahead { file: 1, index: 16, pages: 8 },
+            TraceEvent::Recovery {
+                stage: RecoveryStage::ReclaimPass,
+                amount: 32,
+                extra: 0,
+                latency_ns: 32_000,
+            },
+            TraceEvent::Recovery {
+                stage: RecoveryStage::HardOom,
+                amount: 0,
+                extra: 0,
+                latency_ns: 0,
+            },
+            TraceEvent::Placement { key_bytes: 2 << 20, target: 77, degraded: false },
+            TraceEvent::TargetBusy { target: 77 },
+            TraceEvent::ContigRun { pages: 512 },
+            TraceEvent::NestedFault { gva: 0x1000, gpa: 0x8000, bytes: 4096, latency_ns: 1500 },
+            TraceEvent::TlbMiss { va: 0x2000, refs: 4, cycles: 48 },
+            TraceEvent::AuditReport { violations: 0 },
+            TraceEvent::TimelinePoint { t: 5, top32: 0.875, mapped_bytes: 1 << 20 },
+            TraceEvent::TimelinePoint { t: 6, top32: 1.0, mapped_bytes: 2 << 20 },
+        ];
+        events
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| Record {
+                seq: i as u64,
+                ts_ns: 1000 + i as u64 * 500,
+                dim: match i % 3 {
+                    0 => Dim::None,
+                    1 => Dim::Guest,
+                    _ => Dim::Host,
+                },
+                event,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn jsonl_roundtrips_every_event_kind() {
+        let records = sample_records();
+        let text = export_jsonl(&records);
+        assert_eq!(text.lines().count(), records.len());
+        let back = parse_jsonl(&text).expect("parse back");
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn whole_floats_survive_the_roundtrip() {
+        let rec = Record {
+            seq: 0,
+            ts_ns: 0,
+            dim: Dim::None,
+            event: TraceEvent::TimelinePoint { t: 0, top32: 1.0, mapped_bytes: 0 },
+        };
+        let line = record_to_jsonl(&rec);
+        assert!(line.contains("\"top32\":1.0"), "{line}");
+        let back = parse_jsonl(&line).unwrap();
+        assert_eq!(back[0], rec);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let text = "{\"seq\":0,\"ts_ns\":0,\"dim\":\"-\",\"ev\":\"buddy.free\",\"pfn\":1,\"order\":0}\nnot json\n";
+        let err = parse_jsonl(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        let missing = "{\"seq\":0,\"ts_ns\":0,\"dim\":\"-\",\"ev\":\"buddy.free\",\"pfn\":1}";
+        let err = parse_jsonl(missing).unwrap_err();
+        assert!(err.message.contains("order"), "{err}");
+        let unknown = "{\"seq\":0,\"ts_ns\":0,\"dim\":\"-\",\"ev\":\"nope.nope\"}";
+        assert!(parse_jsonl(unknown).is_err());
+    }
+
+    #[test]
+    fn chrome_export_emits_spans_and_instants() {
+        let records = sample_records();
+        let text = export_chrome(&records);
+        assert!(text.starts_with('[') && text.ends_with(']'));
+        assert!(text.contains("\"ph\":\"X\""), "span events expected");
+        assert!(text.contains("\"ph\":\"i\""), "instant events expected");
+        assert!(text.contains("\"cat\":\"buddy\""));
+        assert!(text.contains("\"tid\":2"), "host dimension track expected");
+    }
+}

@@ -1,0 +1,120 @@
+//! Trace sinks: where emitted [`Record`]s go. The default is a bounded
+//! in-memory ring ([`RingSink`]) so tracing a long run costs a fixed amount
+//! of memory; [`NullSink`] discards everything (runtime off-switch, distinct
+//! from the compile-time `probes` feature).
+
+use crate::event::Record;
+use std::collections::VecDeque;
+
+/// A destination for trace records.
+///
+/// Implementations must be cheap: `record` runs inside the fault path's
+/// critical section. The trait is object-safe; sessions store a
+/// `Box<dyn TraceSink + Send>` so sinks can cross into `Send` placement
+/// policies.
+pub trait TraceSink {
+    /// Consumes one record.
+    fn record(&mut self, rec: &Record);
+}
+
+/// A bounded FIFO ring of records. When full, the oldest record is dropped
+/// and [`RingSink::dropped`] is incremented, so a consumer can always tell
+/// whether the trace is complete.
+#[derive(Debug, Clone, Default)]
+pub struct RingSink {
+    buf: VecDeque<Record>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` records (0 means unbounded).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            buf: VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many records were evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained records, oldest first.
+    pub fn snapshot(&self) -> Vec<Record> {
+        self.buf.iter().cloned().collect()
+    }
+
+    /// Iterates the retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.buf.iter()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, rec: &Record) {
+        if self.capacity > 0 && self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(rec.clone());
+    }
+}
+
+/// Discards every record. Metrics counters still accumulate; only the event
+/// stream is suppressed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _rec: &Record) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Dim, TraceEvent};
+
+    fn rec(seq: u64) -> Record {
+        Record {
+            seq,
+            ts_ns: seq * 10,
+            dim: Dim::None,
+            event: TraceEvent::Free { pfn: seq, order: 0 },
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let mut ring = RingSink::new(2);
+        for s in 0..5 {
+            ring.record(&rec(s));
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        let kept: Vec<u64> = ring.iter().map(|r| r.seq).collect();
+        assert_eq!(kept, vec![3, 4]);
+    }
+
+    #[test]
+    fn unbounded_ring_never_drops() {
+        let mut ring = RingSink::new(0);
+        for s in 0..100 {
+            ring.record(&rec(s));
+        }
+        assert_eq!(ring.len(), 100);
+        assert_eq!(ring.dropped(), 0);
+    }
+}

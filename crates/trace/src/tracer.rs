@@ -1,0 +1,359 @@
+//! The [`Tracer`] handle threaded through every instrumented subsystem, and
+//! the [`TraceSession`] that owns the shared sink + registry behind it.
+//!
+//! A `Tracer` is a cheap clone-able handle: either *disabled* (the default —
+//! every probe is a single `Option` branch) or attached to a session. With
+//! the crate's `probes` feature turned off the probe methods compile to
+//! empty bodies, so instrumented hot paths carry no tracing code at all.
+
+use crate::event::{Dim, Record, TraceEvent};
+use crate::registry::MetricsRegistry;
+#[cfg(feature = "probes")]
+use crate::sink::RingSink;
+use crate::sink::TraceSink;
+use std::fmt;
+#[cfg(feature = "probes")]
+use std::sync::{Arc, Mutex};
+
+#[cfg(feature = "probes")]
+enum SinkStore {
+    Ring(RingSink),
+    Custom(Box<dyn TraceSink + Send>),
+}
+
+#[cfg(feature = "probes")]
+impl SinkStore {
+    fn record(&mut self, rec: &Record) {
+        match self {
+            SinkStore::Ring(r) => r.record(rec),
+            SinkStore::Custom(s) => s.record(rec),
+        }
+    }
+}
+
+#[cfg(feature = "probes")]
+struct Inner {
+    sink: SinkStore,
+    metrics: MetricsRegistry,
+    seq: u64,
+    clock_ns: u64,
+}
+
+/// A tracing session: one shared event sink plus one metrics registry.
+///
+/// Create a session, hand [`TraceSession::tracer`] clones to the systems
+/// under observation, run the workload, then read back
+/// [`TraceSession::records`] and [`TraceSession::metrics`].
+pub struct TraceSession {
+    #[cfg(feature = "probes")]
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl TraceSession {
+    /// A session recording into a bounded [`RingSink`] of `capacity`
+    /// records (0 = unbounded).
+    pub fn ring(capacity: usize) -> Self {
+        #[cfg(feature = "probes")]
+        {
+            TraceSession {
+                inner: Arc::new(Mutex::new(Inner {
+                    sink: SinkStore::Ring(RingSink::new(capacity)),
+                    metrics: MetricsRegistry::new(),
+                    seq: 0,
+                    clock_ns: 0,
+                })),
+            }
+        }
+        #[cfg(not(feature = "probes"))]
+        {
+            let _ = capacity;
+            TraceSession {}
+        }
+    }
+
+    /// A session recording into a custom sink. [`TraceSession::records`]
+    /// returns an empty vector for custom sinks; the sink owns the stream.
+    pub fn with_sink(sink: Box<dyn TraceSink + Send>) -> Self {
+        #[cfg(feature = "probes")]
+        {
+            TraceSession {
+                inner: Arc::new(Mutex::new(Inner {
+                    sink: SinkStore::Custom(sink),
+                    metrics: MetricsRegistry::new(),
+                    seq: 0,
+                    clock_ns: 0,
+                })),
+            }
+        }
+        #[cfg(not(feature = "probes"))]
+        {
+            let _ = sink;
+            TraceSession {}
+        }
+    }
+
+    /// A tracer handle feeding this session (dimension [`Dim::None`]).
+    pub fn tracer(&self) -> Tracer {
+        #[cfg(feature = "probes")]
+        {
+            Tracer {
+                inner: Some(Arc::clone(&self.inner)),
+                dim: Dim::None,
+            }
+        }
+        #[cfg(not(feature = "probes"))]
+        {
+            Tracer::disabled()
+        }
+    }
+
+    /// Snapshot of the recorded events, oldest first (empty for custom
+    /// sinks or with `probes` disabled).
+    pub fn records(&self) -> Vec<Record> {
+        #[cfg(feature = "probes")]
+        {
+            match &self.inner.lock().expect("trace session poisoned").sink {
+                SinkStore::Ring(r) => r.snapshot(),
+                SinkStore::Custom(_) => Vec::new(),
+            }
+        }
+        #[cfg(not(feature = "probes"))]
+        {
+            Vec::new()
+        }
+    }
+
+    /// Snapshot of the metrics registry.
+    pub fn metrics(&self) -> MetricsRegistry {
+        #[cfg(feature = "probes")]
+        {
+            self.inner.lock().expect("trace session poisoned").metrics.clone()
+        }
+        #[cfg(not(feature = "probes"))]
+        {
+            MetricsRegistry::new()
+        }
+    }
+
+    /// How many records the ring sink evicted (0 for custom sinks).
+    pub fn dropped(&self) -> u64 {
+        #[cfg(feature = "probes")]
+        {
+            match &self.inner.lock().expect("trace session poisoned").sink {
+                SinkStore::Ring(r) => r.dropped(),
+                SinkStore::Custom(_) => 0,
+            }
+        }
+        #[cfg(not(feature = "probes"))]
+        {
+            0
+        }
+    }
+}
+
+impl fmt::Debug for TraceSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("TraceSession")
+    }
+}
+
+/// A cheap handle to a [`TraceSession`], carried by every instrumented
+/// subsystem. The default handle is disabled: probes cost one branch.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    #[cfg(feature = "probes")]
+    inner: Option<Arc<Mutex<Inner>>>,
+    #[cfg(feature = "probes")]
+    dim: Dim,
+}
+
+impl Tracer {
+    /// A handle that records nothing (the default for every subsystem).
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// Whether this handle feeds a live session.
+    pub fn is_enabled(&self) -> bool {
+        #[cfg(feature = "probes")]
+        {
+            self.inner.is_some()
+        }
+        #[cfg(not(feature = "probes"))]
+        {
+            false
+        }
+    }
+
+    /// This handle re-tagged with `dim` — how `contig-virt` distinguishes
+    /// guest-dimension from host-dimension events in one session.
+    pub fn with_dim(&self, dim: Dim) -> Self {
+        #[cfg(feature = "probes")]
+        {
+            Tracer {
+                inner: self.inner.clone(),
+                dim,
+            }
+        }
+        #[cfg(not(feature = "probes"))]
+        {
+            let _ = dim;
+            Tracer::disabled()
+        }
+    }
+
+    /// Advances the session's simulated clock; subsequent records carry
+    /// `now_ns` as their timestamp. Instrumented systems call this whenever
+    /// their own simulated clock moves.
+    pub fn set_clock(&self, now_ns: u64) {
+        #[cfg(feature = "probes")]
+        if let Some(inner) = &self.inner {
+            inner.lock().expect("trace session poisoned").clock_ns = now_ns;
+        }
+        #[cfg(not(feature = "probes"))]
+        let _ = now_ns;
+    }
+
+    /// Emits one event: records it to the sink (stamped with the session
+    /// clock and a sequence number) and increments the counter named
+    /// [`TraceEvent::name`].
+    pub fn emit(&self, event: TraceEvent) {
+        #[cfg(feature = "probes")]
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.lock().expect("trace session poisoned");
+            inner.metrics.add(event.name(), 1);
+            let rec = Record {
+                seq: inner.seq,
+                ts_ns: inner.clock_ns,
+                dim: self.dim,
+                event,
+            };
+            inner.seq += 1;
+            inner.sink.record(&rec);
+        }
+        #[cfg(not(feature = "probes"))]
+        let _ = event;
+    }
+
+    /// Adds `delta` to the named counter without recording an event — for
+    /// bulk totals (e.g. injector attempt counts) that would swamp a ring.
+    pub fn add(&self, name: &str, delta: u64) {
+        #[cfg(feature = "probes")]
+        if let Some(inner) = &self.inner {
+            inner
+                .lock()
+                .expect("trace session poisoned")
+                .metrics
+                .add(name, delta);
+        }
+        #[cfg(not(feature = "probes"))]
+        {
+            let _ = (name, delta);
+        }
+    }
+
+    /// Records `value` into the named log2 histogram.
+    pub fn observe(&self, name: &str, value: u64) {
+        #[cfg(feature = "probes")]
+        if let Some(inner) = &self.inner {
+            inner
+                .lock()
+                .expect("trace session poisoned")
+                .metrics
+                .observe(name, value);
+        }
+        #[cfg(not(feature = "probes"))]
+        {
+            let _ = (name, value);
+        }
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_enabled() {
+            f.write_str("Tracer(enabled)")
+        } else {
+            f.write_str("Tracer(disabled)")
+        }
+    }
+}
+
+/// Instrumented containers (`Zone`, `System`, …) derive `PartialEq` in
+/// places; the tracer handle is observability plumbing, not state, so any
+/// two handles compare equal.
+impl PartialEq for Tracer {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for Tracer {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Dim, TraceEvent};
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.emit(TraceEvent::Alloc { order: 0, pfn: 1 });
+        t.add("x", 5);
+        t.observe("y", 10);
+        t.set_clock(99);
+    }
+
+    #[cfg(feature = "probes")]
+    #[test]
+    fn session_records_events_and_counts_them() {
+        let session = TraceSession::ring(16);
+        let t = session.tracer();
+        assert!(t.is_enabled());
+        t.set_clock(100);
+        t.emit(TraceEvent::Alloc { order: 2, pfn: 8 });
+        t.set_clock(250);
+        t.emit(TraceEvent::Free { pfn: 8, order: 2 });
+        t.add("fail.attempts", 7);
+        t.observe("mm.fault_ns", 1500);
+
+        let recs = session.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq, 0);
+        assert_eq!(recs[0].ts_ns, 100);
+        assert_eq!(recs[1].seq, 1);
+        assert_eq!(recs[1].ts_ns, 250);
+
+        let m = session.metrics();
+        assert_eq!(m.counter("buddy.alloc"), 1);
+        assert_eq!(m.counter("buddy.free"), 1);
+        assert_eq!(m.counter("fail.attempts"), 7);
+        assert_eq!(m.histogram("mm.fault_ns").unwrap().count(), 1);
+        assert_eq!(session.dropped(), 0);
+    }
+
+    #[cfg(feature = "probes")]
+    #[test]
+    fn dims_tag_records_independently() {
+        let session = TraceSession::ring(16);
+        let guest = session.tracer().with_dim(Dim::Guest);
+        let host = session.tracer().with_dim(Dim::Host);
+        guest.emit(TraceEvent::FaultFailed { pid: 1, va: 0x1000 });
+        host.emit(TraceEvent::FaultFailed { pid: 2, va: 0x2000 });
+        let recs = session.records();
+        assert_eq!(recs[0].dim, Dim::Guest);
+        assert_eq!(recs[1].dim, Dim::Host);
+    }
+
+    #[cfg(not(feature = "probes"))]
+    #[test]
+    fn without_probes_sessions_are_empty() {
+        let session = TraceSession::ring(16);
+        let t = session.tracer();
+        assert!(!t.is_enabled());
+        t.emit(TraceEvent::Alloc { order: 0, pfn: 1 });
+        assert!(session.records().is_empty());
+        assert_eq!(session.metrics().counter("buddy.alloc"), 0);
+    }
+}

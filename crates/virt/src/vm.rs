@@ -11,6 +11,7 @@ use contig_buddy::MachineConfig;
 use contig_mm::{
     FaultKind, FaultOutcome, PlacementPolicy, Pid, System, SystemConfig, VmaId, VmaKind,
 };
+use contig_trace::{Dim, TraceEvent, Tracer};
 use contig_types::{FaultError, PageSize, PhysAddr, Pfn, VirtAddr, VirtRange};
 
 /// Construction parameters for a [`VirtualMachine`].
@@ -73,6 +74,8 @@ pub struct VirtualMachine {
     host_pid: Pid,
     host_vma: VmaId,
     host_vma_base: VirtAddr,
+    /// Hypervisor-level trace probe (nested-fault spans); disabled by default.
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for VirtualMachine {
@@ -113,7 +116,19 @@ impl VirtualMachine {
             host_pid,
             host_vma,
             host_vma_base: config.host_vma_base,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a trace handle to the whole VM: guest-dimension events are
+    /// tagged `guest`, host-dimension events `host`, and the hypervisor
+    /// itself emits `virt.nested_fault` spans for nested fault service.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.guest.set_tracer(tracer.with_dim(Dim::Guest));
+        self.host.set_tracer(tracer.with_dim(Dim::Host));
+        // Nested-fault service is host-side work: put its spans on the host
+        // track alongside the host fault events they subsume.
+        self.tracer = tracer.with_dim(Dim::Host);
     }
 
     /// The guest OS instance.
@@ -134,6 +149,12 @@ impl VirtualMachine {
     /// Mutable access to the host OS (fragmenters, daemons).
     pub fn host_mut(&mut self) -> &mut System {
         &mut self.host
+    }
+
+    /// The VM's trace handle (disabled unless [`VirtualMachine::set_tracer`]
+    /// was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The host process backing this VM.
@@ -247,6 +268,7 @@ impl VirtualMachine {
     ) -> Result<(), FaultError> {
         let mut hva = self.host_va_of(gpa);
         let end = self.host_va_of(gpa) + len;
+        let before_ns = self.host.now_ns();
         while hva < end {
             let out = self
                 .host
@@ -261,6 +283,17 @@ impl VirtualMachine {
             // cover far more than the guest page that faulted).
             let mapped_end = hva.align_down(out.size) + out.size.bytes();
             hva = mapped_end;
+        }
+        // Span only when the host actually serviced a fault: revalidating
+        // already-backed frames costs nothing in the simulated clock.
+        let latency_ns = self.host.now_ns() - before_ns;
+        if latency_ns > 0 {
+            self.tracer.emit(TraceEvent::NestedFault {
+                gva: gva.raw(),
+                gpa: gpa.raw(),
+                bytes: len,
+                latency_ns,
+            });
         }
         Ok(())
     }

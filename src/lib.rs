@@ -54,6 +54,7 @@ pub use contig_metrics as metrics;
 pub use contig_mm as mm;
 pub use contig_sim as sim;
 pub use contig_tlb as tlb;
+pub use contig_trace as trace;
 pub use contig_types as types;
 pub use contig_virt as virt;
 pub use contig_workloads as workloads;
@@ -71,6 +72,7 @@ pub mod prelude {
     };
     pub use contig_sim::{Env, PolicyKind, TranslationConfig};
     pub use contig_tlb::{Access, MemorySim, MissHandler, MissHandling, TlbConfig};
+    pub use contig_trace::{TraceEvent, TraceSession, Tracer};
     pub use contig_types::{
         ContigMapping, MapOffset, PageSize, PhysAddr, Pfn, VirtAddr, VirtRange, Vpn,
     };

@@ -6,6 +6,7 @@
 
 use contig::prelude::*;
 use contig_mm::RecoveryStats;
+use contig_trace::{parse_jsonl, RecoveryStage, TraceEvent, TraceSession};
 use contig_types::{FailMode, FailPolicy, FaultError};
 
 const MACHINE_MIB: u64 = 32;
@@ -17,6 +18,10 @@ const ANON_BASE: u64 = 0x40_0000;
 const ANON_LEN: u64 = 16 << 20;
 
 /// Everything a pressure run produces, for exact cross-run comparison.
+///
+/// The traced counters come from the [`contig_trace`] metrics registry; they
+/// are part of the outcome so the `assert_eq!(out, pressure_run(..))` re-run
+/// checks also prove the *trace* is bit-identical under a fixed seed.
 #[derive(Debug, PartialEq, Eq)]
 struct RunOutcome {
     recovery: RecoveryStats,
@@ -24,6 +29,9 @@ struct RunOutcome {
     injected: u64,
     attempts: u64,
     mapped_bytes: u64,
+    traced_injections: u64,
+    traced_attempts: u64,
+    trace_events: u64,
 }
 
 /// Drives the hog workload — a memory hog pins half the machine, then one
@@ -36,6 +44,9 @@ struct RunOutcome {
 /// pressure the system may refuse memory, but only with the typed error.
 fn pressure_run(policy: FailPolicy) -> RunOutcome {
     let mut sys = System::new(SystemConfig::new(MachineConfig::single_node_mib(MACHINE_MIB)));
+    // Trace the whole run through a ring big enough to never drop.
+    let session = TraceSession::ring(1 << 20);
+    sys.set_tracer(session.tracer());
     let _hog = Hog::occupy(sys.machine_mut(), HOG_FRACTION, HOG_SEED);
     let pid = sys.spawn();
     let file = sys.page_cache_mut().create_file();
@@ -80,13 +91,100 @@ fn pressure_run(policy: FailPolicy) -> RunOutcome {
     assert!(report.is_clean(), "audit after pressure run:\n{report}");
     sys.machine().verify_integrity();
 
+    let recovery = *sys.recovery_stats();
+    verify_trace(&session, &recovery, &sys);
+
+    let metrics = session.metrics();
     RunOutcome {
-        recovery: *sys.recovery_stats(),
+        recovery,
         ooms_surfaced,
         injected: sys.machine().injected_failures(),
         attempts: sys.machine().fail_attempts(),
         mapped_bytes: sys.aspace(pid).mapped_bytes(),
+        traced_injections: metrics.counter("inject.failure"),
+        traced_attempts: metrics.counter("fail.attempts"),
+        trace_events: session.records().len() as u64,
     }
+}
+
+/// The trace must be a faithful ledger: per-stage recovery event counts in
+/// the exported JSONL exactly equal the [`RecoveryStats`] totals, and the
+/// traced injection/attempt counters mirror the buddy allocator's own.
+fn verify_trace(session: &TraceSession, recovery: &RecoveryStats, sys: &System) {
+    if !session.tracer().is_enabled() {
+        return; // probes compiled out: nothing to cross-check
+    }
+    assert_eq!(session.dropped(), 0, "ring must be large enough for the whole run");
+    let jsonl = contig_trace::export_jsonl(&session.records());
+    let parsed = parse_jsonl(&jsonl).expect("exported trace must parse back");
+    assert_eq!(parsed, session.records(), "JSONL round-trip must be lossless");
+
+    let stage_count = |stage: RecoveryStage| {
+        parsed
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::Recovery { stage: s, .. } if s == stage))
+            .count() as u64
+    };
+    assert_eq!(stage_count(RecoveryStage::OomEvent), recovery.oom_events);
+    assert_eq!(stage_count(RecoveryStage::ReclaimPass), recovery.reclaim_passes);
+    assert_eq!(stage_count(RecoveryStage::CompactionPass), recovery.compaction_passes);
+    assert_eq!(stage_count(RecoveryStage::Retry), recovery.retries);
+    assert_eq!(stage_count(RecoveryStage::OrderBackoff), recovery.order_backoffs);
+    assert_eq!(stage_count(RecoveryStage::ReadaheadShrink), recovery.readahead_shrinks);
+    assert_eq!(stage_count(RecoveryStage::RecoveredFault), recovery.recovered_faults);
+    assert_eq!(stage_count(RecoveryStage::HardOom), recovery.hard_ooms);
+
+    // Stage payloads aggregate to the stats totals too.
+    let stage_sum = |stage: RecoveryStage, f: fn(u64, u64, u64) -> u64| {
+        parsed
+            .iter()
+            .filter_map(|r| match r.event {
+                TraceEvent::Recovery { stage: s, amount, extra, latency_ns } if s == stage => {
+                    Some(f(amount, extra, latency_ns))
+                }
+                _ => None,
+            })
+            .sum::<u64>()
+    };
+    assert_eq!(
+        stage_sum(RecoveryStage::ReclaimPass, |amount, _, _| amount),
+        recovery.reclaimed_pages
+    );
+    assert_eq!(
+        stage_sum(RecoveryStage::ReclaimPass, |_, _, ns| ns),
+        recovery.reclaim_ns
+    );
+    assert_eq!(
+        stage_sum(RecoveryStage::CompactionPass, |amount, _, _| amount),
+        recovery.migrated_blocks
+    );
+    assert_eq!(
+        stage_sum(RecoveryStage::CompactionPass, |_, extra, _| extra),
+        recovery.migrated_frames
+    );
+    assert_eq!(
+        stage_sum(RecoveryStage::CompactionPass, |_, _, ns| ns),
+        recovery.compaction_ns
+    );
+
+    let metrics = session.metrics();
+    assert_eq!(metrics.counter("inject.failure"), sys.machine().injected_failures());
+    // The registry is a whole-run ledger while `set_fail_policy` installs a
+    // policy whose counters start at zero, so the traced attempt count also
+    // covers the consultations made before the injector was armed (the hog's
+    // allocations here). It can therefore only exceed the policy's figure.
+    assert!(
+        metrics.counter("fail.attempts") >= sys.machine().fail_attempts(),
+        "traced {} vs policy {}",
+        metrics.counter("fail.attempts"),
+        sys.machine().fail_attempts()
+    );
+    let injection_events = session
+        .records()
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::InjectedFailure { .. }))
+        .count() as u64;
+    assert_eq!(injection_events, sys.machine().injected_failures());
 }
 
 #[test]
