@@ -39,7 +39,6 @@
 //! # Ok::<(), contig_types::FaultError>(())
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use contig_mm::{AuditReport, AuditViolation};

@@ -19,7 +19,6 @@
 //! - [`ranges_for_coverage`] / [`anchor_entries_for_coverage`] — the
 //!   vRMM-vs-vHC entry-count analysis of Table I.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ds;

@@ -1,0 +1,133 @@
+//! `torture_replay` — run or replay the differential torture harness.
+//!
+//! Two modes:
+//!
+//! - **Seeded run**: `torture_replay --seed 7 --ops 2000 [--no-faults]`
+//!   generates the op stream from the seed and runs the full harness
+//!   (oracle sweeps, cross-layer audits, crash-point recovery checks).
+//! - **Replay**: `torture_replay --replay repro.jsonl` re-runs a repro file
+//!   (as emitted by the minimizer or the `--emit` flag below), reproducing a
+//!   failure deterministically from the artifact alone.
+//!
+//! On failure the binary minimizes the sequence with ddmin, writes the
+//! shrunk repro to `--emit PATH` (default `torture_min.jsonl`), prints the
+//! failure, and exits non-zero — which is exactly what CI uploads when the
+//! torture smoke job goes red.
+
+use std::process::ExitCode;
+
+use contig_check::{
+    encode_repro, generate_ops, minimize, read_repro, run_ops, TortureConfig, TortureReport,
+};
+
+struct Args {
+    seed: u64,
+    ops: usize,
+    faults: bool,
+    replay: Option<String>,
+    emit: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 1,
+        ops: 2_000,
+        faults: true,
+        replay: None,
+        emit: "torture_min.jsonl".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| {
+                panic!("usage: [--seed N] [--ops N] [--no-faults] [--replay PATH] [--emit PATH]")
+            })
+        };
+        match argv[i].as_str() {
+            "--seed" => args.seed = value(&mut i).parse().expect("--seed expects a number"),
+            "--ops" => args.ops = value(&mut i).parse().expect("--ops expects a number"),
+            "--no-faults" => args.faults = false,
+            "--replay" => args.replay = Some(value(&mut i)),
+            "--emit" => args.emit = value(&mut i),
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn print_report(report: &TortureReport) {
+    println!(
+        "ops {}  touches {}  writes {}  maps {}  forks {}  exits {}",
+        report.ops_executed,
+        report.touches,
+        report.writes,
+        report.maps,
+        report.forks,
+        report.exits
+    );
+    println!(
+        "op errors {}  oom events {}  sweeps {}  audits {}  crash checks {}",
+        report.op_errors, report.oom_events, report.sweeps, report.audits, report.crash_checks
+    );
+    println!("final digest {:#018x}", report.final_digest);
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    let (cfg, ops) = match &args.replay {
+        Some(path) => {
+            let (cfg, ops) = match read_repro(std::path::Path::new(path)) {
+                Ok(parsed) => parsed,
+                Err(e) => {
+                    eprintln!("cannot replay {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            println!("replaying {} ops from {path} (seed {})", ops.len(), cfg.seed);
+            (cfg, ops)
+        }
+        None => {
+            let cfg = TortureConfig {
+                faults: args.faults,
+                ..TortureConfig::with_seed_and_ops(args.seed, args.ops)
+            };
+            println!(
+                "torture run: seed {}  ops {}  faults {}",
+                cfg.seed, cfg.ops, cfg.faults
+            );
+            let ops = generate_ops(&cfg);
+            (cfg, ops)
+        }
+    };
+
+    let report = run_ops(&cfg, &ops);
+    print_report(&report);
+
+    let Some(failure) = report.failure else {
+        println!("PASS: zero divergences, zero findings");
+        return ExitCode::SUCCESS;
+    };
+
+    eprintln!("FAIL at op {}: {failure:?}", failure.op_index());
+    match minimize(&cfg, &ops) {
+        Some(min) => {
+            eprintln!(
+                "minimized to {} ops in {} runs: {:?}",
+                min.ops.len(),
+                min.runs,
+                min.failure
+            );
+            let path = std::path::Path::new(&args.emit);
+            match std::fs::write(path, encode_repro(&cfg, &min.ops)) {
+                Ok(()) => eprintln!("repro written to {} — re-run with --replay", args.emit),
+                Err(e) => eprintln!("cannot write {}: {e}", args.emit),
+            }
+        }
+        None => eprintln!("minimizer could not reproduce the failure (flaky environment?)"),
+    }
+    ExitCode::FAILURE
+}

@@ -9,7 +9,6 @@
 //! - `--accesses N` — trace length for translation experiments (default 2M);
 //! - `--runs N` — repetitions where the figure sweeps runs (Fig. 1b).
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use contig_sim::Env;

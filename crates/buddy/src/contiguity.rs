@@ -222,6 +222,17 @@ impl ContiguityMap {
     pub fn rover(&self) -> Option<Pfn> {
         self.rover
     }
+
+    /// Restores the next-fit rover and the update counter from a snapshot.
+    ///
+    /// The rover is functional state — placement after a restore must resume
+    /// from the same position the live run would have — while the update
+    /// counter only feeds overhead accounting, but both must round-trip for
+    /// the state digest to be stable across `restore(snapshot(s))`.
+    pub fn restore_cursor(&mut self, rover: Option<Pfn>, updates: u64) {
+        self.rover = rover;
+        self.updates = updates;
+    }
 }
 
 #[cfg(test)]

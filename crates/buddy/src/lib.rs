@@ -34,7 +34,6 @@
 //! # Ok::<(), contig_types::AllocError>(())
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod contiguity;
@@ -49,6 +48,6 @@ pub use contiguity::{Cluster, ContiguityMap};
 pub use frame::{FrameState, FrameTable};
 pub use freelist::FreeList;
 pub use hog::Hog;
-pub use machine::{Machine, MachineConfig, NodeId};
+pub use machine::{Machine, MachineConfig, MachineSnapshot, NodeId};
 pub use stats::{FreeBlockHistogram, SizeClass};
-pub use zone::{Zone, ZoneConfig, ZoneCounters, DEFAULT_TOP_ORDER};
+pub use zone::{Zone, ZoneConfig, ZoneCounters, ZoneSnapshot, DEFAULT_TOP_ORDER};

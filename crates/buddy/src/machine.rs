@@ -6,7 +6,7 @@ use contig_trace::Tracer;
 use contig_types::{AllocError, FailPolicy, PageSize, PhysRange, Pfn};
 
 use crate::stats::FreeBlockHistogram;
-use crate::zone::{Zone, ZoneConfig, ZoneCounters};
+use crate::zone::{Zone, ZoneConfig, ZoneCounters, ZoneSnapshot};
 
 /// Index of a NUMA node / zone within a [`Machine`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -39,6 +39,19 @@ impl MachineConfig {
     pub fn single_node_mib(mib: u64) -> Self {
         Self::with_node_mib(&[mib])
     }
+}
+
+/// Plain-data image of a whole machine's allocator state, produced by
+/// [`Machine::snapshot`] and consumed by [`Machine::from_snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineSnapshot {
+    /// One snapshot per zone, in node order.
+    pub zones: Vec<ZoneSnapshot>,
+    /// Contiguity reservations as `(owner, start byte, length)`, in
+    /// registration order.
+    pub reservations: Vec<(u64, u64, u64)>,
+    /// The reservation-aware placement rover (byte address).
+    pub reservation_rover: u64,
 }
 
 /// A multi-zone physical memory with first-fill node selection: allocations
@@ -89,6 +102,42 @@ impl Machine {
             base += frames;
         }
         Machine { zones, reservations: Vec::new(), reservation_rover: 0 }
+    }
+
+    /// Captures the complete machine state (every zone plus the reservation
+    /// book) as plain data. Tracers are not captured.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            zones: self.zones.iter().map(Zone::snapshot).collect(),
+            reservations: self
+                .reservations
+                .iter()
+                .map(|&(owner, r)| (owner, r.start().raw(), r.len()))
+                .collect(),
+            reservation_rover: self.reservation_rover,
+        }
+    }
+
+    /// Rebuilds a machine from a snapshot. Zones come back with disabled
+    /// tracers; re-attach with [`Machine::set_tracer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot holds no zones or a zone image is internally
+    /// inconsistent (see [`Zone::from_snapshot`]).
+    pub fn from_snapshot(snap: &MachineSnapshot) -> Self {
+        assert!(!snap.zones.is_empty(), "machine needs at least one node");
+        Machine {
+            zones: snap.zones.iter().map(Zone::from_snapshot).collect(),
+            reservations: snap
+                .reservations
+                .iter()
+                .map(|&(owner, start, len)| {
+                    (owner, PhysRange::new(contig_types::PhysAddr::new(start), len))
+                })
+                .collect(),
+            reservation_rover: snap.reservation_rover,
+        }
     }
 
     /// Number of NUMA nodes.

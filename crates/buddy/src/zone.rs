@@ -57,6 +57,35 @@ pub struct ZoneCounters {
     pub coalesces: u64,
 }
 
+/// Plain-data image of a zone's complete allocator state, produced by
+/// [`Zone::snapshot`] and consumed by [`Zone::from_snapshot`].
+///
+/// Free lists are captured *in list iteration order*: for the kernel-default
+/// LIFO discipline the order blocks sit on a list decides which block the next
+/// allocation carves, so a restore that reordered a list would make the
+/// restored run diverge from the original. Allocated blocks carry their order
+/// so the frame table can be rebuilt exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZoneSnapshot {
+    /// The zone's construction parameters.
+    pub config: ZoneConfig,
+    /// Per-order free-list contents (absolute frame numbers) in iteration
+    /// order — LIFO insertion order for kernel-default lists, ascending for
+    /// sorted lists.
+    pub free_lists: Vec<Vec<u64>>,
+    /// Allocated block heads as `(absolute pfn, order)`, ascending.
+    pub allocated: Vec<(u64, u32)>,
+    /// Event counters at snapshot time.
+    pub counters: ZoneCounters,
+    /// The fault-injection policy, including its mid-stream RNG state, so a
+    /// restored run injects the same failures the original would have.
+    pub fail: FailPolicy,
+    /// The contiguity map's next-fit rover (absolute frame number).
+    pub contig_rover: Option<u64>,
+    /// The contiguity map's update counter.
+    pub contig_updates: u64,
+}
+
 /// A power-of-two buddy allocator with eager coalescing, targeted allocation,
 /// and a [`ContiguityMap`] tracking unaligned runs of free top-order blocks.
 ///
@@ -136,6 +165,80 @@ impl Zone {
         }
         zone.free_lists = free_lists;
         zone
+    }
+
+    /// Captures the complete allocator state as plain data. The attached
+    /// tracer is observability plumbing, not state, and is not captured.
+    pub fn snapshot(&self) -> ZoneSnapshot {
+        ZoneSnapshot {
+            config: self.config,
+            free_lists: self
+                .free_lists
+                .iter()
+                .map(|list| list.iter().map(|p| p.raw()).collect())
+                .collect(),
+            allocated: self.frames.allocated_blocks().map(|(h, o)| (h.raw(), o)).collect(),
+            counters: self.counters,
+            fail: self.fail.clone(),
+            contig_rover: self.contiguity.rover().map(|p| p.raw()),
+            contig_updates: self.contiguity.update_count(),
+        }
+    }
+
+    /// Rebuilds a zone from a snapshot, byte-for-byte equivalent to the
+    /// captured one: free lists are reinstalled in their captured order so
+    /// subsequent allocations carve the same blocks the original would have.
+    /// The tracer comes back disabled; re-attach with [`Zone::set_tracer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot is internally inconsistent (free and allocated
+    /// blocks must exactly tile the zone); [`Zone::verify_integrity`] is the
+    /// post-restore check callers should run on untrusted snapshots.
+    pub fn from_snapshot(snap: &ZoneSnapshot) -> Self {
+        let config = snap.config;
+        assert!(config.frames > 0, "zone must contain at least one frame");
+        assert_eq!(
+            snap.free_lists.len(),
+            config.top_order as usize + 1,
+            "snapshot free-list count disagrees with top order"
+        );
+        let mut frames = FrameTable::new(config.base, config.frames);
+        let mut free_lists: Vec<FreeList> = (0..=config.top_order)
+            .map(|order| FreeList::new(config.sorted_top_list && order == config.top_order))
+            .collect();
+        let mut free_frames = 0u64;
+        for (order, list) in snap.free_lists.iter().enumerate() {
+            for &head in list {
+                let head = Pfn::new(head);
+                frames.mark_free_block(head, order as u32);
+                free_lists[order].insert(head);
+                free_frames += 1 << order;
+            }
+        }
+        for &(head, order) in &snap.allocated {
+            frames.mark_allocated_block(Pfn::new(head), order);
+        }
+        // The contiguity map mirrors the top-order free list; rebuilding it
+        // from the sorted block set reproduces the canonical cluster form,
+        // then the captured rover/update-count resume the next-fit cursor.
+        let mut contiguity = ContiguityMap::new(config.top_order);
+        let mut tops: Vec<u64> = snap.free_lists[config.top_order as usize].clone();
+        tops.sort_unstable();
+        for head in tops {
+            contiguity.on_block_freed(Pfn::new(head));
+        }
+        contiguity.restore_cursor(snap.contig_rover.map(Pfn::new), snap.contig_updates);
+        Zone {
+            config,
+            frames,
+            free_lists,
+            free_frames,
+            contiguity,
+            counters: snap.counters,
+            fail: snap.fail.clone(),
+            tracer: Tracer::disabled(),
+        }
     }
 
     /// The construction parameters.

@@ -146,3 +146,89 @@ proptest! {
         zone.verify_integrity();
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Coalescing is independent of free order: however the live blocks are
+    /// shuffled before teardown, the zone always merges back to one pristine
+    /// top-order run with a consistent frame table.
+    #[test]
+    fn coalescing_is_free_order_independent(
+        orders in proptest::collection::vec(0u32..=8, 1..80),
+        shuffle_seed in 0u64..1_000_000,
+    ) {
+        let mut zone = Zone::new(ZoneConfig::with_frames(4096));
+        let mut live: Vec<(Pfn, u32)> = Vec::new();
+        for order in orders {
+            if let Ok(head) = zone.alloc(order) {
+                live.push((head, order));
+            }
+        }
+        // Fisher-Yates with a seeded splitmix64 stream: the free order is
+        // random but reproducible from the generated seed.
+        let mut rng = shuffle_seed;
+        for i in (1..live.len()).rev() {
+            let j = (contig_types::splitmix64(&mut rng) as usize) % (i + 1);
+            live.swap(i, j);
+        }
+        let freed = live.len() as u64;
+        for (head, order) in live {
+            zone.free(head, order);
+        }
+        zone.verify_integrity();
+        prop_assert_eq!(zone.free_frames(), 4096);
+        prop_assert_eq!(zone.contiguity_map().largest().unwrap().frames, 4096);
+        if freed > 1 {
+            prop_assert!(zone.counters().coalesces > 0, "teardown never coalesced");
+        }
+    }
+
+    /// A zone snapshot restores to a bit-identical allocator: the snapshot
+    /// round-trips exactly, and the restored zone hands out the same frames
+    /// the original does from that point on.
+    #[test]
+    fn snapshot_round_trips_under_arbitrary_ops(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+        probes in proptest::collection::vec(0u32..=4, 1..8),
+    ) {
+        let mut zone = Zone::new(ZoneConfig::with_frames(4096));
+        let mut live: Vec<(Pfn, u32)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc { order } => {
+                    if let Ok(head) = zone.alloc(order) {
+                        live.push((head, order));
+                    }
+                }
+                Op::AllocSpecific { slot, order } => {
+                    let target = Pfn::new((slot << order) % 4096);
+                    if target.raw() + (1 << order) <= 4096
+                        && zone.alloc_specific(target, order).is_ok()
+                    {
+                        live.push((target, order));
+                    }
+                }
+                Op::FreeOldest => {
+                    if !live.is_empty() {
+                        let (head, order) = live.remove(0);
+                        zone.free(head, order);
+                    }
+                }
+                Op::FreeNewest => {
+                    if let Some((head, order)) = live.pop() {
+                        zone.free(head, order);
+                    }
+                }
+            }
+        }
+        let snap = zone.snapshot();
+        let mut restored = Zone::from_snapshot(&snap);
+        prop_assert_eq!(restored.snapshot(), snap);
+        restored.verify_integrity();
+        // LIFO free-list order survived: both copies pick identical frames.
+        for order in probes {
+            prop_assert_eq!(zone.alloc(order), restored.alloc(order));
+        }
+    }
+}

@@ -1,0 +1,779 @@
+//! Versioned JSONL snapshot codec.
+//!
+//! Serializes the plain-data snapshot types exported by `contig-buddy`,
+//! `contig-mm`, `contig-virt`, and `contig-tlb` to the [`Json`] value model
+//! and back, and wraps them in a two-line JSONL file format:
+//!
+//! ```text
+//! {"format":"contig-snapshot","version":1,"digest":<fnv1a64>}
+//! {<payload>}
+//! ```
+//!
+//! The header carries a format version (decoders reject versions they do not
+//! understand — the backward-compatibility contract checked by CI against a
+//! committed golden file) and the digest of the payload line, so corruption
+//! is detected before a restore is attempted.
+//!
+//! Every encoder emits object members in a fixed order; combined with the
+//! integer-only number model this makes the encoding canonical, which is what
+//! lets [`crate::digest`] hash the serialized form directly.
+
+use contig_buddy::{MachineSnapshot, ZoneConfig, ZoneCounters, ZoneSnapshot};
+use contig_mm::{
+    CacheAllocMode, FaultStatsSnapshot, FileCacheSnapshot, LatencyModel, PageCacheSnapshot,
+    ProcessSnapshot, RecoveryConfig, RecoveryStats, SystemSnapshot, VmaSnapshot,
+};
+use contig_tlb::{CacheSnapshot, TlbSnapshot};
+use contig_types::{FailMode, FailPolicy, Pfn};
+use contig_virt::VmSnapshot;
+
+use crate::digest::fnv1a64;
+use crate::json::{parse, Json};
+
+/// Current snapshot file format version.
+pub const SNAPSHOT_VERSION: i128 = 1;
+/// `format` tag of snapshot files.
+pub const SNAPSHOT_FORMAT: &str = "contig-snapshot";
+
+fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn pair(a: impl Into<i128>, b: impl Into<i128>) -> Json {
+    Json::Arr(vec![Json::num(a), Json::num(b)])
+}
+
+fn opt_num(v: Option<impl Into<i128>>) -> Json {
+    match v {
+        Some(n) => Json::num(n),
+        None => Json::Null,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decode helpers
+// ---------------------------------------------------------------------------
+
+type DecodeResult<T> = Result<T, String>;
+
+fn field<'a>(v: &'a Json, key: &str) -> DecodeResult<&'a Json> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn get_u64(v: &Json, key: &str) -> DecodeResult<u64> {
+    field(v, key)?.as_u64().ok_or_else(|| format!("field `{key}` is not a u64"))
+}
+
+fn get_u32(v: &Json, key: &str) -> DecodeResult<u32> {
+    u32::try_from(get_u64(v, key)?).map_err(|_| format!("field `{key}` out of u32 range"))
+}
+
+fn get_bool(v: &Json, key: &str) -> DecodeResult<bool> {
+    field(v, key)?.as_bool().ok_or_else(|| format!("field `{key}` is not a bool"))
+}
+
+fn get_arr<'a>(v: &'a Json, key: &str) -> DecodeResult<&'a [Json]> {
+    field(v, key)?.as_arr().ok_or_else(|| format!("field `{key}` is not an array"))
+}
+
+fn as_u64(v: &Json, what: &str) -> DecodeResult<u64> {
+    v.as_u64().ok_or_else(|| format!("{what} is not a u64"))
+}
+
+fn decode_pair_u64(v: &Json, what: &str) -> DecodeResult<(u64, u64)> {
+    match v.as_arr() {
+        Some([a, b]) => Ok((as_u64(a, what)?, as_u64(b, what)?)),
+        _ => Err(format!("{what} is not a 2-element array")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// contig-types: fail injection
+// ---------------------------------------------------------------------------
+
+fn fail_mode_to_json(mode: FailMode) -> Json {
+    match mode {
+        FailMode::Never => obj(vec![("kind", Json::Str("never".into()))]),
+        FailMode::Nth { n } => obj(vec![("kind", Json::Str("nth".into())), ("n", Json::num(n))]),
+        FailMode::EveryNth { n } => {
+            obj(vec![("kind", Json::Str("every_nth".into())), ("n", Json::num(n))])
+        }
+        FailMode::MinOrder { min_order } => obj(vec![
+            ("kind", Json::Str("min_order".into())),
+            ("min_order", Json::num(min_order)),
+        ]),
+        FailMode::Probability { rate_ppm, seed } => obj(vec![
+            ("kind", Json::Str("probability".into())),
+            ("rate_ppm", Json::num(rate_ppm)),
+            ("seed", Json::num(seed)),
+        ]),
+    }
+}
+
+fn fail_mode_from_json(v: &Json) -> DecodeResult<FailMode> {
+    let kind = field(v, "kind")?.as_str().ok_or("fail mode kind is not a string")?;
+    match kind {
+        "never" => Ok(FailMode::Never),
+        "nth" => Ok(FailMode::Nth { n: get_u64(v, "n")? }),
+        "every_nth" => Ok(FailMode::EveryNth { n: get_u64(v, "n")? }),
+        "min_order" => Ok(FailMode::MinOrder { min_order: get_u32(v, "min_order")? }),
+        "probability" => Ok(FailMode::Probability {
+            rate_ppm: get_u32(v, "rate_ppm")?,
+            seed: get_u64(v, "seed")?,
+        }),
+        other => Err(format!("unknown fail mode `{other}`")),
+    }
+}
+
+fn fail_policy_to_json(p: &FailPolicy) -> Json {
+    obj(vec![
+        ("mode", fail_mode_to_json(p.mode())),
+        ("attempts", Json::num(p.attempts())),
+        ("injected", Json::num(p.injected())),
+        ("rng_state", Json::num(p.rng_state())),
+    ])
+}
+
+fn fail_policy_from_json(v: &Json) -> DecodeResult<FailPolicy> {
+    Ok(FailPolicy::restore(
+        fail_mode_from_json(field(v, "mode")?)?,
+        get_u64(v, "attempts")?,
+        get_u64(v, "injected")?,
+        get_u64(v, "rng_state")?,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// contig-buddy: zones and machine
+// ---------------------------------------------------------------------------
+
+fn zone_to_json(z: &ZoneSnapshot) -> Json {
+    obj(vec![
+        (
+            "config",
+            obj(vec![
+                ("base", Json::num(z.config.base.raw())),
+                ("frames", Json::num(z.config.frames)),
+                ("top_order", Json::num(z.config.top_order)),
+                ("sorted_top_list", Json::Bool(z.config.sorted_top_list)),
+            ]),
+        ),
+        (
+            "free_lists",
+            Json::Arr(
+                z.free_lists
+                    .iter()
+                    .map(|list| Json::Arr(list.iter().map(|&f| Json::num(f)).collect()))
+                    .collect(),
+            ),
+        ),
+        (
+            "allocated",
+            Json::Arr(z.allocated.iter().map(|&(pfn, order)| pair(pfn, order)).collect()),
+        ),
+        (
+            "counters",
+            Json::Arr(
+                [
+                    z.counters.allocs,
+                    z.counters.targeted_allocs,
+                    z.counters.targeted_misses,
+                    z.counters.frees,
+                    z.counters.splits,
+                    z.counters.coalesces,
+                ]
+                .iter()
+                .map(|&c| Json::num(c))
+                .collect(),
+            ),
+        ),
+        ("fail", fail_policy_to_json(&z.fail)),
+        ("contig_rover", opt_num(z.contig_rover)),
+        ("contig_updates", Json::num(z.contig_updates)),
+    ])
+}
+
+fn zone_from_json(v: &Json) -> DecodeResult<ZoneSnapshot> {
+    let cfg = field(v, "config")?;
+    let counters = get_arr(v, "counters")?;
+    if counters.len() != 6 {
+        return Err("zone counters must have 6 entries".into());
+    }
+    let c = |i: usize| as_u64(&counters[i], "zone counter");
+    Ok(ZoneSnapshot {
+        config: ZoneConfig {
+            base: Pfn::new(get_u64(cfg, "base")?),
+            frames: get_u64(cfg, "frames")?,
+            top_order: get_u32(cfg, "top_order")?,
+            sorted_top_list: get_bool(cfg, "sorted_top_list")?,
+        },
+        free_lists: get_arr(v, "free_lists")?
+            .iter()
+            .map(|list| {
+                list.as_arr()
+                    .ok_or_else(|| "free list is not an array".to_string())?
+                    .iter()
+                    .map(|f| as_u64(f, "free frame"))
+                    .collect()
+            })
+            .collect::<DecodeResult<_>>()?,
+        allocated: get_arr(v, "allocated")?
+            .iter()
+            .map(|p| {
+                let (pfn, order) = decode_pair_u64(p, "allocated block")?;
+                Ok((pfn, u32::try_from(order).map_err(|_| "order out of range".to_string())?))
+            })
+            .collect::<DecodeResult<_>>()?,
+        counters: ZoneCounters {
+            allocs: c(0)?,
+            targeted_allocs: c(1)?,
+            targeted_misses: c(2)?,
+            frees: c(3)?,
+            splits: c(4)?,
+            coalesces: c(5)?,
+        },
+        fail: fail_policy_from_json(field(v, "fail")?)?,
+        contig_rover: match field(v, "contig_rover")? {
+            Json::Null => None,
+            other => Some(as_u64(other, "contig_rover")?),
+        },
+        contig_updates: get_u64(v, "contig_updates")?,
+    })
+}
+
+fn machine_to_json(m: &MachineSnapshot) -> Json {
+    obj(vec![
+        ("zones", Json::Arr(m.zones.iter().map(zone_to_json).collect())),
+        (
+            "reservations",
+            Json::Arr(
+                m.reservations
+                    .iter()
+                    .map(|&(owner, start, len)| {
+                        Json::Arr(vec![Json::num(owner), Json::num(start), Json::num(len)])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("reservation_rover", Json::num(m.reservation_rover)),
+    ])
+}
+
+fn machine_from_json(v: &Json) -> DecodeResult<MachineSnapshot> {
+    Ok(MachineSnapshot {
+        zones: get_arr(v, "zones")?.iter().map(zone_from_json).collect::<DecodeResult<_>>()?,
+        reservations: get_arr(v, "reservations")?
+            .iter()
+            .map(|r| match r.as_arr() {
+                Some([a, b, c]) => Ok((
+                    as_u64(a, "reservation owner")?,
+                    as_u64(b, "reservation start")?,
+                    as_u64(c, "reservation len")?,
+                )),
+                _ => Err("reservation is not a 3-element array".to_string()),
+            })
+            .collect::<DecodeResult<_>>()?,
+        reservation_rover: get_u64(v, "reservation_rover")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// contig-mm: processes, page cache, system
+// ---------------------------------------------------------------------------
+
+fn vma_to_json(vma: &VmaSnapshot) -> Json {
+    obj(vec![
+        ("start", Json::num(vma.start)),
+        ("len", Json::num(vma.len)),
+        (
+            "file",
+            match vma.file {
+                None => Json::Null,
+                Some((file, start_page)) => pair(file, start_page),
+            },
+        ),
+        (
+            "offsets",
+            Json::Arr(
+                vma.offsets
+                    .iter()
+                    .map(|&(va, off)| Json::Arr(vec![Json::num(va), Json::Num(off)]))
+                    .collect(),
+            ),
+        ),
+        ("replacement_claimed", Json::Bool(vma.replacement_claimed)),
+    ])
+}
+
+fn vma_from_json(v: &Json) -> DecodeResult<VmaSnapshot> {
+    Ok(VmaSnapshot {
+        start: get_u64(v, "start")?,
+        len: get_u64(v, "len")?,
+        file: match field(v, "file")? {
+            Json::Null => None,
+            other => {
+                let (file, start_page) = decode_pair_u64(other, "vma file")?;
+                Some((u32::try_from(file).map_err(|_| "file id out of range")?, start_page))
+            }
+        },
+        offsets: get_arr(v, "offsets")?
+            .iter()
+            .map(|p| match p.as_arr() {
+                Some([va, off]) => Ok((
+                    as_u64(va, "offset va")?,
+                    off.as_num().ok_or("offset value is not a number")?,
+                )),
+                _ => Err("offset entry is not a 2-element array".to_string()),
+            })
+            .collect::<DecodeResult<_>>()?,
+        replacement_claimed: get_bool(v, "replacement_claimed")?,
+    })
+}
+
+fn stats_to_json(s: &FaultStatsSnapshot) -> Json {
+    obj(vec![
+        ("counters", Json::Arr(s.counters.iter().map(|&c| Json::num(c)).collect())),
+        ("latencies_ns", Json::Arr(s.latencies_ns.iter().map(|&l| Json::num(l)).collect())),
+        ("record_latencies", Json::Bool(s.record_latencies)),
+    ])
+}
+
+fn stats_from_json(v: &Json) -> DecodeResult<FaultStatsSnapshot> {
+    let raw = get_arr(v, "counters")?;
+    if raw.len() != 8 {
+        return Err("fault stats must have 8 counters".into());
+    }
+    let mut counters = [0u64; 8];
+    for (slot, val) in counters.iter_mut().zip(raw) {
+        *slot = as_u64(val, "fault counter")?;
+    }
+    Ok(FaultStatsSnapshot {
+        counters,
+        latencies_ns: get_arr(v, "latencies_ns")?
+            .iter()
+            .map(|l| as_u64(l, "latency"))
+            .collect::<DecodeResult<_>>()?,
+        record_latencies: get_bool(v, "record_latencies")?,
+    })
+}
+
+fn process_to_json(p: &ProcessSnapshot) -> Json {
+    obj(vec![
+        ("pid", Json::num(p.pid)),
+        ("pt_levels", Json::num(p.pt_levels)),
+        ("vmas", Json::Arr(p.vmas.iter().map(vma_to_json).collect())),
+        (
+            "mappings",
+            Json::Arr(
+                p.mappings
+                    .iter()
+                    .map(|&(va, pfn, bits, huge)| {
+                        Json::Arr(vec![
+                            Json::num(va),
+                            Json::num(pfn),
+                            Json::num(bits),
+                            Json::Bool(huge),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("stats", stats_to_json(&p.stats)),
+    ])
+}
+
+fn process_from_json(v: &Json) -> DecodeResult<ProcessSnapshot> {
+    Ok(ProcessSnapshot {
+        pid: get_u32(v, "pid")?,
+        pt_levels: get_u32(v, "pt_levels")?,
+        vmas: get_arr(v, "vmas")?.iter().map(vma_from_json).collect::<DecodeResult<_>>()?,
+        mappings: get_arr(v, "mappings")?
+            .iter()
+            .map(|m| match m.as_arr() {
+                Some([va, pfn, bits, huge]) => Ok((
+                    as_u64(va, "mapping va")?,
+                    as_u64(pfn, "mapping pfn")?,
+                    u8::try_from(as_u64(bits, "mapping flags")?)
+                        .map_err(|_| "flag bits out of range".to_string())?,
+                    huge.as_bool().ok_or("mapping huge marker is not a bool")?,
+                )),
+                _ => Err("mapping is not a 4-element array".to_string()),
+            })
+            .collect::<DecodeResult<_>>()?,
+        stats: stats_from_json(field(v, "stats")?)?,
+    })
+}
+
+fn page_cache_to_json(pc: &PageCacheSnapshot) -> Json {
+    obj(vec![
+        (
+            "mode",
+            Json::Str(
+                match pc.mode {
+                    CacheAllocMode::Default => "default",
+                    CacheAllocMode::CaContiguous => "ca_contiguous",
+                }
+                .into(),
+            ),
+        ),
+        ("readahead_allocs", Json::num(pc.readahead_allocs)),
+        (
+            "files",
+            Json::Arr(
+                pc.files
+                    .iter()
+                    .map(|f| {
+                        obj(vec![
+                            (
+                                "pages",
+                                Json::Arr(
+                                    f.pages.iter().map(|&(idx, pfn)| pair(idx, pfn)).collect(),
+                                ),
+                            ),
+                            (
+                                "offset",
+                                match f.offset {
+                                    None => Json::Null,
+                                    Some(off) => Json::Num(off),
+                                },
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn page_cache_from_json(v: &Json) -> DecodeResult<PageCacheSnapshot> {
+    Ok(PageCacheSnapshot {
+        mode: match field(v, "mode")?.as_str() {
+            Some("default") => CacheAllocMode::Default,
+            Some("ca_contiguous") => CacheAllocMode::CaContiguous,
+            other => return Err(format!("unknown cache mode {other:?}")),
+        },
+        readahead_allocs: get_u64(v, "readahead_allocs")?,
+        files: get_arr(v, "files")?
+            .iter()
+            .map(|f| {
+                Ok(FileCacheSnapshot {
+                    pages: get_arr(f, "pages")?
+                        .iter()
+                        .map(|p| decode_pair_u64(p, "cached page"))
+                        .collect::<DecodeResult<_>>()?,
+                    offset: match field(f, "offset")? {
+                        Json::Null => None,
+                        other => Some(other.as_num().ok_or("cache offset is not a number")?),
+                    },
+                })
+            })
+            .collect::<DecodeResult<_>>()?,
+    })
+}
+
+fn recovery_config_to_json(r: &RecoveryConfig) -> Json {
+    obj(vec![
+        ("reclaim", Json::Bool(r.reclaim)),
+        ("compaction", Json::Bool(r.compaction)),
+        ("max_retries", Json::num(r.max_retries)),
+        ("reclaim_batch", Json::num(r.reclaim_batch)),
+        ("compact_budget", Json::num(r.compact_budget)),
+        ("backoff_base_ns", Json::num(r.backoff_base_ns)),
+        ("backoff_cap_ns", Json::num(r.backoff_cap_ns)),
+        ("backoff_seed", Json::num(r.backoff_seed)),
+        ("max_total_attempts", Json::num(r.max_total_attempts)),
+    ])
+}
+
+fn recovery_config_from_json(v: &Json) -> DecodeResult<RecoveryConfig> {
+    Ok(RecoveryConfig {
+        reclaim: get_bool(v, "reclaim")?,
+        compaction: get_bool(v, "compaction")?,
+        max_retries: get_u32(v, "max_retries")?,
+        reclaim_batch: get_u64(v, "reclaim_batch")?,
+        compact_budget: get_u64(v, "compact_budget")?,
+        backoff_base_ns: get_u64(v, "backoff_base_ns")?,
+        backoff_cap_ns: get_u64(v, "backoff_cap_ns")?,
+        backoff_seed: get_u64(v, "backoff_seed")?,
+        max_total_attempts: get_u32(v, "max_total_attempts")?,
+    })
+}
+
+/// Field order of the [`RecoveryStats`] counter array encoding.
+const RECOVERY_STAT_FIELDS: usize = 15;
+
+fn recovery_stats_to_json(s: &RecoveryStats) -> Json {
+    let counters = [
+        s.oom_events,
+        s.reclaim_passes,
+        s.reclaimed_pages,
+        s.compaction_passes,
+        s.migrated_blocks,
+        s.migrated_frames,
+        s.retries,
+        s.order_backoffs,
+        s.readahead_shrinks,
+        s.recovered_faults,
+        s.hard_ooms,
+        s.livelocks,
+        s.backoff_ns,
+        s.reclaim_ns,
+        s.compaction_ns,
+    ];
+    Json::Arr(counters.iter().map(|&c| Json::num(c)).collect())
+}
+
+fn recovery_stats_from_json(v: &Json) -> DecodeResult<RecoveryStats> {
+    let raw = v.as_arr().ok_or("recovery stats is not an array")?;
+    if raw.len() != RECOVERY_STAT_FIELDS {
+        return Err(format!("recovery stats must have {RECOVERY_STAT_FIELDS} entries"));
+    }
+    let c = |i: usize| as_u64(&raw[i], "recovery stat");
+    Ok(RecoveryStats {
+        oom_events: c(0)?,
+        reclaim_passes: c(1)?,
+        reclaimed_pages: c(2)?,
+        compaction_passes: c(3)?,
+        migrated_blocks: c(4)?,
+        migrated_frames: c(5)?,
+        retries: c(6)?,
+        order_backoffs: c(7)?,
+        readahead_shrinks: c(8)?,
+        recovered_faults: c(9)?,
+        hard_ooms: c(10)?,
+        livelocks: c(11)?,
+        backoff_ns: c(12)?,
+        reclaim_ns: c(13)?,
+        compaction_ns: c(14)?,
+    })
+}
+
+/// Encodes a [`SystemSnapshot`] as a canonical [`Json`] value.
+pub fn system_to_json(s: &SystemSnapshot) -> Json {
+    obj(vec![
+        ("machine", machine_to_json(&s.machine)),
+        ("processes", Json::Arr(s.processes.iter().map(process_to_json).collect())),
+        ("page_cache", page_cache_to_json(&s.page_cache)),
+        ("next_pid", Json::num(s.next_pid)),
+        ("thp", Json::Bool(s.thp)),
+        ("pt_levels", Json::num(s.pt_levels)),
+        ("record_latencies", Json::Bool(s.record_latencies)),
+        (
+            "latency",
+            obj(vec![
+                ("base_ns", Json::num(s.latency.base_ns)),
+                ("zero_page_ns", Json::num(s.latency.zero_page_ns)),
+                ("placement_ns", Json::num(s.latency.placement_ns)),
+            ]),
+        ),
+        ("shared", Json::Arr(s.shared.iter().map(|&(pfn, count)| pair(pfn, count)).collect())),
+        ("now_ns", Json::num(s.now_ns)),
+        ("recovery", recovery_config_to_json(&s.recovery)),
+        ("recovery_stats", recovery_stats_to_json(&s.recovery_stats)),
+        ("backoff_rng", Json::num(s.backoff_rng)),
+    ])
+}
+
+/// Decodes a [`SystemSnapshot`] from its [`Json`] encoding.
+///
+/// # Errors
+///
+/// Describes the first missing or ill-typed field.
+pub fn system_from_json(v: &Json) -> DecodeResult<SystemSnapshot> {
+    let lat = field(v, "latency")?;
+    Ok(SystemSnapshot {
+        machine: machine_from_json(field(v, "machine")?)?,
+        processes: get_arr(v, "processes")?
+            .iter()
+            .map(process_from_json)
+            .collect::<DecodeResult<_>>()?,
+        page_cache: page_cache_from_json(field(v, "page_cache")?)?,
+        next_pid: get_u32(v, "next_pid")?,
+        thp: get_bool(v, "thp")?,
+        pt_levels: get_u32(v, "pt_levels")?,
+        record_latencies: get_bool(v, "record_latencies")?,
+        latency: LatencyModel {
+            base_ns: get_u64(lat, "base_ns")?,
+            zero_page_ns: get_u64(lat, "zero_page_ns")?,
+            placement_ns: get_u64(lat, "placement_ns")?,
+        },
+        shared: get_arr(v, "shared")?
+            .iter()
+            .map(|p| {
+                let (pfn, count) = decode_pair_u64(p, "shared entry")?;
+                Ok((pfn, u32::try_from(count).map_err(|_| "share count out of range")?))
+            })
+            .collect::<DecodeResult<_>>()?,
+        now_ns: get_u64(v, "now_ns")?,
+        recovery: recovery_config_from_json(field(v, "recovery")?)?,
+        recovery_stats: recovery_stats_from_json(field(v, "recovery_stats")?)?,
+        backoff_rng: get_u64(v, "backoff_rng")?,
+    })
+}
+
+/// Encodes a [`VmSnapshot`] (both translation dimensions) as canonical JSON.
+pub fn vm_to_json(s: &VmSnapshot) -> Json {
+    obj(vec![
+        ("guest", system_to_json(&s.guest)),
+        ("host", system_to_json(&s.host)),
+        ("host_pid", Json::num(s.host_pid)),
+        ("host_vma_start", Json::num(s.host_vma_start)),
+        ("host_vma_base", Json::num(s.host_vma_base)),
+    ])
+}
+
+/// Decodes a [`VmSnapshot`] from its [`Json`] encoding.
+///
+/// # Errors
+///
+/// Describes the first missing or ill-typed field.
+pub fn vm_from_json(v: &Json) -> DecodeResult<VmSnapshot> {
+    Ok(VmSnapshot {
+        guest: system_from_json(field(v, "guest")?)?,
+        host: system_from_json(field(v, "host")?)?,
+        host_pid: get_u32(v, "host_pid")?,
+        host_vma_start: get_u64(v, "host_vma_start")?,
+        host_vma_base: get_u64(v, "host_vma_base")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// contig-tlb: translation caches
+// ---------------------------------------------------------------------------
+
+fn cache_to_json(c: &CacheSnapshot) -> Json {
+    obj(vec![
+        ("sets", Json::num(c.sets)),
+        ("ways", Json::num(c.ways)),
+        (
+            "slots",
+            Json::Arr(
+                c.slots
+                    .iter()
+                    .map(|slot| match slot {
+                        None => Json::Null,
+                        Some((key, tick)) => pair(*key, *tick),
+                    })
+                    .collect(),
+            ),
+        ),
+        ("tick", Json::num(c.tick)),
+        ("hits", Json::num(c.hits)),
+        ("misses", Json::num(c.misses)),
+    ])
+}
+
+fn cache_from_json(v: &Json) -> DecodeResult<CacheSnapshot> {
+    Ok(CacheSnapshot {
+        sets: get_u64(v, "sets")?,
+        ways: get_u64(v, "ways")?,
+        slots: get_arr(v, "slots")?
+            .iter()
+            .map(|slot| match slot {
+                Json::Null => Ok(None),
+                other => decode_pair_u64(other, "cache slot").map(Some),
+            })
+            .collect::<DecodeResult<_>>()?,
+        tick: get_u64(v, "tick")?,
+        hits: get_u64(v, "hits")?,
+        misses: get_u64(v, "misses")?,
+    })
+}
+
+/// Encodes a [`TlbSnapshot`] (full hierarchy with LRU state) as canonical
+/// JSON.
+pub fn tlb_to_json(s: &TlbSnapshot) -> Json {
+    obj(vec![
+        ("l1_4k", cache_to_json(&s.l1_4k)),
+        ("l1_2m", cache_to_json(&s.l1_2m)),
+        ("l2", cache_to_json(&s.l2)),
+        ("counters", Json::Arr(s.counters.iter().map(|&c| Json::num(c)).collect())),
+    ])
+}
+
+/// Decodes a [`TlbSnapshot`] from its [`Json`] encoding.
+///
+/// # Errors
+///
+/// Describes the first missing or ill-typed field.
+pub fn tlb_from_json(v: &Json) -> DecodeResult<TlbSnapshot> {
+    let raw = get_arr(v, "counters")?;
+    if raw.len() != 4 {
+        return Err("tlb counters must have 4 entries".into());
+    }
+    let mut counters = [0u64; 4];
+    for (slot, val) in counters.iter_mut().zip(raw) {
+        *slot = as_u64(val, "tlb counter")?;
+    }
+    Ok(TlbSnapshot {
+        l1_4k: cache_from_json(field(v, "l1_4k")?)?,
+        l1_2m: cache_from_json(field(v, "l1_2m")?)?,
+        l2: cache_from_json(field(v, "l2")?)?,
+        counters,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// JSONL file format
+// ---------------------------------------------------------------------------
+
+/// Serializes a [`VmSnapshot`] to the two-line JSONL snapshot format
+/// (versioned header with digest, then the payload).
+pub fn encode_vm_file(snap: &VmSnapshot) -> String {
+    let payload = vm_to_json(snap).to_line();
+    let header = obj(vec![
+        ("format", Json::Str(SNAPSHOT_FORMAT.into())),
+        ("version", Json::Num(SNAPSHOT_VERSION)),
+        ("digest", Json::num(fnv1a64(payload.as_bytes()))),
+    ]);
+    format!("{}\n{}\n", header.to_line(), payload)
+}
+
+/// Parses and validates a snapshot file produced by [`encode_vm_file`].
+///
+/// # Errors
+///
+/// Rejects missing headers, unknown format tags, newer versions, digest
+/// mismatches (corruption), and malformed payloads.
+pub fn decode_vm_file(text: &str) -> DecodeResult<VmSnapshot> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header_line = lines.next().ok_or("empty snapshot file")?;
+    let payload_line = lines.next().ok_or("snapshot file has no payload line")?;
+    let header = parse(header_line).map_err(|e| format!("bad header: {e}"))?;
+    match field(&header, "format")?.as_str() {
+        Some(SNAPSHOT_FORMAT) => {}
+        other => return Err(format!("not a snapshot file (format {other:?})")),
+    }
+    let version = field(&header, "version")?.as_num().ok_or("version is not a number")?;
+    if version != SNAPSHOT_VERSION {
+        return Err(format!(
+            "snapshot version {version} unsupported (decoder speaks {SNAPSHOT_VERSION})"
+        ));
+    }
+    let want = get_u64(&header, "digest")?;
+    let got = fnv1a64(payload_line.as_bytes());
+    if want != got {
+        return Err(format!("digest mismatch: header {want:#x}, payload {got:#x}"));
+    }
+    let payload = parse(payload_line).map_err(|e| format!("bad payload: {e}"))?;
+    vm_from_json(&payload)
+}
+
+/// Writes a snapshot file to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_vm_file(path: &std::path::Path, snap: &VmSnapshot) -> std::io::Result<()> {
+    std::fs::write(path, encode_vm_file(snap))
+}
+
+/// Reads and validates a snapshot file from `path`.
+///
+/// # Errors
+///
+/// I/O failures and every validation failure of [`decode_vm_file`].
+pub fn read_vm_file(path: &std::path::Path) -> DecodeResult<VmSnapshot> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    decode_vm_file(&text)
+}

@@ -1,0 +1,56 @@
+//! Deterministic state digests.
+//!
+//! A digest is FNV-1a-64 over the canonical single-line JSON encoding of a
+//! snapshot (see [`crate::codec`]). Because the encoder emits object members
+//! in a fixed order and integers in a fixed decimal form, equal snapshots
+//! always produce equal digests, and the digest of a restored-and-replayed
+//! system can be compared against the live system byte-for-byte — the core
+//! assertion of crash-point testing.
+
+use contig_mm::SystemSnapshot;
+use contig_virt::VmSnapshot;
+
+use crate::codec::{system_to_json, vm_to_json};
+
+/// FNV-1a-64 offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a-64 prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a-64 of a byte string.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Digest of one [`System`](contig_mm::System) image.
+pub fn digest_system(snap: &SystemSnapshot) -> u64 {
+    fnv1a64(system_to_json(snap).to_line().as_bytes())
+}
+
+/// Digest of a whole two-dimensional [`VirtualMachine`](contig_virt::VirtualMachine) image.
+pub fn digest_vm(snap: &VmSnapshot) -> u64 {
+    fnv1a64(vm_to_json(snap).to_line().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a-64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_single_bit() {
+        assert_ne!(fnv1a64(b"state-a"), fnv1a64(b"state-b"));
+    }
+}

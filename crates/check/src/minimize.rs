@@ -1,0 +1,146 @@
+//! ddmin shrinking of failing torture runs.
+//!
+//! Because every [`TortureOp`] is interpreted robustly (selectors are modulo
+//! the live object counts, ops without a target are no-ops), *any*
+//! subsequence of a failing sequence is a valid run — the precondition the
+//! classic ddmin algorithm needs. The minimizer removes chunks, then single
+//! ops, re-running the harness each time and keeping a candidate only if it
+//! still fails with the same failure *kind* (so shrinking an oracle
+//! divergence cannot wander off into an unrelated audit finding).
+
+use crate::torture::{run_ops, TortureConfig, TortureFailure, TortureOp};
+
+/// Hard cap on harness re-runs during one minimization, so a pathological
+/// sequence cannot stall CI.
+const MAX_RUNS: usize = 600;
+
+/// Result of a minimization.
+#[derive(Clone, Debug)]
+pub struct Minimized {
+    /// The shrunk op sequence, still failing.
+    pub ops: Vec<TortureOp>,
+    /// The failure the shrunk sequence produces.
+    pub failure: TortureFailure,
+    /// Harness re-runs the minimizer spent.
+    pub runs: usize,
+}
+
+/// Shrinks `ops` to a (locally) minimal subsequence that still fails with
+/// the same failure kind as the full run. Returns `None` if the full run
+/// does not fail.
+pub fn minimize(cfg: &TortureConfig, ops: &[TortureOp]) -> Option<Minimized> {
+    let original = run_ops(cfg, ops).failure?;
+    let target = original.kind();
+    let mut runs = 1usize;
+    fn failing(
+        cfg: &TortureConfig,
+        runs: &mut usize,
+        target: &str,
+        candidate: &[TortureOp],
+    ) -> Option<TortureFailure> {
+        if *runs >= MAX_RUNS {
+            return None;
+        }
+        *runs += 1;
+        run_ops(cfg, candidate).failure.filter(|f| f.kind() == target)
+    }
+
+    let mut current = ops.to_vec();
+    let mut failure = original;
+
+    // Phase 1: classic ddmin over complements with doubling granularity.
+    let mut granularity = 2usize;
+    while current.len() >= 2 && runs < MAX_RUNS {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let complement: Vec<TortureOp> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .copied()
+                .collect();
+            if let Some(f) = failing(cfg, &mut runs, target, &complement) {
+                current = complement;
+                failure = f;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+
+    // Phase 2: one-by-one removal pass to squeeze out stragglers ddmin's
+    // chunking misses.
+    let mut i = 0;
+    while i < current.len() && runs < MAX_RUNS {
+        let mut candidate = current.clone();
+        candidate.remove(i);
+        if let Some(f) = failing(cfg, &mut runs, target, &candidate) {
+            current = candidate;
+            failure = f;
+        } else {
+            i += 1;
+        }
+    }
+
+    Some(Minimized { ops: current, failure, runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::{decode_repro, encode_repro};
+    use crate::torture::generate_ops;
+
+    fn buggy_config() -> TortureConfig {
+        TortureConfig {
+            inject_model_bug: true,
+            faults: false,
+            crash_interval: None,
+            sweep_interval: 16,
+            audit_interval: 64,
+            ..TortureConfig::with_seed_and_ops(3, 400)
+        }
+    }
+
+    #[test]
+    fn seeded_bug_minimizes_to_a_tiny_replayable_repro() {
+        let cfg = buggy_config();
+        let ops = generate_ops(&cfg);
+        let min = minimize(&cfg, &ops).expect("seeded bug must fail");
+        // Acceptance bar: the intentional bug shrinks to a handful of ops.
+        assert!(
+            min.ops.len() <= 20,
+            "minimized to {} ops, expected <= 20: {:?}",
+            min.ops.len(),
+            min.ops
+        );
+        assert_eq!(min.failure.kind(), "oracle-divergence");
+
+        // The minimized sequence replays deterministically through the
+        // repro codec, reproducing the exact same failure.
+        let text = encode_repro(&cfg, &min.ops);
+        let (cfg2, ops2) = decode_repro(&text).unwrap();
+        let replayed = run_ops(&cfg2, &ops2).failure.expect("repro must still fail");
+        assert_eq!(replayed, min.failure);
+    }
+
+    #[test]
+    fn clean_runs_do_not_minimize() {
+        let cfg = TortureConfig {
+            faults: false,
+            crash_interval: None,
+            ..TortureConfig::with_seed_and_ops(5, 120)
+        };
+        assert!(minimize(&cfg, &generate_ops(&cfg)).is_none());
+    }
+}

@@ -33,7 +33,6 @@
 //! # Ok::<(), contig_types::FaultError>(())
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ca;

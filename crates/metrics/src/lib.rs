@@ -17,7 +17,6 @@
 //! assert_eq!(geomean(&[1.0, 4.0]), Some(2.0));
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod coverage;

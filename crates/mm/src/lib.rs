@@ -28,7 +28,6 @@
 //! # Ok::<(), contig_types::FaultError>(())
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod aspace;
@@ -39,6 +38,7 @@ mod page_table;
 mod policy;
 mod pte;
 mod recovery;
+mod snapshot;
 mod stats;
 mod system;
 mod vma;
@@ -46,11 +46,12 @@ mod vma;
 pub use aspace::{AddressSpace, VmaId};
 pub use audit::{AuditReport, AuditViolation};
 pub use extract::{compose_mappings, contiguous_mappings};
-pub use page_cache::{CacheAllocMode, FileId, PageCache};
+pub use page_cache::{CacheAllocMode, FileCacheSnapshot, FileId, PageCache, PageCacheSnapshot};
 pub use page_table::{MappedPage, PageTable, Translation, ENTRIES_PER_TABLE, LEVELS, LEVELS_LA57};
 pub use policy::{BasePagesPolicy, DefaultThpPolicy, FaultCtx, FaultKind, Placement, PlacementPolicy};
 pub use pte::{Pte, PteFlags};
 pub use recovery::{CompactOutcome, RecoveryConfig, RecoveryStats};
+pub use snapshot::{FaultStatsSnapshot, ProcessSnapshot, SystemSnapshot, VmaSnapshot};
 pub use stats::{FaultStats, LatencyModel};
 pub use system::{FaultOutcome, Pid, System, SystemConfig};
 pub use vma::{OffsetSet, Vma, VmaKind, MAX_OFFSETS_PER_VMA};

@@ -220,6 +220,59 @@ impl PageCache {
         }
         self.files[file.0 as usize].offset = None;
     }
+
+    /// Captures the cache as plain data for a crash-consistency checkpoint.
+    pub fn snapshot(&self) -> PageCacheSnapshot {
+        PageCacheSnapshot {
+            mode: self.mode,
+            readahead_allocs: self.readahead_allocs,
+            files: self
+                .files
+                .iter()
+                .map(|f| FileCacheSnapshot {
+                    pages: f.pages.iter().map(|(&idx, &pfn)| (idx, pfn.raw())).collect(),
+                    offset: f.offset.map(|o| o.0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a cache from a checkpoint. The caller is responsible for the
+    /// machine-side frame state (restored from the same snapshot).
+    pub fn from_snapshot(snap: &PageCacheSnapshot) -> Self {
+        Self {
+            files: snap
+                .files
+                .iter()
+                .map(|f| CachedFile {
+                    pages: f.pages.iter().map(|&(idx, pfn)| (idx, Pfn::new(pfn))).collect(),
+                    offset: f.offset.map(MapOffset),
+                })
+                .collect(),
+            mode: snap.mode,
+            readahead_allocs: snap.readahead_allocs,
+        }
+    }
+}
+
+/// Plain-data image of one cached file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileCacheSnapshot {
+    /// `(file page index, raw frame number)` pairs in index order.
+    pub pages: Vec<(u64, u64)>,
+    /// The CA per-file offset, if one is recorded.
+    pub offset: Option<i128>,
+}
+
+/// Plain-data image of the whole page cache, for [`PageCache::snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageCacheSnapshot {
+    /// Allocation discipline in force.
+    pub mode: CacheAllocMode,
+    /// Monotonic readahead-allocation counter.
+    pub readahead_allocs: u64,
+    /// Per-file images, indexed by [`FileId`] value.
+    pub files: Vec<FileCacheSnapshot>,
 }
 
 #[cfg(test)]

@@ -56,6 +56,12 @@ impl PteFlags {
     pub const fn bits(self) -> u8 {
         self.0
     }
+
+    /// Flags from a raw bit pattern (snapshot restore); unknown bits are
+    /// preserved so a round-trip is exact.
+    pub const fn from_bits(bits: u8) -> PteFlags {
+        PteFlags(bits)
+    }
 }
 
 impl core::ops::BitOr for PteFlags {

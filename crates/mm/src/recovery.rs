@@ -34,6 +34,17 @@ pub struct RecoveryConfig {
     pub reclaim_batch: u64,
     /// Blocks migrated per compaction pass at most.
     pub compact_budget: u64,
+    /// First retry's backoff delay; doubles per attempt. Zero disables
+    /// backoff entirely.
+    pub backoff_base_ns: u64,
+    /// Ceiling on the exponential term of one backoff delay.
+    pub backoff_cap_ns: u64,
+    /// Seed of the deterministic jitter added to each backoff delay.
+    pub backoff_seed: u64,
+    /// Livelock watchdog: total allocation attempts one fault may burn
+    /// across *all* escalation rounds (including size degradations) before
+    /// the driver gives up with [`contig_types::FaultError::RecoveryLivelock`].
+    pub max_total_attempts: u32,
 }
 
 impl Default for RecoveryConfig {
@@ -44,6 +55,10 @@ impl Default for RecoveryConfig {
             max_retries: 2,
             reclaim_batch: 256,
             compact_budget: 128,
+            backoff_base_ns: 200,
+            backoff_cap_ns: 100_000,
+            backoff_seed: 0xC0_FFEE,
+            max_total_attempts: 64,
         }
     }
 }
@@ -82,6 +97,11 @@ pub struct RecoveryStats {
     pub recovered_faults: u64,
     /// Faults that failed even after the full escalation.
     pub hard_ooms: u64,
+    /// Faults aborted by the livelock watchdog after burning
+    /// [`RecoveryConfig::max_total_attempts`] allocation attempts.
+    pub livelocks: u64,
+    /// Simulated nanoseconds spent backing off between retries.
+    pub backoff_ns: u64,
     /// Simulated nanoseconds spent in reclaim passes (cost-model units:
     /// one page-touch cost per evicted page).
     pub reclaim_ns: u64,
@@ -113,9 +133,11 @@ impl System {
         &self.recovery
     }
 
-    /// Replaces the recovery tunables.
+    /// Replaces the recovery tunables and reseeds the backoff jitter source,
+    /// so two systems given the same config behave identically from here on.
     pub fn set_recovery_config(&mut self, config: RecoveryConfig) {
         self.recovery = config;
+        self.backoff_rng = config.backoff_seed;
     }
 
     /// Cumulative recovery counters.
@@ -540,6 +562,71 @@ mod tests {
             assert_eq!(Some(t.pfn), sys.page_cache().lookup(file, i));
         }
         sys.machine().verify_integrity();
+    }
+
+    #[test]
+    fn livelock_watchdog_bounds_injected_failure_storm() {
+        use contig_types::{FailMode, FailPolicy};
+        // Pathological config: unlimited per-size retries. With every
+        // allocation attempt failing by injection, recovery always "succeeds"
+        // (memory is free, the failure is artificial) so the retry loop
+        // would spin forever without the watchdog.
+        let mut sys = system_mib(4);
+        sys.set_recovery_config(RecoveryConfig {
+            max_retries: u32::MAX,
+            max_total_attempts: 24,
+            ..RecoveryConfig::default()
+        });
+        sys.set_fail_policy(FailPolicy::new(FailMode::EveryNth { n: 1 }));
+        let pid = sys.spawn();
+        sys.aspace_mut(pid).map_vma(
+            VirtRange::new(contig_types::VirtAddr::new(0x40_0000), 0x40_0000),
+            VmaKind::Anon,
+        );
+        let mut policy = BasePagesPolicy;
+        let err = sys.touch(&mut policy, pid, contig_types::VirtAddr::new(0x40_0000)).unwrap_err();
+        assert!(
+            matches!(err, FaultError::RecoveryLivelock { attempts: 24, .. }),
+            "unexpected error: {err}"
+        );
+        let stats = *sys.recovery_stats();
+        assert_eq!(stats.livelocks, 1);
+        assert!(stats.backoff_ns > 0, "no backoff was applied before retries");
+        // The context wrapper classifies the livelock for callers.
+        let cerr = sys
+            .touch_ctx(&mut policy, pid, contig_types::VirtAddr::new(0x40_0000))
+            .unwrap_err();
+        assert!(cerr.is_livelock(), "not classified as livelock: {cerr}");
+        assert_eq!(sys.recovery_stats().livelocks, 2);
+        assert!(sys.audit().is_clean(), "{}", sys.audit());
+        sys.clear_fail_policy();
+        // The system is fully usable once injection stops.
+        sys.touch(&mut policy, pid, contig_types::VirtAddr::new(0x40_0000)).unwrap();
+    }
+
+    #[test]
+    fn backoff_delays_are_seeded_and_deterministic() {
+        use contig_types::{FailMode, FailPolicy};
+        let run = |seed: u64| {
+            let mut sys = system_mib(4);
+            sys.set_recovery_config(RecoveryConfig {
+                max_retries: u32::MAX,
+                max_total_attempts: 16,
+                backoff_seed: seed,
+                ..RecoveryConfig::default()
+            });
+            sys.set_fail_policy(FailPolicy::new(FailMode::EveryNth { n: 1 }));
+            let pid = sys.spawn();
+            sys.aspace_mut(pid).map_vma(
+                VirtRange::new(contig_types::VirtAddr::new(0x40_0000), 0x40_0000),
+                VmaKind::Anon,
+            );
+            let mut policy = BasePagesPolicy;
+            let _ = sys.touch(&mut policy, pid, contig_types::VirtAddr::new(0x40_0000));
+            (sys.recovery_stats().backoff_ns, sys.now_ns())
+        };
+        assert_eq!(run(7), run(7), "same seed, same delays");
+        assert_ne!(run(7).0, run(8).0, "different jitter seeds should diverge");
     }
 
     #[test]

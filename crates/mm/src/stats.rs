@@ -112,6 +112,36 @@ impl FaultStats {
     pub fn mean_latency_ns(&self) -> u64 {
         self.total_fault_ns.checked_div(self.total_faults()).unwrap_or(0)
     }
+
+    /// Whether individual fault latencies are being recorded.
+    pub fn is_recording(&self) -> bool {
+        self.record_latencies
+    }
+
+    /// The recorded per-fault latencies in service order (empty unless
+    /// recording) — snapshot source for crash-consistency checkpoints.
+    pub fn recorded_latencies(&self) -> &[u64] {
+        &self.latencies_ns
+    }
+
+    /// Rebuilds statistics from snapshot parts. `counters` holds the public
+    /// counters in declaration order: `faults_4k, faults_2m, cow_faults,
+    /// thp_fallbacks, ca_target_hits, ca_target_misses, placements,
+    /// total_fault_ns`.
+    pub fn restore(counters: [u64; 8], latencies_ns: Vec<u64>, record_latencies: bool) -> Self {
+        Self {
+            faults_4k: counters[0],
+            faults_2m: counters[1],
+            cow_faults: counters[2],
+            thp_fallbacks: counters[3],
+            ca_target_hits: counters[4],
+            ca_target_misses: counters[5],
+            placements: counters[6],
+            total_fault_ns: counters[7],
+            latencies_ns,
+            record_latencies,
+        }
+    }
 }
 
 impl fmt::Display for FaultStats {

@@ -5,7 +5,9 @@ use std::collections::HashMap;
 
 use contig_buddy::{Machine, MachineConfig};
 use contig_trace::{FaultClass, RecoveryStage, TraceEvent, Tracer};
-use contig_types::{AllocError, ContigError, FailPolicy, FaultError, PageSize, Pfn, VirtAddr};
+use contig_types::{
+    splitmix64, AllocError, ContigError, FailPolicy, FaultError, PageSize, Pfn, VirtAddr,
+};
 
 use crate::aspace::{AddressSpace, VmaId};
 use crate::page_cache::{CacheAllocMode, PageCache};
@@ -96,11 +98,11 @@ pub struct System {
     pub(crate) machine: Machine,
     pub(crate) processes: HashMap<Pid, AddressSpace>,
     pub(crate) page_cache: PageCache,
-    next_pid: u32,
-    thp: bool,
+    pub(crate) next_pid: u32,
+    pub(crate) thp: bool,
     pub(crate) latency: LatencyModel,
-    record_latencies: bool,
-    pt_levels: u32,
+    pub(crate) record_latencies: bool,
+    pub(crate) pt_levels: u32,
     /// Reference counts for frames shared by COW; absent means exclusively
     /// owned by its single mapper.
     pub(crate) shared: HashMap<Pfn, u32>,
@@ -110,6 +112,8 @@ pub struct System {
     pub(crate) recovery: RecoveryConfig,
     /// Per-stage recovery counters.
     pub(crate) recovery_stats: RecoveryStats,
+    /// Deterministic jitter source for retry backoff delays.
+    pub(crate) backoff_rng: u64,
     /// Observability probes over the fault path; disabled by default.
     pub(crate) tracer: Tracer,
 }
@@ -130,6 +134,7 @@ impl System {
             now_ns: 0,
             recovery: config.recovery,
             recovery_stats: RecoveryStats::default(),
+            backoff_rng: config.recovery.backoff_seed,
             tracer: Tracer::disabled(),
         }
     }
@@ -168,6 +173,40 @@ impl System {
         latency_ns: u64,
     ) {
         self.tracer.emit(TraceEvent::Recovery { stage, amount, extra, latency_ns });
+    }
+
+    /// Sleeps (in simulated time) before the `attempt`-th allocation retry:
+    /// seeded exponential backoff with deterministic jitter, so a storm of
+    /// competing faults does not hammer the recovery path in lockstep.
+    /// Returns the delay for trace attribution.
+    pub(crate) fn retry_backoff(&mut self, attempt: u32) -> u64 {
+        let cfg = self.recovery;
+        if cfg.backoff_base_ns == 0 {
+            return 0;
+        }
+        let exp = cfg
+            .backoff_base_ns
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(20))
+            .min(cfg.backoff_cap_ns);
+        let jitter = splitmix64(&mut self.backoff_rng) % (exp / 2 + 1);
+        let ns = exp + jitter;
+        self.recovery_stats.backoff_ns += ns;
+        self.advance_clock(ns);
+        ns
+    }
+
+    /// Livelock watchdog: one fault has burned `total_attempts` allocation
+    /// attempts across every escalation round. When the budget is exhausted
+    /// the fault aborts with a typed error instead of spinning forever
+    /// (injected failures can otherwise defeat the bounded per-size retry
+    /// counters: recovery keeps "succeeding" while allocation keeps failing).
+    fn livelock_check(&mut self, va: VirtAddr, total_attempts: u32) -> Result<(), FaultError> {
+        if total_attempts < self.recovery.max_total_attempts {
+            return Ok(());
+        }
+        self.recovery_stats.livelocks += 1;
+        self.trace_recovery(RecoveryStage::Livelock, total_attempts.into(), 0, 0);
+        Err(FaultError::RecoveryLivelock { addr: va, attempts: total_attempts })
     }
 
     /// Creates an empty process.
@@ -432,6 +471,7 @@ impl System {
         // a bounded number of times, then degrade the request size, then
         // surface a typed error — never panic.
         let mut recover_attempts = 0u32;
+        let mut total_attempts = 0u32;
         let mut recovered = false;
         loop {
             match self.try_alloc_and_map(policy, pid, vma_id, va, size, FaultKind::Anon) {
@@ -446,9 +486,12 @@ impl System {
                     self.recovery_stats.oom_events += 1;
                     self.trace_recovery(RecoveryStage::OomEvent, size.order().into(), 0, 0);
                     recover_attempts += 1;
+                    total_attempts += 1;
+                    self.livelock_check(va, total_attempts)?;
                     if recover_attempts <= self.recovery.max_retries
                         && self.try_recover(size.order())
                     {
+                        self.retry_backoff(total_attempts);
                         self.recovery_stats.retries += 1;
                         self.trace_recovery(RecoveryStage::Retry, size.order().into(), 0, 0);
                         recovered = true;
@@ -594,6 +637,7 @@ impl System {
         // COW breaks cannot degrade their size (the copy must match the
         // shared page), so the escalation is recover-and-retry only.
         let mut recover_attempts = 0u32;
+        let mut total_attempts = 0u32;
         let mut recovered = false;
         loop {
             match self.try_cow_break(policy, pid, vma_id, va) {
@@ -608,9 +652,12 @@ impl System {
                     self.recovery_stats.oom_events += 1;
                     self.trace_recovery(RecoveryStage::OomEvent, size.order().into(), 0, 0);
                     recover_attempts += 1;
+                    total_attempts += 1;
+                    self.livelock_check(va, total_attempts)?;
                     if recover_attempts <= self.recovery.max_retries
                         && self.try_recover(size.order())
                     {
+                        self.retry_backoff(total_attempts);
                         self.recovery_stats.retries += 1;
                         self.trace_recovery(RecoveryStage::Retry, size.order().into(), 0, 0);
                         recovered = true;
@@ -730,6 +777,7 @@ impl System {
         // Pressure escalation for readahead: recover and retry, then shrink
         // the window to the single faulting page before giving up.
         let mut recover_attempts = 0u32;
+        let mut total_attempts = 0u32;
         let mut recovered = false;
         loop {
             match self.page_cache.readahead(&mut self.machine, file, file_index, window) {
@@ -738,7 +786,10 @@ impl System {
                     self.recovery_stats.oom_events += 1;
                     self.trace_recovery(RecoveryStage::OomEvent, 0, 0, 0);
                     recover_attempts += 1;
+                    total_attempts += 1;
+                    self.livelock_check(va, total_attempts)?;
                     if recover_attempts <= self.recovery.max_retries && self.try_recover(0) {
+                        self.retry_backoff(total_attempts);
                         self.recovery_stats.retries += 1;
                         self.trace_recovery(RecoveryStage::Retry, 0, 0, 0);
                         recovered = true;

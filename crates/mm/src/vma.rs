@@ -161,6 +161,11 @@ impl Vma {
     pub fn release_replacement(&mut self) {
         self.replacement_claimed = false;
     }
+
+    /// Whether the re-placement slot is currently claimed.
+    pub fn replacement_claimed(&self) -> bool {
+        self.replacement_claimed
+    }
 }
 
 impl fmt::Display for Vma {

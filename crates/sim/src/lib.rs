@@ -25,7 +25,6 @@
 //! assert!(run.metrics.top32 > 0.9);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bloat;

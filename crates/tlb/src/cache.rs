@@ -129,6 +129,55 @@ impl SetAssocCache {
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
+
+    /// Captures the cache as plain data (geometry, every slot with its
+    /// recency tick, and the counters) for a crash-consistency checkpoint.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            sets: self.sets as u64,
+            ways: self.ways as u64,
+            slots: self.slots.clone(),
+            tick: self.tick,
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    /// Rebuilds a cache from a checkpoint: identical lookup/eviction
+    /// behaviour from the captured state onward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's slot count disagrees with its geometry.
+    pub fn from_snapshot(snap: &CacheSnapshot) -> Self {
+        let (sets, ways) = (snap.sets as usize, snap.ways as usize);
+        assert_eq!(snap.slots.len(), sets * ways, "snapshot geometry mismatch");
+        Self {
+            sets,
+            ways,
+            slots: snap.slots.clone(),
+            tick: snap.tick,
+            hits: snap.hits,
+            misses: snap.misses,
+        }
+    }
+}
+
+/// Plain-data image of a [`SetAssocCache`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Number of sets.
+    pub sets: u64,
+    /// Associativity.
+    pub ways: u64,
+    /// Every slot: `(key, last-touch tick)` or empty.
+    pub slots: Vec<Option<(u64, u64)>>,
+    /// The LRU clock.
+    pub tick: u64,
+    /// Hits since construction.
+    pub hits: u64,
+    /// Misses since construction.
+    pub misses: u64,
 }
 
 #[cfg(test)]

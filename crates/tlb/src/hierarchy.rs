@@ -186,6 +186,44 @@ impl TlbHierarchy {
     pub fn stats(&self) -> (u64, u64, u64, u64) {
         (self.lookups, self.l1_hits, self.l2_hits, self.misses)
     }
+
+    /// Captures all three structures and the hierarchy counters as plain
+    /// data for a crash-consistency checkpoint.
+    pub fn snapshot(&self) -> TlbSnapshot {
+        TlbSnapshot {
+            l1_4k: self.l1_4k.snapshot(),
+            l1_2m: self.l1_2m.snapshot(),
+            l2: self.l2.snapshot(),
+            counters: [self.lookups, self.l1_hits, self.l2_hits, self.misses],
+        }
+    }
+
+    /// Rebuilds a hierarchy from a checkpoint, resuming hit/miss behaviour
+    /// exactly where the capture left off.
+    pub fn from_snapshot(snap: &TlbSnapshot) -> Self {
+        Self {
+            l1_4k: SetAssocCache::from_snapshot(&snap.l1_4k),
+            l1_2m: SetAssocCache::from_snapshot(&snap.l1_2m),
+            l2: SetAssocCache::from_snapshot(&snap.l2),
+            lookups: snap.counters[0],
+            l1_hits: snap.counters[1],
+            l2_hits: snap.counters[2],
+            misses: snap.counters[3],
+        }
+    }
+}
+
+/// Plain-data image of a [`TlbHierarchy`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TlbSnapshot {
+    /// The split L1 for 4 KiB translations.
+    pub l1_4k: crate::cache::CacheSnapshot,
+    /// The split L1 for 2 MiB translations.
+    pub l1_2m: crate::cache::CacheSnapshot,
+    /// The unified L2 STLB.
+    pub l2: crate::cache::CacheSnapshot,
+    /// `lookups, l1_hits, l2_hits, misses` in order.
+    pub counters: [u64; 4],
 }
 
 #[cfg(test)]
@@ -248,6 +286,28 @@ mod tests {
         // Extreme scaling floors at one full set.
         let tiny = TlbConfig::broadwell_scaled(10_000);
         assert!(tiny.l1_4k.entries >= tiny.l1_4k.ways);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_lru_state() {
+        let mut t = TlbHierarchy::new(TlbConfig {
+            l1_4k: TlbGeometry { entries: 2, ways: 2 },
+            l1_2m: TlbGeometry { entries: 2, ways: 2 },
+            l2: TlbGeometry { entries: 8, ways: 4 },
+        });
+        for i in 0..4u64 {
+            t.fill(VirtAddr::new(i * 0x1000), PageSize::Base4K);
+        }
+        t.lookup(VirtAddr::new(0x2000));
+        let snap = t.snapshot();
+        let mut restored = TlbHierarchy::from_snapshot(&snap);
+        assert_eq!(restored.snapshot(), snap);
+        // Same probes produce the same hit sequence on both copies.
+        for i in 0..8u64 {
+            let va = VirtAddr::new(i * 0x1000);
+            assert_eq!(t.lookup(va), restored.lookup(va), "diverged at page {i}");
+        }
+        assert_eq!(t.stats(), restored.stats());
     }
 
     #[test]

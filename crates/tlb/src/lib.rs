@@ -27,7 +27,6 @@
 //! assert_eq!(sim.report().walks, 4);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cache;
@@ -35,8 +34,8 @@ mod hierarchy;
 mod sim;
 mod walk;
 
-pub use cache::SetAssocCache;
-pub use hierarchy::{TlbConfig, TlbGeometry, TlbHierarchy, TlbHit};
+pub use cache::{CacheSnapshot, SetAssocCache};
+pub use hierarchy::{TlbConfig, TlbGeometry, TlbHierarchy, TlbHit, TlbSnapshot};
 pub use sim::{Access, MemorySim, MissHandler, MissHandling, NoScheme, SimReport};
 pub use walk::{
     native_walk_refs, nested_walk_refs, TranslationBackend, WalkCostModel, WalkResult,

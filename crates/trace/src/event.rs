@@ -93,11 +93,14 @@ pub enum RecoveryStage {
     RecoveredFault,
     /// The fault failed even after the full escalation.
     HardOom,
+    /// The livelock watchdog aborted a recovery loop that kept cycling
+    /// without converging (`amount` = total attempts spent).
+    Livelock,
 }
 
 impl RecoveryStage {
     /// All stages, in escalation order (useful for report tables).
-    pub const ALL: [RecoveryStage; 8] = [
+    pub const ALL: [RecoveryStage; 9] = [
         RecoveryStage::OomEvent,
         RecoveryStage::ReclaimPass,
         RecoveryStage::CompactionPass,
@@ -106,6 +109,7 @@ impl RecoveryStage {
         RecoveryStage::ReadaheadShrink,
         RecoveryStage::RecoveredFault,
         RecoveryStage::HardOom,
+        RecoveryStage::Livelock,
     ];
 
     /// The stage's suffix inside the event name (`recovery.<suffix>`).
@@ -119,6 +123,7 @@ impl RecoveryStage {
             RecoveryStage::ReadaheadShrink => "readahead_shrink",
             RecoveryStage::RecoveredFault => "recovered_fault",
             RecoveryStage::HardOom => "hard_oom",
+            RecoveryStage::Livelock => "livelock",
         }
     }
 
@@ -318,6 +323,7 @@ impl TraceEvent {
                 RecoveryStage::ReadaheadShrink => "recovery.readahead_shrink",
                 RecoveryStage::RecoveredFault => "recovery.recovered_fault",
                 RecoveryStage::HardOom => "recovery.hard_oom",
+                RecoveryStage::Livelock => "recovery.livelock",
             },
             TraceEvent::Placement { .. } => "ca.placement",
             TraceEvent::TargetBusy { .. } => "ca.target_busy",

@@ -34,7 +34,6 @@
 //! `probes` feature) removes even that: every probe method body becomes
 //! empty and the optimizer deletes the call sites.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod event;

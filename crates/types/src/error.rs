@@ -84,6 +84,16 @@ pub enum FaultError {
         /// The faulting virtual address.
         addr: VirtAddr,
     },
+    /// The OOM-recovery path cycled reclaim/compaction/retry past its total
+    /// attempt budget without converging: the watchdog aborted the fault
+    /// instead of spinning forever. Distinct from [`FaultError::OutOfMemory`]
+    /// because memory may exist — the system is livelocked, not exhausted.
+    RecoveryLivelock {
+        /// The faulting virtual address.
+        addr: VirtAddr,
+        /// Total recovery attempts spent before the watchdog fired.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for FaultError {
@@ -97,6 +107,9 @@ impl fmt::Display for FaultError {
             }
             FaultError::AlreadyMapped { addr } => {
                 write!(f, "spurious fault at already-mapped address {addr}")
+            }
+            FaultError::RecoveryLivelock { addr, attempts } => {
+                write!(f, "recovery livelocked after {attempts} attempts servicing {addr}")
             }
         }
     }
@@ -241,6 +254,14 @@ impl ContigError {
             self,
             ContigError::Alloc { source: AllocError::OutOfMemory { .. }, .. }
                 | ContigError::Fault { source: FaultError::OutOfMemory { .. }, .. }
+        )
+    }
+
+    /// Whether the root cause is the recovery livelock watchdog firing.
+    pub fn is_livelock(&self) -> bool {
+        matches!(
+            self,
+            ContigError::Fault { source: FaultError::RecoveryLivelock { .. }, .. }
         )
     }
 }

@@ -90,8 +90,11 @@ impl Default for FailPolicy {
 
 /// One step of the splitmix64 generator (public-domain; Vigna 2015). Chosen
 /// over a heavier PRNG because injection decisions need nothing more than a
-/// uniform 64-bit stream and the constants are easy to audit.
-fn splitmix64(state: &mut u64) -> u64 {
+/// uniform 64-bit stream and the constants are easy to audit. Public because
+/// every deterministic consumer in the workspace (recovery back-off jitter,
+/// the torture-op generator in `contig-check`) draws from the same stream
+/// shape so seeds compose predictably.
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -137,6 +140,19 @@ impl FailPolicy {
     /// Failures injected so far.
     pub fn injected(&self) -> u64 {
         self.injected
+    }
+
+    /// The internal splitmix64 state (0 unless [`FailMode::Probability`]).
+    /// Exposed so a snapshot can capture the injector mid-stream.
+    pub fn rng_state(&self) -> u64 {
+        self.rng_state
+    }
+
+    /// Rebuilds a policy captured by a snapshot: the counters and RNG state
+    /// resume exactly where [`FailPolicy::rng_state`] and friends left off,
+    /// so a restored run injects the same failures the original would have.
+    pub fn restore(mode: FailMode, attempts: u64, injected: u64, rng_state: u64) -> Self {
+        Self { mode, attempts, injected, rng_state }
     }
 
     /// Records one allocation attempt of the given buddy `order` and decides

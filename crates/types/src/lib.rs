@@ -19,7 +19,6 @@
 //! assert_eq!(va.page_offset(PageSize::Base4K), 0);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod addr;
@@ -30,6 +29,6 @@ mod range;
 
 pub use addr::{MapOffset, PhysAddr, VirtAddr};
 pub use error::{AllocError, ContigError, ErrorCtx, FaultError, TranslateError};
-pub use fail::{FailMode, FailPolicy};
+pub use fail::{splitmix64, FailMode, FailPolicy};
 pub use page::{PageSize, Pfn, Vpn, BASE_PAGE_SHIFT, BASE_PAGE_SIZE, HUGE_PAGE_SHIFT, HUGE_PAGE_SIZE, PAGES_PER_HUGE};
 pub use range::{ContigMapping, PhysRange, VirtRange};

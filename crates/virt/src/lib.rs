@@ -31,7 +31,6 @@
 //! # Ok::<(), contig_types::FaultError>(())
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod shadow;
@@ -40,4 +39,4 @@ mod vm;
 
 pub use shadow::ShadowPageTable;
 pub use twod::{two_dimensional_mappings, NativeBackend, VmBackend};
-pub use vm::{TwoDTranslation, VirtualMachine, VmConfig};
+pub use vm::{TwoDTranslation, VirtualMachine, VmConfig, VmSnapshot};

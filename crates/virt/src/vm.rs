@@ -365,6 +365,48 @@ impl VirtualMachine {
         let t = self.host.aspace(self.host_pid).page_table().translate(hva).ok()?;
         Some(t.frame_for(hva))
     }
+
+    /// Captures both dimensions as plain data. Placement policies are not
+    /// part of the image: they are strategy objects the restoring side
+    /// supplies (and the stock ones are stateless — CA's state lives in the
+    /// VMAs and the page cache, which *are* captured).
+    pub fn snapshot(&self) -> VmSnapshot {
+        VmSnapshot {
+            guest: self.guest.snapshot(),
+            host: self.host.snapshot(),
+            host_pid: self.host_pid.0,
+            host_vma_start: self.host_vma.0.raw(),
+            host_vma_base: self.host_vma_base.raw(),
+        }
+    }
+
+    /// Restores both dimensions from a snapshot in place, keeping the live
+    /// placement policies. Tracing comes back disabled (reattach with
+    /// [`VirtualMachine::set_tracer`]).
+    pub fn restore(&mut self, snap: &VmSnapshot) {
+        self.guest = System::restore(&snap.guest);
+        self.host = System::restore(&snap.host);
+        self.host_pid = Pid(snap.host_pid);
+        self.host_vma = VmaId(VirtAddr::new(snap.host_vma_start));
+        self.host_vma_base = VirtAddr::new(snap.host_vma_base);
+        self.tracer = Tracer::disabled();
+    }
+}
+
+/// Plain-data image of a whole VM: both [`contig_mm::SystemSnapshot`]
+/// dimensions plus the gPA→hVA wiring between them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VmSnapshot {
+    /// The guest OS instance.
+    pub guest: contig_mm::SystemSnapshot,
+    /// The host OS instance.
+    pub host: contig_mm::SystemSnapshot,
+    /// The host process backing the VM memory region.
+    pub host_pid: u32,
+    /// Start address of the host VMA holding the VM memory region.
+    pub host_vma_start: u64,
+    /// Host virtual address of guest-physical zero.
+    pub host_vma_base: u64,
 }
 
 /// The product of a nested page walk.
@@ -500,6 +542,31 @@ mod tests {
             host_faults_after_a,
             "gPA→hPA persists across guest process lifetimes"
         );
+    }
+
+    #[test]
+    fn vm_snapshot_round_trips_and_continues_identically() {
+        let mut vm = vm();
+        let pid = vm.guest_mut().spawn();
+        map_anon(&mut vm, pid, 0x40_0000, 8 << 20);
+        vm.touch(pid, VirtAddr::new(0x40_0000)).unwrap();
+        vm.touch_write(pid, VirtAddr::new(0x20_0000 + 0x40_0000)).unwrap();
+        let snap = vm.snapshot();
+        // Restoring twice and driving both copies identically must stay
+        // bit-identical, including the nested dimension.
+        let mut other = VirtualMachine::new(
+            VmConfig::with_mib(64, 128),
+            Box::new(DefaultThpPolicy),
+            Box::new(DefaultThpPolicy),
+        );
+        other.restore(&snap);
+        assert_eq!(other.snapshot(), snap);
+        vm.restore(&snap);
+        for i in 0..16u64 {
+            let va = VirtAddr::new(0x40_0000 + i * 0x8_0000);
+            assert_eq!(vm.touch(pid, va), other.touch(pid, va));
+        }
+        assert_eq!(vm.snapshot(), other.snapshot());
     }
 
     #[test]

@@ -21,7 +21,6 @@
 //! assert_eq!(accesses.len(), 100);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod spec;

@@ -5,12 +5,14 @@
 //! cargo run --example pressure_resilience
 //! ```
 
+use contig::check::{decode_vm_file, encode_vm_file};
 use contig::prelude::*;
 use contig_types::{FailMode, FailPolicy, FaultError};
 
 fn main() {
     native_pressure();
     nested_pressure();
+    snapshot_crash_restore();
 }
 
 /// A native system under a memory hog and 10 % injected allocation failure:
@@ -87,4 +89,55 @@ fn nested_pressure() {
         out.already_mapped
     );
     println!("{}", audit_vm(&vm));
+}
+
+/// Crash consistency end to end: a VM under injected pressure is
+/// snapshotted mid-workload, "crashes" (the live instance is dropped), and
+/// is rebuilt from the serialized snapshot alone. The restored system is
+/// digest-identical, passes the cross-layer audit, and resumes the workload
+/// exactly where the checkpoint left it.
+fn snapshot_crash_restore() {
+    println!("\n=== snapshot → crash → restore → audit-clean ===");
+    let mut vm = VirtualMachine::new(
+        VmConfig::with_mib(16, 64),
+        Box::new(DefaultThpPolicy),
+        Box::new(DefaultThpPolicy),
+    );
+    vm.guest_mut()
+        .set_fail_policy(FailPolicy::new(FailMode::Probability { rate_ppm: 20_000, seed: 3 }));
+    let pid = vm.guest_mut().spawn();
+    vm.guest_mut()
+        .aspace_mut(pid)
+        .map_vma(VirtRange::new(VirtAddr::new(0x40_0000), 8 << 20), VmaKind::Anon);
+
+    // First half of the workload, then checkpoint to the JSONL codec — the
+    // same two-line format the torture harness and `torture_replay` use.
+    for i in 0..1024u64 {
+        let _ = vm.touch_write(pid, VirtAddr::new(0x40_0000 + i * 4096));
+    }
+    let snap = vm.snapshot();
+    let digest = contig::check::digest_vm(&snap);
+    let file = encode_vm_file(&snap);
+    println!("checkpoint: {} bytes, digest {digest:#018x}", file.len());
+
+    // Crash: the live instance is gone; only the serialized bytes survive.
+    drop(vm);
+
+    let recovered_snap = decode_vm_file(&file).expect("snapshot file must decode");
+    let mut recovered = VirtualMachine::new(
+        VmConfig::with_mib(16, 64),
+        Box::new(DefaultThpPolicy),
+        Box::new(DefaultThpPolicy),
+    );
+    recovered.restore(&recovered_snap);
+    assert_eq!(contig::check::digest_vm(&recovered.snapshot()), digest);
+    println!("restored: digest matches, {}", audit_vm(&recovered));
+
+    // The recovered VM picks the workload back up seamlessly.
+    for i in 1024..2048u64 {
+        let _ = recovered.touch_write(pid, VirtAddr::new(0x40_0000 + i * 4096));
+    }
+    let audit = audit_vm(&recovered);
+    assert!(audit.is_clean(), "post-resume audit:\n{audit}");
+    println!("resumed 4 MiB past the checkpoint: {audit}");
 }

@@ -43,12 +43,12 @@
 //! See the `examples/` directory for the virtualized + SpOT pipeline and the
 //! fragmentation study, and `crates/bench` for the paper's experiments.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use contig_audit as audit;
 pub use contig_baselines as baselines;
 pub use contig_buddy as buddy;
+pub use contig_check as check;
 pub use contig_core as core;
 pub use contig_metrics as metrics;
 pub use contig_mm as mm;
@@ -63,6 +63,9 @@ pub use contig_workloads as workloads;
 pub mod prelude {
     pub use contig_audit::{audit_vm, AuditReport, AuditViolation, VmAuditReport};
     pub use contig_buddy::{Hog, Machine, MachineConfig, NodeId, Zone, ZoneConfig};
+    pub use contig_check::{
+        digest_vm, minimize, run_torture, TortureConfig, TortureFailure, TortureReport,
+    };
     pub use contig_core::{CaConfig, CaPaging, SpotConfig, SpotPredictor};
     pub use contig_metrics::{CoverageStats, PerfModel};
     pub use contig_mm::{
