@@ -1,0 +1,364 @@
+//! Machine-readable performance-regression suite.
+//!
+//! Runs the repo's representative workloads — a multi-VM fault sweep
+//! through the parallel experiment engine (serially and at 1/2/4/8
+//! workers), the Fig. 10 multi-programmed contiguity experiment, the
+//! Fig. 11 software-overhead model, and a seeded differential torture run —
+//! and emits `BENCH_perf.json`: wall times, faults/sec, allocator ops/sec,
+//! speedups, and a Universal Scalability Law fit of the worker sweep. Every
+//! number is an integer (some scaled, suffixed `_milli`/`_micro`) so the
+//! file parses with `contig_check::json`.
+//!
+//! ```text
+//! perf_suite [--quick] [--out PATH] [--baseline PATH] [--tasks N] [--seed N]
+//! ```
+//!
+//! With `--baseline`, aggregate faults/sec is compared against the recorded
+//! baseline and the process exits non-zero on a >25 % regression — the CI
+//! gate. The sweep is deterministic per seed: identical digests regardless
+//! of worker count.
+
+use std::time::Instant;
+
+use contig_buddy::{MachineConfig, PcpConfig};
+use contig_check::{digest_system, run_torture, Json, TortureConfig};
+use contig_core::CaPaging;
+use contig_engine::{run_seeded, PoolConfig};
+use contig_metrics::{ScalabilityFit, ScalabilityPoint};
+use contig_mm::{System, SystemConfig, VmaKind};
+use contig_sim::{contiguity, overhead, Env, PolicyKind};
+use contig_types::{splitmix64, VirtAddr, VirtRange};
+use contig_workloads::{Scale, Workload};
+
+/// Exit code when the regression gate trips.
+const REGRESSION_EXIT: i32 = 2;
+/// Allowed throughput loss before the gate trips: 25 %.
+const REGRESSION_PCT: u64 = 25;
+
+struct Args {
+    quick: bool,
+    out: String,
+    baseline: Option<String>,
+    tasks: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_perf.json".to_string(),
+        baseline: None,
+        tasks: 0,
+        seed: 0x5EED_CAFE,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .unwrap_or_else(|| panic!("flag {} needs a value", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = value(&mut i),
+            "--baseline" => args.baseline = Some(value(&mut i)),
+            "--tasks" => args.tasks = value(&mut i).parse().expect("--tasks N"),
+            "--seed" => args.seed = value(&mut i).parse().expect("--seed N"),
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+        i += 1;
+    }
+    if args.tasks == 0 {
+        args.tasks = if args.quick { 8 } else { 24 };
+    }
+    args
+}
+
+/// Per-task result of the multi-VM sweep.
+struct SweepOut {
+    faults: u64,
+    alloc_ops: u64,
+    digest: u64,
+}
+
+/// One independent simulated machine: pcp-enabled system, CA-paged anon
+/// VMA, batched populate, page-cache readahead, a COW fork, and a seeded
+/// touch storm rotating over simulated CPUs. Deterministic per seed.
+fn sweep_task(seed: u64, quick: bool) -> SweepOut {
+    let mut rng = seed;
+    let mib = 48 + (splitmix64(&mut rng) % 3) * 16;
+    let mut sys = System::new(SystemConfig::new(MachineConfig::single_node_mib(mib)));
+    sys.enable_pcp(PcpConfig { cpus: 4, batch: 16, high: 64 });
+    let pid = sys.spawn();
+
+    // CA-paged primary VMA (8–14 MiB).
+    let mut ca = CaPaging::new();
+    let vma_bytes = (8 << 20) + (splitmix64(&mut rng) % 4) * (2 << 20);
+    let vma = sys
+        .aspace_mut(pid)
+        .map_vma(VirtRange::new(VirtAddr::new(0x4000_0000), vma_bytes), VmaKind::Anon);
+    sys.populate_vma(&mut ca, pid, vma).expect("sweep populate");
+
+    // Batched populate of a second VMA — the alloc_bulk fast path.
+    let vma2 = sys
+        .aspace_mut(pid)
+        .map_vma(VirtRange::new(VirtAddr::new(0x6000_0000), 4 << 20), VmaKind::Anon);
+    sys.populate_vma_batched(pid, vma2).expect("batched populate");
+
+    // Default-mode readahead: bulk order-0 allocation through pcp caches.
+    let file = sys.page_cache_mut().create_file();
+    let window = if quick { 256 } else { 1024 };
+    {
+        let (cache, machine) = sys.cache_and_machine();
+        cache.readahead(machine, file, 0, window).expect("readahead");
+    }
+
+    // COW fork + write storm breaking a slice of the shared pages.
+    let child = sys.fork_vma(pid, vma);
+    let breaks = if quick { 64 } else { 256 };
+    for i in 0..breaks {
+        sys.set_cpu((i % 4) as usize);
+        let page = splitmix64(&mut rng) % (vma_bytes / 4096);
+        sys.touch_write(&mut ca, child, VirtAddr::new(0x4000_0000 + page * 4096))
+            .expect("cow write");
+    }
+
+    // Touch storm over a sparse third VMA: demand faults on fresh pages,
+    // rotating the simulated CPU so every pcp list sees traffic.
+    let vma3_bytes: u64 = 16 << 20;
+    sys.aspace_mut(pid)
+        .map_vma(VirtRange::new(VirtAddr::new(0x8000_0000), vma3_bytes), VmaKind::Anon);
+    let touches = if quick { 1024 } else { 8192 };
+    for i in 0..touches {
+        sys.set_cpu((i % 4) as usize);
+        let page = splitmix64(&mut rng) % (vma3_bytes / 4096);
+        sys.touch(&mut ca, pid, VirtAddr::new(0x8000_0000 + page * 4096)).expect("touch");
+    }
+
+    // Child exits: its broken COW copies free back through the pcp lists.
+    sys.exit(child);
+
+    let faults: u64 = sys
+        .pids()
+        .iter()
+        .map(|&p| {
+            let s = sys.aspace(p).stats();
+            s.faults_4k + s.faults_2m
+        })
+        .sum();
+    let counters = sys.machine().counters();
+    SweepOut {
+        faults,
+        alloc_ops: counters.allocs + counters.targeted_allocs + counters.frees,
+        digest: digest_system(&sys.snapshot()),
+    }
+}
+
+/// Integer ops/sec from totals and a wall-clock duration.
+fn per_sec(total: u64, wall_ns: u64) -> u64 {
+    if wall_ns == 0 {
+        return 0;
+    }
+    ((total as u128) * 1_000_000_000 / wall_ns as u128) as u64
+}
+
+fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn main() {
+    let args = parse_args();
+    let env = if args.quick { Env::tiny() } else { Env::new(Scale(256)) };
+    println!(
+        "== perf_suite == quick={} tasks={} seed={:#x}",
+        args.quick, args.tasks, args.seed
+    );
+
+    // ---- Multi-VM sweep: serial reference, then 1/2/4/8 workers. --------
+    let quick = args.quick;
+    let serial_start = Instant::now();
+    let serial: Vec<SweepOut> = (0..args.tasks)
+        .map(|i| sweep_task(contig_engine::task_seed(args.seed, i), quick))
+        .collect();
+    let serial_wall = serial_start.elapsed().as_nanos() as u64;
+    let faults_total: u64 = serial.iter().map(|t| t.faults).sum();
+    let ops_total: u64 = serial.iter().map(|t| t.alloc_ops).sum();
+    let serial_digests: Vec<u64> = serial.iter().map(|t| t.digest).collect();
+    println!(
+        "sweep serial: {} tasks, {} faults, {} alloc ops, {} ms",
+        args.tasks,
+        faults_total,
+        ops_total,
+        serial_wall / 1_000_000
+    );
+
+    let mut worker_rows = Vec::new();
+    let mut points = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let reports =
+            run_seeded(PoolConfig::new(workers), args.seed, args.tasks, |ctx| {
+                sweep_task(ctx.seed, quick)
+            });
+        let wall = start.elapsed().as_nanos() as u64;
+        let digests: Vec<u64> =
+            reports.iter().map(|r| r.ok().expect("sweep task panicked").digest).collect();
+        assert_eq!(
+            digests, serial_digests,
+            "engine run at {workers} workers diverged from the serial reference"
+        );
+        let fps = per_sec(faults_total, wall);
+        points.push(ScalabilityPoint { workers: workers as f64, throughput: fps.max(1) as f64 });
+        println!(
+            "sweep {workers} workers: {} ms, {} faults/sec",
+            wall / 1_000_000,
+            fps
+        );
+        worker_rows.push((workers as u64, wall, fps, per_sec(ops_total, wall)));
+    }
+    let wall_1w = worker_rows[0].1;
+    let usl = ScalabilityFit::fit(&points);
+
+    // ---- Fig. 10: multi-programmed contiguity. --------------------------
+    let fig10_start = Instant::now();
+    let mut fig10_policies = 0u64;
+    for p in [PolicyKind::Thp, PolicyKind::Ca, PolicyKind::Eager] {
+        let [a, b] = contiguity::run_multiprogrammed(&env, Workload::Svm, p, 0.0);
+        assert!((0.0..=1.0).contains(&a) && (0.0..=1.0).contains(&b));
+        fig10_policies += 1;
+    }
+    let fig10_wall = fig10_start.elapsed().as_nanos() as u64;
+    println!("fig10: {fig10_policies} policies, {} ms", fig10_wall / 1_000_000);
+
+    // ---- Fig. 11: software-overhead model. ------------------------------
+    let fig11_start = Instant::now();
+    let mut fig11_policies = 0u64;
+    for p in [PolicyKind::Thp, PolicyKind::Ca] {
+        let row = overhead::run_overhead(&env, Workload::Svm, p);
+        assert!(row.runtime_ns > 0);
+        fig11_policies += 1;
+    }
+    let fig11_wall = fig11_start.elapsed().as_nanos() as u64;
+    println!("fig11: {fig11_policies} policies, {} ms", fig11_wall / 1_000_000);
+
+    // ---- Torture: differential nested-VM run. ---------------------------
+    let torture_ops = if args.quick { 400 } else { 2000 };
+    let torture_start = Instant::now();
+    let report = run_torture(&TortureConfig::with_seed_and_ops(args.seed, torture_ops));
+    let torture_wall = torture_start.elapsed().as_nanos() as u64;
+    assert!(report.is_ok(), "torture run failed: {:?}", report.failure);
+    println!("torture: {} ops, {} ms", report.ops_executed, torture_wall / 1_000_000);
+
+    // ---- Aggregate + JSON. ----------------------------------------------
+    let best_wall = worker_rows.iter().map(|r| r.1).min().unwrap_or(serial_wall);
+    let aggregate_fps = per_sec(faults_total, best_wall);
+    let aggregate_ops = per_sec(ops_total, best_wall);
+
+    let json = obj(vec![
+        ("format", Json::Str("contig-perf".into())),
+        ("version", Json::num(1u64)),
+        ("quick", Json::Bool(args.quick)),
+        ("seed", Json::num(args.seed)),
+        (
+            "sweep",
+            obj(vec![
+                ("tasks", Json::num(args.tasks as u64)),
+                ("faults_total", Json::num(faults_total)),
+                ("alloc_ops_total", Json::num(ops_total)),
+                ("serial_wall_ns", Json::num(serial_wall)),
+                (
+                    "workers",
+                    Json::Arr(
+                        worker_rows
+                            .iter()
+                            .map(|&(w, wall, fps, ops)| {
+                                obj(vec![
+                                    ("workers", Json::num(w)),
+                                    ("wall_ns", Json::num(wall)),
+                                    ("faults_per_sec", Json::num(fps)),
+                                    ("alloc_ops_per_sec", Json::num(ops)),
+                                    (
+                                        "speedup_milli",
+                                        Json::num(if wall == 0 {
+                                            0u64
+                                        } else {
+                                            ((wall_1w as u128) * 1000 / wall as u128) as u64
+                                        }),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "usl",
+                    match usl {
+                        Some(fit) => obj(vec![
+                            ("lambda_milli", Json::num((fit.lambda * 1000.0) as i128)),
+                            ("sigma_micro", Json::num((fit.sigma * 1e6) as i128)),
+                            ("kappa_micro", Json::num((fit.kappa * 1e6) as i128)),
+                        ]),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+        ),
+        (
+            "fig10",
+            obj(vec![
+                ("wall_ns", Json::num(fig10_wall)),
+                ("policies", Json::num(fig10_policies)),
+            ]),
+        ),
+        (
+            "fig11",
+            obj(vec![
+                ("wall_ns", Json::num(fig11_wall)),
+                ("policies", Json::num(fig11_policies)),
+            ]),
+        ),
+        (
+            "torture",
+            obj(vec![
+                ("wall_ns", Json::num(torture_wall)),
+                ("ops", Json::num(report.ops_executed as u64)),
+                ("failures", Json::num(u64::from(!report.is_ok()))),
+            ]),
+        ),
+        (
+            "aggregate",
+            obj(vec![
+                ("faults_per_sec", Json::num(aggregate_fps)),
+                ("alloc_ops_per_sec", Json::num(aggregate_ops)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&args.out, format!("{}\n", json.to_line())).expect("write perf json");
+    println!("wrote {}", args.out);
+
+    // ---- Regression gate. -----------------------------------------------
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("baseline {path} unreadable: {e}"));
+        let base = contig_check::json::parse(&text).expect("baseline parses");
+        let base_fps = base
+            .get("aggregate")
+            .and_then(|a| a.get("faults_per_sec"))
+            .and_then(Json::as_u64)
+            .expect("baseline aggregate.faults_per_sec");
+        let floor = base_fps * (100 - REGRESSION_PCT) / 100;
+        println!(
+            "gate: {aggregate_fps} faults/sec vs baseline {base_fps} (floor {floor})"
+        );
+        if aggregate_fps < floor {
+            eprintln!(
+                "PERF REGRESSION: {aggregate_fps} faults/sec is more than {REGRESSION_PCT}% \
+                 below the baseline {base_fps}"
+            );
+            std::process::exit(REGRESSION_EXIT);
+        }
+    }
+    println!("perf_suite OK");
+}

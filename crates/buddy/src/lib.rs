@@ -41,6 +41,7 @@ mod frame;
 mod freelist;
 mod hog;
 mod machine;
+mod pcp;
 mod stats;
 mod zone;
 
@@ -49,5 +50,6 @@ pub use frame::{FrameState, FrameTable};
 pub use freelist::FreeList;
 pub use hog::Hog;
 pub use machine::{Machine, MachineConfig, MachineSnapshot, NodeId};
+pub use pcp::{PcpConfig, PcpCounters, PcpSnapshot};
 pub use stats::{FreeBlockHistogram, SizeClass};
 pub use zone::{Zone, ZoneConfig, ZoneCounters, ZoneSnapshot, DEFAULT_TOP_ORDER};

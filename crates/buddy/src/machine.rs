@@ -218,6 +218,52 @@ impl Machine {
         self.zones.iter().map(|z| z.fail_policy().attempts()).sum()
     }
 
+    /// Enables the per-CPU frame-cache layer on every zone (see
+    /// [`crate::PcpConfig`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if pcp is already enabled on a zone, or on invalid tunables.
+    pub fn enable_pcp(&mut self, config: crate::PcpConfig) {
+        for zone in &mut self.zones {
+            zone.enable_pcp(config);
+        }
+    }
+
+    /// Selects the simulated CPU on every zone (no-op while pcp is
+    /// disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range for the configured CPU count.
+    pub fn set_cpu(&mut self, cpu: usize) {
+        for zone in &mut self.zones {
+            zone.set_cpu(cpu);
+        }
+    }
+
+    /// Drains every zone's pcp lists back to the buddy heaps; returns the
+    /// number of frames moved.
+    pub fn drain_pcp(&mut self) -> u64 {
+        self.zones.iter_mut().map(Zone::drain_pcp).sum()
+    }
+
+    /// Frames currently parked on pcp lists across all zones.
+    pub fn pcp_frames(&self) -> u64 {
+        self.zones.iter().map(Zone::pcp_frames).sum()
+    }
+
+    /// Machine-wide pcp counters, or `None` if no zone has pcp enabled.
+    pub fn pcp_counters(&self) -> Option<crate::PcpCounters> {
+        let mut total: Option<crate::PcpCounters> = None;
+        for zone in &self.zones {
+            if let Some(c) = zone.pcp_counters() {
+                total.get_or_insert_with(Default::default).accumulate(&c);
+            }
+        }
+        total
+    }
+
     /// Allocates a block of `1 << order` frames from the first node with
     /// space (default kernel placement).
     ///
@@ -233,6 +279,46 @@ impl Machine {
             }
         }
         Err(AllocError::OutOfMemory { order })
+    }
+
+    /// Allocates `count` order-0 frames in one pass, remembering which node
+    /// last had space instead of rescanning exhausted nodes per frame — the
+    /// batched path behind populate/readahead.
+    ///
+    /// Returns the frames obtained plus the error that stopped the batch
+    /// early, if any; callers keep the partial results either way. With an
+    /// armed fault-injection policy this degrades to the per-frame
+    /// [`Machine::alloc`] loop so injection streams see the exact same
+    /// per-allocation consultations as unbatched code.
+    pub fn alloc_bulk(&mut self, count: u64) -> (Vec<Pfn>, Option<AllocError>) {
+        let mut got = Vec::with_capacity(count.min(65_536) as usize);
+        let armed = self.zones.iter().any(|z| z.fail_policy().is_armed());
+        if armed {
+            for _ in 0..count {
+                match self.alloc(0) {
+                    Ok(p) => got.push(p),
+                    Err(e) => return (got, Some(e)),
+                }
+            }
+            return (got, None);
+        }
+        let mut zone = 0usize;
+        for _ in 0..count {
+            loop {
+                if zone == self.zones.len() {
+                    return (got, Some(AllocError::OutOfMemory { order: 0 }));
+                }
+                match self.zones[zone].alloc(0) {
+                    Ok(p) => {
+                        got.push(p);
+                        break;
+                    }
+                    Err(AllocError::OutOfMemory { .. }) => zone += 1,
+                    Err(e) => return (got, Some(e)),
+                }
+            }
+        }
+        (got, None)
     }
 
     /// Allocates one page of the given size.
@@ -531,5 +617,47 @@ mod tests {
         let c = m.counters();
         assert_eq!(c.allocs, 2);
         assert_eq!(c.frees, 2);
+    }
+
+    #[test]
+    fn alloc_bulk_matches_per_frame_loop() {
+        let mut batched = Machine::new(MachineConfig::with_node_mib(&[4, 4]));
+        let mut looped = Machine::new(MachineConfig::with_node_mib(&[4, 4]));
+        // Punch a hole on node 0 so the batch has to spill mid-way.
+        batched.alloc_specific(Pfn::new(512), 9).unwrap();
+        looped.alloc_specific(Pfn::new(512), 9).unwrap();
+        let (got, err) = batched.alloc_bulk(1000);
+        assert!(err.is_none());
+        let expect: Vec<_> = (0..1000).map(|_| looped.alloc(0).unwrap()).collect();
+        assert_eq!(got, expect);
+        assert_eq!(batched.counters().allocs, looped.counters().allocs);
+        batched.verify_integrity();
+    }
+
+    #[test]
+    fn alloc_bulk_reports_partial_progress_on_oom() {
+        let mut m = Machine::new(MachineConfig::with_node_mib(&[4]));
+        let (got, err) = m.alloc_bulk(2000);
+        assert_eq!(got.len(), 1024);
+        assert!(matches!(err, Some(AllocError::OutOfMemory { order: 0 })));
+    }
+
+    #[test]
+    fn pcp_controls_fan_out_to_every_zone() {
+        let mut m = Machine::new(MachineConfig::with_node_mib(&[4, 4]));
+        m.enable_pcp(crate::PcpConfig::with_cpus(2));
+        m.set_cpu(1);
+        let a = m.alloc(0).unwrap();
+        m.alloc_specific(Pfn::new(1500), 0).unwrap();
+        m.free(a, 0);
+        m.free(Pfn::new(1500), 0);
+        assert!(m.pcp_frames() > 0);
+        let c = m.pcp_counters().expect("pcp enabled");
+        assert!(c.hits >= 1);
+        let parked = m.pcp_frames();
+        assert_eq!(m.drain_pcp(), parked);
+        assert_eq!(m.pcp_frames(), 0);
+        assert_eq!(m.free_frames(), m.total_frames());
+        m.verify_integrity();
     }
 }

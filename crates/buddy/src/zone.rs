@@ -6,6 +6,7 @@ use contig_types::{AllocError, FailPolicy, PageSize, PhysRange, Pfn};
 use crate::contiguity::ContiguityMap;
 use crate::frame::{FrameState, FrameTable};
 use crate::freelist::FreeList;
+use crate::pcp::{PcpConfig, PcpCounters, PcpSnapshot, PcpState};
 use crate::stats::FreeBlockHistogram;
 
 /// Default top buddy order: blocks of `2^10` frames = 4 MiB, matching Linux's
@@ -84,6 +85,10 @@ pub struct ZoneSnapshot {
     pub contig_rover: Option<u64>,
     /// The contiguity map's update counter.
     pub contig_updates: u64,
+    /// The per-CPU frame-cache layer, if enabled. Pcp-resident frames appear
+    /// in `allocated` (they are carved out of the buddy block structure) but
+    /// still count as free; see [`crate::PcpConfig`].
+    pub pcp: Option<PcpSnapshot>,
 }
 
 /// A power-of-two buddy allocator with eager coalescing, targeted allocation,
@@ -117,6 +122,9 @@ pub struct Zone {
     /// Observability probes; [`Tracer::disabled`] (the default) costs one
     /// branch per allocator operation.
     tracer: Tracer,
+    /// Per-CPU frame caches over the order-0 hot path; `None` (the default)
+    /// preserves the historical direct-to-buddy behaviour.
+    pcp: Option<PcpState>,
 }
 
 impl Zone {
@@ -142,6 +150,7 @@ impl Zone {
             counters: ZoneCounters::default(),
             fail: FailPolicy::never(),
             tracer: Tracer::disabled(),
+            pcp: None,
         };
         // Seed free blocks: greedily install maximal aligned blocks.
         let mut rel = 0u64;
@@ -182,6 +191,7 @@ impl Zone {
             fail: self.fail.clone(),
             contig_rover: self.contiguity.rover().map(|p| p.raw()),
             contig_updates: self.contiguity.update_count(),
+            pcp: self.pcp.as_ref().map(PcpState::snapshot),
         }
     }
 
@@ -229,6 +239,20 @@ impl Zone {
             contiguity.on_block_freed(Pfn::new(head));
         }
         contiguity.restore_cursor(snap.contig_rover.map(Pfn::new), snap.contig_updates);
+        // Pcp-resident frames were captured as allocated order-0 blocks (they
+        // are carved out of the buddy structure), so the frame table is
+        // already correct; re-count them into the free total.
+        let pcp = snap.pcp.as_ref().map(PcpState::from_snapshot);
+        if let Some(state) = &pcp {
+            for &pfn in &state.resident {
+                assert_eq!(
+                    frames.state(pfn),
+                    FrameState::AllocatedHead { order: 0 },
+                    "pcp-resident frame {pfn} not an allocated order-0 block in snapshot"
+                );
+            }
+            free_frames += state.frames();
+        }
         Zone {
             config,
             frames,
@@ -238,6 +262,7 @@ impl Zone {
             counters: snap.counters,
             fail: snap.fail.clone(),
             tracer: Tracer::disabled(),
+            pcp,
         }
     }
 
@@ -267,8 +292,73 @@ impl Zone {
     }
 
     /// Whether the frame is currently free (the CA-paging target check).
+    /// Pcp-resident frames are free: nobody owns them, and a targeted
+    /// allocation can claim them by draining the caches first.
     pub fn is_free(&self, pfn: Pfn) -> bool {
-        self.frames.is_free(pfn)
+        self.frames.is_free(pfn) || self.pcp.as_ref().is_some_and(|p| p.contains(pfn))
+    }
+
+    /// Enables the per-CPU frame-cache layer (see [`PcpConfig`]). Order-0
+    /// allocations are subsequently served from the current CPU's list,
+    /// batch-refilled from the buddy heap; order-0 frees land on the list
+    /// and drain back in batches past the high watermark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pcp is already enabled, or on invalid tunables.
+    pub fn enable_pcp(&mut self, config: PcpConfig) {
+        assert!(self.pcp.is_none(), "pcp layer already enabled");
+        self.pcp = Some(PcpState::new(config));
+    }
+
+    /// Whether the per-CPU frame-cache layer is enabled.
+    pub fn pcp_enabled(&self) -> bool {
+        self.pcp.is_some()
+    }
+
+    /// Selects the simulated CPU whose pcp list serves subsequent order-0
+    /// allocations and frees. No-op while pcp is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range for the configured CPU count.
+    pub fn set_cpu(&mut self, cpu: usize) {
+        if let Some(p) = &mut self.pcp {
+            assert!(cpu < p.config.cpus, "cpu {cpu} out of range ({} cpus)", p.config.cpus);
+            p.current_cpu = cpu;
+        }
+    }
+
+    /// Frames currently parked on pcp lists (they also count as free).
+    pub fn pcp_frames(&self) -> u64 {
+        self.pcp.as_ref().map_or(0, PcpState::frames)
+    }
+
+    /// Event counters of the pcp layer, if enabled.
+    pub fn pcp_counters(&self) -> Option<PcpCounters> {
+        self.pcp.as_ref().map(|p| p.counters)
+    }
+
+    /// Returns every cached frame from every CPU list to the buddy heap,
+    /// coalescing as usual. Returns the number of frames drained.
+    pub fn drain_pcp(&mut self) -> u64 {
+        let Some(p) = &mut self.pcp else { return 0 };
+        let mut victims: Vec<Pfn> = Vec::with_capacity(p.resident.len());
+        for list in &mut p.lists {
+            victims.append(list);
+        }
+        if victims.is_empty() {
+            return 0;
+        }
+        p.resident.clear();
+        p.counters.drains += 1;
+        p.counters.drained_frames += victims.len() as u64;
+        let drained = victims.len() as u64;
+        self.tracer.add("buddy.pcp_drain", drained);
+        for pfn in victims {
+            self.merge_and_insert(pfn, 0);
+        }
+        drained
     }
 
     /// Read-only view of the per-frame metadata.
@@ -323,9 +413,15 @@ impl Zone {
     }
 
     /// Whether a free block of at least `order` exists (without allocating).
+    /// A non-empty pcp list satisfies an order-0 query — those frames are
+    /// allocatable without any buddy block existing; for larger orders the
+    /// check stays conservative and ignores what a pcp drain might coalesce.
     pub fn has_free_block(&self, order: u32) -> bool {
         if order > self.config.top_order {
             return false;
+        }
+        if order == 0 && self.pcp_frames() > 0 {
+            return true;
         }
         (order..=self.config.top_order).any(|o| !self.free_lists[o as usize].is_empty())
     }
@@ -363,12 +459,16 @@ impl Zone {
             self.tracer.emit(TraceEvent::InjectedFailure { order, targeted: false });
             return Err(AllocError::OutOfMemory { order });
         }
-        let mut found = None;
-        for o in order..=self.config.top_order {
-            if !self.free_lists[o as usize].is_empty() {
-                found = Some(o);
-                break;
-            }
+        if order == 0 && self.pcp.is_some() {
+            return self.alloc_order0_pcp();
+        }
+        let mut found = self.smallest_stocked_order(order);
+        if found.is_none() && self.pcp_frames() > 0 {
+            // The buddy heap is dry at this order but frames are parked on
+            // pcp lists; draining may coalesce them into a large-enough
+            // block (the kernel's drain-on-high-order-failure path).
+            self.drain_pcp();
+            found = self.smallest_stocked_order(order);
         }
         let Some(from_order) = found else {
             self.tracer.emit(TraceEvent::AllocFailed { order });
@@ -420,6 +520,9 @@ impl Zone {
             self.tracer.emit(TraceEvent::InjectedFailure { order, targeted: true });
             return Err(AllocError::TargetBusy { target });
         }
+        // Paper §III: per-CPU caches may hold frames of the designated block;
+        // flush them back to the heap before looking for the free block.
+        self.evict_pcp_range(target, order);
         // With eager coalescing, a fully-free aligned 2^order region is always
         // covered by a single free block of order >= `order`; find it.
         let miss = |zone: &mut Self| {
@@ -460,6 +563,11 @@ impl Zone {
     /// Panics on double free or when the block was allocated with a different
     /// order.
     pub fn free(&mut self, head: Pfn, order: u32) {
+        if self.pcp.as_ref().is_some_and(|p| p.contains(head)) {
+            // A pcp-resident frame keeps its AllocatedHead state, so the
+            // state match below would not catch this double free.
+            panic!("invalid free of {head}: frame is pcp-resident (double free)");
+        }
         match self.frames.state(head) {
             FrameState::AllocatedHead { order: o } => {
                 assert_eq!(o, order, "block {head} freed with order {order}, allocated {o}");
@@ -471,6 +579,30 @@ impl Zone {
         if self.tracer.is_enabled() {
             self.tracer.emit(TraceEvent::Free { pfn: head.raw(), order });
         }
+        if order == 0 {
+            if let Some(p) = &mut self.pcp {
+                // Order-0 free with pcp enabled: park the frame on the local
+                // CPU's list instead of returning it to the buddy heap. The
+                // frame keeps its allocated state — it is invisible to the
+                // free lists, exactly like the kernel's free_unref_page().
+                let cpu = p.current_cpu;
+                p.lists[cpu].push(head);
+                let inserted = p.resident.insert(head);
+                debug_assert!(inserted, "freed frame {head} already pcp-resident");
+                if p.lists[cpu].len() as u64 > p.config.high {
+                    self.drain_pcp_batch(cpu);
+                }
+                return;
+            }
+        }
+        self.merge_and_insert(head, order);
+    }
+
+    /// Returns an allocated block to the free lists, eagerly coalescing with
+    /// free buddies up to the top order. Callers have already updated
+    /// `free_frames` and counters; the block's frame states still read
+    /// allocated on entry.
+    fn merge_and_insert(&mut self, head: Pfn, order: u32) {
         let coalesces_before = self.counters.coalesces;
         let mut head = head;
         let mut order = order;
@@ -499,6 +631,130 @@ impl Zone {
         if self.tracer.is_enabled() {
             self.tracer.add("buddy.coalesce", self.counters.coalesces - coalesces_before);
         }
+    }
+
+    /// Drains the coldest `batch` frames of one CPU's list back to the buddy
+    /// heap (the watermark-overflow path).
+    fn drain_pcp_batch(&mut self, cpu: usize) {
+        let Some(p) = &mut self.pcp else { return };
+        let take = (p.config.batch as usize).min(p.lists[cpu].len());
+        if take == 0 {
+            return;
+        }
+        let victims: Vec<Pfn> = p.lists[cpu].drain(..take).collect();
+        for pfn in &victims {
+            p.resident.remove(pfn);
+        }
+        p.counters.drains += 1;
+        p.counters.drained_frames += victims.len() as u64;
+        self.tracer.add("buddy.pcp_drain", victims.len() as u64);
+        for pfn in victims {
+            self.merge_and_insert(pfn, 0);
+        }
+    }
+
+    /// Order-0 allocation through the pcp layer: pop the local list,
+    /// batch-refilling it from the buddy heap when empty (`rmqueue_bulk`).
+    /// The fail policy was already consulted by [`Zone::alloc`].
+    fn alloc_order0_pcp(&mut self) -> Result<Pfn, AllocError> {
+        let cpu = self.pcp.as_ref().map_or(0, |p| p.current_cpu);
+        if self.pcp.as_ref().is_some_and(|p| p.lists[cpu].is_empty()) {
+            self.refill_pcp(cpu);
+        }
+        if self.pcp.as_ref().is_some_and(|p| p.lists[cpu].is_empty()) && self.pcp_frames() > 0 {
+            // The heap is exhausted but other CPUs hold cached frames:
+            // drain everything and refill before declaring OOM.
+            self.drain_pcp();
+            self.refill_pcp(cpu);
+        }
+        let popped = self.pcp.as_mut().and_then(|p| {
+            let pfn = p.lists[cpu].pop()?;
+            p.resident.remove(&pfn);
+            p.counters.hits += 1;
+            Some(pfn)
+        });
+        let Some(pfn) = popped else {
+            self.tracer.emit(TraceEvent::AllocFailed { order: 0 });
+            return Err(AllocError::OutOfMemory { order: 0 });
+        };
+        self.free_frames -= 1;
+        self.counters.allocs += 1;
+        self.tracer.emit(TraceEvent::Alloc { order: 0, pfn: pfn.raw() });
+        Ok(pfn)
+    }
+
+    /// Pulls up to `batch` order-0 frames from the buddy free lists onto one
+    /// CPU's pcp list. Deliberately bypasses the fail policy and the
+    /// alloc/free counters: refills are internal frame motion, not
+    /// user-visible allocations, and must not perturb injection streams.
+    fn refill_pcp(&mut self, cpu: usize) {
+        let batch = match &self.pcp {
+            Some(p) => p.config.batch,
+            None => return,
+        };
+        let mut pulled: Vec<Pfn> = Vec::with_capacity(batch as usize);
+        let splits_before = self.counters.splits;
+        while (pulled.len() as u64) < batch {
+            let Some(from_order) = self.smallest_stocked_order(0) else { break };
+            let Some(block) = self.take_from_list(from_order) else { break };
+            let head = self.split_to(block, from_order, 0);
+            self.frames.mark_allocated_block(head, 0);
+            pulled.push(head);
+        }
+        if self.tracer.is_enabled() {
+            self.tracer.add("buddy.split", self.counters.splits - splits_before);
+        }
+        if pulled.is_empty() {
+            return;
+        }
+        let Some(p) = &mut self.pcp else { return };
+        p.counters.refills += 1;
+        p.counters.refilled_frames += pulled.len() as u64;
+        self.tracer.add("buddy.pcp_refill", pulled.len() as u64);
+        // Push in reverse so the list pops frames in the same order the
+        // buddy heap would have handed them out directly.
+        for &pfn in pulled.iter().rev() {
+            p.lists[cpu].push(pfn);
+            p.resident.insert(pfn);
+        }
+    }
+
+    /// Evicts any pcp-resident frames inside `[target, target + 2^order)`
+    /// back to the buddy heap so a targeted allocation can claim the block —
+    /// the paper-§III conflict: CA paging must flush per-CPU caches that
+    /// hold frames of its designated region.
+    fn evict_pcp_range(&mut self, target: Pfn, order: u32) {
+        let Some(p) = &mut self.pcp else { return };
+        if p.resident.is_empty() {
+            return;
+        }
+        let end = target.add(1 << order);
+        let mut victims: Vec<Pfn> = Vec::new();
+        for list in &mut p.lists {
+            list.retain(|&pfn| {
+                let hit = pfn >= target && pfn < end;
+                if hit {
+                    victims.push(pfn);
+                }
+                !hit
+            });
+        }
+        if victims.is_empty() {
+            return;
+        }
+        for pfn in &victims {
+            p.resident.remove(pfn);
+        }
+        p.counters.targeted_evictions += victims.len() as u64;
+        self.tracer.add("buddy.pcp_evict", victims.len() as u64);
+        for pfn in victims {
+            self.merge_and_insert(pfn, 0);
+        }
+    }
+
+    /// The smallest order >= `order` whose free list is non-empty.
+    fn smallest_stocked_order(&self, order: u32) -> Option<u32> {
+        (order..=self.config.top_order).find(|&o| !self.free_lists[o as usize].is_empty())
     }
 
     /// Convenience wrapper: allocate one page of the given size.
@@ -573,10 +829,17 @@ impl Zone {
                 listed_free += 1 << order;
             }
         }
-        assert_eq!(listed_free, self.free_frames, "free frame accounting drifted");
+        assert_eq!(
+            listed_free + self.pcp_frames(),
+            self.free_frames,
+            "free frame accounting drifted"
+        );
         // 2. Every frame state is consistent with exactly one covering block.
+        //    Pcp-resident frames read as allocated order-0 blocks but count
+        //    toward free_frames; tally them separately.
         let mut rel = 0u64;
         let mut counted_free = 0u64;
+        let mut pcp_seen = 0u64;
         while rel < self.config.frames {
             let head = self.config.base.add(rel);
             match self.frames.state(head) {
@@ -603,12 +866,30 @@ impl Zone {
                             "allocated block {head} has non-tail interior frame"
                         );
                     }
+                    if self.pcp.as_ref().is_some_and(|p| p.contains(head)) {
+                        assert_eq!(order, 0, "pcp-resident frame {head} in order-{order} block");
+                        pcp_seen += 1;
+                    }
                     rel += 1 << order;
                 }
                 s => panic!("dangling {s:?} at {head} outside any block"),
             }
         }
-        assert_eq!(counted_free, self.free_frames, "frame scan disagrees with accounting");
+        assert_eq!(
+            counted_free + pcp_seen,
+            self.free_frames,
+            "frame scan disagrees with accounting"
+        );
+        if let Some(p) = &self.pcp {
+            assert_eq!(pcp_seen, p.frames(), "pcp residency index disagrees with frame scan");
+            let listed: u64 = p.lists.iter().map(|l| l.len() as u64).sum();
+            assert_eq!(listed, p.frames(), "pcp list lengths disagree with residency index");
+            for list in &p.lists {
+                for pfn in list {
+                    assert!(p.contains(*pfn), "pcp list frame {pfn} missing from index");
+                }
+            }
+        }
         // 3. Contiguity map mirrors the top-order list exactly.
         let top = self.config.top_order;
         let mut blocks: Vec<Pfn> = self.free_lists[top as usize].iter().collect();
@@ -934,5 +1215,153 @@ mod tests {
         assert_eq!(z.free_frames(), (1 << 15) - (1 << 14));
         z.free(p, 14);
         z.verify_integrity();
+    }
+
+    fn pcp_zone(frames: u64) -> Zone {
+        let mut z = zone(frames);
+        z.enable_pcp(PcpConfig { cpus: 2, batch: 4, high: 8 });
+        z
+    }
+
+    #[test]
+    fn pcp_order0_alloc_batch_refills() {
+        let mut z = pcp_zone(1024);
+        let a = z.alloc(0).unwrap();
+        let c = z.pcp_counters().unwrap();
+        assert_eq!(c.refills, 1);
+        assert_eq!(c.refilled_frames, 4);
+        assert_eq!(c.hits, 1);
+        // Three more frames sit cached; they still count as free.
+        assert_eq!(z.pcp_frames(), 3);
+        assert_eq!(z.free_frames(), 1023);
+        z.verify_integrity();
+        z.free(a, 0);
+        assert_eq!(z.pcp_frames(), 4);
+        assert_eq!(z.free_frames(), 1024);
+        z.verify_integrity();
+    }
+
+    #[test]
+    fn pcp_frees_drain_past_high_watermark() {
+        let mut z = pcp_zone(1024);
+        let pages: Vec<_> = (0..16).map(|_| z.alloc(0).unwrap()).collect();
+        for &p in &pages {
+            z.free(p, 0);
+        }
+        let c = z.pcp_counters().unwrap();
+        assert!(c.drains >= 1, "watermark drain never fired: {c:?}");
+        assert!(z.pcp_frames() <= 8 + 4, "list grew past high + batch");
+        assert_eq!(z.free_frames(), 1024);
+        z.verify_integrity();
+        assert_eq!(z.drain_pcp(), z.pcp_counters().unwrap().drained_frames - c.drained_frames);
+        assert_eq!(z.pcp_frames(), 0);
+        z.verify_integrity();
+        assert_eq!(z.contiguity_map().largest().unwrap().frames, 1024);
+    }
+
+    #[test]
+    fn pcp_targeted_alloc_evicts_conflicting_frames() {
+        let mut z = pcp_zone(1024);
+        // Pull the frames covering [0, 4) onto cpu 0's list.
+        let pulled: Vec<_> = (0..4).map(|_| z.alloc(0).unwrap()).collect();
+        for &p in &pulled {
+            z.free(p, 0);
+        }
+        assert!(z.pcp_frames() >= 4);
+        // A targeted order-2 claim of [0, 4) must flush those cached frames.
+        z.alloc_specific(Pfn::new(0), 2).unwrap();
+        let c = z.pcp_counters().unwrap();
+        assert!(c.targeted_evictions >= 1, "no eviction recorded: {c:?}");
+        assert!(!z.is_free(Pfn::new(0)));
+        z.verify_integrity();
+        z.free(Pfn::new(0), 2);
+        z.verify_integrity();
+    }
+
+    #[test]
+    fn pcp_cpus_are_independent_lists() {
+        let mut z = pcp_zone(1024);
+        z.set_cpu(0);
+        let a = z.alloc(0).unwrap();
+        z.free(a, 0);
+        z.set_cpu(1);
+        let b = z.alloc(0).unwrap();
+        // cpu 1 refilled its own list rather than stealing cpu 0's cache.
+        assert_ne!(a, b);
+        assert_eq!(z.pcp_counters().unwrap().refills, 2);
+        z.free(b, 0);
+        z.verify_integrity();
+    }
+
+    #[test]
+    fn pcp_oom_falls_back_to_draining_other_cpus() {
+        let mut z = pcp_zone(8);
+        z.set_cpu(0);
+        let held: Vec<_> = (0..8).map(|_| z.alloc(0).unwrap()).collect();
+        // Return half of the frames to cpu 0's cache; the heap stays dry.
+        for &p in held.iter().take(4) {
+            z.free(p, 0);
+        }
+        z.set_cpu(1);
+        // cpu 1's list is empty and so is the heap — cpu 0's cached frames
+        // must be drained back rather than reporting OOM.
+        let p = z.alloc(0).unwrap();
+        assert!(held[..4].contains(&p));
+        assert!(z.pcp_counters().unwrap().drains >= 1);
+        z.free(p, 0);
+        for &b in held.iter().skip(4) {
+            z.free(b, 0);
+        }
+        z.drain_pcp();
+        assert_eq!(z.free_frames(), 8);
+        assert_eq!(z.pcp_frames(), 0);
+        z.verify_integrity();
+    }
+
+    #[test]
+    fn pcp_order3_alloc_drains_when_heap_is_dry() {
+        let mut z = pcp_zone(8);
+        // Cache every frame on cpu 0, leaving the buddy heap empty.
+        let all: Vec<_> = (0..8).map(|_| z.alloc(0).unwrap()).collect();
+        for &p in &all {
+            z.free(p, 0);
+        }
+        assert_eq!(z.pcp_frames(), 8);
+        // An order-3 request finds no buddy block; draining coalesces the
+        // cached frames back into one.
+        let big = z.alloc(3).unwrap();
+        assert_eq!(z.pcp_frames(), 0);
+        z.free(big, 3);
+        z.verify_integrity();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid free")]
+    fn pcp_resident_double_free_panics() {
+        let mut z = pcp_zone(64);
+        let p = z.alloc(0).unwrap();
+        z.free(p, 0);
+        z.free(p, 0);
+    }
+
+    #[test]
+    fn pcp_snapshot_round_trip_preserves_caches() {
+        let mut z = pcp_zone(1024);
+        z.set_cpu(1);
+        let pages: Vec<_> = (0..6).map(|_| z.alloc(0).unwrap()).collect();
+        for &p in pages.iter().take(3) {
+            z.free(p, 0);
+        }
+        let snap = z.snapshot();
+        let restored = Zone::from_snapshot(&snap);
+        restored.verify_integrity();
+        assert_eq!(restored.free_frames(), z.free_frames());
+        assert_eq!(restored.pcp_frames(), z.pcp_frames());
+        assert_eq!(restored.pcp_counters(), z.pcp_counters());
+        assert_eq!(restored.snapshot(), snap);
+        // The restored zone pops the same frame next.
+        let mut a = z;
+        let mut b = restored;
+        assert_eq!(a.alloc(0).unwrap(), b.alloc(0).unwrap());
     }
 }

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use contig_buddy::{ContiguityMap, Zone, ZoneConfig};
+use contig_buddy::{ContiguityMap, PcpConfig, Zone, ZoneConfig};
 use contig_types::Pfn;
 
 /// An abstract allocator operation the strategy generates.
@@ -229,6 +229,134 @@ proptest! {
         // LIFO free-list order survived: both copies pick identical frames.
         for order in probes {
             prop_assert_eq!(zone.alloc(order), restored.alloc(order));
+        }
+    }
+}
+
+/// An operation for the pcp differential test, including CPU migration and
+/// explicit drains.
+#[derive(Clone, Debug)]
+enum PcpOp {
+    Alloc { order: u32 },
+    AllocSpecific { slot: u64, order: u32 },
+    FreeOldest,
+    FreeNewest,
+    SetCpu { cpu: usize },
+    Drain,
+}
+
+fn pcp_op_strategy() -> impl Strategy<Value = PcpOp> {
+    prop_oneof![
+        (0u32..=3).prop_map(|order| PcpOp::Alloc { order }),
+        (0u64..1024, 0u32..=3).prop_map(|(slot, order)| PcpOp::AllocSpecific { slot, order }),
+        Just(PcpOp::FreeOldest),
+        Just(PcpOp::FreeNewest),
+        (0usize..4).prop_map(|cpu| PcpOp::SetCpu { cpu }),
+        Just(PcpOp::Drain),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Differential test of the per-CPU frame caches: a pcp-enabled zone and
+    /// a plain (pcp-disabled) shadow zone stay observationally equivalent
+    /// under arbitrary operation sequences.
+    ///
+    /// Every frame the pcp zone hands out is mirrored into the shadow via
+    /// `alloc_specific`, which must succeed — the two zones' allocated sets
+    /// are equal by induction, and a pcp-resident frame still counts as free.
+    /// OOM and targeted-allocation outcomes must agree in both directions,
+    /// and after a final drain the buddy structures coalesce to the same
+    /// canonical per-frame decomposition.
+    #[test]
+    fn pcp_zone_is_observationally_equivalent_to_plain_zone(
+        ops in proptest::collection::vec(pcp_op_strategy(), 1..150),
+        cpus in 1usize..4,
+    ) {
+        const FRAMES: u64 = 1024;
+        let mut pcp = Zone::new(ZoneConfig::with_frames(FRAMES));
+        pcp.enable_pcp(PcpConfig { cpus, batch: 4, high: 8 });
+        let mut shadow = Zone::new(ZoneConfig::with_frames(FRAMES));
+        let mut live: Vec<(Pfn, u32)> = Vec::new();
+        for op in ops {
+            match op {
+                PcpOp::Alloc { order } => {
+                    match pcp.alloc(order) {
+                        Ok(head) => {
+                            prop_assert!(
+                                shadow.alloc_specific(head, order).is_ok(),
+                                "shadow rejected frame {head} order {order} the pcp zone handed out"
+                            );
+                            live.push((head, order));
+                        }
+                        Err(_) => {
+                            prop_assert!(
+                                shadow.alloc(order).is_err(),
+                                "pcp zone reported OOM at order {order} but the shadow allocated"
+                            );
+                        }
+                    }
+                }
+                PcpOp::AllocSpecific { slot, order } => {
+                    let target = Pfn::new((slot << order) % FRAMES);
+                    if target.raw() + (1 << order) > FRAMES {
+                        continue;
+                    }
+                    let a = pcp.alloc_specific(target, order).is_ok();
+                    let b = shadow.alloc_specific(target, order).is_ok();
+                    prop_assert_eq!(
+                        a, b,
+                        "targeted alloc at {} order {} diverged (pcp {}, shadow {})",
+                        target, order, a, b
+                    );
+                    if a {
+                        live.push((target, order));
+                    }
+                }
+                PcpOp::FreeOldest => {
+                    if !live.is_empty() {
+                        let (head, order) = live.remove(0);
+                        pcp.free(head, order);
+                        shadow.free(head, order);
+                    }
+                }
+                PcpOp::FreeNewest => {
+                    if let Some((head, order)) = live.pop() {
+                        pcp.free(head, order);
+                        shadow.free(head, order);
+                    }
+                }
+                PcpOp::SetCpu { cpu } => {
+                    if cpu < cpus {
+                        pcp.set_cpu(cpu);
+                    }
+                }
+                PcpOp::Drain => {
+                    pcp.drain_pcp();
+                }
+            }
+            // Frame accounting agrees at every step, pcp residency included.
+            prop_assert_eq!(pcp.free_frames(), shadow.free_frames());
+            for &(head, _) in &live {
+                prop_assert!(!pcp.is_free(head) && !shadow.is_free(head));
+            }
+        }
+        pcp.verify_integrity();
+        shadow.verify_integrity();
+        // After draining, eager coalescing makes the decomposition canonical:
+        // both frame tables must match state-for-state.
+        pcp.drain_pcp();
+        prop_assert_eq!(pcp.pcp_frames(), 0);
+        pcp.verify_integrity();
+        for pfn in 0..FRAMES {
+            let p = Pfn::new(pfn);
+            prop_assert_eq!(
+                pcp.frame_table().state(p),
+                shadow.frame_table().state(p),
+                "frame {} diverged after drain",
+                p
+            );
         }
     }
 }

@@ -18,7 +18,9 @@
 //! integer-only number model this makes the encoding canonical, which is what
 //! lets [`crate::digest`] hash the serialized form directly.
 
-use contig_buddy::{MachineSnapshot, ZoneConfig, ZoneCounters, ZoneSnapshot};
+use contig_buddy::{
+    MachineSnapshot, PcpCounters, PcpSnapshot, ZoneConfig, ZoneCounters, ZoneSnapshot,
+};
 use contig_mm::{
     CacheAllocMode, FaultStatsSnapshot, FileCacheSnapshot, LatencyModel, PageCacheSnapshot,
     ProcessSnapshot, RecoveryConfig, RecoveryStats, SystemSnapshot, VmaSnapshot,
@@ -30,8 +32,12 @@ use contig_virt::VmSnapshot;
 use crate::digest::fnv1a64;
 use crate::json::{parse, Json};
 
-/// Current snapshot file format version.
-pub const SNAPSHOT_VERSION: i128 = 1;
+/// Current snapshot file format version. Version 2 added the optional
+/// per-zone `pcp` member (per-CPU frame caches); version-1 files, which
+/// predate the field, still decode (`pcp` absent means the layer is off).
+pub const SNAPSHOT_VERSION: i128 = 2;
+/// Oldest snapshot file format version this decoder still accepts.
+pub const SNAPSHOT_MIN_VERSION: i128 = 1;
 /// `format` tag of snapshot files.
 pub const SNAPSHOT_FORMAT: &str = "contig-snapshot";
 
@@ -190,7 +196,80 @@ fn zone_to_json(z: &ZoneSnapshot) -> Json {
         ("fail", fail_policy_to_json(&z.fail)),
         ("contig_rover", opt_num(z.contig_rover)),
         ("contig_updates", Json::num(z.contig_updates)),
+        (
+            "pcp",
+            match &z.pcp {
+                Some(p) => pcp_to_json(p),
+                None => Json::Null,
+            },
+        ),
     ])
+}
+
+fn pcp_to_json(p: &PcpSnapshot) -> Json {
+    obj(vec![
+        ("cpus", Json::num(p.cpus)),
+        ("batch", Json::num(p.batch)),
+        ("high", Json::num(p.high)),
+        ("current_cpu", Json::num(p.current_cpu)),
+        (
+            "lists",
+            Json::Arr(
+                p.lists
+                    .iter()
+                    .map(|list| Json::Arr(list.iter().map(|&f| Json::num(f)).collect()))
+                    .collect(),
+            ),
+        ),
+        (
+            "counters",
+            Json::Arr(
+                [
+                    p.counters.hits,
+                    p.counters.refills,
+                    p.counters.refilled_frames,
+                    p.counters.drains,
+                    p.counters.drained_frames,
+                    p.counters.targeted_evictions,
+                ]
+                .iter()
+                .map(|&c| Json::num(c))
+                .collect(),
+            ),
+        ),
+    ])
+}
+
+fn pcp_from_json(v: &Json) -> DecodeResult<PcpSnapshot> {
+    let counters = get_arr(v, "counters")?;
+    if counters.len() != 6 {
+        return Err("pcp counters must have 6 entries".into());
+    }
+    let c = |i: usize| as_u64(&counters[i], "pcp counter");
+    Ok(PcpSnapshot {
+        cpus: get_u64(v, "cpus")?,
+        batch: get_u64(v, "batch")?,
+        high: get_u64(v, "high")?,
+        current_cpu: get_u64(v, "current_cpu")?,
+        lists: get_arr(v, "lists")?
+            .iter()
+            .map(|list| {
+                list.as_arr()
+                    .ok_or_else(|| "pcp list is not an array".to_string())?
+                    .iter()
+                    .map(|f| as_u64(f, "pcp frame"))
+                    .collect()
+            })
+            .collect::<DecodeResult<_>>()?,
+        counters: PcpCounters {
+            hits: c(0)?,
+            refills: c(1)?,
+            refilled_frames: c(2)?,
+            drains: c(3)?,
+            drained_frames: c(4)?,
+            targeted_evictions: c(5)?,
+        },
+    })
 }
 
 fn zone_from_json(v: &Json) -> DecodeResult<ZoneSnapshot> {
@@ -238,6 +317,11 @@ fn zone_from_json(v: &Json) -> DecodeResult<ZoneSnapshot> {
             other => Some(as_u64(other, "contig_rover")?),
         },
         contig_updates: get_u64(v, "contig_updates")?,
+        // Absent in version-1 files: the pcp layer did not exist yet.
+        pcp: match v.get("pcp") {
+            None | Some(Json::Null) => None,
+            Some(other) => Some(pcp_from_json(other)?),
+        },
     })
 }
 
@@ -745,9 +829,10 @@ pub fn decode_vm_file(text: &str) -> DecodeResult<VmSnapshot> {
         other => return Err(format!("not a snapshot file (format {other:?})")),
     }
     let version = field(&header, "version")?.as_num().ok_or("version is not a number")?;
-    if version != SNAPSHOT_VERSION {
+    if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
         return Err(format!(
-            "snapshot version {version} unsupported (decoder speaks {SNAPSHOT_VERSION})"
+            "snapshot version {version} unsupported (decoder speaks \
+             {SNAPSHOT_MIN_VERSION}..={SNAPSHOT_VERSION})"
         ));
     }
     let want = get_u64(&header, "digest")?;

@@ -298,8 +298,11 @@ impl System {
         }
 
         // Zone conservation: recount free frames from the ground truth.
+        // Pcp-resident frames count as free but live outside the free runs
+        // (their frame states read allocated), so add them back.
         for zone in self.machine.iter_zones() {
-            let counted: u64 = zone.frame_table().free_runs().map(|(_, len)| len).sum();
+            let counted: u64 = zone.frame_table().free_runs().map(|(_, len)| len).sum::<u64>()
+                + zone.pcp_frames();
             let recorded = zone.free_frames();
             if counted != recorded {
                 report.violations.push(AuditViolation::FreeAccounting {

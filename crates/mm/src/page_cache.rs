@@ -127,7 +127,10 @@ impl PageCache {
     }
 
     /// Ensures file pages `[start, start + count)` are cached, allocating
-    /// missing ones according to the cache's discipline.
+    /// missing ones according to the cache's discipline. Default-mode
+    /// readahead batches the whole window through [`Machine::alloc_bulk`] —
+    /// one zone pass instead of one scan per page; CA mode keeps the
+    /// per-page targeted path (each page has its own designated frame).
     ///
     /// # Errors
     ///
@@ -140,14 +143,25 @@ impl PageCache {
         start: u64,
         count: u64,
     ) -> Result<(), AllocError> {
+        if matches!(self.mode, CacheAllocMode::Default) {
+            let missing: Vec<u64> = (start..start + count)
+                .filter(|index| !self.files[file.0 as usize].pages.contains_key(index))
+                .collect();
+            let (frames, err) = machine.alloc_bulk(missing.len() as u64);
+            for (&index, &pfn) in missing.iter().zip(&frames) {
+                self.readahead_allocs += 1;
+                self.files[file.0 as usize].pages.insert(index, pfn);
+            }
+            return match err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            };
+        }
         for index in start..start + count {
             if self.files[file.0 as usize].pages.contains_key(&index) {
                 continue;
             }
-            let pfn = match self.mode {
-                CacheAllocMode::Default => machine.alloc_page(PageSize::Base4K)?,
-                CacheAllocMode::CaContiguous => self.alloc_contiguous(machine, file, index)?,
-            };
+            let pfn = self.alloc_contiguous(machine, file, index)?;
             self.readahead_allocs += 1;
             self.files[file.0 as usize].pages.insert(index, pfn);
         }

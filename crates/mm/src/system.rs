@@ -305,6 +305,34 @@ impl System {
         self.shared.get(&pfn).copied()
     }
 
+    /// Enables Linux-style per-CPU frame caches on every zone (see
+    /// [`contig_buddy::PcpConfig`]). Order-0 allocations across the fault
+    /// path, page cache, and COW breaks are subsequently served from pcp
+    /// lists; targeted CA allocations drain conflicting cached frames first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pcp is already enabled, or on invalid tunables.
+    pub fn enable_pcp(&mut self, config: contig_buddy::PcpConfig) {
+        self.machine.enable_pcp(config);
+    }
+
+    /// Selects the simulated CPU whose pcp lists serve subsequent faults.
+    /// No-op while pcp is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range for the configured CPU count.
+    pub fn set_cpu(&mut self, cpu: usize) {
+        self.machine.set_cpu(cpu);
+    }
+
+    /// Drains every zone's pcp lists back to the buddy heaps; returns the
+    /// number of frames moved.
+    pub fn drain_pcp(&mut self) -> u64 {
+        self.machine.drain_pcp()
+    }
+
     /// Installs a fault-injection policy on every zone of the machine.
     pub fn set_fail_policy(&mut self, policy: FailPolicy) {
         self.machine.set_fail_policy(policy);
@@ -937,6 +965,64 @@ impl System {
         }
         Ok(())
     }
+
+    /// Batched population of an anonymous VMA: every absent base page is
+    /// backed in one [`Machine::alloc_bulk`] pass instead of one zone scan
+    /// per fault — the `MAP_POPULATE` fast path that pairs with the pcp
+    /// layer. Bypasses placement policies, THP, and OOM recovery (default
+    /// placement, base pages only); callers that need those use
+    /// [`System::populate_vma`]. Returns the number of pages mapped.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::OutOfMemory`] at the first page the batch could not
+    /// back; earlier pages stay mapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown pid or a file-backed VMA.
+    pub fn populate_vma_batched(
+        &mut self,
+        pid: Pid,
+        vma_id: VmaId,
+    ) -> Result<u64, FaultError> {
+        let aspace = self.processes.get_mut(&pid).expect("unknown pid");
+        assert_eq!(
+            aspace.vma(vma_id).kind(),
+            VmaKind::Anon,
+            "populate_vma_batched is anonymous-memory only; use readahead + populate_vma"
+        );
+        let range = aspace.vma(vma_id).range();
+        let step = PageSize::Base4K.bytes();
+        let mut missing = Vec::new();
+        let mut va = range.start();
+        while va < range.end() {
+            if aspace.page_table().translate(va).is_err() {
+                missing.push(va);
+            }
+            va += step;
+        }
+        if missing.is_empty() {
+            return Ok(0);
+        }
+        let (frames, err) = self.machine.alloc_bulk(missing.len() as u64);
+        let (_, page_table, stats) = aspace.fault_parts(vma_id);
+        let mut batch_ns = 0u64;
+        for (&va, &pfn) in missing.iter().zip(&frames) {
+            page_table.map(va, Pte::new(pfn, PteFlags::WRITE), PageSize::Base4K);
+            let latency = self.latency.fault_ns(1, 0);
+            stats.record_fault(PageSize::Base4K, latency);
+            batch_ns += latency;
+        }
+        self.now_ns += batch_ns;
+        self.tracer.set_clock(self.now_ns);
+        self.tracer.add("mm.populate_batched", frames.len() as u64);
+        if err.is_some() {
+            let addr = missing[frames.len()];
+            return Err(FaultError::OutOfMemory { addr, size: PageSize::Base4K });
+        }
+        Ok(frames.len() as u64)
+    }
 }
 
 #[cfg(test)]
@@ -1014,6 +1100,37 @@ mod tests {
         sys.exit(pid);
         assert_eq!(sys.machine().free_frames(), sys.machine().total_frames());
         sys.machine().verify_integrity();
+    }
+
+    #[test]
+    fn populate_vma_batched_maps_every_absent_page() {
+        let mut sys = small_system();
+        sys.enable_pcp(contig_buddy::PcpConfig::with_cpus(2));
+        let pid = sys.spawn();
+        let vma = anon_vma(&mut sys, pid, 0x40_0000, 0x10_0000);
+        // Pre-fault one page; the batch must skip it.
+        let mut policy = BasePagesPolicy;
+        sys.touch(&mut policy, pid, VirtAddr::new(0x40_2000)).unwrap();
+        let mapped = sys.populate_vma_batched(pid, vma).unwrap();
+        assert_eq!(mapped, 0x10_0000 / 4096 - 1);
+        assert_eq!(sys.aspace(pid).mapped_bytes(), 0x10_0000);
+        assert_eq!(sys.populate_vma_batched(pid, vma).unwrap(), 0, "idempotent");
+        assert_eq!(sys.aspace(pid).stats().faults_4k, 0x10_0000 / 4096);
+        sys.exit(pid);
+        sys.drain_pcp();
+        assert_eq!(sys.machine().free_frames(), sys.machine().total_frames());
+        sys.machine().verify_integrity();
+    }
+
+    #[test]
+    fn populate_vma_batched_surfaces_oom_mid_batch() {
+        let mut sys = System::new(SystemConfig::new(MachineConfig::with_node_mib(&[1])));
+        let pid = sys.spawn();
+        // 2 MiB VMA against a 1 MiB machine: the batch runs dry half-way.
+        let vma = anon_vma(&mut sys, pid, 0x40_0000, 0x20_0000);
+        let err = sys.populate_vma_batched(pid, vma).unwrap_err();
+        assert!(matches!(err, FaultError::OutOfMemory { .. }));
+        assert_eq!(sys.aspace(pid).mapped_bytes(), 0x10_0000, "partial progress kept");
     }
 
     #[test]

@@ -151,6 +151,35 @@ impl VirtualMachine {
         &mut self.host
     }
 
+    /// Enables per-CPU frame caches in *both* dimensions: the guest buddy
+    /// allocator and the host's (see [`contig_buddy::PcpConfig`]) — the
+    /// paper's virtualized setting, where pcp lists exist in guest and host
+    /// kernels alike and CA paging must drain them at each level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pcp is already enabled in either dimension.
+    pub fn enable_pcp(&mut self, config: contig_buddy::PcpConfig) {
+        self.guest.enable_pcp(config);
+        self.host.enable_pcp(config);
+    }
+
+    /// Selects the simulated CPU in both dimensions (no-op while pcp is
+    /// disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range for the configured CPU count.
+    pub fn set_cpu(&mut self, cpu: usize) {
+        self.guest.set_cpu(cpu);
+        self.host.set_cpu(cpu);
+    }
+
+    /// Drains every pcp list in both dimensions; returns frames moved.
+    pub fn drain_pcp(&mut self) -> u64 {
+        self.guest.drain_pcp() + self.host.drain_pcp()
+    }
+
     /// The VM's trace handle (disabled unless [`VirtualMachine::set_tracer`]
     /// was called).
     pub fn tracer(&self) -> &Tracer {

@@ -50,6 +50,7 @@ pub use contig_baselines as baselines;
 pub use contig_buddy as buddy;
 pub use contig_check as check;
 pub use contig_core as core;
+pub use contig_engine as engine;
 pub use contig_metrics as metrics;
 pub use contig_mm as mm;
 pub use contig_sim as sim;
@@ -62,11 +63,12 @@ pub use contig_workloads as workloads;
 /// The most common imports for driving the simulator.
 pub mod prelude {
     pub use contig_audit::{audit_vm, AuditReport, AuditViolation, VmAuditReport};
-    pub use contig_buddy::{Hog, Machine, MachineConfig, NodeId, Zone, ZoneConfig};
+    pub use contig_buddy::{Hog, Machine, MachineConfig, NodeId, PcpConfig, Zone, ZoneConfig};
     pub use contig_check::{
         digest_vm, minimize, run_torture, TortureConfig, TortureFailure, TortureReport,
     };
     pub use contig_core::{CaConfig, CaPaging, SpotConfig, SpotPredictor};
+    pub use contig_engine::{run_seeded, PoolConfig, TaskCtx, TaskReport};
     pub use contig_metrics::{CoverageStats, PerfModel};
     pub use contig_mm::{
         contiguous_mappings, AddressSpace, BasePagesPolicy, DefaultThpPolicy, FaultKind,

@@ -134,3 +134,103 @@ fn threaded_faults_on_shared_system() {
     }
     guard.machine().verify_integrity();
 }
+
+// ---------------------------------------------------------------------------
+// Parallel experiment engine: worker-count-independent determinism.
+// ---------------------------------------------------------------------------
+
+use contig::check::digest_system;
+use contig::engine::task_seed;
+use contig_buddy::PcpConfig;
+use contig_types::splitmix64;
+
+const ENGINE_TASKS: usize = 12;
+const ENGINE_SEED: u64 = 0xD15C_0B01;
+
+/// One engine experiment: boot a pcp-enabled system, CA-populate a VMA, run
+/// a seeded COW/touch storm across simulated CPUs, digest the final state.
+fn engine_experiment(seed: u64) -> u64 {
+    let mut rng = seed;
+    let mib = 32 + (splitmix64(&mut rng) % 3) * 16;
+    let mut sys = System::new(SystemConfig::new(MachineConfig::single_node_mib(mib)));
+    sys.enable_pcp(PcpConfig { cpus: 4, batch: 8, high: 32 });
+    let pid = sys.spawn();
+    let mut ca = CaPaging::new();
+    let vma_bytes = (4 << 20) + (splitmix64(&mut rng) % 4) * (1 << 20);
+    let vma = sys
+        .aspace_mut(pid)
+        .map_vma(VirtRange::new(VirtAddr::new(0x4000_0000), vma_bytes), VmaKind::Anon);
+    sys.populate_vma(&mut ca, pid, vma).expect("populate");
+    let child = sys.fork_vma(pid, vma);
+    for i in 0..200u64 {
+        sys.set_cpu((i % 4) as usize);
+        let page = splitmix64(&mut rng) % (vma_bytes / 4096);
+        let target = if i % 3 == 0 { child } else { pid };
+        sys.touch_write(&mut ca, target, VirtAddr::new(0x4000_0000 + page * 4096))
+            .expect("touch");
+    }
+    digest_system(&sys.snapshot())
+}
+
+fn engine_digests_at(workers: usize) -> Vec<u64> {
+    let reports = run_seeded(PoolConfig::new(workers), ENGINE_SEED, ENGINE_TASKS, |ctx| {
+        ctx.trace.tracer().add("test.experiment", 1);
+        engine_experiment(ctx.seed)
+    });
+    assert_eq!(reports.len(), ENGINE_TASKS);
+    reports
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            assert_eq!(r.index, i, "reports must come back in task order");
+            assert_eq!(r.seed, task_seed(ENGINE_SEED, i), "per-task seeds are positional");
+            *r.ok().expect("experiment task panicked")
+        })
+        .collect()
+}
+
+/// The tentpole acceptance property: worker count never changes results.
+#[test]
+fn one_and_eight_workers_produce_bit_identical_digests() {
+    let serial: Vec<u64> =
+        (0..ENGINE_TASKS).map(|i| engine_experiment(task_seed(ENGINE_SEED, i))).collect();
+    let one = engine_digests_at(1);
+    let eight = engine_digests_at(8);
+    assert_eq!(one, serial, "1-worker engine run diverged from plain serial execution");
+    assert_eq!(eight, serial, "8-worker engine run diverged from plain serial execution");
+    // Digests are seed-sensitive: distinct tasks really ran distinct work.
+    assert!(serial.windows(2).any(|w| w[0] != w[1]), "all tasks produced the same digest");
+}
+
+/// Intermediate worker counts agree too, and repeated runs are stable.
+#[test]
+fn worker_sweep_is_stable_across_counts_and_repeats() {
+    let reference = engine_digests_at(2);
+    for workers in [3, 4, 5] {
+        assert_eq!(engine_digests_at(workers), reference, "{workers} workers diverged");
+    }
+    assert_eq!(engine_digests_at(2), reference, "repeat run diverged");
+}
+
+/// A panicking task is isolated: its report carries the panic message while
+/// every other task still completes with the deterministic digest.
+#[test]
+fn panicking_task_does_not_poison_the_fleet() {
+    let reports = run_seeded(PoolConfig::new(4), ENGINE_SEED, 6, |ctx| {
+        if ctx.index == 3 {
+            panic!("injected failure in task {}", ctx.index);
+        }
+        engine_experiment(ctx.seed)
+    });
+    let expected: Vec<u64> =
+        (0..6).map(|i| engine_experiment(task_seed(ENGINE_SEED, i))).collect();
+    for (i, r) in reports.iter().enumerate() {
+        match &r.outcome {
+            Ok(d) => assert_eq!(*d, expected[i], "task {i} digest diverged"),
+            Err(msg) => {
+                assert_eq!(i, 3, "only task 3 should fail");
+                assert!(msg.contains("injected failure"), "unexpected panic message: {msg}");
+            }
+        }
+    }
+}

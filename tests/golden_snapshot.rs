@@ -1,26 +1,25 @@
 //! Backward-compatibility guard for the snapshot format: a version-1
-//! snapshot file is checked into `tests/golden/snapshot_v1.jsonl`, and this
-//! test proves the current decoder still reads it, that its recorded digest
-//! still verifies, and that the restored system passes the cross-layer
-//! audit. Format changes that would orphan existing snapshot files fail
-//! here; a deliberate format bump must keep decoding old versions (or
-//! regenerate the golden file *and* bump `SNAPSHOT_VERSION`).
+//! snapshot file (predating the per-zone `pcp` member) is checked into
+//! `tests/golden/snapshot_v1.jsonl` and must keep decoding forever; the
+//! current-format golden lives in `tests/golden/snapshot_v2.jsonl` and pins
+//! encoder determinism. Format changes that would orphan existing snapshot
+//! files fail here; a deliberate format bump must keep decoding old versions
+//! (or regenerate the current golden *and* bump `SNAPSHOT_VERSION`).
 
 use std::path::PathBuf;
 
 use contig::check::{decode_vm_file, digest_vm, encode_vm_file};
 use contig::prelude::*;
 
-fn golden_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests")
-        .join("golden")
-        .join("snapshot_v1.jsonl")
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden").join(name)
 }
 
-/// The fixed workload behind the golden file: two processes, an anonymous
+/// The fixed workload behind the golden files: two processes, an anonymous
 /// VMA with huge and base mappings, a page-cache-backed file VMA, a COW
 /// fork, and one armed fault injector — every snapshot section populated.
+/// Deliberately pcp-free so the identical workload stands behind both the
+/// v1 and v2 fixtures.
 fn golden_vm() -> VirtualMachine {
     let mut vm = VirtualMachine::new(
         VmConfig::with_mib(16, 64),
@@ -47,11 +46,11 @@ fn golden_vm() -> VirtualMachine {
     vm
 }
 
-#[test]
-fn golden_v1_snapshot_still_decodes() {
-    let text = std::fs::read_to_string(golden_path())
-        .expect("tests/golden/snapshot_v1.jsonl must be checked in");
-    let snap = decode_vm_file(&text).expect("current decoder must read version-1 files");
+/// Decode a golden file, restore it, and check digest-exactness + audit.
+fn check_golden(name: &str) {
+    let text = std::fs::read_to_string(golden_path(name))
+        .unwrap_or_else(|e| panic!("tests/golden/{name} must be checked in: {e}"));
+    let snap = decode_vm_file(&text).expect("current decoder must read the golden file");
 
     // The header digest is re-verified by the decoder; additionally pin the
     // decoded state: restore must reproduce the digest and audit clean.
@@ -68,13 +67,23 @@ fn golden_v1_snapshot_still_decodes() {
 }
 
 #[test]
+fn golden_v1_snapshot_still_decodes() {
+    check_golden("snapshot_v1.jsonl");
+}
+
+#[test]
+fn golden_v2_snapshot_still_decodes() {
+    check_golden("snapshot_v2.jsonl");
+}
+
+#[test]
 fn golden_workload_is_still_deterministic() {
     // The encoder applied to the fixed golden workload must reproduce the
-    // checked-in bytes exactly. If this fails while the decode test passes,
+    // checked-in bytes exactly. If this fails while the decode tests pass,
     // the format evolved compatibly — regenerate via
     // `cargo test --test golden_snapshot -- --ignored` and review the diff.
-    let text = std::fs::read_to_string(golden_path())
-        .expect("tests/golden/snapshot_v1.jsonl must be checked in");
+    let text = std::fs::read_to_string(golden_path("snapshot_v2.jsonl"))
+        .expect("tests/golden/snapshot_v2.jsonl must be checked in");
     assert_eq!(
         encode_vm_file(&golden_vm().snapshot()),
         text,
@@ -83,9 +92,9 @@ fn golden_workload_is_still_deterministic() {
 }
 
 #[test]
-#[ignore = "regenerates the golden fixture; run explicitly after a reviewed format change"]
+#[ignore = "regenerates the current-format golden fixture; run explicitly after a reviewed format change"]
 fn regenerate_golden_file() {
-    let path = golden_path();
+    let path = golden_path("snapshot_v2.jsonl");
     std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir tests/golden");
     std::fs::write(&path, encode_vm_file(&golden_vm().snapshot())).expect("write golden");
 }

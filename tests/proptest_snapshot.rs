@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 
-use contig::check::{decode_vm_file, digest_vm, encode_vm_file};
+use contig::check::{
+    decode_vm_file, digest_system, digest_vm, encode_vm_file, system_from_json, system_to_json,
+};
 use contig::prelude::*;
 use contig_types::splitmix64;
 
@@ -131,5 +133,74 @@ proptest! {
             }
         }
         prop_assert_eq!(digest_vm(&a.snapshot()), digest_vm(&b.snapshot()));
+    }
+}
+
+/// Drives a pcp-enabled system so frames end up parked on per-CPU lists,
+/// then returns it mid-flight (caches deliberately not drained).
+fn seeded_pcp_system(seed: u64, steps: usize) -> System {
+    let mut sys = System::new(SystemConfig::new(MachineConfig::single_node_mib(32)));
+    sys.enable_pcp(PcpConfig { cpus: 3, batch: 4, high: 16 });
+    let pid = sys.spawn();
+    let mut ca = CaPaging::new();
+    sys.aspace_mut(pid)
+        .map_vma(VirtRange::new(VirtAddr::new(0x4000_0000), 8 << 20), VmaKind::Anon);
+    let mut rng = seed;
+    let mut held: Vec<Pfn> = Vec::new();
+    for i in 0..steps {
+        sys.set_cpu(i % 3);
+        match splitmix64(&mut rng) % 4 {
+            0 | 1 => {
+                // Demand fault through CA paging (pcp order-0 path for 4K).
+                let page = splitmix64(&mut rng) % (8 << 20) / 4096;
+                let _ = sys.touch(&mut ca, pid, VirtAddr::new(0x4000_0000 + page * 4096));
+            }
+            2 => {
+                if let Ok(p) = sys.machine_mut().alloc(0) {
+                    held.push(p);
+                }
+            }
+            _ => {
+                // Frees park on the current CPU's pcp list.
+                if let Some(p) = held.pop() {
+                    sys.machine_mut().free(p, 0);
+                }
+            }
+        }
+    }
+    sys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Snapshots taken with frames still parked on per-CPU lists survive the
+    /// v2 codec exactly and restore to a system that is digest-identical,
+    /// pcp state included — list contents, CPU selection, and counters.
+    #[test]
+    fn pcp_state_round_trips_through_snapshot(seed in 0u64..1_000_000, steps in 20usize..120) {
+        let sys = seeded_pcp_system(seed, steps);
+        let snap = sys.snapshot();
+        let digest = digest_system(&snap);
+
+        // The codec preserves the snapshot bit-for-bit.
+        let line = system_to_json(&snap).to_line();
+        let decoded = system_from_json(&contig::check::json::parse(&line).unwrap()).unwrap();
+        prop_assert_eq!(&decoded, &snap);
+        prop_assert_eq!(digest_system(&decoded), digest);
+
+        // Restore preserves pcp residency and counters exactly.
+        let mut restored = System::restore(&snap);
+        prop_assert_eq!(digest_system(&restored.snapshot()), digest);
+        prop_assert_eq!(restored.machine().pcp_frames(), sys.machine().pcp_frames());
+        prop_assert_eq!(restored.machine().pcp_counters(), sys.machine().pcp_counters());
+
+        // The restored allocator continues identically: draining both yields
+        // the same count, and the next allocations hand out the same frames.
+        let mut original = System::restore(&snap);
+        prop_assert_eq!(original.drain_pcp(), restored.drain_pcp());
+        for order in [0u32, 0, 1, 0] {
+            prop_assert_eq!(original.machine_mut().alloc(order), restored.machine_mut().alloc(order));
+        }
     }
 }
