@@ -70,6 +70,17 @@ pub enum VmAuditViolation {
         /// Guest-physical address whose backing is torn.
         gpa: PhysAddr,
     },
+    /// A guest mapping composes onto a *poisoned* host frame: the hwpoison
+    /// recovery path must always unmap or re-back before returning, so a
+    /// reachable quarantined frame is corruption.
+    PoisonedHostBacking {
+        /// Guest process owning the mapping.
+        pid: Pid,
+        /// Guest virtual address of the mapping.
+        va: VirtAddr,
+        /// Guest-physical address backed by the poisoned frame.
+        gpa: PhysAddr,
+    },
 }
 
 impl std::fmt::Display for VmAuditViolation {
@@ -82,6 +93,10 @@ impl std::fmt::Display for VmAuditViolation {
             Self::PartialHostBacking { pid, va, gpa } => write!(
                 f,
                 "guest pid {pid:?} va {va:?}: gpa {gpa:?} only partially host-backed"
+            ),
+            Self::PoisonedHostBacking { pid, va, gpa } => write!(
+                f,
+                "guest pid {pid:?} va {va:?}: gpa {gpa:?} backed by a poisoned host frame"
             ),
         }
     }
@@ -158,7 +173,17 @@ pub fn audit_vm(vm: &VirtualMachine) -> VmAuditReport {
                 }
                 let hva = vm.host_va_of(gpa);
                 match host_pt.translate(hva) {
-                    Ok(_) => backed_pages += 1,
+                    Ok(t) => {
+                        if vm.host().machine().is_poisoned(t.frame_for(hva)) {
+                            violations.push(VmAuditViolation::PoisonedHostBacking {
+                                pid,
+                                va,
+                                gpa,
+                            });
+                        } else {
+                            backed_pages += 1;
+                        }
+                    }
                     Err(_) => unbacked.push((pid, va)),
                 }
             }
@@ -229,6 +254,45 @@ mod tests {
         assert!(healed.is_clean(), "{healed}");
         assert!(healed.unbacked.is_empty(), "{healed}");
         assert!(healed.backed_pages > 0);
+    }
+
+    #[test]
+    fn host_poison_recovery_keeps_the_composition_clean() {
+        let mut vm = vm();
+        let pid = vm.guest_mut().spawn();
+        let vma = vm
+            .guest_mut()
+            .aspace_mut(pid)
+            .map_vma(VirtRange::new(VirtAddr::new(0x40_0000), 4 << 20), VmaKind::Anon);
+        vm.populate_vma(pid, vma).unwrap();
+        let hpa = vm.translate_2d(pid, VirtAddr::new(0x40_0000)).unwrap().hpa;
+        let report = vm.poison_host_frame(contig_types::Pfn::new(hpa.raw() / 4096));
+        assert!(report.rebacked);
+        let audit = audit_vm(&vm);
+        assert!(audit.is_clean(), "{audit}");
+        assert!(vm.host().machine().poisoned_frames() > 0);
+    }
+
+    #[test]
+    fn poisoned_host_backing_is_a_composition_violation() {
+        let mut vm = vm();
+        let pid = vm.guest_mut().spawn();
+        let vma = vm
+            .guest_mut()
+            .aspace_mut(pid)
+            .map_vma(VirtRange::new(VirtAddr::new(0x40_0000), 2 << 20), VmaKind::Anon);
+        vm.populate_vma(pid, vma).unwrap();
+        let hpa = vm.translate_2d(pid, VirtAddr::new(0x40_0000)).unwrap().hpa;
+        // Poison underneath the mm layer, skipping the recovery path: the
+        // guest now composes onto a quarantined frame and the auditor must
+        // say so (the host's own audit flags the mapping too).
+        vm.host_mut().machine_mut().poison(contig_types::Pfn::new(hpa.raw() / 4096));
+        let report = audit_vm(&vm);
+        assert!(!report.is_clean());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, VmAuditViolation::PoisonedHostBacking { .. })));
     }
 
     #[test]

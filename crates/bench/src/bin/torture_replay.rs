@@ -24,6 +24,8 @@ struct Args {
     seed: u64,
     ops: usize,
     faults: bool,
+    poison: bool,
+    pcp: bool,
     replay: Option<String>,
     emit: String,
 }
@@ -33,6 +35,8 @@ fn parse_args() -> Args {
         seed: 1,
         ops: 2_000,
         faults: true,
+        poison: false,
+        pcp: false,
         replay: None,
         emit: "torture_min.jsonl".to_string(),
     };
@@ -42,13 +46,18 @@ fn parse_args() -> Args {
         let value = |i: &mut usize| -> String {
             *i += 1;
             argv.get(*i).cloned().unwrap_or_else(|| {
-                panic!("usage: [--seed N] [--ops N] [--no-faults] [--replay PATH] [--emit PATH]")
+                panic!(
+                    "usage: [--seed N] [--ops N] [--no-faults] [--poison] [--pcp] \
+                     [--replay PATH] [--emit PATH]"
+                )
             })
         };
         match argv[i].as_str() {
             "--seed" => args.seed = value(&mut i).parse().expect("--seed expects a number"),
             "--ops" => args.ops = value(&mut i).parse().expect("--ops expects a number"),
             "--no-faults" => args.faults = false,
+            "--poison" => args.poison = true,
+            "--pcp" => args.pcp = true,
             "--replay" => args.replay = Some(value(&mut i)),
             "--emit" => args.emit = value(&mut i),
             other => eprintln!("ignoring unknown flag {other}"),
@@ -72,6 +81,19 @@ fn print_report(report: &TortureReport) {
         "op errors {}  oom events {}  sweeps {}  audits {}  crash checks {}",
         report.op_errors, report.oom_events, report.sweeps, report.audits, report.crash_checks
     );
+    let strikes = report.guest_poison.strikes + report.host_poison.strikes;
+    if strikes > 0 {
+        println!(
+            "poison: strikes {}  healed {}  heal failures {}  sigbus {}  guest MCEs {}  \
+             quarantined frames {}",
+            strikes,
+            report.guest_poison.healed + report.host_poison.healed,
+            report.guest_poison.heal_failed + report.host_poison.heal_failed,
+            report.guest_poison.sigbus + report.host_poison.sigbus,
+            report.guest_mces,
+            report.poisoned_frames
+        );
+    }
     println!("final digest {:#018x}", report.final_digest);
 }
 
@@ -93,11 +115,13 @@ fn main() -> ExitCode {
         None => {
             let cfg = TortureConfig {
                 faults: args.faults,
+                poison: args.poison,
+                pcp: args.pcp,
                 ..TortureConfig::with_seed_and_ops(args.seed, args.ops)
             };
             println!(
-                "torture run: seed {}  ops {}  faults {}",
-                cfg.seed, cfg.ops, cfg.faults
+                "torture run: seed {}  ops {}  faults {}  poison {}  pcp {}",
+                cfg.seed, cfg.ops, cfg.faults, cfg.poison, cfg.pcp
             );
             let ops = generate_ops(&cfg);
             (cfg, ops)

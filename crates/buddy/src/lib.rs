@@ -52,4 +52,7 @@ pub use hog::Hog;
 pub use machine::{Machine, MachineConfig, MachineSnapshot, NodeId};
 pub use pcp::{PcpConfig, PcpCounters, PcpSnapshot};
 pub use stats::{FreeBlockHistogram, SizeClass};
-pub use zone::{Zone, ZoneConfig, ZoneCounters, ZoneSnapshot, DEFAULT_TOP_ORDER};
+pub use zone::{
+    PoisonCounters, PoisonDisposition, Zone, ZoneConfig, ZoneCounters, ZoneSnapshot,
+    DEFAULT_TOP_ORDER,
+};

@@ -6,7 +6,7 @@ use contig_trace::Tracer;
 use contig_types::{AllocError, FailPolicy, PageSize, PhysRange, Pfn};
 
 use crate::stats::FreeBlockHistogram;
-use crate::zone::{Zone, ZoneConfig, ZoneCounters, ZoneSnapshot};
+use crate::zone::{PoisonCounters, PoisonDisposition, Zone, ZoneConfig, ZoneCounters, ZoneSnapshot};
 
 /// Index of a NUMA node / zone within a [`Machine`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -218,6 +218,41 @@ impl Machine {
         self.zones.iter().map(|z| z.fail_policy().attempts()).sum()
     }
 
+    /// Quarantines a frame after a hardware memory error (hwpoison) on its
+    /// owning node. See [`Zone::poison`] for the disposition semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node owns the frame.
+    pub fn poison(&mut self, pfn: Pfn) -> PoisonDisposition {
+        let node = self.node_of(pfn).expect("poisoned frame belongs to no node");
+        self.zones[node.0].poison(pfn)
+    }
+
+    /// Whether a frame is quarantined on its owning node.
+    pub fn is_poisoned(&self, pfn: Pfn) -> bool {
+        self.node_of(pfn).is_some_and(|n| self.zones[n.0].is_poisoned(pfn))
+    }
+
+    /// Total quarantined frames across all nodes.
+    pub fn poisoned_frames(&self) -> u64 {
+        self.zones.iter().map(Zone::poisoned_frames).sum()
+    }
+
+    /// Machine-wide poison counters (sum over zones).
+    pub fn poison_counters(&self) -> PoisonCounters {
+        let mut total = PoisonCounters::default();
+        for z in &self.zones {
+            total.accumulate(z.poison_counters());
+        }
+        total
+    }
+
+    /// Iterates every quarantined frame machine-wide, in address order.
+    pub fn badframes(&self) -> impl Iterator<Item = Pfn> + '_ {
+        self.zones.iter().flat_map(|z| z.badframes())
+    }
+
     /// Enables the per-CPU frame-cache layer on every zone (see
     /// [`crate::PcpConfig`]).
     ///
@@ -251,6 +286,11 @@ impl Machine {
     /// Frames currently parked on pcp lists across all zones.
     pub fn pcp_frames(&self) -> u64 {
         self.zones.iter().map(Zone::pcp_frames).sum()
+    }
+
+    /// Whether `pfn` is parked on a pcp list of its owning node.
+    pub fn pcp_contains(&self, pfn: Pfn) -> bool {
+        self.node_of(pfn).is_some_and(|n| self.zones[n.0].pcp_contains(pfn))
     }
 
     /// Machine-wide pcp counters, or `None` if no zone has pcp enabled.

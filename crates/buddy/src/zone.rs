@@ -1,5 +1,7 @@
 //! The buddy allocator for one physical-memory zone (one NUMA node).
 
+use std::collections::BTreeSet;
+
 use contig_trace::{TraceEvent, Tracer};
 use contig_types::{AllocError, FailPolicy, PageSize, PhysRange, Pfn};
 
@@ -58,6 +60,51 @@ pub struct ZoneCounters {
     pub coalesces: u64,
 }
 
+/// Memory-failure (hwpoison) counters of one zone's quarantine machinery.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoisonCounters {
+    /// Frames ever marked poisoned in this zone.
+    pub poisoned: u64,
+    /// Poisoned frames carved straight out of the free lists.
+    pub quarantined_free: u64,
+    /// Poisoned frames pulled out of a per-CPU cache list.
+    pub quarantined_pcp: u64,
+    /// Frames poisoned while allocated/mapped; quarantine completes when the
+    /// owner frees (or migrates away from) the block.
+    pub deferred: u64,
+    /// Frames diverted to quarantine at free or pcp-drain time instead of
+    /// re-entering the free lists.
+    pub quarantined_on_free: u64,
+}
+
+impl PoisonCounters {
+    /// Adds another zone's counters into this one (machine-wide totals).
+    pub fn accumulate(&mut self, other: &PoisonCounters) {
+        self.poisoned += other.poisoned;
+        self.quarantined_free += other.quarantined_free;
+        self.quarantined_pcp += other.quarantined_pcp;
+        self.deferred += other.deferred;
+        self.quarantined_on_free += other.quarantined_on_free;
+    }
+}
+
+/// What [`Zone::poison`] found the stricken frame doing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoisonDisposition {
+    /// The frame was already on the badframe list; nothing changed.
+    AlreadyPoisoned,
+    /// The frame was free: it was carved out of its buddy block and
+    /// quarantined immediately.
+    QuarantinedFree,
+    /// The frame was parked on a per-CPU cache list: it was evicted and
+    /// quarantined immediately.
+    QuarantinedPcp,
+    /// The frame is allocated (possibly mapped): it is marked poisoned but
+    /// stays with its owner until freed or migrated — the mm layer drives
+    /// the recovery.
+    Deferred,
+}
+
 /// Plain-data image of a zone's complete allocator state, produced by
 /// [`Zone::snapshot`] and consumed by [`Zone::from_snapshot`].
 ///
@@ -89,6 +136,11 @@ pub struct ZoneSnapshot {
     /// in `allocated` (they are carved out of the buddy block structure) but
     /// still count as free; see [`crate::PcpConfig`].
     pub pcp: Option<PcpSnapshot>,
+    /// Poisoned frames (ascending). Quarantined ones appear in `allocated`
+    /// as order-0 blocks; deferred ones sit inside a live allocation.
+    pub badframes: Vec<u64>,
+    /// Memory-failure counters at snapshot time.
+    pub poison: PoisonCounters,
 }
 
 /// A power-of-two buddy allocator with eager coalescing, targeted allocation,
@@ -125,6 +177,13 @@ pub struct Zone {
     /// Per-CPU frame caches over the order-0 hot path; `None` (the default)
     /// preserves the historical direct-to-buddy behaviour.
     pcp: Option<PcpState>,
+    /// Poisoned frames (hwpoison). A `BTreeSet` so iteration, snapshots,
+    /// and range scans are deterministic. Invariant: no member is ever free
+    /// or pcp-resident — quarantined frames read `AllocatedHead { order: 0 }`
+    /// and deferred ones sit inside a live allocation until its free.
+    badframes: BTreeSet<Pfn>,
+    /// Memory-failure counters.
+    poison_counters: PoisonCounters,
 }
 
 impl Zone {
@@ -151,6 +210,8 @@ impl Zone {
             fail: FailPolicy::never(),
             tracer: Tracer::disabled(),
             pcp: None,
+            badframes: BTreeSet::new(),
+            poison_counters: PoisonCounters::default(),
         };
         // Seed free blocks: greedily install maximal aligned blocks.
         let mut rel = 0u64;
@@ -192,6 +253,8 @@ impl Zone {
             contig_rover: self.contiguity.rover().map(|p| p.raw()),
             contig_updates: self.contiguity.update_count(),
             pcp: self.pcp.as_ref().map(PcpState::snapshot),
+            badframes: self.badframes.iter().map(|p| p.raw()).collect(),
+            poison: self.poison_counters,
         }
     }
 
@@ -253,6 +316,17 @@ impl Zone {
             }
             free_frames += state.frames();
         }
+        let badframes: BTreeSet<Pfn> = snap.badframes.iter().map(|&p| Pfn::new(p)).collect();
+        for &pfn in &badframes {
+            assert!(
+                !frames.state(pfn).is_free(),
+                "poisoned frame {pfn} is free in snapshot"
+            );
+            assert!(
+                pcp.as_ref().is_none_or(|p| !p.contains(pfn)),
+                "poisoned frame {pfn} is pcp-resident in snapshot"
+            );
+        }
         Zone {
             config,
             frames,
@@ -263,6 +337,8 @@ impl Zone {
             fail: snap.fail.clone(),
             tracer: Tracer::disabled(),
             pcp,
+            badframes,
+            poison_counters: snap.poison,
         }
     }
 
@@ -334,6 +410,13 @@ impl Zone {
         self.pcp.as_ref().map_or(0, PcpState::frames)
     }
 
+    /// Whether `pfn` is currently parked on a pcp list (false while pcp is
+    /// disabled). Used by the cross-layer auditor to prove quarantined
+    /// frames never hide in a per-CPU cache.
+    pub fn pcp_contains(&self, pfn: Pfn) -> bool {
+        self.pcp.as_ref().is_some_and(|p| p.contains(pfn))
+    }
+
     /// Event counters of the pcp layer, if enabled.
     pub fn pcp_counters(&self) -> Option<PcpCounters> {
         self.pcp.as_ref().map(|p| p.counters)
@@ -356,9 +439,24 @@ impl Zone {
         let drained = victims.len() as u64;
         self.tracer.add("buddy.pcp_drain", drained);
         for pfn in victims {
-            self.merge_and_insert(pfn, 0);
+            self.release_drained(pfn);
         }
         drained
+    }
+
+    /// Returns one drained pcp frame to the buddy heap — unless it was
+    /// poisoned while parked, in which case it is diverted to quarantine so
+    /// a poison event between refill and drain can never resurrect a bad
+    /// frame into the free lists. (The frame already reads
+    /// `AllocatedHead { order: 0 }`, the quarantine representation.)
+    fn release_drained(&mut self, pfn: Pfn) {
+        if self.badframes.contains(&pfn) {
+            self.free_frames -= 1;
+            self.poison_counters.quarantined_on_free += 1;
+            self.tracer.emit(TraceEvent::PoisonQuarantine { pfn: pfn.raw() });
+            return;
+        }
+        self.merge_and_insert(pfn, 0);
     }
 
     /// Read-only view of the per-frame metadata.
@@ -410,6 +508,74 @@ impl Zone {
     /// final counters.
     pub fn clear_fail_policy(&mut self) -> FailPolicy {
         std::mem::take(&mut self.fail)
+    }
+
+    /// Marks `pfn` poisoned (hwpoison) and quarantines it as far as the
+    /// allocator can on its own: a free frame is carved out of its buddy
+    /// block, a pcp-resident frame is evicted from its cache list, and an
+    /// allocated frame is only *marked* — its owner (the mm layer) must
+    /// migrate or free it, at which point [`Zone::free`] completes the
+    /// quarantine instead of recirculating the frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pfn` is outside the zone.
+    pub fn poison(&mut self, pfn: Pfn) -> PoisonDisposition {
+        assert!(self.contains(pfn), "poison of {pfn} outside zone");
+        if self.badframes.contains(&pfn) {
+            return PoisonDisposition::AlreadyPoisoned;
+        }
+        self.badframes.insert(pfn);
+        self.poison_counters.poisoned += 1;
+        // Pcp-resident first: those frames read as allocated in the frame
+        // table but are really free, parked on a cache list.
+        if self.pcp.as_ref().is_some_and(|p| p.contains(pfn)) {
+            let p = self.pcp.as_mut().expect("pcp checked above");
+            for list in &mut p.lists {
+                list.retain(|&f| f != pfn);
+            }
+            p.resident.remove(&pfn);
+            self.free_frames -= 1;
+            self.poison_counters.quarantined_pcp += 1;
+            self.tracer.emit(TraceEvent::PoisonQuarantine { pfn: pfn.raw() });
+            return PoisonDisposition::QuarantinedPcp;
+        }
+        if self.frames.state(pfn).is_free() {
+            let (head, order) = self
+                .frames
+                .free_block_containing(pfn, self.config.top_order)
+                .expect("free frame must belong to a free block");
+            self.remove_from_list(head, order);
+            let head = self.split_towards(head, order, pfn, 0);
+            debug_assert_eq!(head, pfn);
+            self.frames.mark_allocated_block(pfn, 0);
+            self.free_frames -= 1;
+            self.poison_counters.quarantined_free += 1;
+            self.tracer.emit(TraceEvent::PoisonQuarantine { pfn: pfn.raw() });
+            return PoisonDisposition::QuarantinedFree;
+        }
+        self.poison_counters.deferred += 1;
+        PoisonDisposition::Deferred
+    }
+
+    /// Whether `pfn` is on the badframe list.
+    pub fn is_poisoned(&self, pfn: Pfn) -> bool {
+        self.badframes.contains(&pfn)
+    }
+
+    /// The poisoned frames, ascending.
+    pub fn badframes(&self) -> impl Iterator<Item = Pfn> + '_ {
+        self.badframes.iter().copied()
+    }
+
+    /// Number of poisoned frames in the zone.
+    pub fn poisoned_frames(&self) -> u64 {
+        self.badframes.len() as u64
+    }
+
+    /// Memory-failure counters.
+    pub fn poison_counters(&self) -> &PoisonCounters {
+        &self.poison_counters
     }
 
     /// Whether a free block of at least `order` exists (without allocating).
@@ -520,6 +686,15 @@ impl Zone {
             self.tracer.emit(TraceEvent::InjectedFailure { order, targeted: true });
             return Err(AllocError::TargetBusy { target });
         }
+        if !self.badframes.is_empty()
+            && self.badframes.range(target..target.add(1 << order)).next().is_some()
+        {
+            // A poisoned frame inside the designated block can never be
+            // handed out: report busy without disturbing the pcp caches.
+            self.counters.targeted_misses += 1;
+            self.tracer.emit(TraceEvent::TargetedMiss { target: target.raw(), order });
+            return Err(AllocError::TargetBusy { target });
+        }
         // Paper §III: per-CPU caches may hold frames of the designated block;
         // flush them back to the heap before looking for the free block.
         self.evict_pcp_range(target, order);
@@ -575,10 +750,33 @@ impl Zone {
             s => panic!("invalid free of {head} in state {s:?}"),
         }
         self.counters.frees += 1;
-        self.free_frames += 1 << order;
         if self.tracer.is_enabled() {
             self.tracer.emit(TraceEvent::Free { pfn: head.raw(), order });
         }
+        if !self.badframes.is_empty() {
+            let end = head.add(1 << order);
+            if self.badframes.range(head..end).next().is_some() {
+                // The block contains poisoned frames: quarantine completes
+                // now. Healthy frames return to the heap one by one; each
+                // badframe stays carved out as an order-0 allocated block
+                // so no future coalesce or allocation can cross it.
+                for i in 0..(1u64 << order) {
+                    self.frames.mark_allocated_block(head.add(i), 0);
+                }
+                for i in 0..(1u64 << order) {
+                    let pfn = head.add(i);
+                    if self.badframes.contains(&pfn) {
+                        self.poison_counters.quarantined_on_free += 1;
+                        self.tracer.emit(TraceEvent::PoisonQuarantine { pfn: pfn.raw() });
+                    } else {
+                        self.free_frames += 1;
+                        self.merge_and_insert(pfn, 0);
+                    }
+                }
+                return;
+            }
+        }
+        self.free_frames += 1 << order;
         if order == 0 {
             if let Some(p) = &mut self.pcp {
                 // Order-0 free with pcp enabled: park the frame on the local
@@ -649,7 +847,7 @@ impl Zone {
         p.counters.drained_frames += victims.len() as u64;
         self.tracer.add("buddy.pcp_drain", victims.len() as u64);
         for pfn in victims {
-            self.merge_and_insert(pfn, 0);
+            self.release_drained(pfn);
         }
     }
 
@@ -748,7 +946,7 @@ impl Zone {
         p.counters.targeted_evictions += victims.len() as u64;
         self.tracer.add("buddy.pcp_evict", victims.len() as u64);
         for pfn in victims {
-            self.merge_and_insert(pfn, 0);
+            self.release_drained(pfn);
         }
     }
 
@@ -890,7 +1088,20 @@ impl Zone {
                 }
             }
         }
-        // 3. Contiguity map mirrors the top-order list exactly.
+        // 3. Poisoned frames are never free, never pcp-resident, and never
+        //    inside a free block: quarantine is airtight.
+        for &pfn in &self.badframes {
+            assert!(self.contains(pfn), "badframe {pfn} outside zone");
+            assert!(
+                !self.frames.state(pfn).is_free(),
+                "poisoned frame {pfn} is free"
+            );
+            assert!(
+                self.pcp.as_ref().is_none_or(|p| !p.contains(pfn)),
+                "poisoned frame {pfn} is pcp-resident"
+            );
+        }
+        // 4. Contiguity map mirrors the top-order list exactly.
         let top = self.config.top_order;
         let mut blocks: Vec<Pfn> = self.free_lists[top as usize].iter().collect();
         blocks.sort_unstable();
@@ -1342,6 +1553,108 @@ mod tests {
         let p = z.alloc(0).unwrap();
         z.free(p, 0);
         z.free(p, 0);
+    }
+
+    #[test]
+    fn poison_free_frame_is_quarantined_immediately() {
+        let mut z = zone(1024);
+        assert_eq!(z.poison(Pfn::new(300)), PoisonDisposition::QuarantinedFree);
+        assert_eq!(z.poison(Pfn::new(300)), PoisonDisposition::AlreadyPoisoned);
+        assert!(z.is_poisoned(Pfn::new(300)));
+        assert!(!z.is_free(Pfn::new(300)));
+        assert_eq!(z.free_frames(), 1023);
+        assert_eq!(z.poisoned_frames(), 1);
+        z.verify_integrity();
+        // Every frame around the badframe is still allocatable; the badframe
+        // itself never is.
+        let mut got = Vec::new();
+        while let Ok(p) = z.alloc(0) {
+            assert_ne!(p, Pfn::new(300), "allocator handed out a poisoned frame");
+            got.push(p);
+        }
+        assert_eq!(got.len(), 1023);
+    }
+
+    #[test]
+    fn poison_pcp_resident_frame_is_evicted_and_quarantined() {
+        let mut z = pcp_zone(1024);
+        let a = z.alloc(0).unwrap();
+        z.free(a, 0);
+        assert!(z.pcp_frames() >= 1);
+        assert_eq!(z.poison(a), PoisonDisposition::QuarantinedPcp);
+        assert!(!z.is_free(a));
+        z.verify_integrity();
+        // Draining afterwards must not resurrect the frame.
+        z.drain_pcp();
+        z.verify_integrity();
+        assert!(!z.is_free(a));
+    }
+
+    #[test]
+    fn poison_allocated_frame_defers_until_free() {
+        let mut z = zone(1024);
+        let head = z.alloc(3).unwrap();
+        let victim = head.add(5);
+        assert_eq!(z.poison(victim), PoisonDisposition::Deferred);
+        assert_eq!(z.poison_counters().deferred, 1);
+        z.verify_integrity();
+        // Freeing the block quarantines the badframe and frees the rest.
+        z.free(head, 3);
+        z.verify_integrity();
+        assert_eq!(z.free_frames(), 1023);
+        assert!(!z.is_free(victim));
+        assert_eq!(z.poison_counters().quarantined_on_free, 1);
+    }
+
+    #[test]
+    fn buddies_never_coalesce_across_a_badframe() {
+        let mut z = zone(1024);
+        // Poison one frame in the middle, then cycle all memory through the
+        // allocator: the rebuilt free space must stop at the badframe.
+        z.poison(Pfn::new(512));
+        let pages: Vec<_> = (0..1023).map(|_| z.alloc(0).unwrap()).collect();
+        for p in pages {
+            z.free(p, 0);
+        }
+        z.verify_integrity();
+        let runs: Vec<_> = z.frame_table().free_runs().collect();
+        assert_eq!(runs, vec![(Pfn::new(0), 512), (Pfn::new(513), 511)]);
+        // No MAX_ORDER (1024-frame) block can ever re-form across the
+        // badframe, so the contiguity map stays empty.
+        assert!(z.contiguity_map().largest().is_none());
+    }
+
+    #[test]
+    fn alloc_specific_refuses_poisoned_ranges() {
+        let mut z = zone(1024);
+        z.poison(Pfn::new(100));
+        assert_eq!(
+            z.alloc_specific(Pfn::new(100), 0),
+            Err(AllocError::TargetBusy { target: Pfn::new(100) })
+        );
+        // A huge block covering the badframe is busy too.
+        assert_eq!(
+            z.alloc_specific(Pfn::new(0), 9),
+            Err(AllocError::TargetBusy { target: Pfn::new(0) })
+        );
+        assert_eq!(z.counters().targeted_misses, 2);
+        z.verify_integrity();
+    }
+
+    #[test]
+    fn poison_snapshot_round_trips() {
+        let mut z = pcp_zone(1024);
+        z.poison(Pfn::new(17));
+        let held = z.alloc(2).unwrap();
+        z.poison(held.add(1));
+        let snap = z.snapshot();
+        assert_eq!(snap.badframes, vec![17, held.add(1).raw()]);
+        let restored = Zone::from_snapshot(&snap);
+        restored.verify_integrity();
+        assert!(restored.is_poisoned(Pfn::new(17)));
+        assert!(restored.is_poisoned(held.add(1)));
+        assert_eq!(restored.poison_counters(), z.poison_counters());
+        assert_eq!(restored.snapshot(), snap);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use contig_buddy::{ContiguityMap, PcpConfig, Zone, ZoneConfig};
+use contig_buddy::{ContiguityMap, PcpConfig, PoisonDisposition, Zone, ZoneConfig};
 use contig_types::Pfn;
 
 /// An abstract allocator operation the strategy generates.
@@ -229,6 +229,173 @@ proptest! {
         // LIFO free-list order survived: both copies pick identical frames.
         for order in probes {
             prop_assert_eq!(zone.alloc(order), restored.alloc(order));
+        }
+    }
+}
+
+/// An operation for the hwpoison quarantine test: the allocator mix plus
+/// poison strikes (soft-offline of a free frame is a strike on a frame that
+/// happens to be free, so the same op covers both) and pcp traffic.
+#[derive(Clone, Debug)]
+enum PoisonOp {
+    Alloc { order: u32 },
+    AllocSpecific { slot: u64, order: u32 },
+    FreeOldest,
+    FreeNewest,
+    Poison { pfn: u64 },
+    SetCpu { cpu: usize },
+    Drain,
+}
+
+fn poison_op_strategy() -> impl Strategy<Value = PoisonOp> {
+    prop_oneof![
+        (0u32..=4).prop_map(|order| PoisonOp::Alloc { order }),
+        (0u64..1024, 0u32..=4).prop_map(|(slot, order)| PoisonOp::AllocSpecific { slot, order }),
+        Just(PoisonOp::FreeOldest),
+        Just(PoisonOp::FreeNewest),
+        (0u64..1024).prop_map(|pfn| PoisonOp::Poison { pfn }),
+        (0usize..2).prop_map(|cpu| PoisonOp::SetCpu { cpu }),
+        Just(PoisonOp::Drain),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary alloc/free/poison/soft-offline interleavings never hand out
+    /// a poisoned frame, never coalesce a free block across a badframe, and
+    /// keep frame accounting exact (quarantined frames leave the free pool
+    /// permanently; deferred strikes on allocated frames complete on free).
+    #[test]
+    fn quarantine_holds_under_arbitrary_ops(
+        ops in proptest::collection::vec(poison_op_strategy(), 1..150),
+    ) {
+        const FRAMES: u64 = 1024;
+        let mut zone = Zone::new(ZoneConfig::with_frames(FRAMES));
+        zone.enable_pcp(PcpConfig { cpus: 2, batch: 4, high: 8 });
+        let mut live: Vec<(Pfn, u32)> = Vec::new();
+        let mut live_frames = 0u64;
+        let mut quarantined = std::collections::BTreeSet::new();
+        let mut deferred = std::collections::BTreeSet::new();
+        let free_block = |zone: &mut Zone,
+                              live_frames: &mut u64,
+                              quarantined: &mut std::collections::BTreeSet<u64>,
+                              deferred: &mut std::collections::BTreeSet<u64>,
+                              head: Pfn,
+                              order: u32| {
+            zone.free(head, order);
+            *live_frames -= 1 << order;
+            for f in head.raw()..head.raw() + (1 << order) {
+                if deferred.remove(&f) {
+                    quarantined.insert(f);
+                }
+            }
+        };
+        for op in ops {
+            match op {
+                PoisonOp::Alloc { order } => {
+                    if let Ok(head) = zone.alloc(order) {
+                        for f in head.raw()..head.raw() + (1 << order) {
+                            prop_assert!(
+                                !quarantined.contains(&f) && !deferred.contains(&f),
+                                "alloc handed out poisoned frame {f}"
+                            );
+                        }
+                        live.push((head, order));
+                        live_frames += 1 << order;
+                    }
+                }
+                PoisonOp::AllocSpecific { slot, order } => {
+                    let target = Pfn::new((slot << order) % FRAMES);
+                    if target.raw() + (1 << order) > FRAMES {
+                        continue;
+                    }
+                    let poisoned_inside = (target.raw()..target.raw() + (1 << order))
+                        .any(|f| quarantined.contains(&f) || deferred.contains(&f));
+                    if zone.alloc_specific(target, order).is_ok() {
+                        prop_assert!(
+                            !poisoned_inside,
+                            "alloc_specific handed out a block spanning a badframe at {target}"
+                        );
+                        live.push((target, order));
+                        live_frames += 1 << order;
+                    }
+                }
+                PoisonOp::FreeOldest => {
+                    if !live.is_empty() {
+                        let (head, order) = live.remove(0);
+                        free_block(
+                            &mut zone, &mut live_frames, &mut quarantined, &mut deferred,
+                            head, order,
+                        );
+                    }
+                }
+                PoisonOp::FreeNewest => {
+                    if let Some((head, order)) = live.pop() {
+                        free_block(
+                            &mut zone, &mut live_frames, &mut quarantined, &mut deferred,
+                            head, order,
+                        );
+                    }
+                }
+                PoisonOp::Poison { pfn } => {
+                    let target = Pfn::new(pfn % FRAMES);
+                    match zone.poison(target) {
+                        PoisonDisposition::QuarantinedFree
+                        | PoisonDisposition::QuarantinedPcp => {
+                            quarantined.insert(target.raw());
+                        }
+                        PoisonDisposition::Deferred => {
+                            deferred.insert(target.raw());
+                        }
+                        PoisonDisposition::AlreadyPoisoned => {
+                            prop_assert!(
+                                quarantined.contains(&target.raw())
+                                    || deferred.contains(&target.raw())
+                            );
+                        }
+                    }
+                }
+                PoisonOp::SetCpu { cpu } => zone.set_cpu(cpu),
+                PoisonOp::Drain => {
+                    zone.drain_pcp();
+                }
+            }
+            prop_assert_eq!(
+                zone.free_frames(),
+                FRAMES - live_frames - quarantined.len() as u64,
+                "frame accounting drifted"
+            );
+            zone.verify_integrity();
+        }
+        // Teardown: all deferred strikes complete, then no free block may
+        // span a badframe and every badframe is out of the free pool.
+        for (head, order) in std::mem::take(&mut live) {
+            free_block(&mut zone, &mut live_frames, &mut quarantined, &mut deferred, head, order);
+        }
+        zone.drain_pcp();
+        zone.verify_integrity();
+        prop_assert!(deferred.is_empty());
+        prop_assert_eq!(zone.free_frames(), FRAMES - quarantined.len() as u64);
+        prop_assert_eq!(zone.poisoned_frames(), quarantined.len() as u64);
+        let badframes: Vec<u64> = zone.badframes().map(Pfn::raw).collect();
+        prop_assert_eq!(&badframes, &quarantined.iter().copied().collect::<Vec<_>>());
+        for pfn in 0..FRAMES {
+            let p = Pfn::new(pfn);
+            if let contig_buddy::FrameState::FreeHead { order } = zone.frame_table().state(p) {
+                for f in pfn..pfn + (1 << order) {
+                    prop_assert!(
+                        !quarantined.contains(&f),
+                        "free block at {pfn} order {order} coalesced across badframe {f}"
+                    );
+                }
+            }
+        }
+        for &f in &quarantined {
+            let p = Pfn::new(f);
+            prop_assert!(zone.is_poisoned(p));
+            prop_assert!(!zone.is_free(p), "badframe {f} is on a free list");
+            prop_assert!(!zone.pcp_contains(p), "badframe {f} is in a pcp cache");
         }
     }
 }

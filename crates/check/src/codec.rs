@@ -25,17 +25,21 @@ use contig_mm::{
     CacheAllocMode, FaultStatsSnapshot, FileCacheSnapshot, LatencyModel, PageCacheSnapshot,
     ProcessSnapshot, RecoveryConfig, RecoveryStats, SystemSnapshot, VmaSnapshot,
 };
+use contig_buddy::PoisonCounters;
+use contig_mm::PoisonStats;
 use contig_tlb::{CacheSnapshot, TlbSnapshot};
-use contig_types::{FailMode, FailPolicy, Pfn};
+use contig_types::{FailMode, FailPolicy, Pfn, PoisonMode, PoisonPolicy};
 use contig_virt::VmSnapshot;
 
 use crate::digest::fnv1a64;
 use crate::json::{parse, Json};
 
 /// Current snapshot file format version. Version 2 added the optional
-/// per-zone `pcp` member (per-CPU frame caches); version-1 files, which
-/// predate the field, still decode (`pcp` absent means the layer is off).
-pub const SNAPSHOT_VERSION: i128 = 2;
+/// per-zone `pcp` member (per-CPU frame caches); version 3 added the
+/// memory-failure state (per-zone `badframes` + `poison` counters, and the
+/// system-level `poison_policy` + `poison_stats`). Files from either older
+/// version still decode: the absent members mean "no poison, no pcp".
+pub const SNAPSHOT_VERSION: i128 = 3;
 /// Oldest snapshot file format version this decoder still accepts.
 pub const SNAPSHOT_MIN_VERSION: i128 = 1;
 /// `format` tag of snapshot files.
@@ -149,9 +153,96 @@ fn fail_policy_from_json(v: &Json) -> DecodeResult<FailPolicy> {
     ))
 }
 
+fn poison_mode_to_json(mode: PoisonMode) -> Json {
+    match mode {
+        PoisonMode::Never => obj(vec![("kind", Json::Str("never".into()))]),
+        PoisonMode::Nth { n } => {
+            obj(vec![("kind", Json::Str("nth".into())), ("n", Json::num(n))])
+        }
+        PoisonMode::EveryNth { n } => {
+            obj(vec![("kind", Json::Str("every_nth".into())), ("n", Json::num(n))])
+        }
+        PoisonMode::Address { pfn, n } => obj(vec![
+            ("kind", Json::Str("address".into())),
+            ("pfn", Json::num(pfn.raw())),
+            ("n", Json::num(n)),
+        ]),
+        PoisonMode::Probability { rate_ppm, seed } => obj(vec![
+            ("kind", Json::Str("probability".into())),
+            ("rate_ppm", Json::num(rate_ppm)),
+            ("seed", Json::num(seed)),
+        ]),
+    }
+}
+
+fn poison_mode_from_json(v: &Json) -> DecodeResult<PoisonMode> {
+    let kind = field(v, "kind")?.as_str().ok_or("poison mode kind is not a string")?;
+    match kind {
+        "never" => Ok(PoisonMode::Never),
+        "nth" => Ok(PoisonMode::Nth { n: get_u64(v, "n")? }),
+        "every_nth" => Ok(PoisonMode::EveryNth { n: get_u64(v, "n")? }),
+        "address" => Ok(PoisonMode::Address {
+            pfn: Pfn::new(get_u64(v, "pfn")?),
+            n: get_u64(v, "n")?,
+        }),
+        "probability" => Ok(PoisonMode::Probability {
+            rate_ppm: get_u32(v, "rate_ppm")?,
+            seed: get_u64(v, "seed")?,
+        }),
+        other => Err(format!("unknown poison mode `{other}`")),
+    }
+}
+
+fn poison_policy_to_json(p: &PoisonPolicy) -> Json {
+    obj(vec![
+        ("mode", poison_mode_to_json(p.mode())),
+        ("checks", Json::num(p.checks())),
+        ("events", Json::num(p.events())),
+        ("rng_state", Json::num(p.rng_state())),
+    ])
+}
+
+fn poison_policy_from_json(v: &Json) -> DecodeResult<PoisonPolicy> {
+    Ok(PoisonPolicy::restore(
+        poison_mode_from_json(field(v, "mode")?)?,
+        get_u64(v, "checks")?,
+        get_u64(v, "events")?,
+        get_u64(v, "rng_state")?,
+    ))
+}
+
 // ---------------------------------------------------------------------------
 // contig-buddy: zones and machine
 // ---------------------------------------------------------------------------
+
+/// Field order of the [`PoisonCounters`] array encoding.
+const POISON_COUNTER_FIELDS: usize = 5;
+
+fn poison_counters_to_json(c: &PoisonCounters) -> Json {
+    let counters = [
+        c.poisoned,
+        c.quarantined_free,
+        c.quarantined_pcp,
+        c.deferred,
+        c.quarantined_on_free,
+    ];
+    Json::Arr(counters.iter().map(|&c| Json::num(c)).collect())
+}
+
+fn poison_counters_from_json(v: &Json) -> DecodeResult<PoisonCounters> {
+    let raw = v.as_arr().ok_or("poison counters is not an array")?;
+    if raw.len() != POISON_COUNTER_FIELDS {
+        return Err(format!("poison counters must have {POISON_COUNTER_FIELDS} entries"));
+    }
+    let c = |i: usize| as_u64(&raw[i], "poison counter");
+    Ok(PoisonCounters {
+        poisoned: c(0)?,
+        quarantined_free: c(1)?,
+        quarantined_pcp: c(2)?,
+        deferred: c(3)?,
+        quarantined_on_free: c(4)?,
+    })
+}
 
 fn zone_to_json(z: &ZoneSnapshot) -> Json {
     obj(vec![
@@ -203,6 +294,8 @@ fn zone_to_json(z: &ZoneSnapshot) -> Json {
                 None => Json::Null,
             },
         ),
+        ("badframes", Json::Arr(z.badframes.iter().map(|&f| Json::num(f)).collect())),
+        ("poison", poison_counters_to_json(&z.poison)),
     ])
 }
 
@@ -321,6 +414,20 @@ fn zone_from_json(v: &Json) -> DecodeResult<ZoneSnapshot> {
         pcp: match v.get("pcp") {
             None | Some(Json::Null) => None,
             Some(other) => Some(pcp_from_json(other)?),
+        },
+        // Absent before version 3: no hwpoison, so no quarantined frames.
+        badframes: match v.get("badframes") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(other) => other
+                .as_arr()
+                .ok_or_else(|| "badframes is not an array".to_string())?
+                .iter()
+                .map(|f| as_u64(f, "badframe"))
+                .collect::<DecodeResult<_>>()?,
+        },
+        poison: match v.get("poison") {
+            None | Some(Json::Null) => PoisonCounters::default(),
+            Some(other) => poison_counters_from_json(other)?,
         },
     })
 }
@@ -583,6 +690,41 @@ fn recovery_config_from_json(v: &Json) -> DecodeResult<RecoveryConfig> {
     })
 }
 
+/// Field order of the [`PoisonStats`] counter array encoding.
+const POISON_STAT_FIELDS: usize = 8;
+
+fn poison_stats_to_json(s: &PoisonStats) -> Json {
+    let counters = [
+        s.strikes,
+        s.healed,
+        s.healed_frames,
+        s.heal_failed,
+        s.sigbus,
+        s.cache_dropped,
+        s.soft_offline_ok,
+        s.soft_offline_failed,
+    ];
+    Json::Arr(counters.iter().map(|&c| Json::num(c)).collect())
+}
+
+fn poison_stats_from_json(v: &Json) -> DecodeResult<PoisonStats> {
+    let raw = v.as_arr().ok_or("poison stats is not an array")?;
+    if raw.len() != POISON_STAT_FIELDS {
+        return Err(format!("poison stats must have {POISON_STAT_FIELDS} entries"));
+    }
+    let c = |i: usize| as_u64(&raw[i], "poison stat");
+    Ok(PoisonStats {
+        strikes: c(0)?,
+        healed: c(1)?,
+        healed_frames: c(2)?,
+        heal_failed: c(3)?,
+        sigbus: c(4)?,
+        cache_dropped: c(5)?,
+        soft_offline_ok: c(6)?,
+        soft_offline_failed: c(7)?,
+    })
+}
+
 /// Field order of the [`RecoveryStats`] counter array encoding.
 const RECOVERY_STAT_FIELDS: usize = 15;
 
@@ -655,6 +797,8 @@ pub fn system_to_json(s: &SystemSnapshot) -> Json {
         ("recovery", recovery_config_to_json(&s.recovery)),
         ("recovery_stats", recovery_stats_to_json(&s.recovery_stats)),
         ("backoff_rng", Json::num(s.backoff_rng)),
+        ("poison_policy", poison_policy_to_json(&s.poison_policy)),
+        ("poison_stats", poison_stats_to_json(&s.poison_stats)),
     ])
 }
 
@@ -692,6 +836,15 @@ pub fn system_from_json(v: &Json) -> DecodeResult<SystemSnapshot> {
         recovery: recovery_config_from_json(field(v, "recovery")?)?,
         recovery_stats: recovery_stats_from_json(field(v, "recovery_stats")?)?,
         backoff_rng: get_u64(v, "backoff_rng")?,
+        // Absent before version 3: poison injection did not exist.
+        poison_policy: match v.get("poison_policy") {
+            None | Some(Json::Null) => PoisonPolicy::never(),
+            Some(other) => poison_policy_from_json(other)?,
+        },
+        poison_stats: match v.get("poison_stats") {
+            None | Some(Json::Null) => PoisonStats::default(),
+            Some(other) => poison_stats_from_json(other)?,
+        },
     })
 }
 

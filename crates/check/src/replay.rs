@@ -61,6 +61,23 @@ fn op_to_json(op: &TortureOp) -> Json {
             ("seed", Json::num(seed)),
         ]),
         TortureOp::ClearFaults => obj(vec![("op", Json::Str("clear_faults".into()))]),
+        TortureOp::PoisonFrame { host, sel } => obj(vec![
+            ("op", Json::Str("poison_frame".into())),
+            ("host", Json::Bool(host)),
+            ("sel", Json::num(sel)),
+        ]),
+        TortureOp::SoftOffline { host, sel } => obj(vec![
+            ("op", Json::Str("soft_offline".into())),
+            ("host", Json::Bool(host)),
+            ("sel", Json::num(sel)),
+        ]),
+        TortureOp::SetPoison { host, rate_ppm, seed } => obj(vec![
+            ("op", Json::Str("set_poison".into())),
+            ("host", Json::Bool(host)),
+            ("rate_ppm", Json::num(rate_ppm)),
+            ("seed", Json::num(seed)),
+        ]),
+        TortureOp::ClearPoison => obj(vec![("op", Json::Str("clear_poison".into()))]),
     }
 }
 
@@ -98,6 +115,19 @@ fn op_from_json(v: &Json) -> Result<TortureOp, String> {
             seed: get_u64(v, "seed")?,
         },
         "clear_faults" => TortureOp::ClearFaults,
+        "poison_frame" => {
+            TortureOp::PoisonFrame { host: get_bool(v, "host")?, sel: get_u64(v, "sel")? }
+        }
+        "soft_offline" => {
+            TortureOp::SoftOffline { host: get_bool(v, "host")?, sel: get_u64(v, "sel")? }
+        }
+        "set_poison" => TortureOp::SetPoison {
+            host: get_bool(v, "host")?,
+            rate_ppm: u32::try_from(get_u64(v, "rate_ppm")?)
+                .map_err(|_| "rate_ppm out of range")?,
+            seed: get_u64(v, "seed")?,
+        },
+        "clear_poison" => TortureOp::ClearPoison,
         other => return Err(format!("unknown op `{other}`")),
     })
 }
@@ -123,6 +153,8 @@ pub fn encode_repro(cfg: &TortureConfig, ops: &[TortureOp]) -> String {
             },
         ),
         ("inject_model_bug", Json::Bool(cfg.inject_model_bug)),
+        ("poison", Json::Bool(cfg.poison)),
+        ("pcp", Json::Bool(cfg.pcp)),
     ]);
     let mut out = header.to_line();
     out.push('\n');
@@ -175,6 +207,10 @@ pub fn decode_repro(text: &str) -> Result<(TortureConfig, Vec<TortureOp>), Strin
             ),
         },
         inject_model_bug: get_bool(&header, "inject_model_bug")?,
+        // Absent in repro files written before the hwpoison subsystem:
+        // default off so old artifacts replay byte-identically.
+        poison: header.get("poison").and_then(Json::as_bool).unwrap_or(false),
+        pcp: header.get("pcp").and_then(Json::as_bool).unwrap_or(false),
     };
     let mut ops = Vec::new();
     for line in lines {
@@ -231,6 +267,10 @@ mod tests {
             TortureOp::ExitProc { sel: 11 },
             TortureOp::SetFaults { host: true, rate_ppm: 12, seed: 13 },
             TortureOp::ClearFaults,
+            TortureOp::PoisonFrame { host: false, sel: 14 },
+            TortureOp::SoftOffline { host: true, sel: 15 },
+            TortureOp::SetPoison { host: false, rate_ppm: 16, seed: 17 },
+            TortureOp::ClearPoison,
         ];
         let text = encode_repro(&cfg, &ops);
         let (cfg2, ops2) = decode_repro(&text).unwrap();

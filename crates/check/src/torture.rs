@@ -32,8 +32,12 @@
 use std::collections::BTreeMap;
 
 use contig_audit::audit_vm;
-use contig_mm::{DefaultThpPolicy, Pid, PteFlags, VmaId, VmaKind};
-use contig_types::{splitmix64, FailMode, FailPolicy, VirtAddr, VirtRange};
+use contig_buddy::PcpConfig;
+use contig_mm::{DefaultThpPolicy, FailureAction, Pid, PoisonStats, PteFlags, VmaId, VmaKind};
+use contig_trace::TraceSession;
+use contig_types::{
+    splitmix64, FailMode, FailPolicy, Pfn, PoisonMode, PoisonPolicy, VirtAddr, VirtRange,
+};
 use contig_virt::{VirtualMachine, VmConfig, VmSnapshot};
 
 use crate::digest::digest_vm;
@@ -52,6 +56,9 @@ const MAX_ANON_PAGES: u64 = 128;
 const MAX_FILE_PAGES: u64 = 64;
 /// Injected failure probability cap (ppm) so runs keep making progress.
 const MAX_FAULT_PPM: u32 = 150_000;
+/// Poison-storm probability cap (ppm per op boundary). Quarantined frames
+/// never come back, so the rate must keep a long run from eating the machine.
+const MAX_POISON_PPM: u32 = 2_000;
 
 /// One generated operation against the stack.
 ///
@@ -113,6 +120,35 @@ pub enum TortureOp {
     },
     /// Disarm fault injection on both dimensions.
     ClearFaults,
+    /// Strike one frame with an uncorrectable memory error. Host-dimension
+    /// strikes run the full hypervisor path (guest MCE delivery plus
+    /// self-healing re-backing); guest-dimension strikes run the guest
+    /// kernel's recovery (heal, kill, cache drop, quarantine).
+    PoisonFrame {
+        /// `true` = host physical frame, `false` = guest physical frame.
+        host: bool,
+        /// Frame selector, taken modulo the dimension's frame count.
+        sel: u64,
+    },
+    /// Proactively soft-offline a suspect frame (migrate away, never kill).
+    SoftOffline {
+        /// `true` = host physical frame, `false` = guest physical frame.
+        host: bool,
+        /// Frame selector, taken modulo the dimension's frame count.
+        sel: u64,
+    },
+    /// Arm a probabilistic poison storm on one dimension, consulted at every
+    /// op boundary.
+    SetPoison {
+        /// `true` = host dimension, `false` = guest dimension.
+        host: bool,
+        /// Strike probability in ppm (clamped to a memory-preserving cap).
+        rate_ppm: u32,
+        /// Storm RNG seed.
+        seed: u64,
+    },
+    /// Disarm poison injection on both dimensions.
+    ClearPoison,
 }
 
 /// Configuration of one torture run.
@@ -128,6 +164,12 @@ pub struct TortureConfig {
     pub host_mib: u64,
     /// Whether the generator emits fault-injection toggles.
     pub faults: bool,
+    /// Whether the generator emits memory-failure ops (strikes, storms,
+    /// soft-offlines). Off by default so poison-free op streams stay
+    /// bit-identical to pre-poison builds.
+    pub poison: bool,
+    /// Enable per-CPU frame caches in both dimensions.
+    pub pcp: bool,
     /// Run the oracle sweep every this many ops.
     pub sweep_interval: usize,
     /// Run the cross-layer auditor every this many ops.
@@ -150,6 +192,8 @@ impl Default for TortureConfig {
             guest_mib: 16,
             host_mib: 64,
             faults: true,
+            poison: false,
+            pcp: false,
             sweep_interval: 32,
             audit_interval: 128,
             snapshot_interval: 64,
@@ -243,6 +287,26 @@ pub struct TortureReport {
     pub audits: u64,
     /// Simulated crashes recovered and verified.
     pub crash_checks: u64,
+    /// Guest-dimension memory-failure counters at run end.
+    pub guest_poison: PoisonStats,
+    /// Host-dimension memory-failure counters at run end.
+    pub host_poison: PoisonStats,
+    /// Frames quarantined across both dimensions at run end.
+    pub poisoned_frames: u64,
+    /// Machine-checks delivered to guest mappings by host-dimension strikes.
+    pub guest_mces: u64,
+    /// Whether `poison.*` trace probes were live for this run (they are
+    /// attached whenever [`TortureConfig::poison`] is set and the `probes`
+    /// feature is compiled in).
+    pub trace_enabled: bool,
+    /// Whole-run `poison.event` trace total (0 unless `trace_enabled`).
+    pub trace_strikes: u64,
+    /// Whole-run `poison.heal` trace total.
+    pub trace_heals: u64,
+    /// Whole-run `poison.heal_failed` trace total.
+    pub trace_heal_failures: u64,
+    /// Whole-run `poison.sigbus` trace total.
+    pub trace_sigbus: u64,
     /// Digest of the final state.
     pub final_digest: u64,
     /// First failure detected, if any. Checking stops at the first failure
@@ -294,12 +358,16 @@ struct Exec {
 
 impl Exec {
     fn new(cfg: &TortureConfig) -> Self {
+        let mut vm = VirtualMachine::new(
+            VmConfig::with_mib(cfg.guest_mib, cfg.host_mib),
+            Box::new(DefaultThpPolicy),
+            Box::new(DefaultThpPolicy),
+        );
+        if cfg.pcp {
+            vm.enable_pcp(PcpConfig::with_cpus(1));
+        }
         Self {
-            vm: VirtualMachine::new(
-                VmConfig::with_mib(cfg.guest_mib, cfg.host_mib),
-                Box::new(DefaultThpPolicy),
-                Box::new(DefaultThpPolicy),
-            ),
+            vm,
             st: RunnerState::default(),
             inject_model_bug: cfg.inject_model_bug,
             report: TortureReport::default(),
@@ -507,6 +575,63 @@ impl Exec {
                 self.vm.guest_mut().clear_fail_policy();
                 self.vm.host_mut().clear_fail_policy();
             }
+            TortureOp::PoisonFrame { host, sel } => {
+                if host {
+                    let pfn = Pfn::new(sel % self.vm.host().machine().total_frames());
+                    let rep = self.vm.poison_host_frame(pfn);
+                    self.report.guest_mces += rep.guest_mces.len() as u64;
+                } else {
+                    let pfn = Pfn::new(sel % self.vm.guest().machine().total_frames());
+                    let out = self.vm.guest_mut().memory_failure(pfn);
+                    self.learn_guest_strike(out.action);
+                }
+            }
+            TortureOp::SoftOffline { host, sel } => {
+                if host {
+                    let pfn = Pfn::new(sel % self.vm.host().machine().total_frames());
+                    self.vm.host_mut().soft_offline(pfn);
+                } else {
+                    // Guest soft-offline migrates mappings in place (same va,
+                    // same permissions), so the oracle needs no re-sync.
+                    let pfn = Pfn::new(sel % self.vm.guest().machine().total_frames());
+                    self.vm.guest_mut().soft_offline(pfn);
+                }
+            }
+            TortureOp::SetPoison { host, rate_ppm, seed } => {
+                let policy = PoisonPolicy::new(PoisonMode::Probability {
+                    rate_ppm: rate_ppm % MAX_POISON_PPM,
+                    seed,
+                });
+                if host {
+                    self.vm.host_mut().set_poison_policy(policy);
+                } else {
+                    self.vm.guest_mut().set_poison_policy(policy);
+                }
+            }
+            TortureOp::ClearPoison => {
+                self.vm.guest_mut().clear_poison_policy();
+                self.vm.host_mut().clear_poison_policy();
+            }
+        }
+        // Op boundaries are the well-defined strike points of an armed poison
+        // storm (free when no policy is armed, which is the default).
+        if let Some(rep) = self.vm.poison_tick() {
+            self.report.guest_mces += rep.guest_mces.len() as u64;
+        }
+        if let Some(out) = self.vm.guest_mut().poison_tick() {
+            self.learn_guest_strike(out.action);
+        }
+    }
+
+    /// Re-syncs the oracle after a guest-dimension strike that may have torn
+    /// mappings down (kill, cache drop). Heals and quarantines change no
+    /// guest-visible translation, so the model already agrees.
+    fn learn_guest_strike(&mut self, action: FailureAction) {
+        if matches!(action, FailureAction::Killed | FailureAction::CacheDropped) {
+            let pids = self.st.pids.clone();
+            for pid in pids {
+                self.sync_pid(pid);
+            }
         }
     }
 
@@ -604,6 +729,20 @@ pub fn generate_ops(cfg: &TortureConfig) -> Vec<TortureOp> {
         let a = splitmix64(&mut rng);
         let b = splitmix64(&mut rng);
         let op = match roll {
+            // With poison enabled, carve strike/storm ops out of the
+            // touch-heavy band; poison-free streams are untouched.
+            0..=1 if cfg.poison => {
+                TortureOp::PoisonFrame { host: a.is_multiple_of(2), sel: b }
+            }
+            2..=3 if cfg.poison => {
+                TortureOp::SoftOffline { host: a.is_multiple_of(2), sel: b }
+            }
+            4 if cfg.poison => TortureOp::SetPoison {
+                host: a.is_multiple_of(2),
+                rate_ppm: (b % u64::from(MAX_POISON_PPM)) as u32,
+                seed: a,
+            },
+            5 if cfg.poison => TortureOp::ClearPoison,
             0..=29 => TortureOp::Touch { sel: a, page: b },
             30..=49 => TortureOp::TouchWrite { sel: a, page: b },
             50..=61 => TortureOp::MapAnon { sel: a, pages: b },
@@ -631,6 +770,17 @@ pub fn generate_ops(cfg: &TortureConfig) -> Vec<TortureOp> {
 /// is the generate-then-run convenience wrapper.
 pub fn run_ops(cfg: &TortureConfig, ops: &[TortureOp]) -> TortureReport {
     let mut exec = Exec::new(cfg);
+    // With poison on, watch the `poison.*` probes so the report can prove
+    // trace totals equal the stats ledgers. The ring is kept small — only
+    // the metrics registry (exact whole-run counters) is read back. Crash
+    // replays run untraced, so replayed strikes never double-count.
+    let session = if cfg.poison {
+        let session = TraceSession::ring(1024);
+        exec.vm.set_tracer(session.tracer());
+        Some(session)
+    } else {
+        None
+    };
     let mut checkpoint = (exec.vm.snapshot(), exec.st.clone(), 0usize);
     for (i, op) in ops.iter().enumerate() {
         exec.apply(op);
@@ -669,6 +819,24 @@ pub fn run_ops(cfg: &TortureConfig, ops: &[TortureOp]) -> TortureReport {
     exec.report.final_digest = digest_vm(&final_snap);
     exec.report.oom_events =
         final_snap.guest.recovery_stats.oom_events + final_snap.host.recovery_stats.oom_events;
+    exec.report.guest_poison = final_snap.guest.poison_stats;
+    exec.report.host_poison = final_snap.host.poison_stats;
+    exec.report.poisoned_frames = final_snap
+        .guest
+        .machine
+        .zones
+        .iter()
+        .chain(final_snap.host.machine.zones.iter())
+        .map(|z| z.badframes.len() as u64)
+        .sum();
+    if let Some(session) = session {
+        exec.report.trace_enabled = session.tracer().is_enabled();
+        let metrics = session.metrics();
+        exec.report.trace_strikes = metrics.counter("poison.event");
+        exec.report.trace_heals = metrics.counter("poison.heal");
+        exec.report.trace_heal_failures = metrics.counter("poison.heal_failed");
+        exec.report.trace_sigbus = metrics.counter("poison.sigbus");
+    }
     exec.report
 }
 
@@ -762,6 +930,69 @@ mod tests {
                 assert!(detail.contains("exited pid"), "unexpected detail: {detail}");
             }
             other => panic!("expected oracle divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poison_torture_is_deterministic_across_runs_and_crashes() {
+        let cfg = TortureConfig {
+            poison: true,
+            pcp: true,
+            ..TortureConfig::with_seed_and_ops(11, 800)
+        };
+        let a = run_torture(&cfg);
+        let b = run_torture(&cfg);
+        assert!(a.is_ok(), "{:?}", a.failure);
+        assert_eq!(a.final_digest, b.final_digest);
+        assert_eq!(a.poisoned_frames, b.poisoned_frames);
+        assert!(a.crash_checks > 0, "crash recovery must run under poison");
+        assert!(
+            a.guest_poison.strikes + a.host_poison.strikes > 0,
+            "the generator never struck"
+        );
+    }
+
+    #[test]
+    fn acceptance_poison_storm_10k_ops_nested_vm_with_pcp() {
+        // The PR's acceptance bar: a seeded 10 000-op poison storm against
+        // the nested stack with per-CPU caches enabled completes with a
+        // clean `audit_vm` (no poisoned frame free, pcp-cached, mapped, or
+        // composed into a guest translation — i.e. no allocation path ever
+        // handed a quarantined frame back out) and with every `poison.*`
+        // stats ledger exactly equal to its trace total.
+        let cfg = TortureConfig {
+            poison: true,
+            pcp: true,
+            sweep_interval: 256,
+            audit_interval: 512,
+            snapshot_interval: 256,
+            crash_interval: Some(509),
+            ..TortureConfig::with_seed_and_ops(2020, 10_000)
+        };
+        let report = run_torture(&cfg);
+        assert!(report.is_ok(), "{:?}", report.failure);
+        assert_eq!(report.ops_executed, 10_000);
+        let strikes = report.guest_poison.strikes + report.host_poison.strikes;
+        assert!(strikes > 0, "the storm never struck");
+        assert!(report.poisoned_frames > 0, "no frame was ever quarantined");
+        assert!(
+            report.guest_poison.healed + report.host_poison.healed > 0,
+            "migrate-and-heal never exercised"
+        );
+        if report.trace_enabled {
+            assert_eq!(report.trace_strikes, strikes);
+            assert_eq!(
+                report.trace_heals,
+                report.guest_poison.healed + report.host_poison.healed
+            );
+            assert_eq!(
+                report.trace_heal_failures,
+                report.guest_poison.heal_failed + report.host_poison.heal_failed
+            );
+            assert_eq!(
+                report.trace_sigbus,
+                report.guest_poison.sigbus + report.host_poison.sigbus
+            );
         }
     }
 

@@ -99,6 +99,36 @@ pub enum AuditViolation {
         /// Free frames the zone's counter reports.
         recorded: u64,
     },
+    /// A quarantined (hwpoisoned) frame is still referenced by a PTE —
+    /// recovery left a mapping pointing at dead memory.
+    PoisonedFrameMapped {
+        /// Owning process.
+        pid: Pid,
+        /// Virtual address of the poisoned base page.
+        va: VirtAddr,
+        /// The poisoned frame.
+        pfn: Pfn,
+    },
+    /// A quarantined frame still backs a page-cache slot.
+    PoisonedFrameCached {
+        /// Owning file.
+        file: FileId,
+        /// Page index within the file.
+        index: u64,
+        /// The poisoned frame.
+        pfn: Pfn,
+    },
+    /// A quarantined frame sits on the buddy free lists — it could be
+    /// handed out again.
+    PoisonedFrameFree {
+        /// The poisoned frame.
+        pfn: Pfn,
+    },
+    /// A quarantined frame hides in a per-CPU cache list.
+    PoisonedFrameInPcp {
+        /// The poisoned frame.
+        pfn: Pfn,
+    },
 }
 
 impl fmt::Display for AuditViolation {
@@ -132,6 +162,18 @@ impl fmt::Display for AuditViolation {
                 f,
                 "zone at {zone_base}: frame table counts {counted} free, zone reports {recorded}"
             ),
+            Self::PoisonedFrameMapped { pid, va, pfn } => {
+                write!(f, "pid {} maps poisoned frame {pfn} at {va}", pid.0)
+            }
+            Self::PoisonedFrameCached { file, index, pfn } => {
+                write!(f, "cache page {}:{index} backed by poisoned frame {pfn}", file.0)
+            }
+            Self::PoisonedFrameFree { pfn } => {
+                write!(f, "poisoned frame {pfn} is on the free lists")
+            }
+            Self::PoisonedFrameInPcp { pfn } => {
+                write!(f, "poisoned frame {pfn} is parked in a per-CPU cache")
+            }
         }
     }
 }
@@ -211,6 +253,13 @@ impl System {
                         pfn,
                     });
                 }
+                if self.machine.is_poisoned(pfn) {
+                    report.violations.push(AuditViolation::PoisonedFrameCached {
+                        file,
+                        index,
+                        pfn,
+                    });
+                }
                 if cache_frames.insert(pfn, (file, index)).is_some() {
                     report.violations.push(AuditViolation::CacheAliased { file, index, pfn });
                 }
@@ -234,6 +283,11 @@ impl System {
             if self.machine.is_free(pfn) {
                 for &(pid, va, _) in refs {
                     report.violations.push(AuditViolation::MappedFrameFree { pid, va, pfn });
+                }
+            }
+            if self.machine.is_poisoned(pfn) {
+                for &(pid, va, _) in refs {
+                    report.violations.push(AuditViolation::PoisonedFrameMapped { pid, va, pfn });
                 }
             }
             if refs.len() > 1 {
@@ -294,6 +348,19 @@ impl System {
                     recorded,
                     observed,
                 });
+            }
+        }
+
+        // Quarantine is airtight: no poisoned frame may be free or hide in a
+        // per-CPU cache (mapped/cached poisoned frames were caught above).
+        for zone in self.machine.iter_zones() {
+            for pfn in zone.badframes() {
+                if zone.is_free(pfn) {
+                    report.violations.push(AuditViolation::PoisonedFrameFree { pfn });
+                }
+                if zone.pcp_contains(pfn) {
+                    report.violations.push(AuditViolation::PoisonedFrameInPcp { pfn });
+                }
             }
         }
 

@@ -35,6 +35,7 @@ mod audit;
 mod extract;
 mod page_cache;
 mod page_table;
+mod poison;
 mod policy;
 mod pte;
 mod recovery;
@@ -48,6 +49,7 @@ pub use audit::{AuditReport, AuditViolation};
 pub use extract::{compose_mappings, contiguous_mappings};
 pub use page_cache::{CacheAllocMode, FileCacheSnapshot, FileId, PageCache, PageCacheSnapshot};
 pub use page_table::{MappedPage, PageTable, Translation, ENTRIES_PER_TABLE, LEVELS, LEVELS_LA57};
+pub use poison::{FailureAction, MemoryFailureOutcome, PoisonStats};
 pub use policy::{BasePagesPolicy, DefaultThpPolicy, FaultCtx, FaultKind, Placement, PlacementPolicy};
 pub use pte::{Pte, PteFlags};
 pub use recovery::{CompactOutcome, RecoveryConfig, RecoveryStats};

@@ -1,0 +1,644 @@
+//! Memory-failure (hwpoison) recovery: migrate-and-heal, SIGBUS delivery,
+//! and proactive soft-offlining.
+//!
+//! When a hardware strike destroys a frame ([`System::memory_failure`]), the
+//! buddy layer quarantines it instantly if it was free or pcp-cached. For a
+//! frame in use the mm layer decides, like the kernel's `memory-failure.c`:
+//!
+//! - a page-cache page is dropped (its content is re-readable from backing
+//!   store): every FILE PTE is unmapped, the cache slot evicted, and the
+//!   frame diverted to quarantine on its way back to the buddy heap;
+//! - a singly-mapped anonymous page is *healed by migration*: a replacement
+//!   block is allocated (leaning on the OOM recovery escalation under
+//!   pressure), the contents copied, the PTE remapped with a TLB shootdown,
+//!   and the stricken block freed — the poisoned frame lands in quarantine,
+//!   its healthy neighbours return to the free lists;
+//! - a COW-shared or multiply-referenced page is unrecoverable (the copy
+//!   could be stale): every mapping is torn down and each owner receives a
+//!   typed [`FaultError::MemoryFailure`] — the SIGBUS equivalent — carrying
+//!   pid, VMA, and the exact faulting address;
+//! - a raw allocation with no references (pinned memory, fragmenter hogs)
+//!   stays deferred: quarantine completes when the owner frees the block.
+//!
+//! [`System::soft_offline`] is the proactive variant: migrate a *suspect*
+//! frame away before it fails, never killing anything — an unmovable page
+//! simply stays put.
+//!
+//! Every [`PoisonStats`] bump pairs with exactly one `poison.*` trace
+//! emission (the zone emits `poison.quarantine` for `cache_dropped`'s
+//! eviction), so trace totals equal stats totals — the invariant the torture
+//! harness asserts after a poison storm.
+
+use contig_buddy::PoisonDisposition;
+use contig_trace::TraceEvent;
+use contig_types::{ContigError, FaultError, PageSize, Pfn, PoisonPolicy, VirtAddr};
+
+use crate::page_cache::FileId;
+use crate::pte::{Pte, PteFlags};
+use crate::system::{Pid, System};
+
+/// Cumulative memory-failure counters. All monotonic and exact under a fixed
+/// seed, like [`crate::RecoveryStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoisonStats {
+    /// Strikes processed by [`System::memory_failure`] (↔ `poison.event`).
+    pub strikes: u64,
+    /// Mapped pages healed by migration (↔ `poison.heal`).
+    pub healed: u64,
+    /// Base frames copied by successful heals (the `frames` field summed
+    /// over `poison.heal` emissions).
+    pub healed_frames: u64,
+    /// Heal attempts that failed to allocate a replacement even after the
+    /// recovery escalation (↔ `poison.heal_failed`); the page was killed.
+    pub heal_failed: u64,
+    /// SIGBUS-equivalent [`FaultError::MemoryFailure`] deliveries, one per
+    /// torn-down mapping (↔ `poison.sigbus`).
+    pub sigbus: u64,
+    /// Page-cache pages dropped because their frame was stricken (↔ the
+    /// zone's `poison.quarantine` at eviction time).
+    pub cache_dropped: u64,
+    /// Soft-offline requests that quarantined or migrated the frame
+    /// (↔ `poison.soft_offline`).
+    pub soft_offline_ok: u64,
+    /// Soft-offline requests refused — the frame was unmovable or no
+    /// replacement could be found (↔ `poison.soft_offline`).
+    pub soft_offline_failed: u64,
+}
+
+/// What [`System::memory_failure`] did about one strike.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureAction {
+    /// The frame was already quarantined; the strike was absorbed.
+    AlreadyPoisoned,
+    /// The frame was free or pcp-cached: quarantined instantly, no user
+    /// impact.
+    Quarantined,
+    /// A page-cache page: mappings unmapped, slot evicted, frame
+    /// quarantined. Readable again from backing store on the next fault.
+    CacheDropped,
+    /// A mapped page healed by migration onto `replacement`; the owner never
+    /// notices.
+    Healed {
+        /// Head frame of the replacement block.
+        replacement: Pfn,
+    },
+    /// Unrecoverable: mappings torn down, owners killed with
+    /// [`FaultError::MemoryFailure`].
+    Killed,
+    /// An unreferenced raw allocation: quarantine completes when the owner
+    /// frees the block.
+    Deferred,
+}
+
+/// Result of one [`System::memory_failure`] strike.
+#[derive(Clone, Debug)]
+pub struct MemoryFailureOutcome {
+    /// The stricken frame.
+    pub pfn: Pfn,
+    /// What the recovery path did.
+    pub action: FailureAction,
+    /// One SIGBUS-equivalent error per mapping torn down (empty unless
+    /// `action` is [`FailureAction::Killed`]), each carrying pid, VMA, and
+    /// the exact poisoned address.
+    pub victims: Vec<ContigError>,
+}
+
+/// One mapping referencing a stricken block:
+/// `(pid, head va, size, flags, head pfn)`.
+type FrameRef = (Pid, VirtAddr, PageSize, PteFlags, Pfn);
+
+impl System {
+    /// Installs a memory-failure injection policy, consulted by
+    /// [`System::poison_tick`].
+    pub fn set_poison_policy(&mut self, policy: PoisonPolicy) {
+        self.poison_policy = policy;
+    }
+
+    /// Removes poison injection (the default).
+    pub fn clear_poison_policy(&mut self) {
+        self.poison_policy = PoisonPolicy::never();
+    }
+
+    /// The poison-injection policy in force.
+    pub fn poison_policy(&self) -> &PoisonPolicy {
+        &self.poison_policy
+    }
+
+    /// Cumulative memory-failure counters.
+    pub fn poison_stats(&self) -> &PoisonStats {
+        &self.poison_stats
+    }
+
+    /// Consults the poison policy once; if it fires, a victim frame is drawn
+    /// from the policy's deterministic stream (or taken from
+    /// [`PoisonMode::Address`](contig_types::PoisonMode::Address)) and
+    /// [`System::memory_failure`] runs on it. The explicit tick keeps strike
+    /// points well-defined — op boundaries in the torture harness — so
+    /// poison-free runs stay bit-identical to pre-poison builds.
+    pub fn poison_tick(&mut self) -> Option<MemoryFailureOutcome> {
+        let pfn = self.poison_draw()?;
+        Some(self.memory_failure(pfn))
+    }
+
+    /// Consults the poison policy once and returns the victim frame if it
+    /// fires, *without* striking it. Virtualization layers use this to route
+    /// the strike through their own handler (guest MCE delivery, re-backing)
+    /// instead of the bare [`System::memory_failure`].
+    pub fn poison_draw(&mut self) -> Option<Pfn> {
+        if !self.poison_policy.is_armed() || !self.poison_policy.should_poison() {
+            return None;
+        }
+        Some(match self.poison_policy.target() {
+            Some(target) => target,
+            None => Pfn::new(self.poison_policy.draw_index(self.machine.total_frames())),
+        })
+    }
+
+    /// Handles an uncorrectable memory error on `pfn`: quarantines the frame
+    /// and heals or kills its users, per the module-level rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no zone owns `pfn`.
+    pub fn memory_failure(&mut self, pfn: Pfn) -> MemoryFailureOutcome {
+        self.poison_stats.strikes += 1;
+        self.tracer.emit(TraceEvent::PoisonEvent { pfn: pfn.raw() });
+        match self.machine.poison(pfn) {
+            PoisonDisposition::AlreadyPoisoned => MemoryFailureOutcome {
+                pfn,
+                action: FailureAction::AlreadyPoisoned,
+                victims: Vec::new(),
+            },
+            PoisonDisposition::QuarantinedFree | PoisonDisposition::QuarantinedPcp => {
+                MemoryFailureOutcome {
+                    pfn,
+                    action: FailureAction::Quarantined,
+                    victims: Vec::new(),
+                }
+            }
+            PoisonDisposition::Deferred => self.recover_poisoned_in_use(pfn),
+        }
+    }
+
+    /// Recovery for a stricken frame that is allocated: classify its
+    /// references and drop, heal, kill, or defer.
+    fn recover_poisoned_in_use(&mut self, pfn: Pfn) -> MemoryFailureOutcome {
+        if let Some((file, index)) = self.cache_slot_of(pfn) {
+            self.drop_poisoned_cache_page(file, index, pfn);
+            return MemoryFailureOutcome {
+                pfn,
+                action: FailureAction::CacheDropped,
+                victims: Vec::new(),
+            };
+        }
+        let refs = self.mappings_covering(pfn);
+        if refs.is_empty() {
+            // Raw allocation (hog, pinned): the owner's eventual free
+            // completes the quarantine.
+            return MemoryFailureOutcome {
+                pfn,
+                action: FailureAction::Deferred,
+                victims: Vec::new(),
+            };
+        }
+        let head = refs[0].4;
+        let recoverable = refs.len() == 1
+            && !refs[0].3.contains(PteFlags::COW)
+            && !refs[0].3.contains(PteFlags::FILE)
+            && !self.shared.contains_key(&head);
+        if recoverable {
+            let (pid, va, size, flags, _) = refs[0];
+            if let Some(replacement) = self.migrate_poisoned(pid, va, head, size, flags) {
+                return MemoryFailureOutcome {
+                    pfn,
+                    action: FailureAction::Healed { replacement },
+                    victims: Vec::new(),
+                };
+            }
+            self.poison_stats.heal_failed += 1;
+            self.tracer.emit(TraceEvent::PoisonHealFailed { pfn: pfn.raw() });
+        }
+        let victims = self.kill_mappings(pfn, head, &refs);
+        MemoryFailureOutcome { pfn, action: FailureAction::Killed, victims }
+    }
+
+    /// Migrate-and-heal: allocate a replacement block (leaning on the OOM
+    /// escalation under pressure), copy, remap with a TLB shootdown, and
+    /// free the stricken block — quarantining the poisoned frame. Returns
+    /// the replacement head, or `None` if no block could be found.
+    fn migrate_poisoned(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        head: Pfn,
+        size: PageSize,
+        flags: PteFlags,
+    ) -> Option<Pfn> {
+        let dest = self.alloc_with_recovery(size.order())?;
+        let frames = size.base_pages();
+        // Copy the surviving contents, then invalidate stale translations:
+        // one page-copy per frame plus one base fault cost for the
+        // shootdown round.
+        self.advance_clock(frames * self.latency.zero_page_ns + self.latency.base_ns);
+        if let Some(aspace) = self.processes.get_mut(&pid) {
+            aspace.page_table_mut().remap(va, Pte::new(dest, flags));
+        }
+        self.machine.free(head, size.order());
+        self.poison_stats.healed += 1;
+        self.poison_stats.healed_frames += frames;
+        self.tracer.emit(TraceEvent::PoisonHeal {
+            pfn: head.raw(),
+            replacement: dest.raw(),
+            frames,
+        });
+        Some(dest)
+    }
+
+    /// Tears down every mapping of the stricken block and delivers one
+    /// SIGBUS-equivalent error per owner, then releases the block so the
+    /// poisoned frame reaches quarantine.
+    fn kill_mappings(&mut self, pfn: Pfn, head: Pfn, refs: &[FrameRef]) -> Vec<ContigError> {
+        let mut victims = Vec::with_capacity(refs.len());
+        let mut any_file = false;
+        for &(pid, va, _size, flags, _) in refs {
+            any_file |= flags.contains(PteFlags::FILE);
+            let vma_start = self
+                .processes
+                .get(&pid)
+                .and_then(|a| a.vma_containing(va))
+                .map(|crate::aspace::VmaId(start)| start);
+            if let Some(aspace) = self.processes.get_mut(&pid) {
+                aspace.page_table_mut().unmap(va);
+            }
+            // The SIGBUS names the exact poisoned page, not the mapping head.
+            let addr = va + (pfn.raw() - head.raw()) * PageSize::Base4K.bytes();
+            self.poison_stats.sigbus += 1;
+            self.tracer.emit(TraceEvent::PoisonSigbus { pid: pid.0, va: addr.raw(), pfn: pfn.raw() });
+            let mut err = ContigError::from(FaultError::MemoryFailure { addr, pfn }).with_pid(pid.0);
+            if let Some(start) = vma_start {
+                err = err.with_vma(start);
+            }
+            victims.push(err);
+        }
+        // Every reference is gone: release the block. (A FILE-flagged PTE
+        // without a cache slot is dangling state the auditor reports; the
+        // cache-owned case never reaches here.)
+        if !any_file {
+            let (_, _, size, _, _) = refs[0];
+            self.shared.remove(&head);
+            self.machine.free(head, size.order());
+        }
+        victims
+    }
+
+    /// Drops a stricken page-cache page: unmap its FILE PTEs, evict the
+    /// slot. The eviction frees the frame, which the zone diverts straight
+    /// to quarantine.
+    fn drop_poisoned_cache_page(&mut self, file: FileId, index: u64, pfn: Pfn) {
+        for pid in self.pids() {
+            let vas: Vec<VirtAddr> = self.processes[&pid]
+                .page_table()
+                .iter_mappings()
+                .filter(|m| m.pte.pfn == pfn && m.pte.flags.contains(PteFlags::FILE))
+                .map(|m| m.va)
+                .collect();
+            let aspace = self.processes.get_mut(&pid).expect("pid from pids()");
+            for va in vas {
+                aspace.page_table_mut().unmap(va);
+            }
+        }
+        self.page_cache.evict_pages_where(&mut self.machine, file, |idx| idx == index);
+        self.poison_stats.cache_dropped += 1;
+    }
+
+    /// Proactively drains a *suspect* (still readable) frame: free frames
+    /// are quarantined outright, movable pages are migrated away and their
+    /// old frame quarantined. Never kills — an unmovable page stays put and
+    /// the call reports failure. Returns whether the frame was drained.
+    pub fn soft_offline(&mut self, pfn: Pfn) -> bool {
+        let ok = self.soft_offline_inner(pfn);
+        if ok {
+            self.poison_stats.soft_offline_ok += 1;
+        } else {
+            self.poison_stats.soft_offline_failed += 1;
+        }
+        self.tracer.emit(TraceEvent::PoisonSoftOffline { pfn: pfn.raw(), migrated: ok });
+        ok
+    }
+
+    fn soft_offline_inner(&mut self, pfn: Pfn) -> bool {
+        if self.machine.is_poisoned(pfn) {
+            return false;
+        }
+        if self.machine.is_free(pfn) || self.machine.pcp_contains(pfn) {
+            // Free or pcp-cached: quarantine directly (no data to move).
+            return !matches!(self.machine.poison(pfn), PoisonDisposition::Deferred);
+        }
+        // Page-cache page: migrate the slot and its FILE PTEs, like
+        // compaction does, then quarantine the old frame.
+        if let Some((file, index)) = self.cache_slot_of(pfn) {
+            let Some(dest) = self.alloc_with_recovery(0) else { return false };
+            self.advance_clock(self.latency.zero_page_ns + self.latency.base_ns);
+            self.page_cache.relocate_page(file, index, dest);
+            for pid in self.pids() {
+                let moves: Vec<(VirtAddr, PteFlags)> = self.processes[&pid]
+                    .page_table()
+                    .iter_mappings()
+                    .filter(|m| m.pte.pfn == pfn && m.pte.flags.contains(PteFlags::FILE))
+                    .map(|m| (m.va, m.pte.flags))
+                    .collect();
+                let aspace = self.processes.get_mut(&pid).expect("pid from pids()");
+                for (va, flags) in moves {
+                    aspace.page_table_mut().remap(va, Pte::new(dest, flags));
+                }
+            }
+            self.machine.poison(pfn);
+            self.machine.free(pfn, 0);
+            return true;
+        }
+        let refs = self.mappings_covering(pfn);
+        let &[(pid, va, size, flags, head)] = refs.as_slice() else {
+            return false; // unreferenced raw allocation or multiply mapped
+        };
+        if flags.contains(PteFlags::COW)
+            || flags.contains(PteFlags::FILE)
+            || self.shared.contains_key(&head)
+        {
+            return false;
+        }
+        let Some(dest) = self.alloc_with_recovery(size.order()) else { return false };
+        self.advance_clock(size.base_pages() * self.latency.zero_page_ns + self.latency.base_ns);
+        if let Some(aspace) = self.processes.get_mut(&pid) {
+            aspace.page_table_mut().remap(va, Pte::new(dest, flags));
+        }
+        self.machine.poison(pfn);
+        self.machine.free(head, size.order());
+        true
+    }
+
+    /// Allocation with the bounded OOM-recovery escalation of the fault
+    /// path (reclaim, compaction, backoff) but no size degradation: the
+    /// replacement must match the stricken block.
+    fn alloc_with_recovery(&mut self, order: u32) -> Option<Pfn> {
+        let mut attempts = 0u32;
+        loop {
+            match self.machine.alloc(order) {
+                Ok(dest) => return Some(dest),
+                Err(_) => {
+                    attempts += 1;
+                    if attempts <= self.recovery.max_retries && self.try_recover(order) {
+                        self.retry_backoff(attempts);
+                        continue;
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// The cache slot holding `pfn`, if any.
+    fn cache_slot_of(&self, pfn: Pfn) -> Option<(FileId, u64)> {
+        for f in 0..self.page_cache.file_count() {
+            let file = FileId(f);
+            for (index, frame) in self.page_cache.pages_of(file) {
+                if frame == pfn {
+                    return Some((file, index));
+                }
+            }
+        }
+        None
+    }
+
+    /// Every mapping whose frame block covers `pfn`, in pid order.
+    fn mappings_covering(&self, pfn: Pfn) -> Vec<FrameRef> {
+        let mut refs = Vec::new();
+        for pid in self.pids() {
+            for m in self.processes[&pid].page_table().iter_mappings() {
+                let start = m.pte.pfn.raw();
+                if (start..start + m.size.base_pages()).contains(&pfn.raw()) {
+                    refs.push((pid, m.va, m.size, m.pte.flags, m.pte.pfn));
+                }
+            }
+        }
+        refs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BasePagesPolicy, DefaultThpPolicy};
+    use crate::system::SystemConfig;
+    use crate::vma::VmaKind;
+    use contig_buddy::MachineConfig;
+    use contig_types::{PoisonMode, VirtRange};
+
+    fn system_mib(mib: u64) -> System {
+        System::new(SystemConfig::new(MachineConfig::single_node_mib(mib)))
+    }
+
+    fn va(addr: u64) -> VirtAddr {
+        VirtAddr::new(addr)
+    }
+
+    #[test]
+    fn strike_on_free_frame_quarantines_silently() {
+        let mut sys = system_mib(4);
+        let out = sys.memory_failure(Pfn::new(100));
+        assert_eq!(out.action, FailureAction::Quarantined);
+        assert!(out.victims.is_empty());
+        assert_eq!(sys.poison_stats().strikes, 1);
+        assert!(sys.machine().is_poisoned(Pfn::new(100)));
+        assert!(sys.audit().is_clean(), "{}", sys.audit());
+        // A repeat strike on the same DIMM address is absorbed.
+        assert_eq!(sys.memory_failure(Pfn::new(100)).action, FailureAction::AlreadyPoisoned);
+    }
+
+    #[test]
+    fn mapped_anon_page_is_healed_by_migration() {
+        let mut sys = system_mib(32);
+        let pid = sys.spawn();
+        sys.aspace_mut(pid)
+            .map_vma(VirtRange::new(va(0x40_0000), 0x20_0000), VmaKind::Anon);
+        let mut policy = DefaultThpPolicy;
+        let out = sys.touch(&mut policy, pid, va(0x40_0000)).unwrap();
+        assert_eq!(out.size, PageSize::Huge2M);
+        // Strike an interior frame of the huge block.
+        let victim = out.pfn.add(13);
+        let mf = sys.memory_failure(victim);
+        let FailureAction::Healed { replacement } = mf.action else {
+            panic!("expected heal, got {:?}", mf.action);
+        };
+        assert!(mf.victims.is_empty(), "heal must not SIGBUS");
+        // The translation now points at the replacement; the old block is
+        // gone and the poisoned frame quarantined.
+        let t = sys.aspace(pid).page_table().translate(va(0x40_0000)).unwrap();
+        assert_eq!(t.pfn, replacement);
+        assert!(sys.machine().is_poisoned(victim));
+        assert!(!sys.machine().is_free(victim));
+        let stats = *sys.poison_stats();
+        assert_eq!(stats.healed, 1);
+        assert_eq!(stats.healed_frames, 512);
+        assert_eq!(stats.sigbus, 0);
+        assert!(sys.audit().is_clean(), "{}", sys.audit());
+        // All other frames of the stricken block returned to the heap.
+        sys.exit(pid);
+        assert_eq!(
+            sys.machine().free_frames(),
+            sys.machine().total_frames() - 1,
+            "exactly the poisoned frame is carved out"
+        );
+        sys.machine().verify_integrity();
+    }
+
+    #[test]
+    fn cow_shared_page_kills_every_sharer() {
+        let mut sys = system_mib(8);
+        let parent = sys.spawn();
+        let vma = sys
+            .aspace_mut(parent)
+            .map_vma(VirtRange::new(va(0x40_0000), 0x1000), VmaKind::Anon);
+        let mut policy = BasePagesPolicy;
+        sys.populate_vma(&mut policy, parent, vma).unwrap();
+        let child = sys.fork_vma(parent, vma);
+        let pfn = sys.aspace(parent).page_table().translate(va(0x40_0000)).unwrap().pfn;
+        let mf = sys.memory_failure(pfn);
+        assert_eq!(mf.action, FailureAction::Killed);
+        assert_eq!(mf.victims.len(), 2, "both sharers die");
+        for v in &mf.victims {
+            assert!(v.is_memory_failure(), "{v}");
+        }
+        // Both mappings are gone and the frame is quarantined, not leaked.
+        assert!(sys.aspace(parent).page_table().translate(va(0x40_0000)).is_err());
+        assert!(sys.aspace(child).page_table().translate(va(0x40_0000)).is_err());
+        assert_eq!(sys.poison_stats().sigbus, 2);
+        assert!(sys.audit().is_clean(), "{}", sys.audit());
+        sys.exit(parent);
+        sys.exit(child);
+        assert_eq!(sys.machine().free_frames(), sys.machine().total_frames() - 1);
+    }
+
+    #[test]
+    fn cache_page_is_dropped_and_refetchable() {
+        let mut sys = system_mib(8);
+        let file = sys.page_cache_mut().create_file();
+        let pid = sys.spawn();
+        sys.aspace_mut(pid).map_vma(
+            VirtRange::new(va(0x200_0000), 0x10_0000),
+            VmaKind::File { file, start_page: 0 },
+        );
+        let mut policy = BasePagesPolicy;
+        let out = sys.touch(&mut policy, pid, va(0x200_0000)).unwrap();
+        let mf = sys.memory_failure(out.pfn);
+        assert_eq!(mf.action, FailureAction::CacheDropped);
+        assert!(mf.victims.is_empty(), "clean cache drops are not fatal");
+        assert!(sys.aspace(pid).page_table().translate(va(0x200_0000)).is_err());
+        assert!(sys.page_cache().lookup(file, 0).is_none());
+        assert_eq!(sys.poison_stats().cache_dropped, 1);
+        assert!(sys.audit().is_clean(), "{}", sys.audit());
+        // The page is simply re-read from backing store on the next fault.
+        let again = sys.touch(&mut policy, pid, va(0x200_0000)).unwrap();
+        assert_ne!(again.pfn, out.pfn, "poisoned frame must not come back");
+    }
+
+    #[test]
+    fn heal_failure_degrades_to_sigbus() {
+        // Tiny machine, recovery disabled, memory exhausted: migration has
+        // nowhere to go, so the strike kills the mapping.
+        let mut sys = system_mib(1);
+        sys.set_recovery_config(crate::recovery::RecoveryConfig::disabled());
+        let pid = sys.spawn();
+        let vma = sys
+            .aspace_mut(pid)
+            .map_vma(VirtRange::new(va(0x40_0000), 0x10_0000), VmaKind::Anon);
+        let mut policy = BasePagesPolicy;
+        sys.populate_vma(&mut policy, pid, vma).unwrap();
+        let pfn = sys.aspace(pid).page_table().translate(va(0x40_0000)).unwrap().pfn;
+        let mf = sys.memory_failure(pfn);
+        assert_eq!(mf.action, FailureAction::Killed);
+        assert_eq!(mf.victims.len(), 1);
+        let stats = *sys.poison_stats();
+        assert_eq!(stats.heal_failed, 1);
+        assert_eq!(stats.sigbus, 1);
+        assert!(sys.audit().is_clean(), "{}", sys.audit());
+    }
+
+    #[test]
+    fn soft_offline_migrates_without_killing() {
+        let mut sys = system_mib(8);
+        let pid = sys.spawn();
+        sys.aspace_mut(pid)
+            .map_vma(VirtRange::new(va(0x40_0000), 0x1000), VmaKind::Anon);
+        let mut policy = BasePagesPolicy;
+        let out = sys.touch(&mut policy, pid, va(0x40_0000)).unwrap();
+        assert!(sys.soft_offline(out.pfn));
+        let t = sys.aspace(pid).page_table().translate(va(0x40_0000)).unwrap();
+        assert_ne!(t.pfn, out.pfn, "page must have moved");
+        assert!(sys.machine().is_poisoned(out.pfn));
+        assert_eq!(sys.poison_stats().soft_offline_ok, 1);
+        assert!(sys.audit().is_clean(), "{}", sys.audit());
+        // COW-shared pages are unmovable: soft-offline refuses, nothing dies.
+        let vma = sys.aspace(pid).vma_containing(va(0x40_0000)).unwrap();
+        let child = sys.fork_vma(pid, vma);
+        let shared = sys.aspace(pid).page_table().translate(va(0x40_0000)).unwrap().pfn;
+        assert!(!sys.soft_offline(shared));
+        assert!(!sys.machine().is_poisoned(shared));
+        assert!(sys.aspace(child).page_table().translate(va(0x40_0000)).is_ok());
+        assert_eq!(sys.poison_stats().soft_offline_failed, 1);
+    }
+
+    #[test]
+    fn soft_offline_drains_free_and_pcp_frames() {
+        let mut sys = system_mib(4);
+        sys.enable_pcp(contig_buddy::PcpConfig::with_cpus(1));
+        assert!(sys.soft_offline(Pfn::new(50)), "free frame");
+        // Park a frame on the pcp list, then offline it.
+        let f = sys.machine_mut().alloc(0).unwrap();
+        sys.machine_mut().free(f, 0);
+        assert!(sys.machine().pcp_contains(f));
+        assert!(sys.soft_offline(f), "pcp frame");
+        assert!(!sys.soft_offline(f), "already quarantined");
+        assert!(sys.audit().is_clean(), "{}", sys.audit());
+    }
+
+    #[test]
+    fn poison_tick_strikes_the_configured_address() {
+        let mut sys = system_mib(4);
+        sys.set_poison_policy(PoisonPolicy::new(PoisonMode::Address {
+            pfn: Pfn::new(123),
+            n: 2,
+        }));
+        assert!(sys.poison_tick().is_none(), "first tick must not fire");
+        let out = sys.poison_tick().expect("second tick fires");
+        assert_eq!(out.pfn, Pfn::new(123));
+        assert!(sys.machine().is_poisoned(Pfn::new(123)));
+        assert!(sys.poison_tick().is_none(), "one-shot disarms");
+        sys.clear_poison_policy();
+        assert!(!sys.poison_policy().is_armed());
+    }
+
+    #[test]
+    fn seeded_poison_storm_is_deterministic() {
+        let run = || {
+            let mut sys = system_mib(8);
+            sys.set_poison_policy(PoisonPolicy::new(PoisonMode::Probability {
+                rate_ppm: 300_000,
+                seed: 2020,
+            }));
+            let pid = sys.spawn();
+            sys.aspace_mut(pid)
+                .map_vma(VirtRange::new(va(0x40_0000), 0x40_0000), VmaKind::Anon);
+            let mut policy = BasePagesPolicy;
+            for i in 0..256u64 {
+                let _ = sys.touch(&mut policy, pid, va(0x40_0000 + i * 4096));
+                sys.poison_tick();
+            }
+            assert!(sys.audit().is_clean(), "{}", sys.audit());
+            (*sys.poison_stats(), sys.machine().poisoned_frames(), sys.now_ns())
+        };
+        assert_eq!(run(), run());
+        let (stats, poisoned, _) = run();
+        assert!(stats.strikes > 0, "storm never struck");
+        assert!(poisoned > 0);
+    }
+}

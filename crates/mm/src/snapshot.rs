@@ -17,11 +17,12 @@ use std::collections::HashMap;
 
 use contig_buddy::{Machine, MachineSnapshot};
 use contig_trace::Tracer;
-use contig_types::{MapOffset, PageSize, Pfn, VirtAddr, VirtRange};
+use contig_types::{MapOffset, PageSize, Pfn, PoisonPolicy, VirtAddr, VirtRange};
 
 use crate::aspace::AddressSpace;
 use crate::page_cache::{PageCache, PageCacheSnapshot};
 use crate::pte::{Pte, PteFlags};
+use crate::poison::PoisonStats;
 use crate::recovery::{RecoveryConfig, RecoveryStats};
 use crate::stats::{FaultStats, LatencyModel};
 use crate::system::{Pid, System};
@@ -99,6 +100,10 @@ pub struct SystemSnapshot {
     pub recovery_stats: RecoveryStats,
     /// Retry-backoff jitter generator state.
     pub backoff_rng: u64,
+    /// Memory-failure injector state, mid-stream.
+    pub poison_policy: PoisonPolicy,
+    /// Cumulative memory-failure counters.
+    pub poison_stats: PoisonStats,
 }
 
 fn stats_snapshot(stats: &FaultStats) -> FaultStatsSnapshot {
@@ -180,6 +185,8 @@ impl System {
             recovery: self.recovery,
             recovery_stats: self.recovery_stats,
             backoff_rng: self.backoff_rng,
+            poison_policy: self.poison_policy.clone(),
+            poison_stats: self.poison_stats,
         }
     }
 
@@ -235,6 +242,8 @@ impl System {
             recovery: snap.recovery,
             recovery_stats: snap.recovery_stats,
             backoff_rng: snap.backoff_rng,
+            poison_policy: snap.poison_policy.clone(),
+            poison_stats: snap.poison_stats,
             tracer: Tracer::disabled(),
         }
     }

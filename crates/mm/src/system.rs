@@ -6,13 +6,15 @@ use std::collections::HashMap;
 use contig_buddy::{Machine, MachineConfig};
 use contig_trace::{FaultClass, RecoveryStage, TraceEvent, Tracer};
 use contig_types::{
-    splitmix64, AllocError, ContigError, FailPolicy, FaultError, PageSize, Pfn, VirtAddr,
+    splitmix64, AllocError, ContigError, FailPolicy, FaultError, PageSize, Pfn, PoisonPolicy,
+    VirtAddr,
 };
 
 use crate::aspace::{AddressSpace, VmaId};
 use crate::page_cache::{CacheAllocMode, PageCache};
 use crate::policy::{FaultCtx, FaultKind, Placement, PlacementPolicy};
 use crate::pte::{Pte, PteFlags};
+use crate::poison::PoisonStats;
 use crate::recovery::{RecoveryConfig, RecoveryStats};
 use crate::stats::LatencyModel;
 use crate::vma::VmaKind;
@@ -114,6 +116,10 @@ pub struct System {
     pub(crate) recovery_stats: RecoveryStats,
     /// Deterministic jitter source for retry backoff delays.
     pub(crate) backoff_rng: u64,
+    /// Memory-failure (hwpoison) strike injector; disarmed by default.
+    pub(crate) poison_policy: PoisonPolicy,
+    /// Cumulative memory-failure counters.
+    pub(crate) poison_stats: PoisonStats,
     /// Observability probes over the fault path; disabled by default.
     pub(crate) tracer: Tracer,
 }
@@ -135,6 +141,8 @@ impl System {
             recovery: config.recovery,
             recovery_stats: RecoveryStats::default(),
             backoff_rng: config.recovery.backoff_seed,
+            poison_policy: PoisonPolicy::never(),
+            poison_stats: PoisonStats::default(),
             tracer: Tracer::disabled(),
         }
     }

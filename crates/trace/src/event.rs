@@ -281,6 +281,68 @@ pub enum TraceEvent {
         /// Walk cycles under the cost model (Table IV units).
         cycles: u64,
     },
+    /// `poison.event` — a memory-failure strike marked a frame poisoned
+    /// (the moment the simulated ECC error is reported).
+    PoisonEvent {
+        /// The stricken frame.
+        pfn: u64,
+    },
+    /// `poison.quarantine` — the buddy allocator pulled a poisoned frame out
+    /// of circulation: carved from the free lists, evicted from a pcp cache,
+    /// or diverted at free/drain time. One event per frame entering the
+    /// per-zone badframe list.
+    PoisonQuarantine {
+        /// The quarantined frame.
+        pfn: u64,
+    },
+    /// `poison.heal` — migrate-and-heal succeeded: the mapping moved to a
+    /// healthy replacement frame and the poisoned one went to quarantine.
+    PoisonHeal {
+        /// The poisoned frame that was vacated.
+        pfn: u64,
+        /// Head frame of the replacement block.
+        replacement: u64,
+        /// Frames copied (1 for a base page, 512 for a huge page).
+        frames: u64,
+    },
+    /// `poison.heal_failed` — migration could not relocate the mapping
+    /// (no replacement block after bounded retries, or the page is
+    /// unrecoverable); the mapping was torn down instead.
+    PoisonHealFailed {
+        /// The poisoned frame.
+        pfn: u64,
+    },
+    /// `poison.sigbus` — an unrecoverable poisoned mapping was torn down and
+    /// the SIGBUS-equivalent `MemoryFailure` error delivered. One event per
+    /// `(process, page)` victim.
+    PoisonSigbus {
+        /// Process that lost the mapping.
+        pid: u32,
+        /// Virtual address of the lost page.
+        va: u64,
+        /// The poisoned frame.
+        pfn: u64,
+    },
+    /// `poison.soft_offline` — a suspect frame was proactively drained
+    /// without declaring it failed.
+    PoisonSoftOffline {
+        /// The drained frame.
+        pfn: u64,
+        /// Whether a live mapping had to be migrated (false when the frame
+        /// was free or cached).
+        migrated: bool,
+    },
+    /// `poison.guest_mce` — a host-frame poison event resolved through the
+    /// nested mapping and was surfaced to the guest as a machine-check at
+    /// the guest address.
+    PoisonGuestMce {
+        /// Guest process that saw the MCE.
+        pid: u32,
+        /// Guest virtual address the MCE was delivered at.
+        va: u64,
+        /// Guest-physical address whose host backing was poisoned.
+        gpa: u64,
+    },
     /// `audit.report` — a cross-layer invariant audit ran.
     AuditReport {
         /// Number of violations found (0 for a clean system).
@@ -329,6 +391,13 @@ impl TraceEvent {
             TraceEvent::TargetBusy { .. } => "ca.target_busy",
             TraceEvent::ContigRun { .. } => "ca.contig_run",
             TraceEvent::NestedFault { .. } => "virt.nested_fault",
+            TraceEvent::PoisonEvent { .. } => "poison.event",
+            TraceEvent::PoisonQuarantine { .. } => "poison.quarantine",
+            TraceEvent::PoisonHeal { .. } => "poison.heal",
+            TraceEvent::PoisonHealFailed { .. } => "poison.heal_failed",
+            TraceEvent::PoisonSigbus { .. } => "poison.sigbus",
+            TraceEvent::PoisonSoftOffline { .. } => "poison.soft_offline",
+            TraceEvent::PoisonGuestMce { .. } => "poison.guest_mce",
             TraceEvent::TlbMiss { .. } => "tlb.miss",
             TraceEvent::AuditReport { .. } => "audit.report",
             TraceEvent::TimelinePoint { .. } => "metrics.timeline_point",
@@ -336,7 +405,8 @@ impl TraceEvent {
     }
 
     /// The subsystem prefix of [`TraceEvent::name`] (`buddy`, `mm`,
-    /// `recovery`, `ca`, `virt`, `tlb`, `audit`, `inject`, `metrics`).
+    /// `recovery`, `ca`, `virt`, `poison`, `tlb`, `audit`, `inject`,
+    /// `metrics`).
     pub fn subsystem(&self) -> &'static str {
         let name = self.name();
         name.split_once('.').map_or(name, |(sub, _)| sub)

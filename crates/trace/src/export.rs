@@ -136,6 +136,27 @@ fn fields(event: &TraceEvent) -> Vec<(&'static str, Value)> {
             ("bytes", V::U64(bytes)),
             ("latency_ns", V::U64(latency_ns)),
         ],
+        E::PoisonEvent { pfn } => vec![("pfn", V::U64(pfn))],
+        E::PoisonQuarantine { pfn } => vec![("pfn", V::U64(pfn))],
+        E::PoisonHeal { pfn, replacement, frames } => vec![
+            ("pfn", V::U64(pfn)),
+            ("replacement", V::U64(replacement)),
+            ("frames", V::U64(frames)),
+        ],
+        E::PoisonHealFailed { pfn } => vec![("pfn", V::U64(pfn))],
+        E::PoisonSigbus { pid, va, pfn } => vec![
+            ("pid", V::U64(pid.into())),
+            ("va", V::U64(va)),
+            ("pfn", V::U64(pfn)),
+        ],
+        E::PoisonSoftOffline { pfn, migrated } => {
+            vec![("pfn", V::U64(pfn)), ("migrated", V::Bool(migrated))]
+        }
+        E::PoisonGuestMce { pid, va, gpa } => vec![
+            ("pid", V::U64(pid.into())),
+            ("va", V::U64(va)),
+            ("gpa", V::U64(gpa)),
+        ],
         E::TlbMiss { va, refs, cycles } => vec![
             ("va", V::U64(va)),
             ("refs", V::U64(refs.into())),
@@ -247,6 +268,28 @@ fn event_from(name: &str, f: &FieldMap<'_>) -> Result<TraceEvent, ParseError> {
             gpa: f.u64("gpa")?,
             bytes: f.u64("bytes")?,
             latency_ns: f.u64("latency_ns")?,
+        },
+        "poison.event" => E::PoisonEvent { pfn: f.u64("pfn")? },
+        "poison.quarantine" => E::PoisonQuarantine { pfn: f.u64("pfn")? },
+        "poison.heal" => E::PoisonHeal {
+            pfn: f.u64("pfn")?,
+            replacement: f.u64("replacement")?,
+            frames: f.u64("frames")?,
+        },
+        "poison.heal_failed" => E::PoisonHealFailed { pfn: f.u64("pfn")? },
+        "poison.sigbus" => E::PoisonSigbus {
+            pid: f.u32("pid")?,
+            va: f.u64("va")?,
+            pfn: f.u64("pfn")?,
+        },
+        "poison.soft_offline" => E::PoisonSoftOffline {
+            pfn: f.u64("pfn")?,
+            migrated: f.bool("migrated")?,
+        },
+        "poison.guest_mce" => E::PoisonGuestMce {
+            pid: f.u32("pid")?,
+            va: f.u64("va")?,
+            gpa: f.u64("gpa")?,
         },
         "tlb.miss" => E::TlbMiss {
             va: f.u64("va")?,
@@ -497,6 +540,13 @@ mod tests {
             TraceEvent::TargetBusy { target: 77 },
             TraceEvent::ContigRun { pages: 512 },
             TraceEvent::NestedFault { gva: 0x1000, gpa: 0x8000, bytes: 4096, latency_ns: 1500 },
+            TraceEvent::PoisonEvent { pfn: 300 },
+            TraceEvent::PoisonQuarantine { pfn: 300 },
+            TraceEvent::PoisonHeal { pfn: 300, replacement: 768, frames: 512 },
+            TraceEvent::PoisonHealFailed { pfn: 301 },
+            TraceEvent::PoisonSigbus { pid: 9, va: 0x43_0000, pfn: 301 },
+            TraceEvent::PoisonSoftOffline { pfn: 302, migrated: true },
+            TraceEvent::PoisonGuestMce { pid: 2, va: 0x44_0000, gpa: 0x9000 },
             TraceEvent::TlbMiss { va: 0x2000, refs: 4, cycles: 48 },
             TraceEvent::AuditReport { violations: 0 },
             TraceEvent::TimelinePoint { t: 5, top32: 0.875, mapped_bytes: 1 << 20 },

@@ -94,6 +94,15 @@ pub enum FaultError {
         /// Total recovery attempts spent before the watchdog fired.
         attempts: u32,
     },
+    /// A hardware memory error (hwpoison) destroyed the frame backing this
+    /// mapping and the page could not be healed by migration: the SIGBUS
+    /// equivalent. The mapping has been torn down; the frame is quarantined.
+    MemoryFailure {
+        /// Virtual address of the lost mapping.
+        addr: VirtAddr,
+        /// The poisoned physical frame.
+        pfn: Pfn,
+    },
 }
 
 impl fmt::Display for FaultError {
@@ -110,6 +119,9 @@ impl fmt::Display for FaultError {
             }
             FaultError::RecoveryLivelock { addr, attempts } => {
                 write!(f, "recovery livelocked after {attempts} attempts servicing {addr}")
+            }
+            FaultError::MemoryFailure { addr, pfn } => {
+                write!(f, "memory failure: poisoned frame {pfn} killed mapping at {addr}")
             }
         }
     }
@@ -262,6 +274,14 @@ impl ContigError {
         matches!(
             self,
             ContigError::Fault { source: FaultError::RecoveryLivelock { .. }, .. }
+        )
+    }
+
+    /// Whether the root cause is a hardware memory failure (hwpoison SIGBUS).
+    pub fn is_memory_failure(&self) -> bool {
+        matches!(
+            self,
+            ContigError::Fault { source: FaultError::MemoryFailure { .. }, .. }
         )
     }
 }

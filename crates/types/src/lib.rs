@@ -25,10 +25,12 @@ mod addr;
 mod error;
 mod fail;
 mod page;
+mod poison;
 mod range;
 
 pub use addr::{MapOffset, PhysAddr, VirtAddr};
 pub use error::{AllocError, ContigError, ErrorCtx, FaultError, TranslateError};
 pub use fail::{splitmix64, FailMode, FailPolicy};
+pub use poison::{PoisonMode, PoisonPolicy};
 pub use page::{PageSize, Pfn, Vpn, BASE_PAGE_SHIFT, BASE_PAGE_SIZE, HUGE_PAGE_SHIFT, HUGE_PAGE_SIZE, PAGES_PER_HUGE};
 pub use range::{ContigMapping, PhysRange, VirtRange};

@@ -39,4 +39,4 @@ mod vm;
 
 pub use shadow::ShadowPageTable;
 pub use twod::{two_dimensional_mappings, NativeBackend, VmBackend};
-pub use vm::{TwoDTranslation, VirtualMachine, VmConfig, VmSnapshot};
+pub use vm::{GuestMce, HostPoisonReport, TwoDTranslation, VirtualMachine, VmConfig, VmSnapshot};

@@ -9,10 +9,11 @@
 
 use contig_buddy::MachineConfig;
 use contig_mm::{
-    FaultKind, FaultOutcome, PlacementPolicy, Pid, System, SystemConfig, VmaId, VmaKind,
+    FaultKind, FaultOutcome, MemoryFailureOutcome, PlacementPolicy, Pid, System, SystemConfig,
+    VmaId, VmaKind,
 };
 use contig_trace::{Dim, TraceEvent, Tracer};
-use contig_types::{FaultError, PageSize, PhysAddr, Pfn, VirtAddr, VirtRange};
+use contig_types::{ContigError, FaultError, PageSize, PhysAddr, Pfn, VirtAddr, VirtRange};
 
 /// Construction parameters for a [`VirtualMachine`].
 #[derive(Clone, Debug)]
@@ -395,6 +396,118 @@ impl VirtualMachine {
         Some(t.frame_for(hva))
     }
 
+    /// Handles an uncorrectable memory error on *host* frame `pfn` — the
+    /// hypervisor half of hwpoison (paper's virtualized setting: the strike
+    /// lands in host-physical memory underneath a running guest).
+    ///
+    /// The host recovery path runs first ([`System::memory_failure`]): a
+    /// migrate-and-heal is fully transparent — the gPA→hPA mapping moves and
+    /// the guest never notices. When the host *kills* the VM backing mapping
+    /// instead, every guest mapping composed onto the destroyed
+    /// guest-physical page receives a machine-check (`poison.guest_mce`,
+    /// with the guest virtual address the guest workload can act on), and
+    /// the hypervisor immediately re-backs the hole with fresh host frames —
+    /// the guest data is lost (that is what the MCE reports) but the VM
+    /// memory region self-heals. If re-backing itself OOMs the hole stays,
+    /// visible to `audit_vm` as `unbacked`, and heals on the next touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no host zone owns `pfn`.
+    pub fn poison_host_frame(&mut self, pfn: Pfn) -> HostPoisonReport {
+        // Remember the VM-region mapping that may lose its backing: after a
+        // kill the host page table no longer records its extent.
+        let hole = self.host_mapping_covering(pfn);
+        let outcome = self.host.memory_failure(pfn);
+        let mut guest_mces = Vec::new();
+        for victim in &outcome.victims {
+            if victim.ctx().pid != Some(self.host_pid.0) {
+                continue; // another host process; no guest impact
+            }
+            let ContigError::Fault {
+                source: FaultError::MemoryFailure { addr, .. }, ..
+            } = victim
+            else {
+                continue;
+            };
+            if addr.raw() < self.host_vma_base.raw() {
+                continue;
+            }
+            let gpa = PhysAddr::new(addr.raw() - self.host_vma_base.raw());
+            for (pid, va) in self.guest_mappings_of(gpa) {
+                self.tracer.emit(TraceEvent::PoisonGuestMce {
+                    pid: pid.0,
+                    va: va.raw(),
+                    gpa: gpa.raw(),
+                });
+                guest_mces.push(GuestMce { pid, va, gpa });
+            }
+        }
+        let rebacked = match hole {
+            // Only a kill tears the mapping down; heals remap in place.
+            Some((hva, size))
+                if self.host.aspace(self.host_pid).page_table().translate(hva).is_err() =>
+            {
+                self.reback(hva, size.bytes())
+            }
+            _ => true,
+        };
+        HostPoisonReport { outcome, guest_mces, rebacked }
+    }
+
+    /// Consults the *host* poison policy once (see
+    /// [`System::set_poison_policy`] on [`VirtualMachine::host_mut`]); if it
+    /// fires, the strike runs through [`VirtualMachine::poison_host_frame`]
+    /// so guest MCE delivery and re-backing happen. Guest-dimension poison
+    /// needs no hypervisor help: drive `guest_mut().poison_tick()` directly.
+    pub fn poison_tick(&mut self) -> Option<HostPoisonReport> {
+        let pfn = self.host.poison_draw()?;
+        Some(self.poison_host_frame(pfn))
+    }
+
+    /// The VM-backing host mapping whose frame block covers `pfn`, if any.
+    fn host_mapping_covering(&self, pfn: Pfn) -> Option<(VirtAddr, PageSize)> {
+        self.host
+            .aspace(self.host_pid)
+            .page_table()
+            .iter_mappings()
+            .find(|m| {
+                let start = m.pte.pfn.raw();
+                (start..start + m.size.base_pages()).contains(&pfn.raw())
+            })
+            .map(|m| (m.va, m.size))
+    }
+
+    /// Every guest mapping composed onto guest-physical page `gpa`:
+    /// `(pid, guest va of the affected base page)`.
+    fn guest_mappings_of(&self, gpa: PhysAddr) -> Vec<(Pid, VirtAddr)> {
+        let gframe = gpa.raw() / PageSize::Base4K.bytes();
+        let mut hits = Vec::new();
+        for &pid in self.guest.pids().iter() {
+            for m in self.guest.aspace(pid).page_table().iter_mappings() {
+                let start = m.pte.pfn.raw();
+                if (start..start + m.size.base_pages()).contains(&gframe) {
+                    hits.push((pid, m.va + (gframe - start) * PageSize::Base4K.bytes()));
+                }
+            }
+        }
+        hits
+    }
+
+    /// Re-establishes host backing for `[start, start + len)` after a kill,
+    /// tolerating OOM (the hole then heals on the next guest touch).
+    fn reback(&mut self, start: VirtAddr, len: u64) -> bool {
+        let mut hva = start;
+        let end = start + len;
+        while hva < end {
+            match self.host.touch(&mut *self.host_policy, self.host_pid, hva) {
+                Ok(out) => hva = hva.align_down(out.size) + out.size.bytes(),
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
     /// Captures both dimensions as plain data. Placement policies are not
     /// part of the image: they are strategy objects the restoring side
     /// supplies (and the stock ones are stateless — CA's state lives in the
@@ -436,6 +549,33 @@ pub struct VmSnapshot {
     pub host_vma_start: u64,
     /// Host virtual address of guest-physical zero.
     pub host_vma_base: u64,
+}
+
+/// One guest-visible machine-check: a guest mapping whose guest-physical
+/// page lost its data to a host memory failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GuestMce {
+    /// The guest process owning the mapping.
+    pub pid: Pid,
+    /// Guest virtual address of the destroyed base page — where the guest
+    /// workload would receive the SIGBUS/MCE.
+    pub va: VirtAddr,
+    /// The guest-physical page whose host backing was destroyed.
+    pub gpa: PhysAddr,
+}
+
+/// Result of poisoning one host frame underneath a running VM.
+#[derive(Clone, Debug)]
+pub struct HostPoisonReport {
+    /// What the host recovery path did (heal, kill, quarantine, …).
+    pub outcome: MemoryFailureOutcome,
+    /// Machine-checks delivered to guest mappings, one per affected guest
+    /// base page (empty when the host healed transparently).
+    pub guest_mces: Vec<GuestMce>,
+    /// Whether the VM memory region is fully backed again. `false` only
+    /// when re-backing itself ran out of host memory; the hole heals on the
+    /// next guest touch.
+    pub rebacked: bool,
 }
 
 /// The product of a nested page walk.
@@ -596,6 +736,85 @@ mod tests {
             assert_eq!(vm.touch(pid, va), other.touch(pid, va));
         }
         assert_eq!(vm.snapshot(), other.snapshot());
+    }
+
+    #[test]
+    fn host_strike_on_vm_backing_heals_transparently() {
+        let mut vm = vm();
+        let pid = vm.guest_mut().spawn();
+        map_anon(&mut vm, pid, 0x40_0000, 2 << 20);
+        vm.touch(pid, VirtAddr::new(0x40_0000)).unwrap();
+        let before = vm.translate_2d(pid, VirtAddr::new(0x40_0000)).unwrap();
+        let victim = Pfn::new(before.hpa.raw() / PageSize::Base4K.bytes() + 7);
+        let report = vm.poison_host_frame(victim);
+        assert!(
+            matches!(report.outcome.action, contig_mm::FailureAction::Healed { .. }),
+            "plenty of host memory: {:?}",
+            report.outcome.action
+        );
+        assert!(report.guest_mces.is_empty(), "a heal is invisible to the guest");
+        assert!(report.rebacked);
+        let after = vm.translate_2d(pid, VirtAddr::new(0x40_0000)).unwrap();
+        assert_ne!(after.hpa, before.hpa, "backing must have moved");
+        assert!(vm.host().machine().is_poisoned(victim));
+    }
+
+    #[test]
+    fn unhealable_host_strike_delivers_guest_mce_and_self_heals() {
+        let mut vm = VirtualMachine::new(
+            VmConfig::with_mib(8, 16),
+            Box::new(DefaultThpPolicy),
+            Box::new(DefaultThpPolicy),
+        );
+        let pid = vm.guest_mut().spawn();
+        map_anon(&mut vm, pid, 0x40_0000, 4 << 20);
+        vm.touch(pid, VirtAddr::new(0x40_0000)).unwrap();
+        let gpa = {
+            let t = vm.guest().aspace(pid).page_table().translate(VirtAddr::new(0x40_0000)).unwrap();
+            PhysAddr::from(t.frame_for(VirtAddr::new(0x40_0000)))
+        };
+        let victim = vm.host_frame_of(gpa).unwrap();
+        // Exhaust the host so migrate-and-heal has nowhere to go.
+        vm.host_mut().set_recovery_config(contig_mm::RecoveryConfig::disabled());
+        let mut hogs = Vec::new();
+        while let Ok(p) = vm.host_mut().machine_mut().alloc(0) {
+            hogs.push(p);
+        }
+        let report = vm.poison_host_frame(victim);
+        assert_eq!(report.outcome.action, contig_mm::FailureAction::Killed);
+        assert!(!report.guest_mces.is_empty(), "the guest must see the MCE");
+        let mce = report.guest_mces[0];
+        assert_eq!(mce.pid, pid);
+        assert_eq!(mce.gpa, gpa);
+        assert_eq!(mce.va, VirtAddr::new(0x40_0000));
+        // The kill released the stricken block, so re-backing may have
+        // partially succeeded; either way the next touch finishes the job.
+        for p in hogs {
+            vm.host_mut().machine_mut().free(p, 0);
+        }
+        vm.host_mut().set_recovery_config(contig_mm::RecoveryConfig::default());
+        vm.touch(pid, VirtAddr::new(0x40_0000)).unwrap();
+        assert!(vm.translate_2d(pid, VirtAddr::new(0x40_0000)).is_some());
+        assert!(vm.host().machine().is_poisoned(victim), "strike sticks");
+        assert!(vm.host().poison_stats().sigbus >= 1);
+    }
+
+    #[test]
+    fn vm_poison_tick_drives_the_host_policy() {
+        use contig_types::{PoisonMode, PoisonPolicy};
+        let mut vm = vm();
+        let pid = vm.guest_mut().spawn();
+        map_anon(&mut vm, pid, 0x40_0000, 2 << 20);
+        vm.touch(pid, VirtAddr::new(0x40_0000)).unwrap();
+        let target = Pfn::new(4096);
+        vm.host_mut().set_poison_policy(PoisonPolicy::new(PoisonMode::Address {
+            pfn: target,
+            n: 1,
+        }));
+        let report = vm.poison_tick().expect("policy fires on the first tick");
+        assert_eq!(report.outcome.pfn, target);
+        assert!(vm.host().machine().is_poisoned(target));
+        assert!(vm.poison_tick().is_none(), "one-shot disarms");
     }
 
     #[test]

@@ -71,16 +71,19 @@ pub mod prelude {
     pub use contig_engine::{run_seeded, PoolConfig, TaskCtx, TaskReport};
     pub use contig_metrics::{CoverageStats, PerfModel};
     pub use contig_mm::{
-        contiguous_mappings, AddressSpace, BasePagesPolicy, DefaultThpPolicy, FaultKind,
-        PageTable, Pid, Placement, PlacementPolicy, Pte, PteFlags, System, SystemConfig, VmaId,
-        VmaKind,
+        contiguous_mappings, AddressSpace, BasePagesPolicy, DefaultThpPolicy, FailureAction,
+        FaultKind, MemoryFailureOutcome, PageTable, Pid, Placement, PlacementPolicy, PoisonStats,
+        Pte, PteFlags, System, SystemConfig, VmaId, VmaKind,
     };
     pub use contig_sim::{Env, PolicyKind, TranslationConfig};
     pub use contig_tlb::{Access, MemorySim, MissHandler, MissHandling, TlbConfig};
     pub use contig_trace::{TraceEvent, TraceSession, Tracer};
     pub use contig_types::{
-        ContigMapping, MapOffset, PageSize, PhysAddr, Pfn, VirtAddr, VirtRange, Vpn,
+        ContigMapping, MapOffset, PageSize, PhysAddr, Pfn, PoisonMode, PoisonPolicy, VirtAddr,
+        VirtRange, Vpn,
     };
-    pub use contig_virt::{NativeBackend, VirtualMachine, VmBackend, VmConfig};
+    pub use contig_virt::{
+        GuestMce, HostPoisonReport, NativeBackend, VirtualMachine, VmBackend, VmConfig,
+    };
     pub use contig_workloads::{Scale, TraceGenerator, Workload};
 }

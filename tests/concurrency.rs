@@ -202,6 +202,72 @@ fn one_and_eight_workers_produce_bit_identical_digests() {
     assert!(serial.windows(2).any(|w| w[0] != w[1]), "all tasks produced the same digest");
 }
 
+/// A poison-enabled variant of the engine experiment: same seeded workload,
+/// but a probabilistic hwpoison policy strikes frames between touches and a
+/// deterministic soft-offline sweeps one mapped frame mid-run. Returns the
+/// state digest plus the strike count so the test can prove the policy
+/// actually engaged.
+fn poison_engine_experiment(seed: u64) -> (u64, u64) {
+    let mut rng = seed;
+    let mut sys = System::new(SystemConfig::new(MachineConfig::single_node_mib(48)));
+    sys.enable_pcp(PcpConfig { cpus: 4, batch: 8, high: 32 });
+    sys.set_poison_policy(PoisonPolicy::new(PoisonMode::Probability {
+        rate_ppm: 30_000,
+        seed: splitmix64(&mut rng),
+    }));
+    let pid = sys.spawn();
+    let mut ca = CaPaging::new();
+    let vma_bytes = 8u64 << 20;
+    let vma = sys
+        .aspace_mut(pid)
+        .map_vma(VirtRange::new(VirtAddr::new(0x4000_0000), vma_bytes), VmaKind::Anon);
+    sys.populate_vma(&mut ca, pid, vma).expect("populate");
+    for i in 0..150u64 {
+        sys.set_cpu((i % 4) as usize);
+        let page = splitmix64(&mut rng) % (vma_bytes / 4096);
+        let va = VirtAddr::new(0x4000_0000 + page * 4096);
+        sys.touch_write(&mut ca, pid, va).expect("touch");
+        sys.poison_tick();
+        if i == 75 {
+            // Soft-offline whatever currently backs the first page: the
+            // target is derived from simulator state, so it is identical
+            // across runs of the same seed.
+            let pfn = sys
+                .aspace(pid)
+                .page_table()
+                .translate(VirtAddr::new(0x4000_0000))
+                .expect("populated")
+                .frame_for(VirtAddr::new(0x4000_0000));
+            sys.soft_offline(pfn);
+        }
+    }
+    (digest_system(&sys.snapshot()), sys.poison_stats().strikes)
+}
+
+/// The satellite acceptance property: poison-enabled workloads are just as
+/// worker-count independent as clean ones — strikes, heals, SIGBUS bookkeeping
+/// and quarantine state all land in the digest.
+#[test]
+fn poison_enabled_workloads_are_worker_count_independent() {
+    let serial: Vec<(u64, u64)> = (0..ENGINE_TASKS)
+        .map(|i| poison_engine_experiment(task_seed(ENGINE_SEED, i)))
+        .collect();
+    assert!(
+        serial.iter().any(|&(_, strikes)| strikes > 0),
+        "no task ever struck a frame — the poison policy never engaged"
+    );
+    let run_at = |workers: usize| -> Vec<(u64, u64)> {
+        run_seeded(PoolConfig::new(workers), ENGINE_SEED, ENGINE_TASKS, |ctx| {
+            poison_engine_experiment(ctx.seed)
+        })
+        .iter()
+        .map(|r| *r.ok().expect("poison experiment task panicked"))
+        .collect()
+    };
+    assert_eq!(run_at(1), serial, "1-worker poison run diverged from serial execution");
+    assert_eq!(run_at(8), serial, "8-worker poison run diverged from serial execution");
+}
+
 /// Intermediate worker counts agree too, and repeated runs are stable.
 #[test]
 fn worker_sweep_is_stable_across_counts_and_repeats() {

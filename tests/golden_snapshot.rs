@@ -1,10 +1,11 @@
 //! Backward-compatibility guard for the snapshot format: a version-1
-//! snapshot file (predating the per-zone `pcp` member) is checked into
-//! `tests/golden/snapshot_v1.jsonl` and must keep decoding forever; the
-//! current-format golden lives in `tests/golden/snapshot_v2.jsonl` and pins
-//! encoder determinism. Format changes that would orphan existing snapshot
-//! files fail here; a deliberate format bump must keep decoding old versions
-//! (or regenerate the current golden *and* bump `SNAPSHOT_VERSION`).
+//! snapshot file (predating the per-zone `pcp` member) and a version-2 file
+//! (predating the hwpoison sections) are checked into `tests/golden/` and
+//! must keep decoding forever; the current-format golden lives in
+//! `tests/golden/snapshot_v3.jsonl` and pins encoder determinism. Format
+//! changes that would orphan existing snapshot files fail here; a deliberate
+//! format bump must keep decoding old versions (or regenerate the current
+//! golden *and* bump `SNAPSHOT_VERSION`).
 
 use std::path::PathBuf;
 
@@ -46,6 +47,46 @@ fn golden_vm() -> VirtualMachine {
     vm
 }
 
+/// The version-3 golden workload: the v1/v2 fixture plus hwpoison activity,
+/// so every new section of the format — per-zone badframe lists, quarantine
+/// counters, the seeded poison policy, and the recovery stats — is populated
+/// with non-default values in the checked-in file.
+fn golden_vm_v3() -> VirtualMachine {
+    let mut vm = golden_vm();
+    // A healed host-side strike on a frame backing guest memory, plus a
+    // guest-side strike and a soft-offline: exercises quarantine on both
+    // dimensions deterministically (no RNG involved).
+    // The child's page at the fork base is a private post-COW copy (the
+    // parent's pages still carry the COW flag and would be killed, not
+    // healed), so the strike exercises the migrate-and-heal path.
+    let child = Pid(2);
+    let gframe = vm
+        .guest()
+        .aspace(child)
+        .page_table()
+        .translate(VirtAddr::new(0x4000_0000))
+        .expect("cow copy mapped")
+        .frame_for(VirtAddr::new(0x4000_0000));
+    let hpa = vm
+        .host_frame_of(PhysAddr::new(gframe.raw() * 4096))
+        .expect("guest frame is host-backed");
+    vm.poison_host_frame(hpa);
+    vm.guest_mut().memory_failure(gframe);
+    let next = vm
+        .guest()
+        .aspace(child)
+        .page_table()
+        .translate(VirtAddr::new(0x4000_0000))
+        .expect("healed")
+        .frame_for(VirtAddr::new(0x4000_0000));
+    vm.guest_mut().soft_offline(next);
+    vm.guest_mut().set_poison_policy(PoisonPolicy::new(PoisonMode::Probability {
+        rate_ppm: 2_500,
+        seed: 2020,
+    }));
+    vm
+}
+
 /// Decode a golden file, restore it, and check digest-exactness + audit.
 fn check_golden(name: &str) {
     let text = std::fs::read_to_string(golden_path(name))
@@ -77,15 +118,41 @@ fn golden_v2_snapshot_still_decodes() {
 }
 
 #[test]
+fn golden_v3_snapshot_still_decodes() {
+    check_golden("snapshot_v3.jsonl");
+}
+
+#[test]
+fn golden_v3_restores_poison_state() {
+    // The poison sections must survive the round trip with their exact
+    // values, not just re-default: the fixture quarantined frames on both
+    // dimensions and left an armed probabilistic policy behind.
+    let text = std::fs::read_to_string(golden_path("snapshot_v3.jsonl"))
+        .expect("tests/golden/snapshot_v3.jsonl must be checked in");
+    let snap = decode_vm_file(&text).expect("decode v3 golden");
+    let mut vm = VirtualMachine::new(
+        VmConfig::with_mib(16, 64),
+        Box::new(DefaultThpPolicy),
+        Box::new(DefaultThpPolicy),
+    );
+    vm.restore(&snap);
+    assert!(vm.guest().poison_stats().strikes > 0, "guest strikes lost in round trip");
+    assert!(vm.host().poison_stats().strikes > 0, "host strikes lost in round trip");
+    assert!(vm.guest().machine().poisoned_frames() > 0, "guest badframes lost");
+    assert!(vm.host().machine().poisoned_frames() > 0, "host badframes lost");
+    assert!(vm.guest().poison_policy().is_armed(), "armed policy lost in round trip");
+}
+
+#[test]
 fn golden_workload_is_still_deterministic() {
     // The encoder applied to the fixed golden workload must reproduce the
     // checked-in bytes exactly. If this fails while the decode tests pass,
     // the format evolved compatibly — regenerate via
     // `cargo test --test golden_snapshot -- --ignored` and review the diff.
-    let text = std::fs::read_to_string(golden_path("snapshot_v2.jsonl"))
-        .expect("tests/golden/snapshot_v2.jsonl must be checked in");
+    let text = std::fs::read_to_string(golden_path("snapshot_v3.jsonl"))
+        .expect("tests/golden/snapshot_v3.jsonl must be checked in");
     assert_eq!(
-        encode_vm_file(&golden_vm().snapshot()),
+        encode_vm_file(&golden_vm_v3().snapshot()),
         text,
         "encoder output drifted from the golden file"
     );
@@ -94,7 +161,7 @@ fn golden_workload_is_still_deterministic() {
 #[test]
 #[ignore = "regenerates the current-format golden fixture; run explicitly after a reviewed format change"]
 fn regenerate_golden_file() {
-    let path = golden_path("snapshot_v2.jsonl");
+    let path = golden_path("snapshot_v3.jsonl");
     std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir tests/golden");
-    std::fs::write(&path, encode_vm_file(&golden_vm().snapshot())).expect("write golden");
+    std::fs::write(&path, encode_vm_file(&golden_vm_v3().snapshot())).expect("write golden");
 }
