@@ -25,6 +25,7 @@ struct Args {
     ops: usize,
     faults: bool,
     poison: bool,
+    migrate: bool,
     pcp: bool,
     replay: Option<String>,
     emit: String,
@@ -36,6 +37,7 @@ fn parse_args() -> Args {
         ops: 2_000,
         faults: true,
         poison: false,
+        migrate: false,
         pcp: false,
         replay: None,
         emit: "torture_min.jsonl".to_string(),
@@ -47,7 +49,7 @@ fn parse_args() -> Args {
             *i += 1;
             argv.get(*i).cloned().unwrap_or_else(|| {
                 panic!(
-                    "usage: [--seed N] [--ops N] [--no-faults] [--poison] [--pcp] \
+                    "usage: [--seed N] [--ops N] [--no-faults] [--poison] [--migrate] [--pcp] \
                      [--replay PATH] [--emit PATH]"
                 )
             })
@@ -57,6 +59,7 @@ fn parse_args() -> Args {
             "--ops" => args.ops = value(&mut i).parse().expect("--ops expects a number"),
             "--no-faults" => args.faults = false,
             "--poison" => args.poison = true,
+            "--migrate" => args.migrate = true,
             "--pcp" => args.pcp = true,
             "--replay" => args.replay = Some(value(&mut i)),
             "--emit" => args.emit = value(&mut i),
@@ -94,6 +97,21 @@ fn print_report(report: &TortureReport) {
             report.poisoned_frames
         );
     }
+    if report.migrations + report.migration_aborts > 0 {
+        println!(
+            "migrate: completed {}  aborted {}  chunks {}/{} acked  retries {}  \
+             rejected {}  dropped {}  stalls {}  resumes {}",
+            report.migrations,
+            report.migration_aborts,
+            report.migrate_stats.chunks_acked,
+            report.migrate_stats.chunks_sent,
+            report.migrate_stats.retries,
+            report.migrate_stats.chunks_rejected,
+            report.migrate_stats.chunks_dropped,
+            report.migrate_stats.stalls,
+            report.migrate_stats.resumes
+        );
+    }
     println!("final digest {:#018x}", report.final_digest);
 }
 
@@ -116,12 +134,13 @@ fn main() -> ExitCode {
             let cfg = TortureConfig {
                 faults: args.faults,
                 poison: args.poison,
+                migrate: args.migrate,
                 pcp: args.pcp,
                 ..TortureConfig::with_seed_and_ops(args.seed, args.ops)
             };
             println!(
-                "torture run: seed {}  ops {}  faults {}  poison {}  pcp {}",
-                cfg.seed, cfg.ops, cfg.faults, cfg.poison, cfg.pcp
+                "torture run: seed {}  ops {}  faults {}  poison {}  migrate {}  pcp {}",
+                cfg.seed, cfg.ops, cfg.faults, cfg.poison, cfg.migrate, cfg.pcp
             );
             let ops = generate_ops(&cfg);
             (cfg, ops)

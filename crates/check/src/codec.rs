@@ -1015,3 +1015,23 @@ pub fn read_vm_file(path: &std::path::Path) -> DecodeResult<VmSnapshot> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
     decode_vm_file(&text)
 }
+
+/// [`contig_virt::GuestStateCodec`] over the versioned JSON snapshot codec:
+/// the guest OS crosses the migration wire as exactly the bytes a snapshot
+/// export would produce, so the stop-and-copy state chunk needs no second
+/// serialization format.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SnapshotGuestCodec;
+
+impl contig_virt::GuestStateCodec for SnapshotGuestCodec {
+    fn encode(&self, snap: &SystemSnapshot) -> Vec<u8> {
+        system_to_json(snap).to_line().into_bytes()
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<SystemSnapshot, String> {
+        let text =
+            std::str::from_utf8(bytes).map_err(|e| format!("state chunk not UTF-8: {e}"))?;
+        let v = parse(text).map_err(|e| format!("state chunk not JSON: {e}"))?;
+        system_from_json(&v)
+    }
+}

@@ -12,20 +12,10 @@ use contig_virt::VmSnapshot;
 
 use crate::codec::{system_to_json, vm_to_json};
 
-/// FNV-1a-64 offset basis.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-/// FNV-1a-64 prime.
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// FNV-1a-64 of a byte string.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = FNV_OFFSET;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(FNV_PRIME);
-    }
-    hash
-}
+// The canonical FNV-1a-64 implementation lives in `contig-types` (it also
+// checksums migration transport frames in `contig-virt`); re-exported here so
+// existing `contig_check::fnv1a64` callers keep working.
+pub use contig_types::fnv1a64;
 
 /// Digest of one [`System`](contig_mm::System) image.
 pub fn digest_system(snap: &SystemSnapshot) -> u64 {

@@ -39,8 +39,8 @@ pub mod torture;
 
 pub use codec::{
     decode_vm_file, encode_vm_file, read_vm_file, system_from_json, system_to_json, tlb_from_json,
-    tlb_to_json, vm_from_json, vm_to_json, write_vm_file, SNAPSHOT_FORMAT, SNAPSHOT_MIN_VERSION,
-    SNAPSHOT_VERSION,
+    tlb_to_json, vm_from_json, vm_to_json, write_vm_file, SnapshotGuestCodec, SNAPSHOT_FORMAT,
+    SNAPSHOT_MIN_VERSION, SNAPSHOT_VERSION,
 };
 pub use digest::{digest_system, digest_vm, fnv1a64};
 pub use json::Json;

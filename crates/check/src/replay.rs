@@ -78,6 +78,15 @@ fn op_to_json(op: &TortureOp) -> Json {
             ("seed", Json::num(seed)),
         ]),
         TortureOp::ClearPoison => obj(vec![("op", Json::Str("clear_poison".into()))]),
+        TortureOp::Migrate { seed } => {
+            obj(vec![("op", Json::Str("migrate".into())), ("seed", Json::num(seed))])
+        }
+        TortureOp::SetTransport { rate_ppm, seed } => obj(vec![
+            ("op", Json::Str("set_transport".into())),
+            ("rate_ppm", Json::num(rate_ppm)),
+            ("seed", Json::num(seed)),
+        ]),
+        TortureOp::ClearTransport => obj(vec![("op", Json::Str("clear_transport".into()))]),
     }
 }
 
@@ -128,6 +137,13 @@ fn op_from_json(v: &Json) -> Result<TortureOp, String> {
             seed: get_u64(v, "seed")?,
         },
         "clear_poison" => TortureOp::ClearPoison,
+        "migrate" => TortureOp::Migrate { seed: get_u64(v, "seed")? },
+        "set_transport" => TortureOp::SetTransport {
+            rate_ppm: u32::try_from(get_u64(v, "rate_ppm")?)
+                .map_err(|_| "rate_ppm out of range")?,
+            seed: get_u64(v, "seed")?,
+        },
+        "clear_transport" => TortureOp::ClearTransport,
         other => return Err(format!("unknown op `{other}`")),
     })
 }
@@ -154,6 +170,7 @@ pub fn encode_repro(cfg: &TortureConfig, ops: &[TortureOp]) -> String {
         ),
         ("inject_model_bug", Json::Bool(cfg.inject_model_bug)),
         ("poison", Json::Bool(cfg.poison)),
+        ("migrate", Json::Bool(cfg.migrate)),
         ("pcp", Json::Bool(cfg.pcp)),
     ]);
     let mut out = header.to_line();
@@ -210,6 +227,9 @@ pub fn decode_repro(text: &str) -> Result<(TortureConfig, Vec<TortureOp>), Strin
         // Absent in repro files written before the hwpoison subsystem:
         // default off so old artifacts replay byte-identically.
         poison: header.get("poison").and_then(Json::as_bool).unwrap_or(false),
+        // Absent in repro files written before live migration: default off
+        // so old artifacts replay byte-identically.
+        migrate: header.get("migrate").and_then(Json::as_bool).unwrap_or(false),
         pcp: header.get("pcp").and_then(Json::as_bool).unwrap_or(false),
     };
     let mut ops = Vec::new();
@@ -271,6 +291,9 @@ mod tests {
             TortureOp::SoftOffline { host: true, sel: 15 },
             TortureOp::SetPoison { host: false, rate_ppm: 16, seed: 17 },
             TortureOp::ClearPoison,
+            TortureOp::Migrate { seed: 18 },
+            TortureOp::SetTransport { rate_ppm: 19, seed: 20 },
+            TortureOp::ClearTransport,
         ];
         let text = encode_repro(&cfg, &ops);
         let (cfg2, ops2) = decode_repro(&text).unwrap();

@@ -38,8 +38,14 @@ use contig_trace::TraceSession;
 use contig_types::{
     splitmix64, FailMode, FailPolicy, Pfn, PoisonMode, PoisonPolicy, VirtAddr, VirtRange,
 };
-use contig_virt::{VirtualMachine, VmConfig, VmSnapshot};
+use contig_trace::Tracer;
+use contig_types::{TransportMode, TransportPolicy};
+use contig_virt::{
+    migrate_with_retries, LoopbackTransport, MigrationConfig, MigrationOutcome, MigrationSession,
+    MigrationStats, MigrationTarget, Transport, VirtualMachine, VmConfig, VmSnapshot,
+};
 
+use crate::codec::SnapshotGuestCodec;
 use crate::digest::digest_vm;
 
 /// First guest virtual address the generator maps at.
@@ -59,6 +65,13 @@ const MAX_FAULT_PPM: u32 = 150_000;
 /// Poison-storm probability cap (ppm per op boundary). Quarantined frames
 /// never come back, so the rate must keep a long run from eating the machine.
 const MAX_POISON_PPM: u32 = 2_000;
+/// Transport-fault storm cap (ppm per wire frame). High enough that storms
+/// force retries, rejects, stalls, and the occasional abort-and-rollback;
+/// low enough that most migrations still converge inside the resume budget.
+const MAX_TRANSPORT_PPM: u32 = 200_000;
+/// Checkpointed-resume budget per migration: fresh transports handed to a
+/// failed session before the runner escalates to abort-and-rollback.
+const MIGRATE_ATTEMPTS: u32 = 3;
 
 /// One generated operation against the stack.
 ///
@@ -149,6 +162,27 @@ pub enum TortureOp {
     },
     /// Disarm poison injection on both dimensions.
     ClearPoison,
+    /// Live-migrate the VM to a fresh destination host through the armed
+    /// transport (reliable when none is armed). A completed migration swaps
+    /// the runner onto the destination after proving its digest equals an
+    /// uninterrupted reliable baseline's; an aborted one rolls the
+    /// destination back and keeps running on the source.
+    Migrate {
+        /// Seeds the per-round concurrent-guest-write script and
+        /// decorrelates this migration's transport stream from the next's.
+        seed: u64,
+    },
+    /// Arm a seeded transport-fault storm consulted by every subsequent
+    /// migration's wire (drops, corruption, stalls, disconnects).
+    SetTransport {
+        /// Total fault probability in ppm (clamped to a convergence-safe
+        /// cap), split across the four fault kinds.
+        rate_ppm: u32,
+        /// Storm RNG seed.
+        seed: u64,
+    },
+    /// Disarm the transport storm; migrations run on a reliable wire.
+    ClearTransport,
 }
 
 /// Configuration of one torture run.
@@ -168,6 +202,10 @@ pub struct TortureConfig {
     /// soft-offlines). Off by default so poison-free op streams stay
     /// bit-identical to pre-poison builds.
     pub poison: bool,
+    /// Whether the generator emits live-migration and transport-storm ops.
+    /// Off by default so migration-free op streams stay bit-identical to
+    /// pre-migration builds.
+    pub migrate: bool,
     /// Enable per-CPU frame caches in both dimensions.
     pub pcp: bool,
     /// Run the oracle sweep every this many ops.
@@ -193,6 +231,7 @@ impl Default for TortureConfig {
             host_mib: 64,
             faults: true,
             poison: false,
+            migrate: false,
             pcp: false,
             sweep_interval: 32,
             audit_interval: 128,
@@ -238,6 +277,16 @@ pub enum TortureFailure {
         /// Digest of the restored-and-replayed state.
         actual: u64,
     },
+    /// A live migration broke an invariant: a resumed run's destination
+    /// digest diverged from the uninterrupted baseline's, a rollback leaked
+    /// destination frames or left an unclean audit, or the engine failed
+    /// with a terminal error a lossy wire can never legitimately cause.
+    MigrationFailure {
+        /// Index of the `Migrate` op.
+        op_index: usize,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
 }
 
 impl TortureFailure {
@@ -247,6 +296,7 @@ impl TortureFailure {
             TortureFailure::OracleDivergence { .. } => "oracle-divergence",
             TortureFailure::AuditFindings { .. } => "audit-findings",
             TortureFailure::CrashDivergence { .. } => "crash-divergence",
+            TortureFailure::MigrationFailure { .. } => "migration-failure",
         }
     }
 
@@ -255,7 +305,8 @@ impl TortureFailure {
         match self {
             TortureFailure::OracleDivergence { op_index, .. }
             | TortureFailure::AuditFindings { op_index, .. }
-            | TortureFailure::CrashDivergence { op_index, .. } => *op_index,
+            | TortureFailure::CrashDivergence { op_index, .. }
+            | TortureFailure::MigrationFailure { op_index, .. } => *op_index,
         }
     }
 }
@@ -295,9 +346,19 @@ pub struct TortureReport {
     pub poisoned_frames: u64,
     /// Machine-checks delivered to guest mappings by host-dimension strikes.
     pub guest_mces: u64,
-    /// Whether `poison.*` trace probes were live for this run (they are
-    /// attached whenever [`TortureConfig::poison`] is set and the `probes`
-    /// feature is compiled in).
+    /// Live migrations that completed cutover (the runner now executes on
+    /// the destination).
+    pub migrations: u64,
+    /// Live migrations that escalated to abort-and-rollback.
+    pub migration_aborts: u64,
+    /// Migration engine counters summed over every live migration attempt
+    /// (baseline runs and crash replays are untraced and excluded, so these
+    /// totals equal the `migrate.*` trace counts one for one).
+    pub migrate_stats: MigrationStats,
+    /// Whether `poison.*`/`migrate.*` trace probes were live for this run
+    /// (they are attached whenever [`TortureConfig::poison`] or
+    /// [`TortureConfig::migrate`] is set and the `probes` feature is
+    /// compiled in).
     pub trace_enabled: bool,
     /// Whole-run `poison.event` trace total (0 unless `trace_enabled`).
     pub trace_strikes: u64,
@@ -307,6 +368,10 @@ pub struct TortureReport {
     pub trace_heal_failures: u64,
     /// Whole-run `poison.sigbus` trace total.
     pub trace_sigbus: u64,
+    /// Whole-run `migrate.*` trace totals, counter for counter (all zero
+    /// unless `trace_enabled`). The acceptance bar is
+    /// `trace_migrate == migrate_stats`, exactly.
+    pub trace_migrate: MigrationStats,
     /// Digest of the final state.
     pub final_digest: u64,
     /// First failure detected, if any. Checking stops at the first failure
@@ -347,12 +412,20 @@ struct RunnerState {
     cursors: BTreeMap<u32, u64>,
     /// The flat model: `(pid, page va)` → expectation.
     oracle: BTreeMap<(u32, u64), PageExpect>,
+    /// Armed transport storm as `(rate_ppm, seed)`. Each migration derives
+    /// a *fresh* policy from these plus its own op seed, so migrations stay
+    /// deterministic per op and checkpoint restores replay identically.
+    transport: Option<(u32, u64)>,
 }
 
 struct Exec {
     vm: VirtualMachine,
     st: RunnerState,
-    inject_model_bug: bool,
+    cfg: TortureConfig,
+    /// Trace handle `migrate.*` probes emit to. Live runs share the trace
+    /// session's tracer; baselines and crash replays keep it disabled so
+    /// trace totals count live work exactly once.
+    tracer: Tracer,
     report: TortureReport,
 }
 
@@ -369,7 +442,8 @@ impl Exec {
         Self {
             vm,
             st: RunnerState::default(),
-            inject_model_bug: cfg.inject_model_bug,
+            cfg: *cfg,
+            tracer: Tracer::disabled(),
             report: TortureReport::default(),
         }
     }
@@ -547,7 +621,7 @@ impl Exec {
                 // With `inject_model_bug` set, the dead process's oracle
                 // entries are deliberately left behind, so the next sweep
                 // finds stale state — the seeded bug the minimizer shrinks.
-                if !self.inject_model_bug {
+                if !self.cfg.inject_model_bug {
                     let keys: Vec<_> = self
                         .st
                         .oracle
@@ -612,6 +686,11 @@ impl Exec {
                 self.vm.guest_mut().clear_poison_policy();
                 self.vm.host_mut().clear_poison_policy();
             }
+            TortureOp::Migrate { seed } => self.migrate_vm(seed),
+            TortureOp::SetTransport { rate_ppm, seed } => {
+                self.st.transport = Some((rate_ppm % MAX_TRANSPORT_PPM, seed));
+            }
+            TortureOp::ClearTransport => self.st.transport = None,
         }
         // Op boundaries are the well-defined strike points of an armed poison
         // storm (free when no policy is armed, which is the default).
@@ -620,6 +699,161 @@ impl Exec {
         }
         if let Some(out) = self.vm.guest_mut().poison_tick() {
             self.learn_guest_strike(out.action);
+        }
+    }
+
+    fn vm_config(&self) -> VmConfig {
+        VmConfig::with_mib(self.cfg.guest_mib, self.cfg.host_mib)
+    }
+
+    fn fail_migration(&mut self, op_index: usize, detail: String) {
+        if self.report.failure.is_none() {
+            self.report.failure =
+                Some(TortureFailure::MigrationFailure { op_index, detail });
+        }
+    }
+
+    /// Executes one `Migrate` op.
+    ///
+    /// The check is differential: first an uninterrupted migration of a
+    /// restored *copy* of the source over a reliable wire establishes the
+    /// baseline destination digest; then the real migration runs on the
+    /// live VM through the armed storm with a bounded checkpointed-resume
+    /// budget. A completed real run must hit the baseline digest exactly —
+    /// however many chunks were dropped, corrupted, or re-sent and however
+    /// many times the session was resumed — and the runner then executes on
+    /// the destination. An aborted run must leave the source serving faults
+    /// with a clean audit and the destination host fully freed.
+    ///
+    /// Everything is a pure function of `(VM state, op seed, armed storm)`,
+    /// so a crash replay re-executes the migration bit-identically.
+    fn migrate_vm(&mut self, seed: u64) {
+        let op_index = self.report.ops_executed.saturating_sub(1);
+        let codec = SnapshotGuestCodec;
+        let mcfg = MigrationConfig::default();
+        // The concurrent-guest-write script both runs share: a pure
+        // function of (op seed, round), targeting the VMAs live at
+        // migration start. Errors (injected allocator pressure) are
+        // tolerated — the baseline replays the identical outcome.
+        let vmas = self.st.vmas.clone();
+        let script = move |vm: &mut VirtualMachine, round: u32| {
+            if vmas.is_empty() {
+                return;
+            }
+            let mut rng =
+                seed ^ (u64::from(round) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            for _ in 0..4 {
+                let rec = vmas[(splitmix64(&mut rng) as usize) % vmas.len()];
+                let va =
+                    VirtAddr::new(rec.start + (splitmix64(&mut rng) % rec.pages) * 4096);
+                let _ = vm.touch_write(rec.pid, va);
+            }
+        };
+        let src_snap = self.vm.snapshot();
+        let baseline_digest = {
+            let mut src = VirtualMachine::new(
+                self.vm_config(),
+                Box::new(DefaultThpPolicy),
+                Box::new(DefaultThpPolicy),
+            );
+            src.restore(&src_snap);
+            let mut dst = MigrationTarget::new(
+                self.vm_config(),
+                Box::new(DefaultThpPolicy),
+                Box::new(DefaultThpPolicy),
+            );
+            let mut session = MigrationSession::new(mcfg, Tracer::disabled());
+            let mut wire = LoopbackTransport::reliable();
+            match session.run(&mut src, &mut dst, &mut wire, &codec, script.clone()) {
+                Ok(_) => digest_vm(&dst.into_vm().snapshot()),
+                Err(e) => {
+                    self.fail_migration(op_index, format!("reliable baseline failed: {e}"));
+                    return;
+                }
+            }
+        };
+        let transport = self.st.transport;
+        let make_transport = move |attempt: u32| -> Box<dyn Transport> {
+            match transport {
+                None => Box::new(LoopbackTransport::reliable()),
+                Some((rate_ppm, tseed)) => {
+                    // Fresh stream per (migration, attempt): deterministic
+                    // per op, decorrelated across ops and resumes.
+                    let stream = tseed ^ seed.rotate_left(17) ^ (u64::from(attempt) << 56);
+                    Box::new(LoopbackTransport::new(TransportPolicy::new(
+                        TransportMode::storm(rate_ppm, stream),
+                    )))
+                }
+            }
+        };
+        let target = MigrationTarget::new(
+            self.vm_config(),
+            Box::new(DefaultThpPolicy),
+            Box::new(DefaultThpPolicy),
+        );
+        let outcome = migrate_with_retries(
+            mcfg,
+            &mut self.vm,
+            target,
+            &codec,
+            make_transport,
+            script,
+            MIGRATE_ATTEMPTS,
+            self.tracer.clone(),
+        );
+        match outcome {
+            MigrationOutcome::Completed { report, vm } => {
+                self.report.migrations += 1;
+                self.report.migrate_stats.add(&report.stats);
+                let got = digest_vm(&vm.snapshot());
+                if got != baseline_digest {
+                    self.fail_migration(
+                        op_index,
+                        format!(
+                            "destination digest {got:#x} != uninterrupted baseline \
+                             {baseline_digest:#x} after {} resumes",
+                            report.stats.resumes
+                        ),
+                    );
+                }
+                self.vm = *vm;
+                self.vm.set_tracer(self.tracer.clone());
+                // The guest dimension carried its pcp layer across in the
+                // state chunk; only the fresh destination host needs one.
+                if self.cfg.pcp {
+                    self.vm.host_mut().enable_pcp(PcpConfig::with_cpus(1));
+                }
+                let audit = audit_vm(&self.vm);
+                if !audit.is_clean() {
+                    self.fail_migration(op_index, format!("post-cutover destination: {audit}"));
+                }
+            }
+            MigrationOutcome::Aborted { error, stats, release } => {
+                self.report.migration_aborts += 1;
+                self.report.migrate_stats.add(&stats);
+                if !error.is_resumable() {
+                    self.fail_migration(op_index, format!("terminal engine error: {error}"));
+                }
+                if !release.fully_free {
+                    self.fail_migration(
+                        op_index,
+                        format!(
+                            "rollback leaked destination frames (freed {})",
+                            release.freed_frames
+                        ),
+                    );
+                }
+                let audit = audit_vm(&self.vm);
+                if !audit.is_clean() {
+                    self.fail_migration(op_index, format!("post-abort source: {audit}"));
+                }
+            }
+        }
+        // The write script ran against the live source: re-teach the
+        // oracle whatever COW breaks and fresh mappings it caused.
+        let pids = self.st.pids.clone();
+        for pid in pids {
+            self.sync_pid(pid);
         }
     }
 
@@ -743,6 +977,14 @@ pub fn generate_ops(cfg: &TortureConfig) -> Vec<TortureOp> {
                 seed: a,
             },
             5 if cfg.poison => TortureOp::ClearPoison,
+            // With migration enabled, carve migrate/transport ops out of the
+            // same touch-heavy band; migration-free streams are untouched.
+            6 if cfg.migrate => TortureOp::Migrate { seed: b },
+            7..=8 if cfg.migrate => TortureOp::SetTransport {
+                rate_ppm: (b % u64::from(MAX_TRANSPORT_PPM)) as u32,
+                seed: a,
+            },
+            9 if cfg.migrate => TortureOp::ClearTransport,
             0..=29 => TortureOp::Touch { sel: a, page: b },
             30..=49 => TortureOp::TouchWrite { sel: a, page: b },
             50..=61 => TortureOp::MapAnon { sel: a, pages: b },
@@ -770,13 +1012,15 @@ pub fn generate_ops(cfg: &TortureConfig) -> Vec<TortureOp> {
 /// is the generate-then-run convenience wrapper.
 pub fn run_ops(cfg: &TortureConfig, ops: &[TortureOp]) -> TortureReport {
     let mut exec = Exec::new(cfg);
-    // With poison on, watch the `poison.*` probes so the report can prove
-    // trace totals equal the stats ledgers. The ring is kept small — only
-    // the metrics registry (exact whole-run counters) is read back. Crash
-    // replays run untraced, so replayed strikes never double-count.
-    let session = if cfg.poison {
+    // With poison or migration on, watch the `poison.*`/`migrate.*` probes
+    // so the report can prove trace totals equal the stats ledgers. The
+    // ring is kept small — only the metrics registry (exact whole-run
+    // counters) is read back. Crash replays and migration baselines run
+    // untraced, so replayed work never double-counts.
+    let session = if cfg.poison || cfg.migrate {
         let session = TraceSession::ring(1024);
         exec.vm.set_tracer(session.tracer());
+        exec.tracer = session.tracer();
         Some(session)
     } else {
         None
@@ -836,6 +1080,21 @@ pub fn run_ops(cfg: &TortureConfig, ops: &[TortureOp]) -> TortureReport {
         exec.report.trace_heals = metrics.counter("poison.heal");
         exec.report.trace_heal_failures = metrics.counter("poison.heal_failed");
         exec.report.trace_sigbus = metrics.counter("poison.sigbus");
+        exec.report.trace_migrate = MigrationStats {
+            chunks_sent: metrics.counter("migrate.chunk_sent"),
+            chunks_acked: metrics.counter("migrate.chunk_acked"),
+            chunks_rejected: metrics.counter("migrate.chunk_rejected"),
+            chunks_dropped: metrics.counter("migrate.chunk_dropped"),
+            acks_lost: metrics.counter("migrate.ack_lost"),
+            retries: metrics.counter("migrate.retry"),
+            stalls: metrics.counter("migrate.stall"),
+            rounds: metrics.counter("migrate.round"),
+            timeouts: metrics.counter("migrate.timeout"),
+            disconnects: metrics.counter("migrate.disconnect"),
+            resumes: metrics.counter("migrate.resume"),
+            aborts: metrics.counter("migrate.abort"),
+            cutovers: metrics.counter("migrate.cutover"),
+        };
     }
     exec.report
 }
@@ -993,6 +1252,85 @@ mod tests {
                 report.trace_sigbus,
                 report.guest_poison.sigbus + report.host_poison.sigbus
             );
+        }
+    }
+
+    #[test]
+    fn migration_torture_is_deterministic_and_stats_match_trace() {
+        let cfg = TortureConfig {
+            migrate: true,
+            ..TortureConfig::with_seed_and_ops(21, 800)
+        };
+        let a = run_torture(&cfg);
+        let b = run_torture(&cfg);
+        assert!(a.is_ok(), "{:?}", a.failure);
+        assert_eq!(a.final_digest, b.final_digest);
+        assert_eq!(a.migrations, b.migrations);
+        assert_eq!(a.migrate_stats, b.migrate_stats);
+        assert!(
+            a.migrations + a.migration_aborts > 0,
+            "the generator never migrated"
+        );
+        if a.trace_enabled {
+            assert_eq!(a.migrate_stats, a.trace_migrate);
+        }
+    }
+
+    #[test]
+    fn migration_survives_crash_replay_boundaries() {
+        // Crash checks replay journaled ops — including whole migrations —
+        // from the last checkpoint and demand digest equality with the
+        // never-crashed state, so a migration that is not a pure function
+        // of (VM state, op seed, armed storm) diverges here.
+        let cfg = TortureConfig {
+            migrate: true,
+            crash_interval: Some(37),
+            snapshot_interval: 16,
+            ..TortureConfig::with_seed_and_ops(42, 600)
+        };
+        let report = run_torture(&cfg);
+        assert!(report.is_ok(), "{:?}", report.failure);
+        assert!(report.crash_checks > 0);
+        assert!(report.migrations + report.migration_aborts > 0);
+    }
+
+    #[test]
+    fn acceptance_migration_storm_10k_ops_full_stack() {
+        // The PR's acceptance bar: a seeded 10 000-op run mixing live
+        // migrations, transport-fault storms, memory poison, pcp caches,
+        // and guest fault injection completes with zero findings — which,
+        // given the checks wired into the `Migrate` op itself, means every
+        // aborted migration left the source serving faults and both hosts
+        // audit-clean, and every completed (possibly interrupted-and-
+        // resumed) migration produced a destination digest bit-identical
+        // to its uninterrupted reliable baseline. The migration engine's
+        // stats ledger must equal the `migrate.*` trace totals counter for
+        // counter.
+        let cfg = TortureConfig {
+            poison: true,
+            migrate: true,
+            pcp: true,
+            sweep_interval: 256,
+            audit_interval: 512,
+            snapshot_interval: 256,
+            crash_interval: Some(1021),
+            ..TortureConfig::with_seed_and_ops(2020, 10_000)
+        };
+        let report = run_torture(&cfg);
+        assert!(report.is_ok(), "{:?}", report.failure);
+        assert_eq!(report.ops_executed, 10_000);
+        assert!(report.migrations > 0, "no migration ever completed");
+        assert!(
+            report.migrate_stats.chunks_dropped
+                + report.migrate_stats.chunks_rejected
+                + report.migrate_stats.stalls
+                > 0,
+            "the transport storm never bit: {:?}",
+            report.migrate_stats
+        );
+        assert!(report.crash_checks > 0);
+        if report.trace_enabled {
+            assert_eq!(report.migrate_stats, report.trace_migrate);
         }
     }
 

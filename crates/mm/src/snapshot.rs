@@ -244,6 +244,7 @@ impl System {
             backoff_rng: snap.backoff_rng,
             poison_policy: snap.poison_policy.clone(),
             poison_stats: snap.poison_stats,
+            dirty_log: None,
             tracer: Tracer::disabled(),
         }
     }

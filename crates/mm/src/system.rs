@@ -120,6 +120,12 @@ pub struct System {
     pub(crate) poison_policy: PoisonPolicy,
     /// Cumulative memory-failure counters.
     pub(crate) poison_stats: PoisonStats,
+    /// Live-migration dirty-frame log: frames whose content changed since
+    /// the log was enabled (fresh mappings, COW copies, write touches).
+    /// `None` (the default) costs nothing on the fault path. Transient by
+    /// design — snapshots do not capture it and [`System::restore`] clears
+    /// it, because a migration epoch never spans a checkpoint.
+    pub(crate) dirty_log: Option<std::collections::BTreeSet<u64>>,
     /// Observability probes over the fault path; disabled by default.
     pub(crate) tracer: Tracer,
 }
@@ -143,6 +149,7 @@ impl System {
             backoff_rng: config.recovery.backoff_seed,
             poison_policy: PoisonPolicy::never(),
             poison_stats: PoisonStats::default(),
+            dirty_log: None,
             tracer: Tracer::disabled(),
         }
     }
@@ -351,6 +358,47 @@ impl System {
         self.machine.clear_fail_policy();
     }
 
+    /// Starts dirty-frame logging for live migration: from now on every
+    /// frame whose content changes — a fresh mapping installed, a COW copy
+    /// taken, a write touch on a present page — is recorded. This is the
+    /// simulator's analogue of KVM's dirty bitmap: the hypervisor already
+    /// intercepts every guest memory access as a fault or touch, so the
+    /// WRITE-bit/COW machinery doubles as the dirty tracker. Enabling an
+    /// already-enabled log just clears it (a fresh epoch).
+    pub fn enable_dirty_log(&mut self) {
+        self.dirty_log = Some(std::collections::BTreeSet::new());
+    }
+
+    /// Stops dirty-frame logging and discards the pending set.
+    pub fn disable_dirty_log(&mut self) {
+        self.dirty_log = None;
+    }
+
+    /// Whether dirty-frame logging is active.
+    pub fn dirty_log_enabled(&self) -> bool {
+        self.dirty_log.is_some()
+    }
+
+    /// Harvests the dirty set accumulated since [`System::enable_dirty_log`]
+    /// (or the previous harvest), sorted ascending, and starts a fresh
+    /// epoch. Returns an empty vector while logging is disabled.
+    pub fn take_dirty_frames(&mut self) -> Vec<u64> {
+        match &mut self.dirty_log {
+            Some(set) => std::mem::take(set).into_iter().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Records frames `[pfn, pfn + size)` as dirtied. No-op while logging
+    /// is disabled, keeping the default fault path free of overhead.
+    pub(crate) fn mark_dirty(&mut self, pfn: Pfn, size: PageSize) {
+        if let Some(set) = &mut self.dirty_log {
+            for frame in pfn.raw()..pfn.raw() + size.base_pages() {
+                set.insert(frame);
+            }
+        }
+    }
+
     /// Like [`System::touch`], but failures are wrapped in [`ContigError`]
     /// carrying the faulting pid and VMA for cross-layer diagnosis.
     ///
@@ -409,7 +457,12 @@ impl System {
         let translation = self.processes[&pid].page_table().translate(va);
         match translation {
             Ok(t) if t.flags.contains(PteFlags::COW) => self.fault(policy, pid, va, FaultKind::Cow),
-            Ok(t) => Ok(FaultOutcome { pfn: t.pfn, size: t.size, already_mapped: true }),
+            Ok(t) => {
+                // Already writable: content still changes, so the migration
+                // dirty log (when armed) must see the store.
+                self.mark_dirty(t.pfn, t.size);
+                Ok(FaultOutcome { pfn: t.pfn, size: t.size, already_mapped: true })
+            }
             Err(_) => self.fault(policy, pid, va, FaultKind::Anon),
         }
     }
@@ -460,6 +513,13 @@ impl System {
             FaultKind::FileRead => self.file_fault(policy, pid, vma_id, va),
             FaultKind::Anon => self.anon_fault(policy, pid, vma_id, va),
         };
+        if let Ok(out) = &result {
+            if !out.already_mapped {
+                // Fresh mapping or COW copy: the frame's content was just
+                // (re)initialized — dirty from the migration log's view.
+                self.mark_dirty(out.pfn, out.size);
+            }
+        }
         if traced {
             match &result {
                 Ok(out) if !out.already_mapped => {

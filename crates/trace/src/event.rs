@@ -343,6 +343,101 @@ pub enum TraceEvent {
         /// Guest-physical address whose host backing was poisoned.
         gpa: u64,
     },
+    /// `migrate.chunk_sent` — a migration data chunk went onto the wire
+    /// (counted per transmission attempt, so retries re-emit).
+    MigrateChunkSent {
+        /// Chunk sequence number, unique per migration.
+        seq: u64,
+        /// Pre-copy round the chunk belongs to (`u32::MAX` pseudo-rounds are
+        /// never emitted; stop-and-copy uses the final round number).
+        round: u32,
+        /// Guest-frame records in the chunk (0 for the guest-state chunk).
+        pages: u64,
+    },
+    /// `migrate.chunk_acked` — the destination acknowledged a chunk and the
+    /// acknowledgment made it back to the source.
+    MigrateChunkAcked {
+        /// Acknowledged chunk sequence number.
+        seq: u64,
+    },
+    /// `migrate.chunk_rejected` — a chunk arrived but failed its FNV-1a-64
+    /// digest (injected corruption); the destination discarded it.
+    MigrateChunkRejected {
+        /// Rejected chunk sequence number (`u64::MAX` when the frame was too
+        /// mangled to parse a sequence number out of).
+        seq: u64,
+    },
+    /// `migrate.chunk_dropped` — the transport silently swallowed a data
+    /// chunk; the source times it out and retries.
+    MigrateChunkDropped {
+        /// Dropped chunk sequence number.
+        seq: u64,
+    },
+    /// `migrate.ack_lost` — the destination applied a chunk but its
+    /// acknowledgment was dropped or mangled in flight; the source must
+    /// retransmit and the destination must re-apply idempotently.
+    MigrateAckLost {
+        /// Sequence number whose acknowledgment was lost.
+        seq: u64,
+    },
+    /// `migrate.retry` — the source re-queued a chunk after a lost frame,
+    /// paying the jittered exponential backoff.
+    MigrateRetry {
+        /// Retried chunk sequence number.
+        seq: u64,
+        /// Retry attempt, counting from 1.
+        attempt: u32,
+        /// Backoff the sender's clock paid before this attempt, ns.
+        backoff_ns: u64,
+    },
+    /// `migrate.stall` — the transport delivered a frame late; the sender's
+    /// clock paid the injected delay.
+    MigrateStall {
+        /// Injected delay beyond base latency, ns.
+        ns: u64,
+    },
+    /// `migrate.round` — a pre-copy round fully acknowledged.
+    MigrateRound {
+        /// The completed round, counting from 0.
+        round: u32,
+        /// Dirty pages discovered for the next round.
+        dirty: u64,
+    },
+    /// `migrate.timeout` — a phase blew its time budget; the migration
+    /// errored out (resumable).
+    MigrateTimeout {
+        /// Round the timeout hit.
+        round: u32,
+    },
+    /// `migrate.disconnect` — the transport closed mid-migration; the
+    /// migration errored out (resumable on a fresh transport).
+    MigrateDisconnect {
+        /// Round the disconnect hit.
+        round: u32,
+    },
+    /// `migrate.resume` — a checkpointed migration picked up again from its
+    /// last acknowledged state on a fresh transport.
+    MigrateResume {
+        /// Round the migration resumed into.
+        round: u32,
+    },
+    /// `migrate.abort` — the migration was abandoned: the destination's
+    /// resources were fully released and the source resumed exclusive
+    /// service.
+    MigrateAbort {
+        /// Round the abort hit.
+        round: u32,
+    },
+    /// `migrate.cutover` — stop-and-copy finished and the destination took
+    /// over; the source VM is now stale.
+    MigrateCutover {
+        /// Pre-copy rounds the migration took (stop-and-copy excluded).
+        rounds: u32,
+        /// Unique guest pages transferred.
+        pages: u64,
+        /// Stop-and-copy downtime, simulated ns.
+        downtime_ns: u64,
+    },
     /// `audit.report` — a cross-layer invariant audit ran.
     AuditReport {
         /// Number of violations found (0 for a clean system).
@@ -398,6 +493,19 @@ impl TraceEvent {
             TraceEvent::PoisonSigbus { .. } => "poison.sigbus",
             TraceEvent::PoisonSoftOffline { .. } => "poison.soft_offline",
             TraceEvent::PoisonGuestMce { .. } => "poison.guest_mce",
+            TraceEvent::MigrateChunkSent { .. } => "migrate.chunk_sent",
+            TraceEvent::MigrateChunkAcked { .. } => "migrate.chunk_acked",
+            TraceEvent::MigrateChunkRejected { .. } => "migrate.chunk_rejected",
+            TraceEvent::MigrateChunkDropped { .. } => "migrate.chunk_dropped",
+            TraceEvent::MigrateAckLost { .. } => "migrate.ack_lost",
+            TraceEvent::MigrateRetry { .. } => "migrate.retry",
+            TraceEvent::MigrateStall { .. } => "migrate.stall",
+            TraceEvent::MigrateRound { .. } => "migrate.round",
+            TraceEvent::MigrateTimeout { .. } => "migrate.timeout",
+            TraceEvent::MigrateDisconnect { .. } => "migrate.disconnect",
+            TraceEvent::MigrateResume { .. } => "migrate.resume",
+            TraceEvent::MigrateAbort { .. } => "migrate.abort",
+            TraceEvent::MigrateCutover { .. } => "migrate.cutover",
             TraceEvent::TlbMiss { .. } => "tlb.miss",
             TraceEvent::AuditReport { .. } => "audit.report",
             TraceEvent::TimelinePoint { .. } => "metrics.timeline_point",
@@ -405,8 +513,8 @@ impl TraceEvent {
     }
 
     /// The subsystem prefix of [`TraceEvent::name`] (`buddy`, `mm`,
-    /// `recovery`, `ca`, `virt`, `poison`, `tlb`, `audit`, `inject`,
-    /// `metrics`).
+    /// `recovery`, `ca`, `virt`, `poison`, `migrate`, `tlb`, `audit`,
+    /// `inject`, `metrics`).
     pub fn subsystem(&self) -> &'static str {
         let name = self.name();
         name.split_once('.').map_or(name, |(sub, _)| sub)

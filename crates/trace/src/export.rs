@@ -157,6 +157,33 @@ fn fields(event: &TraceEvent) -> Vec<(&'static str, Value)> {
             ("va", V::U64(va)),
             ("gpa", V::U64(gpa)),
         ],
+        E::MigrateChunkSent { seq, round, pages } => vec![
+            ("chunk", V::U64(seq)),
+            ("round", V::U64(round.into())),
+            ("pages", V::U64(pages)),
+        ],
+        E::MigrateChunkAcked { seq } => vec![("chunk", V::U64(seq))],
+        E::MigrateChunkRejected { seq } => vec![("chunk", V::U64(seq))],
+        E::MigrateChunkDropped { seq } => vec![("chunk", V::U64(seq))],
+        E::MigrateAckLost { seq } => vec![("chunk", V::U64(seq))],
+        E::MigrateRetry { seq, attempt, backoff_ns } => vec![
+            ("chunk", V::U64(seq)),
+            ("attempt", V::U64(attempt.into())),
+            ("backoff_ns", V::U64(backoff_ns)),
+        ],
+        E::MigrateStall { ns } => vec![("ns", V::U64(ns))],
+        E::MigrateRound { round, dirty } => {
+            vec![("round", V::U64(round.into())), ("dirty", V::U64(dirty))]
+        }
+        E::MigrateTimeout { round } => vec![("round", V::U64(round.into()))],
+        E::MigrateDisconnect { round } => vec![("round", V::U64(round.into()))],
+        E::MigrateResume { round } => vec![("round", V::U64(round.into()))],
+        E::MigrateAbort { round } => vec![("round", V::U64(round.into()))],
+        E::MigrateCutover { rounds, pages, downtime_ns } => vec![
+            ("rounds", V::U64(rounds.into())),
+            ("pages", V::U64(pages)),
+            ("downtime_ns", V::U64(downtime_ns)),
+        ],
         E::TlbMiss { va, refs, cycles } => vec![
             ("va", V::U64(va)),
             ("refs", V::U64(refs.into())),
@@ -290,6 +317,31 @@ fn event_from(name: &str, f: &FieldMap<'_>) -> Result<TraceEvent, ParseError> {
             pid: f.u32("pid")?,
             va: f.u64("va")?,
             gpa: f.u64("gpa")?,
+        },
+        "migrate.chunk_sent" => E::MigrateChunkSent {
+            seq: f.u64("chunk")?,
+            round: f.u32("round")?,
+            pages: f.u64("pages")?,
+        },
+        "migrate.chunk_acked" => E::MigrateChunkAcked { seq: f.u64("chunk")? },
+        "migrate.chunk_rejected" => E::MigrateChunkRejected { seq: f.u64("chunk")? },
+        "migrate.chunk_dropped" => E::MigrateChunkDropped { seq: f.u64("chunk")? },
+        "migrate.ack_lost" => E::MigrateAckLost { seq: f.u64("chunk")? },
+        "migrate.retry" => E::MigrateRetry {
+            seq: f.u64("chunk")?,
+            attempt: f.u32("attempt")?,
+            backoff_ns: f.u64("backoff_ns")?,
+        },
+        "migrate.stall" => E::MigrateStall { ns: f.u64("ns")? },
+        "migrate.round" => E::MigrateRound { round: f.u32("round")?, dirty: f.u64("dirty")? },
+        "migrate.timeout" => E::MigrateTimeout { round: f.u32("round")? },
+        "migrate.disconnect" => E::MigrateDisconnect { round: f.u32("round")? },
+        "migrate.resume" => E::MigrateResume { round: f.u32("round")? },
+        "migrate.abort" => E::MigrateAbort { round: f.u32("round")? },
+        "migrate.cutover" => E::MigrateCutover {
+            rounds: f.u32("rounds")?,
+            pages: f.u64("pages")?,
+            downtime_ns: f.u64("downtime_ns")?,
         },
         "tlb.miss" => E::TlbMiss {
             va: f.u64("va")?,
@@ -547,6 +599,19 @@ mod tests {
             TraceEvent::PoisonSigbus { pid: 9, va: 0x43_0000, pfn: 301 },
             TraceEvent::PoisonSoftOffline { pfn: 302, migrated: true },
             TraceEvent::PoisonGuestMce { pid: 2, va: 0x44_0000, gpa: 0x9000 },
+            TraceEvent::MigrateChunkSent { seq: 12, round: 1, pages: 64 },
+            TraceEvent::MigrateChunkAcked { seq: 12 },
+            TraceEvent::MigrateChunkRejected { seq: 13 },
+            TraceEvent::MigrateChunkDropped { seq: 14 },
+            TraceEvent::MigrateAckLost { seq: 15 },
+            TraceEvent::MigrateRetry { seq: 14, attempt: 2, backoff_ns: 800 },
+            TraceEvent::MigrateStall { ns: 123_456 },
+            TraceEvent::MigrateRound { round: 1, dirty: 37 },
+            TraceEvent::MigrateTimeout { round: 2 },
+            TraceEvent::MigrateDisconnect { round: 2 },
+            TraceEvent::MigrateResume { round: 2 },
+            TraceEvent::MigrateAbort { round: 3 },
+            TraceEvent::MigrateCutover { rounds: 4, pages: 2048, downtime_ns: 90_000 },
             TraceEvent::TlbMiss { va: 0x2000, refs: 4, cycles: 48 },
             TraceEvent::AuditReport { violations: 0 },
             TraceEvent::TimelinePoint { t: 5, top32: 0.875, mapped_bytes: 1 << 20 },

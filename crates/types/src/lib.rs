@@ -24,13 +24,19 @@
 mod addr;
 mod error;
 mod fail;
+mod hash;
 mod page;
 mod poison;
 mod range;
+mod transport;
 
 pub use addr::{MapOffset, PhysAddr, VirtAddr};
 pub use error::{AllocError, ContigError, ErrorCtx, FaultError, TranslateError};
 pub use fail::{splitmix64, FailMode, FailPolicy};
+pub use hash::fnv1a64;
 pub use poison::{PoisonMode, PoisonPolicy};
+pub use transport::{
+    TransportFault, TransportFaultKind, TransportMode, TransportPolicy, MAX_STALL_NS,
+};
 pub use page::{PageSize, Pfn, Vpn, BASE_PAGE_SHIFT, BASE_PAGE_SIZE, HUGE_PAGE_SHIFT, HUGE_PAGE_SIZE, PAGES_PER_HUGE};
 pub use range::{ContigMapping, PhysRange, VirtRange};

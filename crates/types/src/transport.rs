@@ -1,0 +1,354 @@
+//! Deterministic, seedable transport-fault injection for live migration.
+//!
+//! Live migration streams a VM's memory over a network that drops, corrupts,
+//! delays, and severs connections. This module is the simulator's lossy-wire
+//! generator, in the exact mold of [`crate::FailPolicy`] (allocator faults)
+//! and [`crate::PoisonPolicy`] (memory failures): a [`TransportPolicy`] is
+//! consulted once per frame and returns a [`TransportFault`] verdict drawn
+//! from a seeded splitmix64 stream, bumping counters either way so tests can
+//! assert exact fault totals under a fixed seed. The transport implementation
+//! (`LoopbackTransport` in `contig-virt`) owns what the verdict *does* —
+//! dropping the frame, flipping a byte, adding latency, or closing the
+//! channel.
+//!
+//! # Examples
+//!
+//! ```
+//! use contig_types::{TransportFault, TransportFaultKind, TransportMode, TransportPolicy};
+//!
+//! // Sever the connection on exactly the third frame.
+//! let mut p = TransportPolicy::new(TransportMode::FaultNth {
+//!     n: 3,
+//!     kind: TransportFaultKind::Disconnect,
+//! });
+//! assert_eq!(p.decide(), TransportFault::Deliver);
+//! assert_eq!(p.decide(), TransportFault::Deliver);
+//! assert_eq!(p.decide(), TransportFault::Disconnect);
+//! assert_eq!(p.decide(), TransportFault::Deliver, "one-shot: disarms after firing");
+//!
+//! // A seeded storm is bit-for-bit repeatable.
+//! let mut a = TransportPolicy::new(TransportMode::storm(100_000, 7));
+//! let mut b = TransportPolicy::new(TransportMode::storm(100_000, 7));
+//! for _ in 0..256 {
+//!     assert_eq!(a.decide(), b.decide());
+//! }
+//! ```
+
+use crate::fail::splitmix64;
+
+/// The kind of fault a [`TransportPolicy`] can inject on one frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportFaultKind {
+    /// The frame vanishes; the receiver never sees it.
+    Drop,
+    /// The frame arrives with a byte flipped (caught by the frame digest).
+    Corrupt,
+    /// The frame arrives, but late — the sender's clock pays a stall.
+    Stall,
+    /// The channel closes; every subsequent send fails until reconnect.
+    Disconnect,
+}
+
+/// Per-frame verdict returned by [`TransportPolicy::decide`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportFault {
+    /// Deliver the frame unharmed at base latency.
+    Deliver,
+    /// Discard the frame silently.
+    Drop,
+    /// Deliver the frame with injected corruption.
+    Corrupt,
+    /// Deliver the frame after an extra `ns` of delay.
+    Stall {
+        /// Injected delay, on top of the transport's base latency.
+        ns: u64,
+    },
+    /// Close the channel.
+    Disconnect,
+}
+
+/// Ceiling on an injected stall, per event: 2 ms of simulated time.
+///
+/// Large enough that a storm of stalls blows a phase timeout (the condition
+/// the abort/resume machinery exists for), small enough that a single stall
+/// never does.
+pub const MAX_STALL_NS: u64 = 2_000_000;
+
+/// When a [`TransportPolicy`] injects faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportMode {
+    /// Never inject (the default; the wire is perfect).
+    Reliable,
+    /// Inject `kind` on exactly the `n`-th frame (1-based), once, then
+    /// disarm — the targeted form used by directed tests ("kill the channel
+    /// mid-round-2").
+    FaultNth {
+        /// Frame number to fault, counting from 1.
+        n: u64,
+        /// What happens to that frame.
+        kind: TransportFaultKind,
+    },
+    /// Fault each frame independently, drawing from a splitmix64 stream
+    /// seeded with `seed`. Rates are parts-per-million (`Eq`-friendly, no
+    /// floats) and are evaluated in order: drop, then corrupt, then stall,
+    /// then disconnect, on one draw per frame.
+    Lossy {
+        /// Probability a frame is dropped, in ppm.
+        drop_ppm: u32,
+        /// Probability a frame is corrupted, in ppm.
+        corrupt_ppm: u32,
+        /// Probability a frame is stalled, in ppm.
+        stall_ppm: u32,
+        /// Probability the channel disconnects, in ppm.
+        disconnect_ppm: u32,
+        /// Seed of the deterministic random stream.
+        seed: u64,
+    },
+}
+
+impl TransportMode {
+    /// A storm profile: one aggregate fault rate split across the four kinds
+    /// the way the torture harness arms it — mostly drops (4/10) and
+    /// corruption (3/10), some stalls (2/10), rare disconnects (1/10).
+    pub fn storm(rate_ppm: u32, seed: u64) -> Self {
+        TransportMode::Lossy {
+            drop_ppm: rate_ppm / 10 * 4,
+            corrupt_ppm: rate_ppm / 10 * 3,
+            stall_ppm: rate_ppm / 10 * 2,
+            disconnect_ppm: rate_ppm / 10,
+            seed,
+        }
+    }
+}
+
+/// Deterministic lossy-wire fault generator.
+///
+/// Consulted once per transport frame; decides the frame's fate and draws
+/// any auxiliary randomness (stall length, corruption offset) from the same
+/// stream, so a seeded run mangles the exact same frames every time — the
+/// property migration resume tests and the torture harness rely on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransportPolicy {
+    mode: TransportMode,
+    /// Frames decided (including clean deliveries).
+    frames: u64,
+    /// Faults injected (any non-`Deliver` verdict).
+    faults: u64,
+    /// splitmix64 state for [`TransportMode::Lossy`] and auxiliary draws.
+    rng_state: u64,
+}
+
+impl Default for TransportPolicy {
+    fn default() -> Self {
+        Self::new(TransportMode::Reliable)
+    }
+}
+
+impl TransportPolicy {
+    /// A policy faulting per `mode`.
+    pub fn new(mode: TransportMode) -> Self {
+        let rng_state = match mode {
+            TransportMode::Lossy { seed, .. } => seed,
+            _ => 0,
+        };
+        Self { mode, frames: 0, faults: 0, rng_state }
+    }
+
+    /// Shorthand: a perfect wire.
+    pub fn reliable() -> Self {
+        Self::new(TransportMode::Reliable)
+    }
+
+    /// The mode in force.
+    pub fn mode(&self) -> TransportMode {
+        self.mode
+    }
+
+    /// Whether this policy can still inject (false for
+    /// [`TransportMode::Reliable`] and already-fired one-shot modes).
+    pub fn is_armed(&self) -> bool {
+        match self.mode {
+            TransportMode::Reliable => false,
+            TransportMode::FaultNth { .. } => self.faults == 0,
+            TransportMode::Lossy { .. } => true,
+        }
+    }
+
+    /// Frames decided so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Faults injected so far.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// The internal splitmix64 state, so a checkpoint can capture the
+    /// injector mid-stream.
+    pub fn rng_state(&self) -> u64 {
+        self.rng_state
+    }
+
+    /// Rebuilds a policy captured by a checkpoint: counters and RNG state
+    /// resume exactly where they left off, so a restored run mangles the
+    /// same frames the original would have.
+    pub fn restore(mode: TransportMode, frames: u64, faults: u64, rng_state: u64) -> Self {
+        Self { mode, frames, faults, rng_state }
+    }
+
+    /// Records one frame and decides its fate.
+    pub fn decide(&mut self) -> TransportFault {
+        self.frames += 1;
+        let verdict = match self.mode {
+            TransportMode::Reliable => TransportFault::Deliver,
+            TransportMode::FaultNth { n, kind } => {
+                if self.faults == 0 && self.frames == n {
+                    match kind {
+                        TransportFaultKind::Drop => TransportFault::Drop,
+                        TransportFaultKind::Corrupt => TransportFault::Corrupt,
+                        TransportFaultKind::Stall => TransportFault::Stall { ns: MAX_STALL_NS },
+                        TransportFaultKind::Disconnect => TransportFault::Disconnect,
+                    }
+                } else {
+                    TransportFault::Deliver
+                }
+            }
+            TransportMode::Lossy {
+                drop_ppm,
+                corrupt_ppm,
+                stall_ppm,
+                disconnect_ppm,
+                ..
+            } => {
+                // One draw per frame; rates partition [0, 1e6) in a fixed
+                // order so streams stay aligned when a test sweeps rates
+                // under one seed.
+                let draw = splitmix64(&mut self.rng_state) % 1_000_000;
+                let drop_end = u64::from(drop_ppm);
+                let corrupt_end = drop_end + u64::from(corrupt_ppm);
+                let stall_end = corrupt_end + u64::from(stall_ppm);
+                let disconnect_end = stall_end + u64::from(disconnect_ppm);
+                if draw < drop_end {
+                    TransportFault::Drop
+                } else if draw < corrupt_end {
+                    TransportFault::Corrupt
+                } else if draw < stall_end {
+                    let ns = 1 + splitmix64(&mut self.rng_state) % MAX_STALL_NS;
+                    TransportFault::Stall { ns }
+                } else if draw < disconnect_end {
+                    TransportFault::Disconnect
+                } else {
+                    TransportFault::Deliver
+                }
+            }
+        };
+        if verdict != TransportFault::Deliver {
+            self.faults += 1;
+        }
+        verdict
+    }
+
+    /// Draws a uniform index in `[0, bound)` from the policy's stream —
+    /// corruption-offset selection. Returns 0 for `bound == 0`.
+    pub fn draw_index(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        splitmix64(&mut self.rng_state) % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_is_disarmed_and_clean() {
+        let mut p = TransportPolicy::reliable();
+        assert!(!p.is_armed());
+        for _ in 0..100 {
+            assert_eq!(p.decide(), TransportFault::Deliver);
+        }
+        assert_eq!(p.frames(), 100);
+        assert_eq!(p.faults(), 0);
+    }
+
+    #[test]
+    fn fault_nth_fires_once_then_disarms() {
+        let mut p = TransportPolicy::new(TransportMode::FaultNth {
+            n: 2,
+            kind: TransportFaultKind::Drop,
+        });
+        assert!(p.is_armed());
+        assert_eq!(p.decide(), TransportFault::Deliver);
+        assert_eq!(p.decide(), TransportFault::Drop);
+        assert_eq!(p.decide(), TransportFault::Deliver);
+        assert!(!p.is_armed());
+        assert_eq!(p.faults(), 1);
+    }
+
+    #[test]
+    fn lossy_is_deterministic_and_seed_sensitive() {
+        let run = |seed: u64| -> Vec<TransportFault> {
+            let mut p = TransportPolicy::new(TransportMode::storm(200_000, seed));
+            (0..4096).map(|_| p.decide()).collect()
+        };
+        assert_eq!(run(3), run(3), "same seed, same storm");
+        assert_ne!(run(3), run(4), "different seeds diverge");
+    }
+
+    #[test]
+    fn lossy_hits_every_fault_kind_at_high_rate() {
+        let mut p = TransportPolicy::new(TransportMode::Lossy {
+            drop_ppm: 200_000,
+            corrupt_ppm: 200_000,
+            stall_ppm: 200_000,
+            disconnect_ppm: 200_000,
+            seed: 9,
+        });
+        let mut saw = [false; 4];
+        for _ in 0..4096 {
+            match p.decide() {
+                TransportFault::Drop => saw[0] = true,
+                TransportFault::Corrupt => saw[1] = true,
+                TransportFault::Stall { ns } => {
+                    assert!((1..=MAX_STALL_NS).contains(&ns));
+                    saw[2] = true;
+                }
+                TransportFault::Disconnect => saw[3] = true,
+                TransportFault::Deliver => {}
+            }
+        }
+        assert_eq!(saw, [true; 4]);
+    }
+
+    #[test]
+    fn zero_rate_storm_still_draws() {
+        // Streams stay aligned across a rate sweep under one seed.
+        let mut zero = TransportPolicy::new(TransportMode::storm(0, 5));
+        for _ in 0..64 {
+            assert_eq!(zero.decide(), TransportFault::Deliver);
+        }
+        assert_ne!(zero.rng_state(), 5, "draws advanced the stream");
+    }
+
+    #[test]
+    fn restore_resumes_mid_stream() {
+        let mut p = TransportPolicy::new(TransportMode::storm(300_000, 11));
+        for _ in 0..100 {
+            p.decide();
+        }
+        let mut resumed =
+            TransportPolicy::restore(p.mode(), p.frames(), p.faults(), p.rng_state());
+        for _ in 0..100 {
+            assert_eq!(p.decide(), resumed.decide());
+        }
+    }
+
+    #[test]
+    fn draw_index_handles_zero_bound() {
+        let mut p = TransportPolicy::reliable();
+        assert_eq!(p.draw_index(0), 0);
+    }
+}

@@ -33,10 +33,16 @@
 
 #![warn(missing_docs)]
 
+mod migrate;
 mod shadow;
 mod twod;
 mod vm;
 
+pub use migrate::{
+    contig_profile, migrate_with_retries, ContigProfile, Delivery, GuestStateCodec,
+    LoopbackTransport, MigrationConfig, MigrationError, MigrationOutcome, MigrationReport,
+    MigrationSession, MigrationStats, MigrationTarget, ReleaseReport, Transport, TransportClosed,
+};
 pub use shadow::ShadowPageTable;
 pub use twod::{two_dimensional_mappings, NativeBackend, VmBackend};
 pub use vm::{GuestMce, HostPoisonReport, TwoDTranslation, VirtualMachine, VmConfig, VmSnapshot};

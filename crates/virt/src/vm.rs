@@ -345,6 +345,71 @@ impl VirtualMachine {
         true
     }
 
+    /// Establishes host backing for `[gpa, gpa + len)` if any of it is
+    /// missing, returning whether backing work was actually performed.
+    ///
+    /// This is the migration destination's apply primitive: it is strictly
+    /// idempotent — re-applying an already-backed range is a pure read (no
+    /// host faults, no clock movement), which is what makes retransmitted
+    /// chunks and lost acknowledgments harmless to the destination digest.
+    ///
+    /// # Errors
+    ///
+    /// Host out-of-memory is reported as [`FaultError::OutOfMemory`] at the
+    /// host virtual address of `gpa`.
+    pub fn back_gpa(&mut self, gpa: PhysAddr, len: u64) -> Result<bool, FaultError> {
+        if self.backing_complete(gpa, len) {
+            return Ok(false);
+        }
+        let hva = self.host_va_of(gpa);
+        self.back_gpa_range(hva, gpa, len)?;
+        Ok(true)
+    }
+
+    /// Total guest-physical frames of this VM (the VM memory region spans
+    /// exactly this many base pages).
+    pub fn guest_frames(&self) -> u64 {
+        self.guest.machine().total_frames()
+    }
+
+    /// Host virtual address of guest-physical zero (the VM memory region
+    /// base).
+    pub fn host_vma_base(&self) -> VirtAddr {
+        self.host_vma_base
+    }
+
+    /// Every guest-physical frame currently backed by a host mapping, sorted
+    /// ascending. This is a migration's round-0 transfer set: everything the
+    /// hypervisor has ever materialized for the guest (anonymous memory,
+    /// page cache, leftovers from exited guest processes — backing persists
+    /// for the VM's lifetime).
+    pub fn backed_gframes(&self) -> Vec<u64> {
+        let base = self.host_vma_base.raw();
+        let end = base + self.guest_frames() * PageSize::Base4K.bytes();
+        let mut frames = Vec::new();
+        for m in self.host.aspace(self.host_pid).page_table().iter_mappings() {
+            let va = m.va.raw();
+            if va < base || va >= end {
+                continue;
+            }
+            let first = (va - base) / PageSize::Base4K.bytes();
+            let span = m.size.base_pages().min((end - va) / PageSize::Base4K.bytes());
+            frames.extend(first..first + span);
+        }
+        frames.sort_unstable();
+        frames.dedup();
+        frames
+    }
+
+    /// Replaces the guest dimension with a restored snapshot, keeping the
+    /// host dimension and the live policies — the migration cutover: the
+    /// destination host has pre-backed the transferred pages, and this
+    /// installs the source's final guest state on top. The guest tracer
+    /// comes back disabled (reattach with [`VirtualMachine::set_tracer`]).
+    pub fn restore_guest(&mut self, snap: &contig_mm::SystemSnapshot) {
+        self.guest = System::restore(snap);
+    }
+
     /// Faults every page of a guest VMA in address order (allocation phase).
     ///
     /// # Errors

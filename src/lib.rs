@@ -65,7 +65,8 @@ pub mod prelude {
     pub use contig_audit::{audit_vm, AuditReport, AuditViolation, VmAuditReport};
     pub use contig_buddy::{Hog, Machine, MachineConfig, NodeId, PcpConfig, Zone, ZoneConfig};
     pub use contig_check::{
-        digest_vm, minimize, run_torture, TortureConfig, TortureFailure, TortureReport,
+        digest_vm, minimize, run_torture, SnapshotGuestCodec, TortureConfig, TortureFailure,
+        TortureReport,
     };
     pub use contig_core::{CaConfig, CaPaging, SpotConfig, SpotPredictor};
     pub use contig_engine::{run_seeded, PoolConfig, TaskCtx, TaskReport};
@@ -79,11 +80,15 @@ pub mod prelude {
     pub use contig_tlb::{Access, MemorySim, MissHandler, MissHandling, TlbConfig};
     pub use contig_trace::{TraceEvent, TraceSession, Tracer};
     pub use contig_types::{
-        ContigMapping, MapOffset, PageSize, PhysAddr, Pfn, PoisonMode, PoisonPolicy, VirtAddr,
-        VirtRange, Vpn,
+        fnv1a64, ContigMapping, MapOffset, PageSize, PhysAddr, Pfn, PoisonMode, PoisonPolicy,
+        TransportFault, TransportFaultKind, TransportMode, TransportPolicy, VirtAddr, VirtRange,
+        Vpn,
     };
     pub use contig_virt::{
-        GuestMce, HostPoisonReport, NativeBackend, VirtualMachine, VmBackend, VmConfig,
+        contig_profile, migrate_with_retries, ContigProfile, GuestMce, GuestStateCodec,
+        HostPoisonReport, LoopbackTransport, MigrationConfig, MigrationError, MigrationOutcome,
+        MigrationReport, MigrationSession, MigrationStats, MigrationTarget, NativeBackend,
+        ReleaseReport, Transport, VirtualMachine, VmBackend, VmConfig,
     };
     pub use contig_workloads::{Scale, TraceGenerator, Workload};
 }

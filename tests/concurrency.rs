@@ -268,6 +268,97 @@ fn poison_enabled_workloads_are_worker_count_independent() {
     assert_eq!(run_at(8), serial, "8-worker poison run diverged from serial execution");
 }
 
+/// A migration-enabled variant: each task boots a seeded source VM, keeps a
+/// seeded writer dirtying it between copy rounds, and live-migrates it
+/// through a lossy transport storm (the final budgeted attempt is reliable
+/// so every task converges). Returns the destination state digest plus the
+/// transport-fault engagement count (drops + corruptions + stalls + resumes)
+/// so the test can prove the storm actually bit.
+fn migration_engine_experiment(seed: u64) -> (u64, u64) {
+    let mut rng = seed;
+    let mut vm = VirtualMachine::new(
+        VmConfig::with_mib(8, 24),
+        Box::new(DefaultThpPolicy),
+        Box::new(DefaultThpPolicy),
+    );
+    let pid = vm.guest_mut().spawn();
+    let vma_bytes = (2u64 << 20) + (splitmix64(&mut rng) % 4) * (1 << 20);
+    vm.guest_mut()
+        .aspace_mut(pid)
+        .map_vma(VirtRange::new(VirtAddr::new(0x4000_0000), vma_bytes), VmaKind::Anon);
+    for _ in 0..32 {
+        let page = splitmix64(&mut rng) % (vma_bytes / 4096);
+        vm.touch_write(pid, VirtAddr::new(0x4000_0000 + page * 4096)).expect("touch");
+    }
+    let storm_seed = splitmix64(&mut rng);
+    let write_seed = splitmix64(&mut rng);
+    let target = MigrationTarget::new(
+        VmConfig::with_mib(8, 24),
+        Box::new(DefaultThpPolicy),
+        Box::new(DefaultThpPolicy),
+    );
+    let outcome = migrate_with_retries(
+        MigrationConfig::default(),
+        &mut vm,
+        target,
+        &SnapshotGuestCodec,
+        |attempt| {
+            if attempt >= 2 {
+                Box::new(LoopbackTransport::reliable())
+            } else {
+                Box::new(LoopbackTransport::new(TransportPolicy::new(TransportMode::storm(
+                    150_000,
+                    storm_seed ^ (u64::from(attempt) << 48),
+                ))))
+            }
+        },
+        move |src, round| {
+            let mut wrng =
+                write_seed ^ (u64::from(round) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            for _ in 0..6 {
+                let page = splitmix64(&mut wrng) % (vma_bytes / 4096);
+                let _ = src.touch_write(pid, VirtAddr::new(0x4000_0000 + page * 4096));
+            }
+        },
+        3,
+        Tracer::disabled(),
+    );
+    match outcome {
+        MigrationOutcome::Completed { report, vm } => {
+            let s = report.stats;
+            let engaged = s.chunks_dropped + s.chunks_rejected + s.stalls + s.resumes;
+            (digest_vm(&vm.snapshot()), engaged)
+        }
+        MigrationOutcome::Aborted { error, .. } => {
+            panic!("migration aborted despite reliable final attempt: {error}")
+        }
+    }
+}
+
+/// The migration satellite acceptance property: lossy live migrations —
+/// retries, resumes, stalls, cutovers — are just as worker-count independent
+/// as the clean and poison-enabled workloads.
+#[test]
+fn migration_workloads_are_worker_count_independent() {
+    let serial: Vec<(u64, u64)> = (0..ENGINE_TASKS)
+        .map(|i| migration_engine_experiment(task_seed(ENGINE_SEED, i)))
+        .collect();
+    assert!(
+        serial.iter().any(|&(_, engaged)| engaged > 0),
+        "no task ever hit a transport fault — the storm never engaged"
+    );
+    let run_at = |workers: usize| -> Vec<(u64, u64)> {
+        run_seeded(PoolConfig::new(workers), ENGINE_SEED, ENGINE_TASKS, |ctx| {
+            migration_engine_experiment(ctx.seed)
+        })
+        .iter()
+        .map(|r| *r.ok().expect("migration experiment task panicked"))
+        .collect()
+    };
+    assert_eq!(run_at(1), serial, "1-worker migration run diverged from serial execution");
+    assert_eq!(run_at(8), serial, "8-worker migration run diverged from serial execution");
+}
+
 /// Intermediate worker counts agree too, and repeated runs are stable.
 #[test]
 fn worker_sweep_is_stable_across_counts_and_repeats() {
