@@ -1,0 +1,317 @@
+//! `obs_report` — "where did the time go?" for the fault/allocation path.
+//!
+//! Three modes, all deterministic per seed:
+//!
+//! - **Engine profile** (default): runs a multi-VM fault sweep through the
+//!   parallel experiment engine at 8 workers with per-task span profiling
+//!   attached, then renders per-stage latency tables (count, self-time,
+//!   total-time in simulated ns), the top-k hottest stages by self-time,
+//!   and the engine's worker-skew/steal/queue contention summary. Writes
+//!   the merged profile as a collapsed-stack file (`--folded PATH`,
+//!   default `obs_folded.txt`) ready for `inferno-flamegraph` /
+//!   `flamegraph.pl`.
+//! - **Torture profile** (`--torture`): runs one seeded differential
+//!   torture run (`--ops N`) with the always-on flight recorder attached
+//!   and renders the same stage tables from its whole-run span profile. If
+//!   the run fails, the flight recorder's last events are written to
+//!   `--flight PATH` and the binary exits non-zero.
+//! - **Flight-recorder self-test** (`--inject-panic`): deliberately
+//!   panics one engine task mid-workload; the engine's `catch_unwind`
+//!   harvests that task's flight ring. The dump must be non-empty and
+//!   decodable or the binary exits non-zero — CI runs this to prove the
+//!   post-mortem path works before anyone needs it.
+//!
+//! Compiled without the `probes` feature every profile is empty; the
+//! binary says so and exits non-zero rather than printing a page of zeros.
+
+use contig_buddy::{MachineConfig, PcpConfig};
+use contig_check::{run_torture, TortureConfig};
+use contig_core::CaPaging;
+use contig_engine::{run_seeded_with_stats, ContentionStats, PoolConfig};
+use contig_metrics::TextTable;
+use contig_mm::{System, SystemConfig, VmaKind};
+use contig_trace::{parse_jsonl, SpanStack, Tracer};
+use contig_types::{splitmix64, FailMode, FailPolicy, FaultError, VirtAddr, VirtRange};
+
+struct Args {
+    tasks: usize,
+    seed: u64,
+    ops: usize,
+    torture: bool,
+    inject_panic: bool,
+    folded: String,
+    flight: String,
+    top: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        tasks: 8,
+        seed: 0x0B5_CAFE,
+        ops: 500,
+        torture: false,
+        inject_panic: false,
+        folded: "obs_folded.txt".to_string(),
+        flight: "flight_min.jsonl".to_string(),
+        top: 5,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .unwrap_or_else(|| panic!("flag {} needs a value", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--tasks" => args.tasks = value(&mut i).parse().expect("--tasks N"),
+            "--seed" => args.seed = value(&mut i).parse().expect("--seed N"),
+            "--ops" => args.ops = value(&mut i).parse().expect("--ops N"),
+            "--torture" => args.torture = true,
+            "--inject-panic" => args.inject_panic = true,
+            "--folded" => args.folded = value(&mut i),
+            "--flight" => args.flight = value(&mut i),
+            "--top" => args.top = value(&mut i).parse().expect("--top K"),
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+        i += 1;
+    }
+    args
+}
+
+/// One profiled fault workload, built to light up every stage: a hog pins
+/// half the machine (so OOM recovery fires), a file VMA streams order-0
+/// faults through the pcp caches, a CA-paged anon VMA demand-faults huge
+/// pages under seeded allocation-failure injection, and a COW fork breaks
+/// a slice of the shared pages, all rotating over simulated CPUs.
+fn profile_task(seed: u64, tracer: &Tracer) -> u64 {
+    let mut rng = seed;
+    let mib = 32 + (splitmix64(&mut rng) % 3) * 8;
+    let mut sys = System::new(SystemConfig::new(MachineConfig::single_node_mib(mib)));
+    sys.set_tracer(tracer.clone());
+    sys.enable_pcp(PcpConfig { cpus: 4, batch: 16, high: 64 });
+    let _hog = contig_buddy::Hog::occupy(sys.machine_mut(), 0.5, 11);
+    sys.set_fail_policy(FailPolicy::new(FailMode::EveryNth { n: 64 }));
+    let pid = sys.spawn();
+    let mut ca = CaPaging::new();
+    let mut faults = 0u64;
+    let mut touch = |sys: &mut System, ca: &mut CaPaging, pid, va: u64, write: bool| {
+        let va = VirtAddr::new(va);
+        let result =
+            if write { sys.touch_write(ca, pid, va) } else { sys.touch(ca, pid, va) };
+        match result {
+            Ok(_) | Err(FaultError::OutOfMemory { .. }) => faults += 1,
+            Err(other) => panic!("untyped failure escaped the fault path: {other:?}"),
+        }
+    };
+
+    // File stream: order-0 page-cache faults exercising pcp hit/miss.
+    let file = sys.page_cache_mut().create_file();
+    let file_len: u64 = 2 << 20;
+    sys.aspace_mut(pid).map_vma(
+        VirtRange::new(VirtAddr::new(0x9000_0000), file_len),
+        VmaKind::File { file, start_page: 0 },
+    );
+    for i in 0..file_len / 4096 {
+        sys.set_cpu((i % 4) as usize);
+        touch(&mut sys, &mut ca, pid, 0x9000_0000 + i * 4096, false);
+    }
+
+    // CA-paged anon VMA under pressure: huge faults, some hitting recovery.
+    let vma_bytes: u64 = 6 << 20;
+    let vma = sys
+        .aspace_mut(pid)
+        .map_vma(VirtRange::new(VirtAddr::new(0x4000_0000), vma_bytes), VmaKind::Anon);
+    for i in 0..vma_bytes / 4096 {
+        sys.set_cpu((i % 4) as usize);
+        touch(&mut sys, &mut ca, pid, 0x4000_0000 + i * 4096, false);
+    }
+
+    // COW fork + write storm breaking shared pages.
+    let child = sys.fork_vma(pid, vma);
+    for i in 0..128u64 {
+        sys.set_cpu((i % 4) as usize);
+        let page = splitmix64(&mut rng) % (vma_bytes / 4096);
+        touch(&mut sys, &mut ca, child, 0x4000_0000 + page * 4096, true);
+    }
+    sys.exit(child);
+    faults
+}
+
+/// Renders the per-stage table: every stage that fired, with counts and
+/// self/total simulated nanoseconds, plus the top-k hottest by self-time.
+fn render_stages(spans: &SpanStack, top: usize) {
+    let by_stage = spans.by_stage();
+    let mut table = TextTable::new(&["stage", "count", "self_ns", "total_ns"]);
+    for (name, cell) in &by_stage {
+        table.row(&[
+            name.to_string(),
+            cell.count.to_string(),
+            cell.self_ns.to_string(),
+            cell.total_ns.to_string(),
+        ]);
+    }
+    println!("per-stage profile ({} spans, max depth {}):", spans.enters(), spans.max_depth());
+    println!("{}", table.render());
+
+    let mut hottest: Vec<(&str, u64)> =
+        by_stage.iter().map(|(name, cell)| (*name, cell.self_ns)).collect();
+    hottest.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    println!("top {} stages by self-time:", top.min(hottest.len()));
+    for (rank, (name, self_ns)) in hottest.iter().take(top).enumerate() {
+        println!("  {}. {name}  {self_ns} ns", rank + 1);
+    }
+    println!();
+}
+
+/// Renders the engine contention summary: per-pool steal and queue-depth
+/// counters plus the exec/task skew across workers.
+fn render_contention(stats: &ContentionStats) {
+    let mut table = TextTable::new(&["counter", "value"]);
+    for (name, value) in stats.as_named() {
+        table.row(&[name.to_string(), value.to_string()]);
+    }
+    table.row(&["exec_skew_milli".to_string(), stats.exec_skew_milli().to_string()]);
+    table.row(&["task_skew_milli".to_string(), stats.task_skew_milli().to_string()]);
+    println!("engine contention ({} workers):", stats.workers.len());
+    println!("{}", table.render());
+}
+
+/// Writes the collapsed-stack file and reports where it went.
+fn write_folded(spans: &SpanStack, path: &str) {
+    let folded = spans.export_collapsed();
+    std::fs::write(path, &folded).expect("write collapsed-stack file");
+    println!(
+        "collapsed stacks: {} paths written to {path} (feed to inferno-flamegraph)",
+        folded.lines().count()
+    );
+}
+
+/// Engine-sweep profile: the default mode.
+fn run_engine_profile(args: &Args) -> i32 {
+    println!("== obs_report — engine profile == tasks={} seed={:#x}", args.tasks, args.seed);
+    let (reports, contention) =
+        run_seeded_with_stats(PoolConfig::new(8), args.seed, args.tasks, |ctx| {
+            let tracer = ctx.trace.tracer();
+            profile_task(ctx.seed, &tracer)
+        });
+    let faults: u64 = reports.iter().map(|r| *r.ok().expect("profile task panicked")).sum();
+    let mut spans = SpanStack::new();
+    for r in &reports {
+        spans.merge(&r.spans);
+    }
+    if spans.enters() == 0 {
+        eprintln!("obs_report: no spans recorded — contig-trace probes are compiled out");
+        return 1;
+    }
+    if !spans.is_balanced() {
+        eprintln!("obs_report: span stack is unbalanced ({} enters, {} exits)",
+            spans.enters(), spans.exits());
+        return 1;
+    }
+    println!("{} tasks, {} driven faults\n", reports.len(), faults);
+    render_stages(&spans, args.top);
+    render_contention(&contention);
+    write_folded(&spans, &args.folded);
+    0
+}
+
+/// Torture profile: one seeded differential run under the flight recorder.
+fn run_torture_profile(args: &Args) -> i32 {
+    println!("== obs_report — torture profile == seed={:#x} ops={}", args.seed, args.ops);
+    let report = run_torture(&TortureConfig::with_seed_and_ops(args.seed, args.ops));
+    if report.spans.enters() == 0 {
+        eprintln!("obs_report: no spans recorded — contig-trace probes are compiled out");
+        return 1;
+    }
+    println!(
+        "{} ops, {} touches, {} oom events, digest {:#018x}\n",
+        report.ops_executed, report.touches, report.oom_events, report.final_digest
+    );
+    render_stages(&report.spans, args.top);
+    write_folded(&report.spans, &args.folded);
+    match &report.failure {
+        None => {
+            println!("torture run clean");
+            0
+        }
+        Some(failure) => {
+            eprintln!("torture FAIL at op {}: {failure:?}", failure.op_index());
+            if report.flight_jsonl.is_empty() {
+                eprintln!("flight recorder empty — no post-mortem context captured");
+            } else {
+                std::fs::write(&args.flight, &report.flight_jsonl)
+                    .expect("write flight dump");
+                eprintln!(
+                    "flight recorder: last {} events written to {}",
+                    report.flight_jsonl.lines().count(),
+                    args.flight
+                );
+            }
+            1
+        }
+    }
+}
+
+/// Flight-recorder self-test: panic one engine task on purpose and demand
+/// a decodable dump from its final moments.
+fn run_inject_panic(args: &Args) -> i32 {
+    println!("== obs_report — flight-recorder self-test == seed={:#x}", args.seed);
+    let tasks = args.tasks.max(2);
+    let victim = tasks - 1;
+    // The panic is the point — keep its backtrace out of the logs.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let (reports, _) = run_seeded_with_stats(PoolConfig::new(2), args.seed, tasks, move |ctx| {
+        let tracer = ctx.trace.tracer();
+        let faults = profile_task(ctx.seed, &tracer);
+        assert!(
+            ctx.index != victim,
+            "injected panic: task {victim} fails after {faults} faults"
+        );
+        faults
+    });
+    std::panic::set_hook(prev_hook);
+    let victim_report = &reports[victim];
+    assert!(victim_report.ok().is_none(), "victim task was supposed to panic");
+    let Some(dump) = &victim_report.flight_jsonl else {
+        eprintln!("obs_report: panicking task carried no flight dump");
+        return 1;
+    };
+    if dump.is_empty() {
+        eprintln!(
+            "obs_report: flight dump is empty \
+             (expected under --no-default-features, a failure otherwise)"
+        );
+        return 1;
+    }
+    let records = match parse_jsonl(dump) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("obs_report: flight dump does not parse: {e}");
+            return 1;
+        }
+    };
+    std::fs::write(&args.flight, dump).expect("write flight dump");
+    println!(
+        "flight recorder captured {} events from the panicking task -> {}",
+        records.len(),
+        args.flight
+    );
+    let clean = reports.iter().enumerate().filter(|(i, r)| *i != victim && r.ok().is_some());
+    println!("{} sibling tasks completed unharmed", clean.count());
+    0
+}
+
+fn main() {
+    let args = parse_args();
+    let code = if args.inject_panic {
+        run_inject_panic(&args)
+    } else if args.torture {
+        run_torture_profile(&args)
+    } else {
+        run_engine_profile(&args)
+    };
+    std::process::exit(code);
+}

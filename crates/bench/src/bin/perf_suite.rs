@@ -10,8 +10,14 @@
 //! file parses with `contig_check::json`.
 //!
 //! ```text
-//! perf_suite [--quick] [--out PATH] [--baseline PATH] [--tasks N] [--seed N]
+//! perf_suite [--quick] [--out PATH] [--baseline PATH] [--tasks N] [--seed N] [--stages]
 //! ```
+//!
+//! `--stages` adds a profiled pass (digest-checked against the serial
+//! reference) whose per-stage `span.*` histograms land in a `stages`
+//! section; a `contention` section with the engine's per-worker-count
+//! steal/queue/skew counters is always emitted. Neither changes the gate,
+//! which reads only `aggregate.faults_per_sec`.
 //!
 //! With `--baseline`, aggregate faults/sec is compared against the recorded
 //! baseline and the process exits non-zero on a >25 % regression — the CI
@@ -23,10 +29,11 @@ use std::time::Instant;
 use contig_buddy::{MachineConfig, PcpConfig};
 use contig_check::{digest_system, run_torture, Json, TortureConfig};
 use contig_core::CaPaging;
-use contig_engine::{run_seeded, PoolConfig};
+use contig_engine::{run_seeded_with_stats, ContentionStats, PoolConfig};
 use contig_metrics::{ScalabilityFit, ScalabilityPoint};
 use contig_mm::{System, SystemConfig, VmaKind};
 use contig_sim::{contiguity, overhead, Env, PolicyKind};
+use contig_trace::{declare_canonical_metrics, MetricsRegistry, Tracer};
 use contig_types::{splitmix64, VirtAddr, VirtRange};
 use contig_workloads::{Scale, Workload};
 
@@ -41,6 +48,7 @@ struct Args {
     baseline: Option<String>,
     tasks: usize,
     seed: u64,
+    stages: bool,
 }
 
 fn parse_args() -> Args {
@@ -50,6 +58,7 @@ fn parse_args() -> Args {
         baseline: None,
         tasks: 0,
         seed: 0x5EED_CAFE,
+        stages: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -66,6 +75,7 @@ fn parse_args() -> Args {
             "--baseline" => args.baseline = Some(value(&mut i)),
             "--tasks" => args.tasks = value(&mut i).parse().expect("--tasks N"),
             "--seed" => args.seed = value(&mut i).parse().expect("--seed N"),
+            "--stages" => args.stages = true,
             other => eprintln!("ignoring unknown flag {other}"),
         }
         i += 1;
@@ -86,10 +96,13 @@ struct SweepOut {
 /// One independent simulated machine: pcp-enabled system, CA-paged anon
 /// VMA, batched populate, page-cache readahead, a COW fork, and a seeded
 /// touch storm rotating over simulated CPUs. Deterministic per seed.
-fn sweep_task(seed: u64, quick: bool) -> SweepOut {
+fn sweep_task(seed: u64, quick: bool, tracer: Option<&Tracer>) -> SweepOut {
     let mut rng = seed;
     let mib = 48 + (splitmix64(&mut rng) % 3) * 16;
     let mut sys = System::new(SystemConfig::new(MachineConfig::single_node_mib(mib)));
+    if let Some(t) = tracer {
+        sys.set_tracer(t.clone());
+    }
     sys.enable_pcp(PcpConfig { cpus: 4, batch: 16, high: 64 });
     let pid = sys.spawn();
 
@@ -180,7 +193,7 @@ fn main() {
     let quick = args.quick;
     let serial_start = Instant::now();
     let serial: Vec<SweepOut> = (0..args.tasks)
-        .map(|i| sweep_task(contig_engine::task_seed(args.seed, i), quick))
+        .map(|i| sweep_task(contig_engine::task_seed(args.seed, i), quick, None))
         .collect();
     let serial_wall = serial_start.elapsed().as_nanos() as u64;
     let faults_total: u64 = serial.iter().map(|t| t.faults).sum();
@@ -195,12 +208,13 @@ fn main() {
     );
 
     let mut worker_rows = Vec::new();
+    let mut contention_rows: Vec<(u64, ContentionStats)> = Vec::new();
     let mut points = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         let start = Instant::now();
-        let reports =
-            run_seeded(PoolConfig::new(workers), args.seed, args.tasks, |ctx| {
-                sweep_task(ctx.seed, quick)
+        let (reports, contention) =
+            run_seeded_with_stats(PoolConfig::new(workers), args.seed, args.tasks, |ctx| {
+                sweep_task(ctx.seed, quick, None)
             });
         let wall = start.elapsed().as_nanos() as u64;
         let digests: Vec<u64> =
@@ -217,9 +231,50 @@ fn main() {
             fps
         );
         worker_rows.push((workers as u64, wall, fps, per_sec(ops_total, wall)));
+        contention_rows.push((workers as u64, contention));
     }
     let wall_1w = worker_rows[0].1;
     let usl = ScalabilityFit::fit(&points);
+
+    // ---- Optional profiled pass: per-stage span histograms. -------------
+    // A separate run so the timed sweeps above stay untraced; the digest
+    // assert proves profiling does not perturb results.
+    let stages_section = if args.stages {
+        let (reports, _) =
+            run_seeded_with_stats(PoolConfig::new(8), args.seed, args.tasks, |ctx| {
+                let tracer = ctx.trace.tracer();
+                sweep_task(ctx.seed, quick, Some(&tracer))
+            });
+        let mut merged = MetricsRegistry::new();
+        let mut digests = Vec::new();
+        for r in &reports {
+            digests.push(r.ok().expect("profiled sweep task panicked").digest);
+            merged.merge(&r.metrics);
+        }
+        assert_eq!(
+            digests, serial_digests,
+            "profiled sweep diverged from the serial reference"
+        );
+        declare_canonical_metrics(&mut merged);
+        let rows: Vec<(String, Json)> = merged
+            .histograms()
+            .filter(|(name, _)| name.starts_with("span."))
+            .map(|(name, h)| {
+                (
+                    name.to_string(),
+                    obj(vec![
+                        ("count", Json::num(h.count())),
+                        ("sum_ns", Json::num(h.sum())),
+                        ("max_ns", Json::num(h.max())),
+                    ]),
+                )
+            })
+            .collect();
+        println!("stages: {} span histograms (profiled pass, digests verified)", rows.len());
+        Some(Json::Obj(rows))
+    } else {
+        None
+    };
 
     // ---- Fig. 10: multi-programmed contiguity. --------------------------
     let fig10_start = Instant::now();
@@ -256,7 +311,27 @@ fn main() {
     let aggregate_fps = per_sec(faults_total, best_wall);
     let aggregate_ops = per_sec(ops_total, best_wall);
 
-    let json = obj(vec![
+    // Engine contention telemetry, one row per swept worker count. Keys
+    // reuse the canonical `engine.*` counter names so the numbers line up
+    // one for one with per-task trace counters.
+    let contention_json = Json::Arr(
+        contention_rows
+            .iter()
+            .map(|(workers, stats)| {
+                let mut members: Vec<(&str, Json)> = vec![
+                    ("workers", Json::num(*workers)),
+                    ("exec_skew_milli", Json::num(stats.exec_skew_milli())),
+                    ("task_skew_milli", Json::num(stats.task_skew_milli())),
+                ];
+                members.extend(
+                    stats.as_named().iter().map(|&(name, value)| (name, Json::num(value))),
+                );
+                obj(members)
+            })
+            .collect(),
+    );
+
+    let mut members = vec![
         ("format", Json::Str("contig-perf".into())),
         ("version", Json::num(1u64)),
         ("quick", Json::Bool(args.quick)),
@@ -327,14 +402,19 @@ fn main() {
                 ("failures", Json::num(u64::from(!report.is_ok()))),
             ]),
         ),
-        (
-            "aggregate",
-            obj(vec![
-                ("faults_per_sec", Json::num(aggregate_fps)),
-                ("alloc_ops_per_sec", Json::num(aggregate_ops)),
-            ]),
-        ),
-    ]);
+        ("contention", contention_json),
+    ];
+    if let Some(stages) = stages_section {
+        members.push(("stages", stages));
+    }
+    members.push((
+        "aggregate",
+        obj(vec![
+            ("faults_per_sec", Json::num(aggregate_fps)),
+            ("alloc_ops_per_sec", Json::num(aggregate_ops)),
+        ]),
+    ));
+    let json = obj(members);
     std::fs::write(&args.out, format!("{}\n", json.to_line())).expect("write perf json");
     println!("wrote {}", args.out);
 

@@ -115,6 +115,24 @@ fn print_report(report: &TortureReport) {
     println!("final digest {:#018x}", report.final_digest);
 }
 
+/// Derives the flight-dump path from the repro path: `torture_min.jsonl`
+/// → `flight_min.jsonl`, anything else gets a `flight_` prefix on the file
+/// name.
+fn flight_path_for(emit: &str) -> String {
+    let path = std::path::Path::new(emit);
+    let file = path.file_name().and_then(|f| f.to_str()).unwrap_or(emit);
+    let flight = match file.strip_prefix("torture_") {
+        Some(rest) => format!("flight_{rest}"),
+        None => format!("flight_{file}"),
+    };
+    match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => {
+            dir.join(flight).to_string_lossy().into_owned()
+        }
+        _ => flight,
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
 
@@ -150,12 +168,24 @@ fn main() -> ExitCode {
     let report = run_ops(&cfg, &ops);
     print_report(&report);
 
-    let Some(failure) = report.failure else {
+    let Some(failure) = &report.failure else {
         println!("PASS: zero divergences, zero findings");
         return ExitCode::SUCCESS;
     };
 
     eprintln!("FAIL at op {}: {failure:?}", failure.op_index());
+    // Flight recorder: the last trace records before the failure, straight
+    // from the always-on ring. Written next to the repro so CI uploads both.
+    if !report.flight_jsonl.is_empty() {
+        let flight_path = flight_path_for(&args.emit);
+        match std::fs::write(&flight_path, &report.flight_jsonl) {
+            Ok(()) => eprintln!(
+                "flight recorder: last {} events written to {flight_path}",
+                report.flight_jsonl.lines().count()
+            ),
+            Err(e) => eprintln!("cannot write {flight_path}: {e}"),
+        }
+    }
     match minimize(&cfg, &ops) {
         Some(min) => {
             eprintln!(

@@ -18,7 +18,10 @@ use contig_core::CaPaging;
 use contig_metrics::TextTable;
 use contig_mm::{System, SystemConfig, VmaKind};
 use contig_tlb::{Access, MemorySim, NoScheme, TlbConfig, WalkCostModel};
-use contig_trace::{export_chrome, export_jsonl, parse_jsonl, TraceSession};
+use contig_trace::{
+    declare_canonical_metrics, export_chrome, export_jsonl, parse_jsonl, validate_metric_names,
+    TraceSession,
+};
 use contig_types::{FailMode, FailPolicy, FaultError, VirtAddr, VirtRange};
 use contig_virt::NativeBackend;
 
@@ -124,7 +127,19 @@ fn main() {
     }
 
     let records = session.records();
-    let metrics = session.metrics();
+    let mut metrics = session.metrics();
+
+    // A typo in a probe name must fail the report, not silently render as
+    // one more row: every `span.*` / `engine.*` metric has to come from the
+    // canonical taxonomy.
+    let offenders = validate_metric_names(&metrics);
+    if !offenders.is_empty() {
+        eprintln!("trace_report: unknown span/engine metric names: {}", offenders.join(", "));
+        std::process::exit(1);
+    }
+    // Declare the whole canon so stages that never fired render as explicit
+    // zero rows instead of vanishing from the tables.
+    declare_canonical_metrics(&mut metrics);
 
     println!("== trace_report — fault/allocation path observability ==");
     println!(

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeSet;
 
-use contig_trace::{TraceEvent, Tracer};
+use contig_trace::{stage, TraceEvent, Tracer};
 use contig_types::{AllocError, FailPolicy, PageSize, PhysRange, Pfn};
 
 use crate::contiguity::ContiguityMap;
@@ -856,7 +856,8 @@ impl Zone {
     /// The fail policy was already consulted by [`Zone::alloc`].
     fn alloc_order0_pcp(&mut self) -> Result<Pfn, AllocError> {
         let cpu = self.pcp.as_ref().map_or(0, |p| p.current_cpu);
-        if self.pcp.as_ref().is_some_and(|p| p.lists[cpu].is_empty()) {
+        let warm = self.pcp.as_ref().is_some_and(|p| !p.lists[cpu].is_empty());
+        if !warm {
             self.refill_pcp(cpu);
         }
         if self.pcp.as_ref().is_some_and(|p| p.lists[cpu].is_empty()) && self.pcp_frames() > 0 {
@@ -877,6 +878,9 @@ impl Zone {
         };
         self.free_frames -= 1;
         self.counters.allocs += 1;
+        // Zero-duration span leaf: lets profiles count warm-list hits vs
+        // refill misses per stack path (`fault;buddy_alloc;pcp_hit`).
+        self.tracer.span_mark(if warm { stage::PCP_HIT } else { stage::PCP_MISS });
         self.tracer.emit(TraceEvent::Alloc { order: 0, pfn: pfn.raw() });
         Ok(pfn)
     }

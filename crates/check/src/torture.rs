@@ -34,7 +34,7 @@ use std::collections::BTreeMap;
 use contig_audit::audit_vm;
 use contig_buddy::PcpConfig;
 use contig_mm::{DefaultThpPolicy, FailureAction, Pid, PoisonStats, PteFlags, VmaId, VmaKind};
-use contig_trace::TraceSession;
+use contig_trace::{MetricsRegistry, SpanStack, TraceSession, FLIGHT_CAPACITY};
 use contig_types::{
     splitmix64, FailMode, FailPolicy, Pfn, PoisonMode, PoisonPolicy, VirtAddr, VirtRange,
 };
@@ -374,6 +374,17 @@ pub struct TortureReport {
     pub trace_migrate: MigrationStats,
     /// Digest of the final state.
     pub final_digest: u64,
+    /// Whole-run metrics snapshot (event counters plus `span.*` stage
+    /// histograms). Empty when the `probes` feature is compiled out.
+    pub metrics: MetricsRegistry,
+    /// Per-stage span profile accumulated over the run (same data the
+    /// `span.*` histograms aggregate, keyed by full stack path).
+    pub spans: SpanStack,
+    /// Flight-recorder dump: the last trace records before the failure as
+    /// JSONL, ready to write as a `flight_*.jsonl` post-mortem artifact.
+    /// Empty unless [`TortureReport::failure`] is set (and always empty
+    /// without the `probes` feature).
+    pub flight_jsonl: String,
     /// First failure detected, if any. Checking stops at the first failure
     /// (the stack is no longer trustworthy past it) but ops keep executing
     /// so the report's op count stays deterministic.
@@ -1017,14 +1028,17 @@ pub fn run_ops(cfg: &TortureConfig, ops: &[TortureOp]) -> TortureReport {
     // ring is kept small — only the metrics registry (exact whole-run
     // counters) is read back. Crash replays and migration baselines run
     // untraced, so replayed work never double-counts.
-    let session = if cfg.poison || cfg.migrate {
-        let session = TraceSession::ring(1024);
-        exec.vm.set_tracer(session.tracer());
-        exec.tracer = session.tracer();
-        Some(session)
+    let full_trace = cfg.poison || cfg.migrate;
+    let session = if full_trace {
+        TraceSession::ring(1024)
     } else {
-        None
+        // Flight-only otherwise: the main sink discards everything, but the
+        // always-on flight ring keeps the last records so any failure still
+        // carries its final moments, and the metrics registry still counts.
+        TraceSession::flight_only(FLIGHT_CAPACITY)
     };
+    exec.vm.set_tracer(session.tracer());
+    exec.tracer = session.tracer();
     let mut checkpoint = (exec.vm.snapshot(), exec.st.clone(), 0usize);
     for (i, op) in ops.iter().enumerate() {
         exec.apply(op);
@@ -1073,8 +1087,12 @@ pub fn run_ops(cfg: &TortureConfig, ops: &[TortureOp]) -> TortureReport {
         .chain(final_snap.host.machine.zones.iter())
         .map(|z| z.badframes.len() as u64)
         .sum();
-    if let Some(session) = session {
-        exec.report.trace_enabled = session.tracer().is_enabled();
+    exec.report.trace_enabled = full_trace && session.tracer().is_enabled();
+    exec.report.spans = session.spans();
+    if exec.report.failure.is_some() {
+        exec.report.flight_jsonl = session.flight_jsonl();
+    }
+    if exec.report.trace_enabled {
         let metrics = session.metrics();
         exec.report.trace_strikes = metrics.counter("poison.event");
         exec.report.trace_heals = metrics.counter("poison.heal");
@@ -1096,6 +1114,7 @@ pub fn run_ops(cfg: &TortureConfig, ops: &[TortureOp]) -> TortureReport {
             cutovers: metrics.counter("migrate.cutover"),
         };
     }
+    exec.report.metrics = session.metrics();
     exec.report
 }
 

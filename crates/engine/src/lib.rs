@@ -32,16 +32,23 @@
 //! assert!(reports.iter().all(|r| r.outcome.is_ok()));
 //! ```
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use contig_trace::TraceSession;
+use contig_trace::{MetricsRegistry, SpanStack, TraceSession, Tracer};
 use contig_types::splitmix64;
 
 /// How many events each task's private trace ring retains.
 const TASK_TRACE_CAPACITY: usize = 4096;
+
+/// Environment variable naming a directory where the engine dumps a
+/// panicking task's flight recorder as `flight_task<i>.jsonl`. Unset (the
+/// default) the dump still rides along on [`TaskReport::flight_jsonl`];
+/// setting it makes the post-mortem land on disk even when the caller
+/// ignores the report.
+pub const FLIGHT_DIR_ENV: &str = "CONTIG_FLIGHT_DIR";
 
 /// Pool shape for one [`run_seeded`] sweep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,6 +75,21 @@ pub struct TaskCtx {
     pub seed: u64,
     /// This task's private trace session (ring sink).
     pub trace: TraceSession,
+    /// Zone/shard ids this task reported touching (see
+    /// [`TaskCtx::note_zone_touch`]).
+    zone_touches: Vec<u64>,
+}
+
+impl TaskCtx {
+    /// Declares that this task touched (faulted into, allocated from) the
+    /// zone or shard `zone`. The engine folds overlaps across tasks into
+    /// the [`ContentionStats`] zone-conflict count — the telemetry that
+    /// tells the sharding work whether independent tasks actually land on
+    /// disjoint shards. Depends only on what tasks report, never on
+    /// scheduling, so the fold is deterministic.
+    pub fn note_zone_touch(&mut self, zone: u64) {
+        self.zone_touches.push(zone);
+    }
 }
 
 /// Outcome of one task.
@@ -83,12 +105,139 @@ pub struct TaskReport<R> {
     pub wall_ns: u64,
     /// Events left in the task's trace ring when it finished.
     pub trace_events: u64,
+    /// Final metrics snapshot of the task's trace session (empty with
+    /// `probes` off or when the task never attached its tracer).
+    pub metrics: MetricsRegistry,
+    /// Final span-profiler snapshot of the task's trace session.
+    pub spans: SpanStack,
+    /// Zone ids the task reported via [`TaskCtx::note_zone_touch`],
+    /// sorted and deduplicated.
+    pub zones: Vec<u64>,
+    /// The task's flight-recorder dump, captured when (and only when) the
+    /// task panicked — the engine-side post-mortem artifact.
+    pub flight_jsonl: Option<String>,
 }
 
 impl<R> TaskReport<R> {
     /// The successful result, if any.
     pub fn ok(&self) -> Option<&R> {
         self.outcome.as_ref().ok()
+    }
+}
+
+/// Contention counters of one pool worker. Steal and queue-depth numbers
+/// describe *this run's* scheduling (they vary with timing, like wall
+/// clocks); task results never depend on them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tasks this worker executed.
+    pub tasks_run: u64,
+    /// Steal probes into sibling queues (one per queue inspected).
+    pub steals_attempted: u64,
+    /// Steal probes that came back with a task.
+    pub steals_succeeded: u64,
+    /// Sum of own-queue depths sampled after each own-queue pop.
+    pub queue_depth_sum: u64,
+    /// Number of own-queue depth samples taken.
+    pub queue_depth_samples: u64,
+    /// Deepest own-queue depth sampled.
+    pub queue_depth_max: u64,
+    /// Wall-clock nanoseconds this worker spent inside task bodies.
+    pub exec_ns: u64,
+}
+
+/// Engine contention telemetry for one [`run_seeded_with_stats`] sweep:
+/// per-worker steal/queue counters, task wall-time skew, and zone-touch
+/// conflicts, folded deterministically (workers in id order, zones in task
+/// order) into one report.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ContentionStats {
+    /// Per-worker counters, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+    /// Tasks the sweep ran.
+    pub tasks: u64,
+    /// Distinct zone ids reported by any task.
+    pub zones_touched: u64,
+    /// Sum over zones of `(touching_tasks - 1)` — how much of the task set
+    /// piles onto shared zones (0 when every task has its own zone).
+    pub zone_conflicts: u64,
+    /// Slowest single task's wall time.
+    pub task_wall_max_ns: u64,
+    /// Sum of all task wall times.
+    pub task_wall_sum_ns: u64,
+}
+
+impl ContentionStats {
+    /// Total steal probes across workers.
+    pub fn steals_attempted(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals_attempted).sum()
+    }
+
+    /// Total successful steals across workers.
+    pub fn steals_succeeded(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals_succeeded).sum()
+    }
+
+    /// Sum of sampled own-queue depths across workers.
+    pub fn queue_depth_sum(&self) -> u64 {
+        self.workers.iter().map(|w| w.queue_depth_sum).sum()
+    }
+
+    /// Total own-queue depth samples across workers.
+    pub fn queue_depth_samples(&self) -> u64 {
+        self.workers.iter().map(|w| w.queue_depth_samples).sum()
+    }
+
+    /// Busiest worker's exec time over the mean worker exec time, in
+    /// thousandths (1000 = perfectly balanced). 0 when no work ran.
+    pub fn exec_skew_milli(&self) -> u64 {
+        let total: u64 = self.workers.iter().map(|w| w.exec_ns).sum();
+        let max = self.workers.iter().map(|w| w.exec_ns).max().unwrap_or(0);
+        if total == 0 || self.workers.is_empty() {
+            return 0;
+        }
+        let mean = total / self.workers.len() as u64;
+        if mean == 0 {
+            return 0;
+        }
+        max * 1000 / mean
+    }
+
+    /// Slowest task's wall time over the mean task wall time, in
+    /// thousandths — how uneven the task durations themselves are.
+    pub fn task_skew_milli(&self) -> u64 {
+        if self.tasks == 0 || self.task_wall_sum_ns == 0 {
+            return 0;
+        }
+        let mean = self.task_wall_sum_ns / self.tasks;
+        if mean == 0 {
+            return 0;
+        }
+        self.task_wall_max_ns * 1000 / mean
+    }
+
+    /// The aggregate counters under their canonical `engine.*` names (the
+    /// [`contig_trace::ENGINE_METRICS`] taxonomy, name-sorted) — what
+    /// [`ContentionStats::emit`] writes, counter for counter.
+    pub fn as_named(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("engine.queue_depth_sample", self.queue_depth_samples()),
+            ("engine.queue_depth_sum", self.queue_depth_sum()),
+            ("engine.steal_attempt", self.steals_attempted()),
+            ("engine.steal_hit", self.steals_succeeded()),
+            ("engine.task_run", self.tasks),
+            ("engine.zone_conflict", self.zone_conflicts),
+            ("engine.zone_touch", self.zones_touched),
+        ]
+    }
+
+    /// Adds every [`ContentionStats::as_named`] counter to `tracer`, so a
+    /// report's registry carries the engine telemetry 1:1 with this struct
+    /// (the stats↔trace equality the tests pin).
+    pub fn emit(&self, tracer: &Tracer) {
+        for (name, value) in self.as_named() {
+            tracer.add(name, value);
+        }
     }
 }
 
@@ -129,6 +278,25 @@ where
     R: Send,
     F: Fn(&mut TaskCtx) -> R + Sync,
 {
+    run_seeded_with_stats(config, base_seed, tasks, f).0
+}
+
+/// [`run_seeded`], additionally returning the sweep's [`ContentionStats`].
+///
+/// Task results and report order keep the same determinism contract as
+/// `run_seeded`; the contention counters describe this particular run's
+/// scheduling (steals and queue depths vary with timing, zone-touch folds
+/// do not).
+pub fn run_seeded_with_stats<R, F>(
+    config: PoolConfig,
+    base_seed: u64,
+    tasks: usize,
+    f: F,
+) -> (Vec<TaskReport<R>>, ContentionStats)
+where
+    R: Send,
+    F: Fn(&mut TaskCtx) -> R + Sync,
+{
     let workers = config.workers.min(tasks.max(1));
     // Deal tasks round-robin onto per-worker deques up front; there is no
     // dynamic submission, so no condvar is needed — a worker exits once
@@ -140,56 +308,130 @@ where
     }
     let slots: Vec<Mutex<Option<TaskReport<R>>>> =
         (0..tasks).map(|_| Mutex::new(None)).collect();
+    let worker_slots: Vec<Mutex<WorkerStats>> =
+        (0..workers).map(|_| Mutex::new(WorkerStats::default())).collect();
 
     std::thread::scope(|scope| {
         for me in 0..workers {
             let queues = &queues;
             let slots = &slots;
+            let worker_slots = &worker_slots;
             let f = &f;
-            scope.spawn(move || loop {
-                // Own queue first (front: the tasks dealt to us, in order)…
-                let mut next = queues[me].lock().expect("queue poisoned").pop_front();
-                if next.is_none() {
-                    // …then steal from the back of a sibling's queue.
-                    for (other, queue) in queues.iter().enumerate() {
-                        if other == me {
-                            continue;
+            scope.spawn(move || {
+                let mut stats = WorkerStats::default();
+                loop {
+                    // Own queue first (front: the tasks dealt to us, in
+                    // order)…
+                    let mut next = {
+                        let mut queue = queues[me].lock().expect("queue poisoned");
+                        let popped = queue.pop_front();
+                        if popped.is_some() {
+                            let depth = queue.len() as u64;
+                            stats.queue_depth_sum += depth;
+                            stats.queue_depth_samples += 1;
+                            stats.queue_depth_max = stats.queue_depth_max.max(depth);
                         }
-                        next = queue.lock().expect("queue poisoned").pop_back();
-                        if next.is_some() {
-                            break;
+                        popped
+                    };
+                    if next.is_none() {
+                        // …then steal from the back of a sibling's queue.
+                        for (other, queue) in queues.iter().enumerate() {
+                            if other == me {
+                                continue;
+                            }
+                            stats.steals_attempted += 1;
+                            next = queue.lock().expect("queue poisoned").pop_back();
+                            if next.is_some() {
+                                stats.steals_succeeded += 1;
+                                break;
+                            }
                         }
                     }
+                    let Some(index) = next else { break };
+                    let mut ctx = TaskCtx {
+                        index,
+                        seed: task_seed(base_seed, index),
+                        trace: TraceSession::ring(TASK_TRACE_CAPACITY),
+                        zone_touches: Vec::new(),
+                    };
+                    let start = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)))
+                        .map_err(panic_message);
+                    let wall_ns =
+                        u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    stats.tasks_run += 1;
+                    stats.exec_ns = stats.exec_ns.saturating_add(wall_ns);
+                    let flight_jsonl = if outcome.is_err() {
+                        Some(dump_flight(&ctx.trace, index))
+                    } else {
+                        None
+                    };
+                    let mut zones = std::mem::take(&mut ctx.zone_touches);
+                    zones.sort_unstable();
+                    zones.dedup();
+                    let report = TaskReport {
+                        index,
+                        seed: ctx.seed,
+                        outcome,
+                        wall_ns,
+                        trace_events: ctx.trace.records().len() as u64,
+                        metrics: ctx.trace.metrics(),
+                        spans: ctx.trace.spans(),
+                        zones,
+                        flight_jsonl,
+                    };
+                    *slots[index].lock().expect("slot poisoned") = Some(report);
                 }
-                let Some(index) = next else { break };
-                let mut ctx = TaskCtx {
-                    index,
-                    seed: task_seed(base_seed, index),
-                    trace: TraceSession::ring(TASK_TRACE_CAPACITY),
-                };
-                let start = Instant::now();
-                let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)))
-                    .map_err(panic_message);
-                let report = TaskReport {
-                    index,
-                    seed: ctx.seed,
-                    outcome,
-                    wall_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                    trace_events: ctx.trace.records().len() as u64,
-                };
-                *slots[index].lock().expect("slot poisoned") = Some(report);
+                *worker_slots[me].lock().expect("worker slot poisoned") = stats;
             });
         }
     });
 
-    slots
+    let reports: Vec<TaskReport<R>> = slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
                 .expect("slot poisoned")
                 .expect("every dealt task writes its slot exactly once")
         })
-        .collect()
+        .collect();
+    let workers: Vec<WorkerStats> = worker_slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("worker slot poisoned"))
+        .collect();
+
+    // Zone fold: reports are already in task order, so the conflict counts
+    // are independent of which worker ran what when.
+    let mut zone_tasks: BTreeMap<u64, u64> = BTreeMap::new();
+    for report in &reports {
+        for &zone in &report.zones {
+            *zone_tasks.entry(zone).or_insert(0) += 1;
+        }
+    }
+    let stats = ContentionStats {
+        workers,
+        tasks: reports.len() as u64,
+        zones_touched: zone_tasks.len() as u64,
+        zone_conflicts: zone_tasks.values().map(|&n| n.saturating_sub(1)).sum(),
+        task_wall_max_ns: reports.iter().map(|r| r.wall_ns).max().unwrap_or(0),
+        task_wall_sum_ns: reports.iter().map(|r| r.wall_ns).fold(0, u64::saturating_add),
+    };
+    (reports, stats)
+}
+
+/// Captures a panicking task's flight recorder and, when [`FLIGHT_DIR_ENV`]
+/// names a directory, drops it there as `flight_task<i>.jsonl`. Best
+/// effort: a failed write is reported on stderr, never panicked on (this
+/// runs on the panic path).
+fn dump_flight(trace: &TraceSession, index: usize) -> String {
+    let jsonl = trace.flight_jsonl();
+    if let Some(dir) = std::env::var_os(FLIGHT_DIR_ENV) {
+        let path = std::path::Path::new(&dir).join(format!("flight_task{index}.jsonl"));
+        if let Err(e) = std::fs::write(&path, &jsonl) {
+            eprintln!("engine: failed to dump flight recorder to {}: {e}", path.display());
+        }
+    }
+    jsonl
 }
 
 #[cfg(test)]
@@ -254,6 +496,81 @@ mod tests {
         });
         assert_eq!(reports.len(), 8);
         assert!(reports.iter().all(|r| r.outcome.is_ok()));
+    }
+
+    #[test]
+    fn contention_stats_fold_deterministically() {
+        let (reports, stats) = run_seeded_with_stats(PoolConfig::new(4), 3, 12, |ctx| {
+            // Even tasks share zone 0; odd tasks get private zones.
+            if ctx.index % 2 == 0 {
+                ctx.note_zone_touch(0);
+            } else {
+                ctx.note_zone_touch(100 + ctx.index as u64);
+            }
+            ctx.note_zone_touch(0); // duplicate notes dedup per task
+            ctx.index
+        });
+        assert_eq!(reports.len(), 12);
+        assert_eq!(stats.tasks, 12);
+        // Zone 0 is touched by all 12 tasks (dedup keeps the even/odd split
+        // from mattering): 11 conflicts there, none on the private zones.
+        assert_eq!(stats.zones_touched, 7);
+        assert_eq!(stats.zone_conflicts, 11);
+        let tasks_run: u64 = stats.workers.iter().map(|w| w.tasks_run).sum();
+        assert_eq!(tasks_run, 12);
+        assert_eq!(stats.queue_depth_samples() + stats.steals_succeeded(), 12);
+        assert!(stats.task_wall_sum_ns > 0);
+        assert!(stats.task_skew_milli() >= 1000 || stats.task_skew_milli() == 0);
+        for r in &reports {
+            assert_eq!(r.zones.iter().filter(|&&z| z == 0).count(), 1, "zones dedup");
+        }
+    }
+
+    #[test]
+    fn contention_stats_emit_matches_as_named() {
+        let (_, stats) = run_seeded_with_stats(PoolConfig::new(2), 9, 6, |ctx| {
+            ctx.note_zone_touch(ctx.index as u64 % 2);
+            ctx.index
+        });
+        // Canonical names match the trace-crate taxonomy, in order.
+        let names: Vec<&str> = stats.as_named().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, contig_trace::ENGINE_METRICS);
+        // Emitting into a session reproduces the struct counter for counter.
+        let session = TraceSession::ring(16);
+        stats.emit(&session.tracer());
+        let metrics = session.metrics();
+        for (name, value) in stats.as_named() {
+            let counted = metrics.counter(name);
+            if session.tracer().is_enabled() {
+                assert_eq!(counted, value, "stats↔trace divergence on {name}");
+            } else {
+                assert_eq!(counted, 0);
+            }
+        }
+        assert!(contig_trace::validate_metric_names(&metrics).is_empty());
+    }
+
+    #[test]
+    fn panicking_task_carries_flight_dump() {
+        let reports = run_seeded(PoolConfig::new(2), 0, 4, |ctx| {
+            let tracer = ctx.trace.tracer();
+            tracer.emit(contig_trace::TraceEvent::Alloc { order: 0, pfn: ctx.index as u64 });
+            assert!(ctx.index != 2, "task two detonates");
+            ctx.index
+        });
+        for r in &reports {
+            if r.index == 2 {
+                let dump = r.flight_jsonl.as_deref().expect("panicked task dumps flight");
+                // With probes compiled out the dump is legitimately empty;
+                // when anything was recorded it must decode.
+                if !dump.is_empty() {
+                    let parsed = contig_trace::parse_jsonl(dump).expect("decodable dump");
+                    assert!(!parsed.is_empty());
+                }
+            } else {
+                assert!(r.flight_jsonl.is_none(), "clean tasks carry no dump");
+            }
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! harness asserts after a poison storm.
 
 use contig_buddy::PoisonDisposition;
-use contig_trace::TraceEvent;
+use contig_trace::{stage, TraceEvent};
 use contig_types::{ContigError, FaultError, PageSize, Pfn, PoisonPolicy, VirtAddr};
 
 use crate::page_cache::FileId;
@@ -239,9 +239,12 @@ impl System {
         // Copy the surviving contents, then invalidate stale translations:
         // one page-copy per frame plus one base fault cost for the
         // shootdown round.
-        self.advance_clock(frames * self.latency.zero_page_ns + self.latency.base_ns);
-        if let Some(aspace) = self.processes.get_mut(&pid) {
-            aspace.page_table_mut().remap(va, Pte::new(dest, flags));
+        {
+            let _shootdown_span = self.tracer.span(stage::TLB_SHOOTDOWN);
+            self.advance_clock(frames * self.latency.zero_page_ns + self.latency.base_ns);
+            if let Some(aspace) = self.processes.get_mut(&pid) {
+                aspace.page_table_mut().remap(va, Pte::new(dest, flags));
+            }
         }
         self.machine.free(head, size.order());
         self.poison_stats.healed += 1;

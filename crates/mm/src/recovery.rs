@@ -13,7 +13,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use contig_buddy::NodeId;
-use contig_trace::RecoveryStage;
+use contig_trace::{stage, RecoveryStage};
 use contig_types::{PageSize, Pfn, VirtAddr};
 
 use crate::page_cache::FileId;
@@ -155,6 +155,7 @@ impl System {
         }
         let cfg = self.recovery;
         if cfg.reclaim {
+            let _reclaim_span = self.tracer.span(stage::RECLAIM);
             self.recovery_stats.reclaim_passes += 1;
             let n = self.reclaim_cache_pages(cfg.reclaim_batch);
             self.recovery_stats.reclaimed_pages += n;
@@ -171,6 +172,7 @@ impl System {
             }
         }
         if cfg.compaction && order > 0 {
+            let _compaction_span = self.tracer.span(stage::COMPACTION);
             self.recovery_stats.compaction_passes += 1;
             let before_ns = self.now_ns;
             let out = self.compact(order, cfg.compact_budget);

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use contig_buddy::{Machine, MachineConfig};
-use contig_trace::{FaultClass, RecoveryStage, TraceEvent, Tracer};
+use contig_trace::{stage, FaultClass, RecoveryStage, TraceEvent, Tracer};
 use contig_types::{
     splitmix64, AllocError, ContigError, FailPolicy, FaultError, PageSize, Pfn, PoisonPolicy,
     VirtAddr,
@@ -488,8 +488,17 @@ impl System {
         va: VirtAddr,
         kind: FaultKind,
     ) -> Result<FaultOutcome, FaultError> {
+        // Re-align the session clock to this system's timeline before the
+        // span opens: under nested virt the guest and host systems share one
+        // session, and whichever faulted last left *its* clock behind.
+        self.tracer.set_clock(self.now_ns);
+        let _fault_span = self.tracer.span(stage::FAULT);
         let aspace = self.processes.get_mut(&pid).expect("unknown pid");
-        let Some(vma_id) = aspace.vma_containing(va) else {
+        let vma_lookup = {
+            let _vma_span = self.tracer.span(stage::VMA_WALK);
+            aspace.vma_containing(va)
+        };
+        let Some(vma_id) = vma_lookup else {
             self.tracer.emit(TraceEvent::FaultFailed { pid: pid.0, va: va.raw() });
             return Err(FaultError::UnmappedAddress { addr: va });
         };
@@ -584,10 +593,15 @@ impl System {
                     recover_attempts += 1;
                     total_attempts += 1;
                     self.livelock_check(va, total_attempts)?;
-                    if recover_attempts <= self.recovery.max_retries
-                        && self.try_recover(size.order())
-                    {
-                        self.retry_backoff(total_attempts);
+                    let recovered_now = recover_attempts <= self.recovery.max_retries && {
+                        let _recovery_span = self.tracer.span(stage::RECOVERY);
+                        self.try_recover(size.order())
+                    };
+                    if recovered_now {
+                        {
+                            let _backoff_span = self.tracer.span(stage::BACKOFF);
+                            self.retry_backoff(total_attempts);
+                        }
                         self.recovery_stats.retries += 1;
                         self.trace_recovery(RecoveryStage::Retry, size.order().into(), 0, 0);
                         recovered = true;
@@ -630,9 +644,15 @@ impl System {
         kind: FaultKind,
     ) -> Result<FaultOutcome, FaultError> {
         let fault_va = va.align_down(size);
+        // A clone of the handle: `ctx` below borrows the machine and page
+        // cache mutably, which would otherwise pin all of `self`.
+        let tracer = self.tracer.clone();
         let aspace = self.processes.get_mut(&pid).expect("unknown pid");
-        if aspace.page_table().translate(fault_va).is_ok() {
-            return Err(FaultError::AlreadyMapped { addr: va });
+        {
+            let _pt_span = tracer.span(stage::PT_WALK);
+            if aspace.page_table().translate(fault_va).is_ok() {
+                return Err(FaultError::AlreadyMapped { addr: va });
+            }
         }
         let (vma, page_table, stats) = aspace.fault_parts(vma_id);
         let mut ctx = FaultCtx {
@@ -647,7 +667,10 @@ impl System {
             extra_zeroed_pages: 0,
         };
         let placements_before = ctx.stats.placements;
-        let mut decision = policy.on_fault(&mut ctx);
+        let mut decision = {
+            let _place_span = tracer.span(stage::CA_PLACE);
+            policy.on_fault(&mut ctx)
+        };
         let mut retries = 0;
         let pfn = loop {
             match decision {
@@ -665,6 +688,7 @@ impl System {
                         decision = Placement::Default;
                         continue;
                     };
+                    let _map_span = tracer.span(stage::MAP);
                     let latency = self.latency.fault_ns(
                         t.size.base_pages() + ctx.extra_zeroed_pages,
                         ctx.stats.placements - placements_before,
@@ -678,12 +702,19 @@ impl System {
                         already_mapped: false,
                     });
                 }
-                Placement::Default => match ctx.machine.alloc_page(size) {
-                    Ok(pfn) => break pfn,
-                    Err(_) => return Err(FaultError::OutOfMemory { addr: va, size }),
-                },
+                Placement::Default => {
+                    let _alloc_span = tracer.span(stage::BUDDY_ALLOC);
+                    match ctx.machine.alloc_page(size) {
+                        Ok(pfn) => break pfn,
+                        Err(_) => return Err(FaultError::OutOfMemory { addr: va, size }),
+                    }
+                }
                 Placement::Target(target) => {
-                    match ctx.machine.alloc_page_at(target, size) {
+                    let attempt = {
+                        let _alloc_span = tracer.span(stage::BUDDY_ALLOC);
+                        ctx.machine.alloc_page_at(target, size)
+                    };
+                    match attempt {
                         Ok(()) => {
                             ctx.stats.ca_target_hits += 1;
                             break target;
@@ -697,6 +728,7 @@ impl System {
                             if retries > MAX_PLACEMENT_RETRIES {
                                 decision = Placement::Default;
                             } else {
+                                let _place_span = tracer.span(stage::CA_PLACE);
                                 decision = policy.on_target_busy(&mut ctx, target);
                             }
                         }
@@ -704,6 +736,7 @@ impl System {
                 }
             }
         };
+        let _map_span = tracer.span(stage::MAP);
         let mut flags = PteFlags::WRITE;
         if kind == FaultKind::Cow {
             // The broken copy is private again.
@@ -750,10 +783,15 @@ impl System {
                     recover_attempts += 1;
                     total_attempts += 1;
                     self.livelock_check(va, total_attempts)?;
-                    if recover_attempts <= self.recovery.max_retries
-                        && self.try_recover(size.order())
-                    {
-                        self.retry_backoff(total_attempts);
+                    let recovered_now = recover_attempts <= self.recovery.max_retries && {
+                        let _recovery_span = self.tracer.span(stage::RECOVERY);
+                        self.try_recover(size.order())
+                    };
+                    if recovered_now {
+                        {
+                            let _backoff_span = self.tracer.span(stage::BACKOFF);
+                            self.retry_backoff(total_attempts);
+                        }
                         self.recovery_stats.retries += 1;
                         self.trace_recovery(RecoveryStage::Retry, size.order().into(), 0, 0);
                         recovered = true;
@@ -775,11 +813,15 @@ impl System {
         vma_id: VmaId,
         va: VirtAddr,
     ) -> Result<FaultOutcome, FaultError> {
+        let tracer = self.tracer.clone();
         let aspace = self.processes.get_mut(&pid).expect("unknown pid");
-        let t = aspace
-            .page_table()
-            .translate(va)
-            .map_err(|_| FaultError::UnmappedAddress { addr: va })?;
+        let t = {
+            let _pt_span = tracer.span(stage::PT_WALK);
+            aspace
+                .page_table()
+                .translate(va)
+                .map_err(|_| FaultError::UnmappedAddress { addr: va })?
+        };
         if !t.flags.contains(PteFlags::COW) {
             return Ok(FaultOutcome { pfn: t.pfn, size: t.size, already_mapped: true });
         }
@@ -802,34 +844,48 @@ impl System {
             extra_zeroed_pages: 0,
         };
         let placements_before = ctx.stats.placements;
-        let mut decision = policy.on_fault(&mut ctx);
+        let mut decision = {
+            let _place_span = tracer.span(stage::CA_PLACE);
+            policy.on_fault(&mut ctx)
+        };
         let mut retries = 0;
         let new_pfn = loop {
             match decision {
-                Placement::Handled | Placement::Default => match ctx.machine.alloc_page(size) {
-                    Ok(pfn) => break pfn,
-                    Err(_) => return Err(FaultError::OutOfMemory { addr: va, size }),
-                },
-                Placement::Target(target) => match ctx.machine.alloc_page_at(target, size) {
-                    Ok(()) => {
-                        ctx.stats.ca_target_hits += 1;
-                        break target;
+                Placement::Handled | Placement::Default => {
+                    let _alloc_span = tracer.span(stage::BUDDY_ALLOC);
+                    match ctx.machine.alloc_page(size) {
+                        Ok(pfn) => break pfn,
+                        Err(_) => return Err(FaultError::OutOfMemory { addr: va, size }),
                     }
-                    Err(AllocError::OutOfMemory { .. }) => {
-                        return Err(FaultError::OutOfMemory { addr: va, size })
-                    }
-                    Err(_) => {
-                        ctx.stats.ca_target_misses += 1;
-                        retries += 1;
-                        if retries > MAX_PLACEMENT_RETRIES {
-                            decision = Placement::Default;
-                        } else {
-                            decision = policy.on_target_busy(&mut ctx, target);
+                }
+                Placement::Target(target) => {
+                    let attempt = {
+                        let _alloc_span = tracer.span(stage::BUDDY_ALLOC);
+                        ctx.machine.alloc_page_at(target, size)
+                    };
+                    match attempt {
+                        Ok(()) => {
+                            ctx.stats.ca_target_hits += 1;
+                            break target;
+                        }
+                        Err(AllocError::OutOfMemory { .. }) => {
+                            return Err(FaultError::OutOfMemory { addr: va, size })
+                        }
+                        Err(_) => {
+                            ctx.stats.ca_target_misses += 1;
+                            retries += 1;
+                            if retries > MAX_PLACEMENT_RETRIES {
+                                decision = Placement::Default;
+                            } else {
+                                let _place_span = tracer.span(stage::CA_PLACE);
+                                decision = policy.on_target_busy(&mut ctx, target);
+                            }
                         }
                     }
-                },
+                }
             }
         };
+        let _map_span = tracer.span(stage::MAP);
         ctx.page_table.remap(page_va, Pte::new(new_pfn, PteFlags::WRITE));
         policy.post_map(&mut ctx, new_pfn);
         let latency = self
@@ -876,7 +932,11 @@ impl System {
         let mut total_attempts = 0u32;
         let mut recovered = false;
         loop {
-            match self.page_cache.readahead(&mut self.machine, file, file_index, window) {
+            let attempt = {
+                let _alloc_span = self.tracer.span(stage::BUDDY_ALLOC);
+                self.page_cache.readahead(&mut self.machine, file, file_index, window)
+            };
+            match attempt {
                 Ok(()) => break,
                 Err(_) => {
                     self.recovery_stats.oom_events += 1;
@@ -884,8 +944,15 @@ impl System {
                     recover_attempts += 1;
                     total_attempts += 1;
                     self.livelock_check(va, total_attempts)?;
-                    if recover_attempts <= self.recovery.max_retries && self.try_recover(0) {
-                        self.retry_backoff(total_attempts);
+                    let recovered_now = recover_attempts <= self.recovery.max_retries && {
+                        let _recovery_span = self.tracer.span(stage::RECOVERY);
+                        self.try_recover(0)
+                    };
+                    if recovered_now {
+                        {
+                            let _backoff_span = self.tracer.span(stage::BACKOFF);
+                            self.retry_backoff(total_attempts);
+                        }
                         self.recovery_stats.retries += 1;
                         self.trace_recovery(RecoveryStage::Retry, 0, 0, 0);
                         recovered = true;
@@ -922,10 +989,15 @@ impl System {
             .page_cache
             .lookup(file, file_index)
             .ok_or(FaultError::OutOfMemory { addr: va, size: PageSize::Base4K })?;
+        let tracer = self.tracer.clone();
         let aspace = self.processes.get_mut(&pid).expect("unknown pid");
-        if aspace.page_table().translate(page_va).is_ok() {
-            return Err(FaultError::AlreadyMapped { addr: va });
+        {
+            let _pt_span = tracer.span(stage::PT_WALK);
+            if aspace.page_table().translate(page_va).is_ok() {
+                return Err(FaultError::AlreadyMapped { addr: va });
+            }
         }
+        let _map_span = tracer.span(stage::MAP);
         aspace
             .page_table_mut()
             .map(page_va, Pte::new(pfn, PteFlags::FILE), PageSize::Base4K);

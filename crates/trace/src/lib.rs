@@ -38,12 +38,19 @@
 
 mod event;
 mod export;
+mod flight;
 mod registry;
 mod sink;
+mod span;
 mod tracer;
 
 pub use event::{Dim, FaultClass, Record, RecoveryStage, TraceEvent};
 pub use export::{export_chrome, export_jsonl, parse_jsonl, record_to_jsonl, ParseError};
+pub use flight::{FlightRecorder, FLIGHT_CAPACITY};
 pub use registry::{Log2Histogram, MetricsRegistry, LOG2_BUCKETS};
 pub use sink::{NullSink, RingSink, TraceSink};
-pub use tracer::{TraceSession, Tracer};
+pub use span::{
+    declare_canonical_metrics, is_valid_span_metric, stage, validate_metric_names, SpanStack,
+    StackCell, ENGINE_METRICS, SPAN_STAGES,
+};
+pub use tracer::{ScopedSpan, TraceSession, Tracer};

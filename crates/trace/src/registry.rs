@@ -134,6 +134,23 @@ impl MetricsRegistry {
         }
     }
 
+    /// Pre-registers the histogram `name` with zero samples (no-op if it
+    /// exists). Histograms normally spring into existence on first observe,
+    /// which makes "this stage never fired" invisible in reports;
+    /// declaring lets them render as explicit zero rows.
+    pub fn declare_histogram(&mut self, name: &str) {
+        if !self.histograms.contains_key(name) {
+            self.histograms.insert(name.to_owned(), Log2Histogram::new());
+        }
+    }
+
+    /// Pre-registers the counter `name` at zero (no-op if it exists).
+    pub fn declare_counter(&mut self, name: &str) {
+        if !self.counters.contains_key(name) {
+            self.counters.insert(name.to_owned(), 0);
+        }
+    }
+
     /// Current value of the counter `name` (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)

@@ -1,0 +1,364 @@
+//! Hierarchical span profiler: simulated-clock per-stage attribution.
+//!
+//! A [`SpanStack`] tracks a stack of named stages (fault → buddy alloc →
+//! pcp hit/miss, recovery → reclaim/compaction, nested-virt gfault → host
+//! fault, …). Spans measure deltas of the session's **simulated** clock, so
+//! profiling observes the run without perturbing it: enabling spans can
+//! never change an allocation, an RNG draw, or a result digest.
+//!
+//! Every closed span feeds two log2 histograms in the session registry —
+//! `span.<stage>.total_ns` (inclusive) and `span.<stage>.self_ns` (exclusive
+//! of child spans) — and one collapsed-stack cell keyed by the full
+//! `parent;child;leaf` path, exportable in the inferno/flamegraph folded
+//! text format via [`SpanStack::export_collapsed`].
+//!
+//! The stack itself is plain data and always compiled; only the probe entry
+//! points on [`crate::Tracer`] are gated behind the `probes` feature, so
+//! with probes off the whole profiler costs nothing.
+
+use std::collections::BTreeMap;
+
+use crate::registry::MetricsRegistry;
+
+/// Canonical stage names of the fault-path span taxonomy.
+///
+/// Instrumented crates open spans with these constants; reports and the
+/// name validator treat any other `span.*` metric as a typo.
+pub mod stage {
+    /// One serviced page fault, end to end (`System::fault`).
+    pub const FAULT: &str = "fault";
+    /// VMA lookup for the faulting address.
+    pub const VMA_WALK: &str = "vma_walk";
+    /// Page-table translate of the fault address (present check).
+    pub const PT_WALK: &str = "pt_walk";
+    /// Placement-policy decision (CA paging `on_fault`/`on_target_busy`).
+    pub const CA_PLACE: &str = "ca_place";
+    /// Physical allocation through the buddy heap (default or targeted).
+    pub const BUDDY_ALLOC: &str = "buddy_alloc";
+    /// Order-0 allocation served from a warm per-CPU list.
+    pub const PCP_HIT: &str = "pcp_hit";
+    /// Order-0 allocation that had to refill the per-CPU list first.
+    pub const PCP_MISS: &str = "pcp_miss";
+    /// PTE install + policy `post_map` + the modelled fault latency.
+    pub const MAP: &str = "map";
+    /// One OOM-recovery escalation round (`try_recover`).
+    pub const RECOVERY: &str = "recovery";
+    /// Page-cache reclaim pass inside recovery.
+    pub const RECLAIM: &str = "reclaim";
+    /// Compaction/migration pass inside recovery.
+    pub const COMPACTION: &str = "compaction";
+    /// Jittered retry backoff between recovery rounds.
+    pub const BACKOFF: &str = "backoff";
+    /// TLB shootdown round (poison migrate-and-heal remap).
+    pub const TLB_SHOOTDOWN: &str = "tlb_shootdown";
+    /// Nested-virt guest-fault service: backing guest-physical memory with
+    /// host memory (host faults nest inside).
+    pub const GFAULT: &str = "gfault";
+}
+
+/// Every canonical stage, sorted — the validation whitelist for `span.*`
+/// metric names.
+pub const SPAN_STAGES: &[&str] = &[
+    stage::BACKOFF,
+    stage::BUDDY_ALLOC,
+    stage::CA_PLACE,
+    stage::COMPACTION,
+    stage::FAULT,
+    stage::GFAULT,
+    stage::MAP,
+    stage::PCP_HIT,
+    stage::PCP_MISS,
+    stage::PT_WALK,
+    stage::RECLAIM,
+    stage::RECOVERY,
+    stage::TLB_SHOOTDOWN,
+    stage::VMA_WALK,
+];
+
+/// Canonical `engine.*` contention counter names, sorted — emitted by
+/// `contig-engine`'s `ContentionStats::emit` and whitelisted by
+/// [`validate_metric_names`]. Kept here so the engine and every report
+/// agree on one spelling.
+pub const ENGINE_METRICS: &[&str] = &[
+    "engine.queue_depth_sample",
+    "engine.queue_depth_sum",
+    "engine.steal_attempt",
+    "engine.steal_hit",
+    "engine.task_run",
+    "engine.zone_conflict",
+    "engine.zone_touch",
+];
+
+/// The two histogram suffixes every stage feeds.
+const SPAN_SUFFIXES: [&str; 2] = ["total_ns", "self_ns"];
+
+/// Whether `name` is a well-formed `span.<stage>.<suffix>` metric over the
+/// canonical taxonomy.
+pub fn is_valid_span_metric(name: &str) -> bool {
+    let Some(rest) = name.strip_prefix("span.") else { return false };
+    let Some((stage, suffix)) = rest.rsplit_once('.') else { return false };
+    SPAN_STAGES.contains(&stage) && SPAN_SUFFIXES.contains(&suffix)
+}
+
+/// Checks every `span.*` / `engine.*` counter and histogram name in
+/// `registry` against the canonical taxonomy and returns the offenders,
+/// sorted. Reports call this so a typoed stage name fails loudly instead of
+/// silently forking a new metric.
+pub fn validate_metric_names(registry: &MetricsRegistry) -> Vec<String> {
+    let mut bad = Vec::new();
+    let names = registry
+        .counters()
+        .map(|(n, _)| n.to_owned())
+        .chain(registry.histograms().map(|(n, _)| n.to_owned()));
+    for name in names {
+        let ok = if name.starts_with("span.") {
+            is_valid_span_metric(&name)
+        } else if name.starts_with("engine.") {
+            ENGINE_METRICS.contains(&name.as_str())
+        } else {
+            true
+        };
+        if !ok {
+            bad.push(name);
+        }
+    }
+    bad.sort();
+    bad.dedup();
+    bad
+}
+
+/// Pre-registers every canonical `span.*` histogram and `engine.*` counter
+/// in `registry` at zero, so reports render explicit zero rows for stages
+/// that never fired instead of silently omitting them.
+pub fn declare_canonical_metrics(registry: &mut MetricsRegistry) {
+    for stage in SPAN_STAGES {
+        for suffix in SPAN_SUFFIXES {
+            registry.declare_histogram(&format!("span.{stage}.{suffix}"));
+        }
+    }
+    for name in ENGINE_METRICS {
+        registry.declare_counter(name);
+    }
+}
+
+/// One open span on the stack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Frame {
+    name: &'static str,
+    /// Simulated clock at entry.
+    enter_ns: u64,
+    /// Simulated time already attributed to closed children.
+    child_ns: u64,
+    /// Full `parent;child;…;name` path, precomputed at entry.
+    path: String,
+}
+
+/// Accumulated totals for one distinct stack path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StackCell {
+    /// Spans closed at this exact path.
+    pub count: u64,
+    /// Simulated self time (excluding child spans), summed.
+    pub self_ns: u64,
+    /// Simulated inclusive time, summed.
+    pub total_ns: u64,
+}
+
+/// The span profiler state: the stack of open spans plus the collapsed-stack
+/// accumulation of every closed span.
+///
+/// Spans must nest LIFO (the [`crate::ScopedSpan`] RAII guard guarantees
+/// this for well-scoped code, including unwinding out of a panic). One
+/// stack serves one session; guest- and host-dimension spans of a nested VM
+/// interleave naturally because a guest fault fully completes before the
+/// host backs it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanStack {
+    open: Vec<Frame>,
+    closed: BTreeMap<String, StackCell>,
+    enters: u64,
+    exits: u64,
+    max_depth: u64,
+}
+
+impl SpanStack {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a span named `name` at simulated time `now_ns`.
+    pub fn enter(&mut self, name: &'static str, now_ns: u64) {
+        let path = match self.open.last() {
+            Some(parent) => format!("{};{}", parent.path, name),
+            None => name.to_owned(),
+        };
+        self.open.push(Frame { name, enter_ns: now_ns, child_ns: 0, path });
+        self.enters += 1;
+        self.max_depth = self.max_depth.max(self.open.len() as u64);
+    }
+
+    /// Closes the innermost open span at simulated time `now_ns`, returning
+    /// `(name, total_ns, self_ns)` — or `None` if nothing is open.
+    pub fn exit(&mut self, now_ns: u64) -> Option<(&'static str, u64, u64)> {
+        let frame = self.open.pop()?;
+        self.exits += 1;
+        let total = now_ns.saturating_sub(frame.enter_ns);
+        let self_ns = total.saturating_sub(frame.child_ns);
+        if let Some(parent) = self.open.last_mut() {
+            parent.child_ns = parent.child_ns.saturating_add(total);
+        }
+        let cell = self.closed.entry(frame.path).or_default();
+        cell.count += 1;
+        cell.self_ns = cell.self_ns.saturating_add(self_ns);
+        cell.total_ns = cell.total_ns.saturating_add(total);
+        Some((frame.name, total, self_ns))
+    }
+
+    /// Number of currently-open spans.
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Deepest nesting seen over the stack's lifetime.
+    pub fn max_depth(&self) -> u64 {
+        self.max_depth
+    }
+
+    /// Total spans opened.
+    pub fn enters(&self) -> u64 {
+        self.enters
+    }
+
+    /// Total spans closed.
+    pub fn exits(&self) -> u64 {
+        self.exits
+    }
+
+    /// Whether every opened span has been closed — the invariant the
+    /// balance proptest asserts after arbitrary fault/recovery/poison
+    /// interleavings.
+    pub fn is_balanced(&self) -> bool {
+        self.open.is_empty() && self.enters == self.exits
+    }
+
+    /// The closed-span accumulation, keyed by full `a;b;c` stack path,
+    /// path-sorted.
+    pub fn collapsed(&self) -> impl Iterator<Item = (&str, &StackCell)> {
+        self.closed.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Per-leaf-stage roll-up across all paths ending in that stage,
+    /// name-sorted — the per-stage table without path context.
+    pub fn by_stage(&self) -> BTreeMap<&str, StackCell> {
+        let mut out: BTreeMap<&str, StackCell> = BTreeMap::new();
+        for (path, cell) in &self.closed {
+            let leaf = path.rsplit(';').next().unwrap_or(path.as_str());
+            let agg = out.entry(leaf).or_default();
+            agg.count += cell.count;
+            agg.self_ns = agg.self_ns.saturating_add(cell.self_ns);
+            agg.total_ns = agg.total_ns.saturating_add(cell.total_ns);
+        }
+        out
+    }
+
+    /// Folds another (balanced) stack's closed spans into this one —
+    /// how per-task engine profiles aggregate into one report.
+    pub fn merge(&mut self, other: &SpanStack) {
+        for (path, cell) in &other.closed {
+            let mine = self.closed.entry(path.clone()).or_default();
+            mine.count += cell.count;
+            mine.self_ns = mine.self_ns.saturating_add(cell.self_ns);
+            mine.total_ns = mine.total_ns.saturating_add(cell.total_ns);
+        }
+        self.enters += other.enters;
+        self.exits += other.exits;
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
+
+    /// The collapsed stacks in inferno/flamegraph folded text format: one
+    /// `path;segments value` line per distinct path, path-sorted, value =
+    /// summed simulated self time in ns. Feed to `inferno-flamegraph` or
+    /// `flamegraph.pl` directly.
+    pub fn export_collapsed(&self) -> String {
+        let mut out = String::new();
+        for (path, cell) in &self.closed {
+            out.push_str(path);
+            out.push(' ');
+            out.push_str(&cell.self_ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_attributes_self_and_child_time() {
+        let mut s = SpanStack::new();
+        s.enter(stage::FAULT, 100);
+        s.enter(stage::BUDDY_ALLOC, 100);
+        assert_eq!(s.depth(), 2);
+        let (name, total, self_ns) = s.exit(130).unwrap();
+        assert_eq!((name, total, self_ns), (stage::BUDDY_ALLOC, 30, 30));
+        s.enter(stage::MAP, 130);
+        s.exit(180).unwrap();
+        let (name, total, self_ns) = s.exit(200).unwrap();
+        assert_eq!(name, stage::FAULT);
+        assert_eq!(total, 100);
+        assert_eq!(self_ns, 20, "fault self time excludes both children");
+        assert!(s.is_balanced());
+        assert_eq!(s.max_depth(), 2);
+
+        let folded = s.export_collapsed();
+        assert_eq!(folded, "fault 20\nfault;buddy_alloc 30\nfault;map 50\n");
+        let by_stage = s.by_stage();
+        assert_eq!(by_stage["fault"].total_ns, 100);
+        assert_eq!(by_stage["map"].self_ns, 50);
+    }
+
+    #[test]
+    fn exit_on_empty_stack_is_none_and_merge_folds() {
+        let mut a = SpanStack::new();
+        assert!(a.exit(5).is_none());
+        a.enter(stage::FAULT, 0);
+        a.exit(10).unwrap();
+        let mut b = SpanStack::new();
+        b.enter(stage::FAULT, 0);
+        b.exit(7).unwrap();
+        a.merge(&b);
+        assert_eq!(a.collapsed().next().unwrap().1.count, 2);
+        assert_eq!(a.collapsed().next().unwrap().1.self_ns, 17);
+        assert!(a.is_balanced());
+    }
+
+    #[test]
+    fn validation_catches_typos_and_passes_canon() {
+        assert!(is_valid_span_metric("span.fault.total_ns"));
+        assert!(is_valid_span_metric("span.pcp_hit.self_ns"));
+        assert!(!is_valid_span_metric("span.fautl.total_ns"));
+        assert!(!is_valid_span_metric("span.fault.mean_ns"));
+        let mut reg = MetricsRegistry::new();
+        declare_canonical_metrics(&mut reg);
+        assert!(validate_metric_names(&reg).is_empty());
+        reg.observe("span.fautl.total_ns", 1);
+        reg.add("engine.steal_hits", 1);
+        assert_eq!(
+            validate_metric_names(&reg),
+            vec!["engine.steal_hits".to_string(), "span.fautl.total_ns".to_string()]
+        );
+    }
+
+    #[test]
+    fn declared_metrics_render_as_zero_rows() {
+        let mut reg = MetricsRegistry::new();
+        declare_canonical_metrics(&mut reg);
+        let h = reg.histogram("span.tlb_shootdown.total_ns").expect("declared");
+        assert_eq!(h.count(), 0);
+        assert_eq!(reg.counter("engine.steal_attempt"), 0);
+        assert!(reg.counters().any(|(n, _)| n == "engine.steal_attempt"));
+    }
+}

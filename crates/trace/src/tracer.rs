@@ -7,10 +7,14 @@
 //! empty bodies, so instrumented hot paths carry no tracing code at all.
 
 use crate::event::{Dim, Record, TraceEvent};
+use crate::flight::FlightRecorder;
+#[cfg(feature = "probes")]
+use crate::flight::FLIGHT_CAPACITY;
 use crate::registry::MetricsRegistry;
 #[cfg(feature = "probes")]
-use crate::sink::RingSink;
+use crate::sink::{NullSink, RingSink};
 use crate::sink::TraceSink;
+use crate::span::SpanStack;
 use std::fmt;
 #[cfg(feature = "probes")]
 use std::sync::{Arc, Mutex};
@@ -37,6 +41,33 @@ struct Inner {
     metrics: MetricsRegistry,
     seq: u64,
     clock_ns: u64,
+    spans: SpanStack,
+    flight: FlightRecorder,
+}
+
+#[cfg(feature = "probes")]
+impl Inner {
+    fn new(sink: SinkStore, flight_capacity: usize) -> Self {
+        Inner {
+            sink,
+            metrics: MetricsRegistry::new(),
+            seq: 0,
+            clock_ns: 0,
+            spans: SpanStack::new(),
+            flight: FlightRecorder::new(flight_capacity),
+        }
+    }
+
+    /// Closes the innermost span at the current simulated clock and feeds
+    /// the per-stage histograms — shared by [`ScopedSpan::drop`] and
+    /// [`Tracer::span_mark`].
+    fn finish_span(&mut self) {
+        let now = self.clock_ns;
+        if let Some((name, total, self_ns)) = self.spans.exit(now) {
+            self.metrics.observe(&format!("span.{name}.total_ns"), total);
+            self.metrics.observe(&format!("span.{name}.self_ns"), self_ns);
+        }
+    }
 }
 
 /// A tracing session: one shared event sink plus one metrics registry.
@@ -56,12 +87,10 @@ impl TraceSession {
         #[cfg(feature = "probes")]
         {
             TraceSession {
-                inner: Arc::new(Mutex::new(Inner {
-                    sink: SinkStore::Ring(RingSink::new(capacity)),
-                    metrics: MetricsRegistry::new(),
-                    seq: 0,
-                    clock_ns: 0,
-                })),
+                inner: Arc::new(Mutex::new(Inner::new(
+                    SinkStore::Ring(RingSink::new(capacity)),
+                    FLIGHT_CAPACITY,
+                ))),
             }
         }
         #[cfg(not(feature = "probes"))]
@@ -77,17 +106,36 @@ impl TraceSession {
         #[cfg(feature = "probes")]
         {
             TraceSession {
-                inner: Arc::new(Mutex::new(Inner {
-                    sink: SinkStore::Custom(sink),
-                    metrics: MetricsRegistry::new(),
-                    seq: 0,
-                    clock_ns: 0,
-                })),
+                inner: Arc::new(Mutex::new(Inner::new(
+                    SinkStore::Custom(sink),
+                    FLIGHT_CAPACITY,
+                ))),
             }
         }
         #[cfg(not(feature = "probes"))]
         {
             let _ = sink;
+            TraceSession {}
+        }
+    }
+
+    /// A flight-recorder-only session: the event stream is discarded, but
+    /// metrics still accumulate and the last `capacity` records stay in the
+    /// [`FlightRecorder`] for post-mortem dumps. This is the always-on mode
+    /// the torture harness attaches when full tracing was not requested.
+    pub fn flight_only(capacity: usize) -> Self {
+        #[cfg(feature = "probes")]
+        {
+            TraceSession {
+                inner: Arc::new(Mutex::new(Inner::new(
+                    SinkStore::Custom(Box::new(NullSink)),
+                    capacity,
+                ))),
+            }
+        }
+        #[cfg(not(feature = "probes"))]
+        {
+            let _ = capacity;
             TraceSession {}
         }
     }
@@ -133,6 +181,37 @@ impl TraceSession {
         {
             MetricsRegistry::new()
         }
+    }
+
+    /// Snapshot of the span profiler: open-stack state, enter/exit balance,
+    /// and the collapsed-stack accumulation of every closed span.
+    pub fn spans(&self) -> SpanStack {
+        #[cfg(feature = "probes")]
+        {
+            self.inner.lock().expect("trace session poisoned").spans.clone()
+        }
+        #[cfg(not(feature = "probes"))]
+        {
+            SpanStack::new()
+        }
+    }
+
+    /// Snapshot of the flight recorder's retained records, oldest first.
+    pub fn flight(&self) -> FlightRecorder {
+        #[cfg(feature = "probes")]
+        {
+            self.inner.lock().expect("trace session poisoned").flight.clone()
+        }
+        #[cfg(not(feature = "probes"))]
+        {
+            FlightRecorder::new(0)
+        }
+    }
+
+    /// The flight recorder's retained records as JSONL — the post-mortem
+    /// `flight_*.jsonl` artifact (empty with `probes` off).
+    pub fn flight_jsonl(&self) -> String {
+        self.flight().to_jsonl()
     }
 
     /// How many records the ring sink evicted (0 for custom sinks).
@@ -230,9 +309,49 @@ impl Tracer {
             };
             inner.seq += 1;
             inner.sink.record(&rec);
+            inner.flight.record(&rec);
         }
         #[cfg(not(feature = "probes"))]
         let _ = event;
+    }
+
+    /// Opens a profiling span for `stage`, closed when the returned guard
+    /// drops. Span durations are deltas of the session's **simulated**
+    /// clock, so spans observe without perturbing: digests are identical
+    /// with profiling on or off. Guards must drop LIFO (ordinary scoping —
+    /// including unwinding — guarantees this).
+    pub fn span(&self, stage: &'static str) -> ScopedSpan {
+        #[cfg(feature = "probes")]
+        {
+            if let Some(inner) = &self.inner {
+                let mut guard = inner.lock().expect("trace session poisoned");
+                let now = guard.clock_ns;
+                guard.spans.enter(stage, now);
+                drop(guard);
+                return ScopedSpan { inner: Some(Arc::clone(inner)) };
+            }
+            ScopedSpan { inner: None }
+        }
+        #[cfg(not(feature = "probes"))]
+        {
+            let _ = stage;
+            ScopedSpan {}
+        }
+    }
+
+    /// Records an instantaneous (zero-duration) span for `stage` — a leaf
+    /// mark whose *count* matters, like a pcp hit/miss on the allocation
+    /// path. Equivalent to opening and immediately dropping a span.
+    pub fn span_mark(&self, stage: &'static str) {
+        #[cfg(feature = "probes")]
+        if let Some(inner) = &self.inner {
+            let mut guard = inner.lock().expect("trace session poisoned");
+            let now = guard.clock_ns;
+            guard.spans.enter(stage, now);
+            guard.finish_span();
+        }
+        #[cfg(not(feature = "probes"))]
+        let _ = stage;
     }
 
     /// Adds `delta` to the named counter without recording an event — for
@@ -266,6 +385,34 @@ impl Tracer {
         {
             let _ = (name, value);
         }
+    }
+}
+
+/// RAII guard returned by [`Tracer::span`]: dropping it closes the span at
+/// the session's current simulated clock. With `probes` off (or a disabled
+/// tracer) the guard is inert.
+#[must_use = "binding a span guard to `_` closes it immediately; use `let _span = …`"]
+pub struct ScopedSpan {
+    #[cfg(feature = "probes")]
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl Drop for ScopedSpan {
+    fn drop(&mut self) {
+        #[cfg(feature = "probes")]
+        if let Some(inner) = self.inner.take() {
+            // `if let Ok` rather than `expect`: this drop also runs while
+            // unwinding a task panic, where a second panic would abort.
+            if let Ok(mut guard) = inner.lock() {
+                guard.finish_span();
+            }
+        }
+    }
+}
+
+impl fmt::Debug for ScopedSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ScopedSpan")
     }
 }
 
@@ -346,6 +493,72 @@ mod tests {
         assert_eq!(recs[1].dim, Dim::Host);
     }
 
+    #[cfg(feature = "probes")]
+    #[test]
+    fn spans_measure_simulated_clock_and_balance() {
+        let session = TraceSession::ring(16);
+        let t = session.tracer();
+        {
+            let _fault = t.span(crate::stage::FAULT);
+            t.set_clock(100);
+            {
+                let _alloc = t.span(crate::stage::BUDDY_ALLOC);
+                t.span_mark(crate::stage::PCP_HIT);
+                t.set_clock(400);
+            }
+            t.set_clock(450);
+        }
+        let spans = session.spans();
+        assert!(spans.is_balanced());
+        assert_eq!(spans.enters(), 3);
+        let m = session.metrics();
+        let fault = m.histogram("span.fault.total_ns").unwrap();
+        assert_eq!((fault.count(), fault.sum()), (1, 450));
+        assert_eq!(m.histogram("span.fault.self_ns").unwrap().sum(), 150);
+        assert_eq!(m.histogram("span.buddy_alloc.total_ns").unwrap().sum(), 300);
+        assert_eq!(m.histogram("span.pcp_hit.total_ns").unwrap().count(), 1);
+        assert!(spans.export_collapsed().contains("fault;buddy_alloc;pcp_hit 0\n"));
+    }
+
+    #[cfg(feature = "probes")]
+    #[test]
+    fn span_guard_closes_during_unwind() {
+        let session = TraceSession::ring(16);
+        let t = session.tracer();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _span = t.span(crate::stage::FAULT);
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        assert!(session.spans().is_balanced(), "unwind must close open spans");
+    }
+
+    #[cfg(feature = "probes")]
+    #[test]
+    fn flight_recorder_is_always_on_and_flight_only_discards_stream() {
+        let session = TraceSession::ring(2);
+        let t = session.tracer();
+        for pfn in 0..5 {
+            t.emit(TraceEvent::Alloc { order: 0, pfn });
+        }
+        // Ring kept 2; flight (capacity 256) kept all 5.
+        assert_eq!(session.records().len(), 2);
+        assert_eq!(session.flight().len(), 5);
+        assert_eq!(session.flight().total(), 5);
+        assert!(!session.flight_jsonl().is_empty());
+
+        let quiet = TraceSession::flight_only(3);
+        let t = quiet.tracer();
+        for pfn in 0..5 {
+            t.emit(TraceEvent::Alloc { order: 0, pfn });
+        }
+        assert!(quiet.records().is_empty(), "flight-only discards the stream");
+        assert_eq!(quiet.flight().len(), 3);
+        assert_eq!(quiet.metrics().counter("buddy.alloc"), 5, "metrics still exact");
+        let parsed = crate::parse_jsonl(&quiet.flight_jsonl()).expect("decodable dump");
+        assert_eq!(parsed.len(), 3);
+    }
+
     #[cfg(not(feature = "probes"))]
     #[test]
     fn without_probes_sessions_are_empty() {
@@ -355,5 +568,18 @@ mod tests {
         t.emit(TraceEvent::Alloc { order: 0, pfn: 1 });
         assert!(session.records().is_empty());
         assert_eq!(session.metrics().counter("buddy.alloc"), 0);
+    }
+
+    #[cfg(not(feature = "probes"))]
+    #[test]
+    fn without_probes_spans_and_flight_are_noops() {
+        let session = TraceSession::flight_only(16);
+        let t = session.tracer();
+        let _span = t.span(crate::stage::FAULT);
+        t.span_mark(crate::stage::PCP_HIT);
+        assert!(session.spans().is_balanced());
+        assert_eq!(session.spans().enters(), 0);
+        assert!(session.flight().is_empty());
+        assert_eq!(session.flight_jsonl(), "");
     }
 }

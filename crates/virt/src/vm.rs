@@ -12,7 +12,7 @@ use contig_mm::{
     FaultKind, FaultOutcome, MemoryFailureOutcome, PlacementPolicy, Pid, System, SystemConfig,
     VmaId, VmaKind,
 };
-use contig_trace::{Dim, TraceEvent, Tracer};
+use contig_trace::{stage, Dim, TraceEvent, Tracer};
 use contig_types::{ContigError, FaultError, PageSize, PhysAddr, Pfn, VirtAddr, VirtRange};
 
 /// Construction parameters for a [`VirtualMachine`].
@@ -299,6 +299,11 @@ impl VirtualMachine {
         let mut hva = self.host_va_of(gpa);
         let end = self.host_va_of(gpa) + len;
         let before_ns = self.host.now_ns();
+        // Guest-fault span on the *host* timeline: host faults triggered by
+        // the touches below nest inside it, so a flamegraph shows
+        // `gfault;fault;…` with the host-side cost attributed underneath.
+        self.tracer.set_clock(before_ns);
+        let _gfault_span = self.tracer.span(stage::GFAULT);
         while hva < end {
             let out = self
                 .host

@@ -69,7 +69,10 @@ pub mod prelude {
         TortureReport,
     };
     pub use contig_core::{CaConfig, CaPaging, SpotConfig, SpotPredictor};
-    pub use contig_engine::{run_seeded, PoolConfig, TaskCtx, TaskReport};
+    pub use contig_engine::{
+        run_seeded, run_seeded_with_stats, ContentionStats, PoolConfig, TaskCtx, TaskReport,
+        WorkerStats,
+    };
     pub use contig_metrics::{CoverageStats, PerfModel};
     pub use contig_mm::{
         contiguous_mappings, AddressSpace, BasePagesPolicy, DefaultThpPolicy, FailureAction,
@@ -78,7 +81,11 @@ pub mod prelude {
     };
     pub use contig_sim::{Env, PolicyKind, TranslationConfig};
     pub use contig_tlb::{Access, MemorySim, MissHandler, MissHandling, TlbConfig};
-    pub use contig_trace::{TraceEvent, TraceSession, Tracer};
+    pub use contig_trace::{
+        declare_canonical_metrics, stage, validate_metric_names, FlightRecorder, ScopedSpan,
+        SpanStack, StackCell, TraceEvent, TraceSession, Tracer, ENGINE_METRICS, FLIGHT_CAPACITY,
+        SPAN_STAGES,
+    };
     pub use contig_types::{
         fnv1a64, ContigMapping, MapOffset, PageSize, PhysAddr, Pfn, PoisonMode, PoisonPolicy,
         TransportFault, TransportFaultKind, TransportMode, TransportPolicy, VirtAddr, VirtRange,

@@ -150,9 +150,18 @@ const ENGINE_SEED: u64 = 0xD15C_0B01;
 /// One engine experiment: boot a pcp-enabled system, CA-populate a VMA, run
 /// a seeded COW/touch storm across simulated CPUs, digest the final state.
 fn engine_experiment(seed: u64) -> u64 {
+    engine_experiment_with(seed, None)
+}
+
+/// Same experiment, optionally with a span-profiling tracer attached — the
+/// digest must be identical either way.
+fn engine_experiment_with(seed: u64, tracer: Option<&Tracer>) -> u64 {
     let mut rng = seed;
     let mib = 32 + (splitmix64(&mut rng) % 3) * 16;
     let mut sys = System::new(SystemConfig::new(MachineConfig::single_node_mib(mib)));
+    if let Some(t) = tracer {
+        sys.set_tracer(t.clone());
+    }
     sys.enable_pcp(PcpConfig { cpus: 4, batch: 8, high: 32 });
     let pid = sys.spawn();
     let mut ca = CaPaging::new();
@@ -367,6 +376,50 @@ fn worker_sweep_is_stable_across_counts_and_repeats() {
         assert_eq!(engine_digests_at(workers), reference, "{workers} workers diverged");
     }
     assert_eq!(engine_digests_at(2), reference, "repeat run diverged");
+}
+
+/// Profiling is observation only: per-task span sessions attached at 1 and
+/// 8 workers produce digests bit-identical to the untraced serial
+/// reference, and every task's span stack balances.
+#[test]
+fn profiled_runs_match_untraced_digests_at_all_worker_counts() {
+    let serial: Vec<u64> =
+        (0..ENGINE_TASKS).map(|i| engine_experiment(task_seed(ENGINE_SEED, i))).collect();
+    for workers in [1usize, 8] {
+        let (reports, contention) =
+            run_seeded_with_stats(PoolConfig::new(workers), ENGINE_SEED, ENGINE_TASKS, |ctx| {
+                let tracer = ctx.trace.tracer();
+                engine_experiment_with(ctx.seed, Some(&tracer))
+            });
+        let digests: Vec<u64> =
+            reports.iter().map(|r| *r.ok().expect("profiled task panicked")).collect();
+        assert_eq!(
+            digests, serial,
+            "{workers}-worker profiled run diverged from the untraced serial reference"
+        );
+        for r in &reports {
+            assert!(r.spans.is_balanced(), "task {} left unbalanced spans", r.index);
+        }
+        assert_eq!(contention.tasks, ENGINE_TASKS as u64);
+    }
+}
+
+/// Engine contention counters round-trip the trace registry 1:1 — the
+/// stats ledger and the `engine.*` trace counters are the same numbers.
+#[test]
+fn contention_counters_round_trip_through_the_trace_registry() {
+    let (_, stats) = run_seeded_with_stats(PoolConfig::new(4), ENGINE_SEED, ENGINE_TASKS, |ctx| {
+        engine_experiment(ctx.seed)
+    });
+    let session = TraceSession::ring(16);
+    stats.emit(&session.tracer());
+    if session.tracer().is_enabled() {
+        let metrics = session.metrics();
+        for (name, value) in stats.as_named() {
+            assert_eq!(metrics.counter(name), value, "{name} diverged between stats and trace");
+        }
+        assert!(validate_metric_names(&metrics).is_empty());
+    }
 }
 
 /// A panicking task is isolated: its report carries the panic message while

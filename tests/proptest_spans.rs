@@ -1,0 +1,120 @@
+//! Property tests for the span profiler: under arbitrary interleavings of
+//! demand faults, COW breaks, OOM recovery, and memory-failure strikes, the
+//! span stack must stay balanced (every enter has its exit, even across
+//! error returns), metric names must stay inside the canonical taxonomy,
+//! and attaching the profiler must never change the result digest.
+
+use contig::check::digest_system;
+use contig::prelude::*;
+use contig_types::{FailMode, FailPolicy};
+use proptest::prelude::*;
+
+const VMA_BASE: u64 = 0x40_0000;
+const VMA_PAGES: u64 = 512;
+
+/// One step of the driven workload.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Demand-fault a page (read).
+    Touch(u64),
+    /// Write a page — breaks COW copies after a fork.
+    Write(u64),
+    /// Fork the VMA (COW-share every mapped page into a child).
+    Fork,
+    /// Strike a pfn derived from the value — exercises heal/kill paths.
+    Strike(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // The vendored proptest's `prop_oneof!` is unweighted; duplicate the
+    // fault entries to bias the mix toward touches and writes.
+    prop_oneof![
+        (0..VMA_PAGES).prop_map(Op::Touch),
+        (0..VMA_PAGES).prop_map(Op::Touch),
+        (0..VMA_PAGES).prop_map(Op::Write),
+        (0..VMA_PAGES).prop_map(Op::Write),
+        Just(Op::Fork),
+        (0u64..4096).prop_map(Op::Strike),
+    ]
+}
+
+/// Runs one op sequence on a small, pressured system. Returns the final
+/// digest and the trace session (when `traced`).
+fn run_ops(ops: &[Op], fail_n: u64, traced: bool) -> (u64, Option<TraceSession>) {
+    let session = traced.then(|| TraceSession::ring(4096));
+    let mut sys = System::new(SystemConfig::new(MachineConfig::single_node_mib(8)));
+    if let Some(s) = &session {
+        sys.set_tracer(s.tracer());
+    }
+    sys.enable_pcp(PcpConfig { cpus: 2, batch: 8, high: 32 });
+    sys.set_fail_policy(FailPolicy::new(FailMode::EveryNth { n: fail_n }));
+    let pid = sys.spawn();
+    sys.aspace_mut(pid).map_vma(
+        VirtRange::new(VirtAddr::new(VMA_BASE), VMA_PAGES * 4096),
+        VmaKind::Anon,
+    );
+    let mut ca = CaPaging::new();
+    let mut children: Vec<Pid> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        sys.set_cpu(i % 2);
+        match *op {
+            Op::Touch(page) => {
+                let _ = sys.touch(&mut ca, pid, VirtAddr::new(VMA_BASE + page * 4096));
+            }
+            Op::Write(page) => {
+                // Write through the youngest child when one exists, so forks
+                // actually produce COW breaks.
+                let target = children.last().copied().unwrap_or(pid);
+                let _ = sys.touch_write(&mut ca, target, VirtAddr::new(VMA_BASE + page * 4096));
+            }
+            Op::Fork => {
+                let vma = sys.aspace(pid).vma_ids().next().expect("primary vma");
+                children.push(sys.fork_vma(pid, vma));
+            }
+            Op::Strike(raw) => {
+                let _ = sys.memory_failure(Pfn::new(raw % 2048));
+            }
+        }
+    }
+    for child in children {
+        sys.exit(child);
+    }
+    (digest_system(&sys.snapshot()), session)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Span enter/exit nesting is always balanced, whatever the
+    /// fault/recovery/poison interleaving — the panic-safe `ScopedSpan`
+    /// guard closes frames on every path out, including `?` returns.
+    #[test]
+    fn span_stack_balances_under_arbitrary_interleavings(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        fail_n in 1u64..40,
+    ) {
+        let (_, session) = run_ops(&ops, fail_n, true);
+        let session = session.unwrap();
+        let spans = session.spans();
+        prop_assert!(
+            spans.is_balanced(),
+            "unbalanced spans: {} enters, {} exits, depth {}",
+            spans.enters(), spans.exits(), spans.depth()
+        );
+        // Every span/engine metric the run produced is canonically named.
+        let offenders = validate_metric_names(&session.metrics());
+        prop_assert!(offenders.is_empty(), "non-canonical metric names: {offenders:?}");
+    }
+
+    /// Profiling is observation only: the same op sequence produces a
+    /// bit-identical digest with and without a session attached.
+    #[test]
+    fn profiling_never_changes_the_digest(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+        fail_n in 1u64..40,
+    ) {
+        let (bare, _) = run_ops(&ops, fail_n, false);
+        let (traced, _) = run_ops(&ops, fail_n, true);
+        prop_assert_eq!(bare, traced, "attaching the profiler changed the result digest");
+    }
+}
