@@ -112,8 +112,14 @@ pub struct VmAuditReport {
     /// Composition violations between the two dimensions.
     pub violations: Vec<VmAuditViolation>,
     /// Guest 4 KiB pages that are mapped in a guest page table and fully
-    /// backed by host memory.
+    /// backed by host memory (counted per guest mapping: a KSM-shared host
+    /// frame reachable from several guest pages contributes once per page).
     pub backed_pages: u64,
+    /// Unique host frames reachable from guest page tables — the
+    /// deduplicated view: a KSM-merged frame counts once however many guest
+    /// pages share it, so `total − free − cached` host-frame arithmetic
+    /// stays exact under fleet-wide same-page merging.
+    pub backed_host_frames: u64,
     /// Guest mappings whose guest-physical frame currently has no host
     /// backing at all — legal after a nested-fault OOM, healed on the next
     /// touch. `(pid, va)` of each affected guest base page.
@@ -156,6 +162,7 @@ pub fn audit_vm(vm: &VirtualMachine) -> VmAuditReport {
     let mut violations = Vec::new();
     let mut unbacked = Vec::new();
     let mut backed_pages = 0u64;
+    let mut host_frames = std::collections::BTreeSet::new();
 
     let guest_bytes = vm.guest().machine().total_frames() * PageSize::Base4K.bytes();
     let host_pt = vm.host().aspace(vm.host_pid()).page_table();
@@ -182,6 +189,7 @@ pub fn audit_vm(vm: &VirtualMachine) -> VmAuditReport {
                             });
                         } else {
                             backed_pages += 1;
+                            host_frames.insert(t.frame_for(hva).raw());
                         }
                     }
                     Err(_) => unbacked.push((pid, va)),
@@ -190,7 +198,14 @@ pub fn audit_vm(vm: &VirtualMachine) -> VmAuditReport {
         }
     }
 
-    VmAuditReport { guest, host, violations, backed_pages, unbacked }
+    VmAuditReport {
+        guest,
+        host,
+        violations,
+        backed_pages,
+        backed_host_frames: host_frames.len() as u64,
+        unbacked,
+    }
 }
 
 /// Audits a native (non-virtualized) [`System`]. Thin alias for

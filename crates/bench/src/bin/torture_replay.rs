@@ -27,6 +27,7 @@ struct Args {
     poison: bool,
     migrate: bool,
     pcp: bool,
+    fleet: bool,
     replay: Option<String>,
     emit: String,
 }
@@ -39,6 +40,7 @@ fn parse_args() -> Args {
         poison: false,
         migrate: false,
         pcp: false,
+        fleet: false,
         replay: None,
         emit: "torture_min.jsonl".to_string(),
     };
@@ -50,7 +52,7 @@ fn parse_args() -> Args {
             argv.get(*i).cloned().unwrap_or_else(|| {
                 panic!(
                     "usage: [--seed N] [--ops N] [--no-faults] [--poison] [--migrate] [--pcp] \
-                     [--replay PATH] [--emit PATH]"
+                     [--fleet] [--replay PATH] [--emit PATH]"
                 )
             })
         };
@@ -61,6 +63,7 @@ fn parse_args() -> Args {
             "--poison" => args.poison = true,
             "--migrate" => args.migrate = true,
             "--pcp" => args.pcp = true,
+            "--fleet" => args.fleet = true,
             "--replay" => args.replay = Some(value(&mut i)),
             "--emit" => args.emit = value(&mut i),
             other => eprintln!("ignoring unknown flag {other}"),
@@ -112,6 +115,25 @@ fn print_report(report: &TortureReport) {
             report.migrate_stats.resumes
         );
     }
+    if report.fleet_ops > 0 {
+        let s = &report.fleet_stats;
+        println!(
+            "fleet: ops {}  tenants alive {}  pressure {}/{} resolved  balloon +{}/-{}  \
+             ksm merges {}  unmerges {}  evacuations {}  aborts {}  kills {}",
+            report.fleet_ops,
+            report.fleet_alive,
+            s.pressure_resolved,
+            s.pressure_events,
+            s.balloon_inflates,
+            s.balloon_deflates,
+            s.ksm_merges,
+            s.ksm_unmerges,
+            s.evacuations,
+            s.evacuation_aborts,
+            s.victim_kills
+        );
+        println!("fleet digest {:#018x}", report.fleet_digest);
+    }
     println!("final digest {:#018x}", report.final_digest);
 }
 
@@ -154,11 +176,12 @@ fn main() -> ExitCode {
                 poison: args.poison,
                 migrate: args.migrate,
                 pcp: args.pcp,
+                fleet: args.fleet,
                 ..TortureConfig::with_seed_and_ops(args.seed, args.ops)
             };
             println!(
-                "torture run: seed {}  ops {}  faults {}  poison {}  migrate {}  pcp {}",
-                cfg.seed, cfg.ops, cfg.faults, cfg.poison, cfg.migrate, cfg.pcp
+                "torture run: seed {}  ops {}  faults {}  poison {}  migrate {}  pcp {}  fleet {}",
+                cfg.seed, cfg.ops, cfg.faults, cfg.poison, cfg.migrate, cfg.pcp, cfg.fleet
             );
             let ops = generate_ops(&cfg);
             (cfg, ops)

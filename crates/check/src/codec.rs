@@ -37,9 +37,11 @@ use crate::json::{parse, Json};
 /// Current snapshot file format version. Version 2 added the optional
 /// per-zone `pcp` member (per-CPU frame caches); version 3 added the
 /// memory-failure state (per-zone `badframes` + `poison` counters, and the
-/// system-level `poison_policy` + `poison_stats`). Files from either older
-/// version still decode: the absent members mean "no poison, no pcp".
-pub const SNAPSHOT_VERSION: i128 = 3;
+/// system-level `poison_policy` + `poison_stats`); version 4 added the
+/// per-VM `balloon` frame list and KSM `sharing` registry. Files from any
+/// older version still decode: the absent members mean "no poison, no pcp,
+/// empty balloon, nothing KSM-merged".
+pub const SNAPSHOT_VERSION: i128 = 4;
 /// Oldest snapshot file format version this decoder still accepts.
 pub const SNAPSHOT_MIN_VERSION: i128 = 1;
 /// `format` tag of snapshot files.
@@ -856,6 +858,21 @@ pub fn vm_to_json(s: &VmSnapshot) -> Json {
         ("host_pid", Json::num(s.host_pid)),
         ("host_vma_start", Json::num(s.host_vma_start)),
         ("host_vma_base", Json::num(s.host_vma_base)),
+        ("balloon", Json::Arr(s.balloon.iter().map(|&g| Json::num(g)).collect())),
+        (
+            "sharing",
+            Json::Arr(
+                s.sharing
+                    .iter()
+                    .map(|(pfn, gframes)| {
+                        Json::Arr(vec![
+                            Json::num(*pfn),
+                            Json::Arr(gframes.iter().map(|&g| Json::num(g)).collect()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -871,7 +888,117 @@ pub fn vm_from_json(v: &Json) -> DecodeResult<VmSnapshot> {
         host_pid: get_u32(v, "host_pid")?,
         host_vma_start: get_u64(v, "host_vma_start")?,
         host_vma_base: get_u64(v, "host_vma_base")?,
+        // Absent before version 4: ballooning and KSM did not exist.
+        balloon: match v.get("balloon") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(other) => other
+                .as_arr()
+                .ok_or("field `balloon` is not an array")?
+                .iter()
+                .map(|g| as_u64(g, "balloon frame"))
+                .collect::<DecodeResult<_>>()?,
+        },
+        sharing: match v.get("sharing") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(other) => other
+                .as_arr()
+                .ok_or("field `sharing` is not an array")?
+                .iter()
+                .map(|rec| match rec.as_arr() {
+                    Some([pfn, gframes]) => Ok((
+                        as_u64(pfn, "sharing pfn")?,
+                        gframes
+                            .as_arr()
+                            .ok_or("sharing members is not an array")?
+                            .iter()
+                            .map(|g| as_u64(g, "sharing gframe"))
+                            .collect::<DecodeResult<_>>()?,
+                    )),
+                    _ => Err("sharing record is not a 2-element array".to_string()),
+                })
+                .collect::<DecodeResult<_>>()?,
+        },
     })
+}
+
+// ---------------------------------------------------------------------------
+// contig-fleet: multi-tenant fleet images
+// ---------------------------------------------------------------------------
+
+fn u64_arr(values: impl IntoIterator<Item = u64>) -> Json {
+    Json::Arr(values.into_iter().map(Json::num).collect())
+}
+
+fn fleet_tenant_to_json(t: &contig_fleet::TenantSnapshot) -> Json {
+    obj(vec![
+        ("id", Json::num(t.id)),
+        ("guest", system_to_json(&t.guest)),
+        ("host_idx", Json::num(t.host_idx)),
+        ("host_pid", Json::num(t.host_pid)),
+        ("guest_pid", Json::num(t.guest_pid)),
+        ("balloon", u64_arr(t.balloon.iter().copied())),
+        ("tags", Json::Arr(t.tags.iter().map(|&(p, tag)| pair(p, tag)).collect())),
+    ])
+}
+
+/// Encodes a [`contig_fleet::FleetSnapshot`] as canonical JSON. The fleet
+/// digest hashes this encoding, so crash-replayed fleets can be compared
+/// byte-for-byte against the live fleet; there is no decoder — a repro file
+/// carries ops, not state.
+pub fn fleet_to_json(s: &contig_fleet::FleetSnapshot) -> Json {
+    let cfg = &s.config;
+    obj(vec![
+        (
+            "config",
+            obj(vec![
+                ("hosts", Json::num(cfg.hosts as u64)),
+                ("host_mib", Json::num(cfg.host_mib)),
+                ("guest_mib", Json::num(cfg.guest_mib)),
+                ("overcommit_ppm", Json::num(cfg.overcommit_ppm)),
+                ("low_watermark_ppm", Json::num(cfg.low_watermark_ppm)),
+                ("high_watermark_ppm", Json::num(cfg.high_watermark_ppm)),
+                ("balloon_step", Json::num(cfg.balloon_step)),
+                ("balloon_retries", Json::num(cfg.balloon_retries)),
+                ("backing_attempts", Json::num(cfg.backing_attempts)),
+                ("evac_storm_ppm", Json::num(cfg.evac_storm_ppm)),
+                ("evac_attempts", Json::num(cfg.evac_attempts)),
+                ("seed", Json::num(cfg.seed)),
+            ]),
+        ),
+        ("hosts", Json::Arr(s.hosts.iter().map(system_to_json).collect())),
+        (
+            "sharing",
+            Json::Arr(
+                s.sharing
+                    .iter()
+                    .map(|host| {
+                        Json::Arr(
+                            host.iter()
+                                .map(|(pfn, members)| {
+                                    Json::Arr(vec![
+                                        Json::num(*pfn),
+                                        Json::Arr(
+                                            members.iter().map(|&(t, g)| pair(t, g)).collect(),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        ("tenants", Json::Arr(s.tenants.iter().map(fleet_tenant_to_json).collect())),
+        (
+            "stats",
+            Json::Arr(
+                s.stats.as_named().iter().map(|&(_, count)| Json::num(count)).collect(),
+            ),
+        ),
+        ("next_tenant", Json::num(s.next_tenant)),
+        ("rng", Json::num(s.rng)),
+        ("ksm_cursor", Json::num(s.ksm_cursor)),
+    ])
 }
 
 // ---------------------------------------------------------------------------

@@ -7,10 +7,11 @@
 //! system can be compared against the live system byte-for-byte — the core
 //! assertion of crash-point testing.
 
+use contig_fleet::FleetSnapshot;
 use contig_mm::SystemSnapshot;
 use contig_virt::VmSnapshot;
 
-use crate::codec::{system_to_json, vm_to_json};
+use crate::codec::{fleet_to_json, system_to_json, vm_to_json};
 
 // The canonical FNV-1a-64 implementation lives in `contig-types` (it also
 // checksums migration transport frames in `contig-virt`); re-exported here so
@@ -25,6 +26,13 @@ pub fn digest_system(snap: &SystemSnapshot) -> u64 {
 /// Digest of a whole two-dimensional [`VirtualMachine`](contig_virt::VirtualMachine) image.
 pub fn digest_vm(snap: &VmSnapshot) -> u64 {
     fnv1a64(vm_to_json(snap).to_line().as_bytes())
+}
+
+/// Digest of a whole multi-tenant [`Fleet`](contig_fleet::Fleet) image —
+/// every host system, every tenant guest, the sharing registries, balloons,
+/// content tags, stats, and RNG state.
+pub fn digest_fleet(snap: &FleetSnapshot) -> u64 {
+    fnv1a64(fleet_to_json(snap).to_line().as_bytes())
 }
 
 #[cfg(test)]

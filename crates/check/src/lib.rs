@@ -38,11 +38,11 @@ pub mod replay;
 pub mod torture;
 
 pub use codec::{
-    decode_vm_file, encode_vm_file, read_vm_file, system_from_json, system_to_json, tlb_from_json,
-    tlb_to_json, vm_from_json, vm_to_json, write_vm_file, SnapshotGuestCodec, SNAPSHOT_FORMAT,
-    SNAPSHOT_MIN_VERSION, SNAPSHOT_VERSION,
+    decode_vm_file, encode_vm_file, fleet_to_json, read_vm_file, system_from_json, system_to_json,
+    tlb_from_json, tlb_to_json, vm_from_json, vm_to_json, write_vm_file, SnapshotGuestCodec,
+    SNAPSHOT_FORMAT, SNAPSHOT_MIN_VERSION, SNAPSHOT_VERSION,
 };
-pub use digest::{digest_system, digest_vm, fnv1a64};
+pub use digest::{digest_fleet, digest_system, digest_vm, fnv1a64};
 pub use json::Json;
 pub use minimize::{minimize, Minimized};
 pub use replay::{decode_repro, encode_repro, read_repro, write_repro, REPRO_FORMAT, REPRO_VERSION};

@@ -87,6 +87,23 @@ fn op_to_json(op: &TortureOp) -> Json {
             ("seed", Json::num(seed)),
         ]),
         TortureOp::ClearTransport => obj(vec![("op", Json::Str("clear_transport".into()))]),
+        TortureOp::FleetWrite { sel, page, tag } => obj(vec![
+            ("op", Json::Str("fleet_write".into())),
+            ("sel", Json::num(sel)),
+            ("page", Json::num(page)),
+            ("tag", Json::num(tag)),
+        ]),
+        TortureOp::FleetRead { sel, page } => obj(vec![
+            ("op", Json::Str("fleet_read".into())),
+            ("sel", Json::num(sel)),
+            ("page", Json::num(page)),
+        ]),
+        TortureOp::FleetDiscard { sel, page } => obj(vec![
+            ("op", Json::Str("fleet_discard".into())),
+            ("sel", Json::num(sel)),
+            ("page", Json::num(page)),
+        ]),
+        TortureOp::FleetStep => obj(vec![("op", Json::Str("fleet_step".into()))]),
     }
 }
 
@@ -144,6 +161,16 @@ fn op_from_json(v: &Json) -> Result<TortureOp, String> {
             seed: get_u64(v, "seed")?,
         },
         "clear_transport" => TortureOp::ClearTransport,
+        "fleet_write" => TortureOp::FleetWrite {
+            sel: get_u64(v, "sel")?,
+            page: get_u64(v, "page")?,
+            tag: get_u64(v, "tag")?,
+        },
+        "fleet_read" => TortureOp::FleetRead { sel: get_u64(v, "sel")?, page: get_u64(v, "page")? },
+        "fleet_discard" => {
+            TortureOp::FleetDiscard { sel: get_u64(v, "sel")?, page: get_u64(v, "page")? }
+        }
+        "fleet_step" => TortureOp::FleetStep,
         other => return Err(format!("unknown op `{other}`")),
     })
 }
@@ -172,6 +199,7 @@ pub fn encode_repro(cfg: &TortureConfig, ops: &[TortureOp]) -> String {
         ("poison", Json::Bool(cfg.poison)),
         ("migrate", Json::Bool(cfg.migrate)),
         ("pcp", Json::Bool(cfg.pcp)),
+        ("fleet", Json::Bool(cfg.fleet)),
     ]);
     let mut out = header.to_line();
     out.push('\n');
@@ -231,6 +259,9 @@ pub fn decode_repro(text: &str) -> Result<(TortureConfig, Vec<TortureOp>), Strin
         // so old artifacts replay byte-identically.
         migrate: header.get("migrate").and_then(Json::as_bool).unwrap_or(false),
         pcp: header.get("pcp").and_then(Json::as_bool).unwrap_or(false),
+        // Absent in repro files written before the multi-tenant fleet:
+        // default off so old artifacts replay byte-identically.
+        fleet: header.get("fleet").and_then(Json::as_bool).unwrap_or(false),
     };
     let mut ops = Vec::new();
     for line in lines {
@@ -294,6 +325,10 @@ mod tests {
             TortureOp::Migrate { seed: 18 },
             TortureOp::SetTransport { rate_ppm: 19, seed: 20 },
             TortureOp::ClearTransport,
+            TortureOp::FleetWrite { sel: 21, page: 22, tag: 23 },
+            TortureOp::FleetRead { sel: 24, page: 25 },
+            TortureOp::FleetDiscard { sel: 26, page: 27 },
+            TortureOp::FleetStep,
         ];
         let text = encode_repro(&cfg, &ops);
         let (cfg2, ops2) = decode_repro(&text).unwrap();

@@ -45,8 +45,10 @@ use contig_virt::{
     MigrationStats, MigrationTarget, Transport, VirtualMachine, VmConfig, VmSnapshot,
 };
 
+use contig_fleet::{Fleet, FleetConfig, FleetSnapshot, FleetStats, TenantId};
+
 use crate::codec::SnapshotGuestCodec;
-use crate::digest::digest_vm;
+use crate::digest::{digest_fleet, digest_vm};
 
 /// First guest virtual address the generator maps at.
 const VA_BASE: u64 = 0x4000_0000;
@@ -72,6 +74,20 @@ const MAX_TRANSPORT_PPM: u32 = 200_000;
 /// Checkpointed-resume budget per migration: fresh transports handed to a
 /// failed session before the runner escalates to abort-and-rollback.
 const MIGRATE_ATTEMPTS: u32 = 3;
+/// Fleet geometry when [`TortureConfig::fleet`] is on. 32 tenants of 768
+/// frames over two 8192-frame hosts commits 24576 frames against 16384
+/// physical — 1.5× overcommit, all admitted up front so every run starts
+/// oversubscribed.
+const FLEET_HOSTS: usize = 2;
+/// Physical memory of each fleet host (MiB).
+const FLEET_HOST_MIB: u64 = 32;
+/// Guest-physical memory of each fleet tenant (MiB).
+const FLEET_GUEST_MIB: u64 = 3;
+/// Tenants admitted when the fleet is stood up.
+const FLEET_TENANTS: usize = 32;
+/// Content-tag pool for fleet writes; small enough that cross-tenant
+/// duplicates are common and same-page merging has real work.
+const FLEET_TAG_POOL: u64 = 16;
 
 /// One generated operation against the stack.
 ///
@@ -183,6 +199,35 @@ pub enum TortureOp {
     },
     /// Disarm the transport storm; migrations run on a reliable wire.
     ClearTransport,
+    /// Write-touch one workload page of one fleet tenant with a content tag
+    /// from a small pool (small so same-page merging finds duplicates).
+    FleetWrite {
+        /// Tenant selector over the live tenant list.
+        sel: u64,
+        /// Page selector within the tenant's workload VMA.
+        page: u64,
+        /// Content-tag seed (reduced to the shared pool at execution).
+        tag: u64,
+    },
+    /// Read-touch one workload page of one fleet tenant and check its
+    /// content tag against the model.
+    FleetRead {
+        /// Tenant selector over the live tenant list.
+        sel: u64,
+        /// Page selector within the tenant's workload VMA.
+        page: u64,
+    },
+    /// Discard one workload page of one fleet tenant (guest frees the frame;
+    /// host backing becomes balloon-reclaimable).
+    FleetDiscard {
+        /// Tenant selector over the live tenant list.
+        sel: u64,
+        /// Page selector within the tenant's workload VMA.
+        page: u64,
+    },
+    /// One fleet controller tick: watermark-driven pressure relief, balloon
+    /// deflate on idle hosts, and the background KSM scan cursor.
+    FleetStep,
 }
 
 /// Configuration of one torture run.
@@ -206,6 +251,11 @@ pub struct TortureConfig {
     /// Off by default so migration-free op streams stay bit-identical to
     /// pre-migration builds.
     pub migrate: bool,
+    /// Whether the runner stands up a multi-tenant overcommitted fleet
+    /// beside the nested VM and the generator emits fleet ops against it.
+    /// Off by default so fleet-free op streams stay bit-identical to
+    /// pre-fleet builds.
+    pub fleet: bool,
     /// Enable per-CPU frame caches in both dimensions.
     pub pcp: bool,
     /// Run the oracle sweep every this many ops.
@@ -232,6 +282,7 @@ impl Default for TortureConfig {
             faults: true,
             poison: false,
             migrate: false,
+            fleet: false,
             pcp: false,
             sweep_interval: 32,
             audit_interval: 128,
@@ -287,6 +338,15 @@ pub enum TortureFailure {
         /// Human-readable description of the violation.
         detail: String,
     },
+    /// The fleet broke an invariant: a tenant fault hit a host-fatal OOM the
+    /// escalation ladder must prevent, a tenant read returned the wrong
+    /// content tag, or the cross-tenant fleet audit found a violation.
+    FleetFailure {
+        /// Index of the last op executed before the check.
+        op_index: usize,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
 }
 
 impl TortureFailure {
@@ -297,6 +357,7 @@ impl TortureFailure {
             TortureFailure::AuditFindings { .. } => "audit-findings",
             TortureFailure::CrashDivergence { .. } => "crash-divergence",
             TortureFailure::MigrationFailure { .. } => "migration-failure",
+            TortureFailure::FleetFailure { .. } => "fleet-failure",
         }
     }
 
@@ -306,7 +367,8 @@ impl TortureFailure {
             TortureFailure::OracleDivergence { op_index, .. }
             | TortureFailure::AuditFindings { op_index, .. }
             | TortureFailure::CrashDivergence { op_index, .. }
-            | TortureFailure::MigrationFailure { op_index, .. } => *op_index,
+            | TortureFailure::MigrationFailure { op_index, .. }
+            | TortureFailure::FleetFailure { op_index, .. } => *op_index,
         }
     }
 }
@@ -372,6 +434,19 @@ pub struct TortureReport {
     /// unless `trace_enabled`). The acceptance bar is
     /// `trace_migrate == migrate_stats`, exactly.
     pub trace_migrate: MigrationStats,
+    /// Fleet ops executed (0 unless [`TortureConfig::fleet`]).
+    pub fleet_ops: u64,
+    /// Fleet tenants still alive at run end.
+    pub fleet_alive: u64,
+    /// The fleet's cumulative counters at run end (all zero unless
+    /// [`TortureConfig::fleet`]).
+    pub fleet_stats: FleetStats,
+    /// Whole-run `balloon.*`/`ksm.*`/`fleet.*` trace totals, counter for
+    /// counter (all zero unless `trace_enabled`). The acceptance bar is
+    /// `trace_fleet == fleet_stats`, exactly.
+    pub trace_fleet: FleetStats,
+    /// Digest of the final fleet state (0 unless [`TortureConfig::fleet`]).
+    pub fleet_digest: u64,
     /// Digest of the final state.
     pub final_digest: u64,
     /// Whole-run metrics snapshot (event counters plus `span.*` stage
@@ -427,6 +502,10 @@ struct RunnerState {
     /// a *fresh* policy from these plus its own op seed, so migrations stay
     /// deterministic per op and checkpoint restores replay identically.
     transport: Option<(u32, u64)>,
+    /// The fleet content model: `(tenant, workload page)` → expected tag.
+    /// Entries of victim-killed tenants are dropped when the kill is
+    /// observed; ballooning, KSM, and evacuation must never change a tag.
+    fleet_tags: BTreeMap<(u64, u64), u64>,
 }
 
 struct Exec {
@@ -437,11 +516,23 @@ struct Exec {
     /// session's tracer; baselines and crash replays keep it disabled so
     /// trace totals count live work exactly once.
     tracer: Tracer,
+    /// The oversubscribed multi-tenant fleet, stood up when
+    /// [`TortureConfig::fleet`] is on. It runs beside the primary VM and
+    /// takes the `Fleet*` bands; the pressure ladder (balloon → KSM →
+    /// evacuation → victim kill) is what the bands exercise.
+    fleet: Option<Fleet>,
     report: TortureReport,
 }
 
 impl Exec {
     fn new(cfg: &TortureConfig) -> Self {
+        Self::new_with_tracer(cfg, Tracer::disabled())
+    }
+
+    /// Builds the runner with `tracer` attached *before* the fleet admits
+    /// its tenant set, so the `fleet.admit` probe count matches the stats
+    /// ledger exactly on traced runs.
+    fn new_with_tracer(cfg: &TortureConfig, tracer: Tracer) -> Self {
         let mut vm = VirtualMachine::new(
             VmConfig::with_mib(cfg.guest_mib, cfg.host_mib),
             Box::new(DefaultThpPolicy),
@@ -450,18 +541,39 @@ impl Exec {
         if cfg.pcp {
             vm.enable_pcp(PcpConfig::with_cpus(1));
         }
+        let fleet = cfg.fleet.then(|| {
+            let fcfg = FleetConfig {
+                seed: cfg.seed ^ 0x00F1_EE7F_1EE7,
+                ..FleetConfig::new(FLEET_HOSTS, FLEET_HOST_MIB, FLEET_GUEST_MIB)
+            };
+            let mut fleet = Fleet::new(fcfg);
+            fleet.set_tracer(tracer.clone());
+            for _ in 0..FLEET_TENANTS {
+                fleet.admit().expect("fleet geometry admits the full tenant set");
+            }
+            fleet
+        });
         Self {
             vm,
             st: RunnerState::default(),
             cfg: *cfg,
-            tracer: Tracer::disabled(),
+            tracer,
+            fleet,
             report: TortureReport::default(),
         }
     }
 
-    fn from_checkpoint(cfg: &TortureConfig, snap: &VmSnapshot, st: &RunnerState) -> Self {
+    fn from_checkpoint(
+        cfg: &TortureConfig,
+        snap: &VmSnapshot,
+        fleet: Option<&FleetSnapshot>,
+        st: &RunnerState,
+    ) -> Self {
         let mut exec = Exec::new(cfg);
         exec.vm.restore(snap);
+        // `Fleet::restore` comes up with a disabled tracer — crash replays
+        // must not re-count live work in the session metrics.
+        exec.fleet = fleet.map(Fleet::restore);
         exec.st = st.clone();
         exec
     }
@@ -702,6 +814,10 @@ impl Exec {
                 self.st.transport = Some((rate_ppm % MAX_TRANSPORT_PPM, seed));
             }
             TortureOp::ClearTransport => self.st.transport = None,
+            TortureOp::FleetWrite { sel, page, tag } => self.fleet_write(sel, page, tag),
+            TortureOp::FleetRead { sel, page } => self.fleet_read(sel, page),
+            TortureOp::FleetDiscard { sel, page } => self.fleet_discard(sel, page),
+            TortureOp::FleetStep => self.fleet_step(),
         }
         // Op boundaries are the well-defined strike points of an armed poison
         // storm (free when no policy is armed, which is the default).
@@ -722,6 +838,104 @@ impl Exec {
             self.report.failure =
                 Some(TortureFailure::MigrationFailure { op_index, detail });
         }
+    }
+
+    fn fail_fleet(&mut self, op_index: usize, detail: String) {
+        if self.report.failure.is_none() {
+            self.report.failure = Some(TortureFailure::FleetFailure { op_index, detail });
+        }
+    }
+
+    /// Picks the live tenant a `Fleet*` op addresses, plus its in-bounds
+    /// workload page. `None` when every tenant has been victim-killed.
+    fn fleet_target(&self, sel: u64, page: u64) -> Option<(TenantId, u64)> {
+        let fleet = self.fleet.as_ref()?;
+        let ids = fleet.tenant_ids();
+        if ids.is_empty() {
+            return None;
+        }
+        let id = ids[(sel as usize) % ids.len()];
+        let pages = fleet.tenant(id).expect("listed tenant is live").workload_pages();
+        Some((id, page % pages))
+    }
+
+    /// Drops model entries of tenants the pressure ladder has killed since
+    /// the last fleet op. Runs after every fleet op because any host fault
+    /// inside one can escalate all the way to a victim kill.
+    fn fleet_sync_tenants(&mut self) {
+        let Some(fleet) = &self.fleet else { return };
+        let alive: Vec<u64> = fleet.tenant_ids().iter().map(|t| t.0).collect();
+        self.st.fleet_tags.retain(|&(t, _), _| alive.binary_search(&t).is_ok());
+    }
+
+    fn fleet_write(&mut self, sel: u64, page: u64, tag: u64) {
+        let op_index = self.report.ops_executed.saturating_sub(1);
+        let Some((id, page)) = self.fleet_target(sel, page) else { return };
+        let tag = 1 + tag % FLEET_TAG_POOL;
+        self.report.fleet_ops += 1;
+        let fleet = self.fleet.as_mut().expect("target implies fleet");
+        match fleet.tenant_write(id, page, tag) {
+            Ok(()) => {
+                self.st.fleet_tags.insert((id.0, page), tag);
+            }
+            Err(e) => {
+                // Overcommit must degrade gracefully: a tenant write never
+                // sees a host-fatal OOM — the ladder relieves or kills first.
+                self.fail_fleet(op_index, format!("tenant {} write page {page}: {e}", id.0));
+            }
+        }
+        self.fleet_sync_tenants();
+    }
+
+    fn fleet_read(&mut self, sel: u64, page: u64) {
+        let op_index = self.report.ops_executed.saturating_sub(1);
+        let Some((id, page)) = self.fleet_target(sel, page) else { return };
+        self.report.fleet_ops += 1;
+        let fleet = self.fleet.as_mut().expect("target implies fleet");
+        match fleet.tenant_read(id, page) {
+            Ok(got) => {
+                let want = self.st.fleet_tags.get(&(id.0, page)).copied();
+                if got != want {
+                    self.fail_fleet(
+                        op_index,
+                        format!(
+                            "tenant {} page {page}: read {got:?}, model says {want:?} — \
+                             content changed under ballooning/KSM/evacuation",
+                            id.0
+                        ),
+                    );
+                }
+            }
+            Err(e) => {
+                self.fail_fleet(op_index, format!("tenant {} read page {page}: {e}", id.0));
+            }
+        }
+        self.fleet_sync_tenants();
+    }
+
+    fn fleet_discard(&mut self, sel: u64, page: u64) {
+        let op_index = self.report.ops_executed.saturating_sub(1);
+        let Some((id, page)) = self.fleet_target(sel, page) else { return };
+        self.report.fleet_ops += 1;
+        let fleet = self.fleet.as_mut().expect("target implies fleet");
+        match fleet.tenant_discard(id, page) {
+            Ok(_) => {
+                self.st.fleet_tags.remove(&(id.0, page));
+            }
+            Err(e) => {
+                self.fail_fleet(op_index, format!("tenant {} discard page {page}: {e}", id.0));
+            }
+        }
+        self.fleet_sync_tenants();
+    }
+
+    fn fleet_step(&mut self) {
+        if self.fleet.is_none() {
+            return;
+        }
+        self.report.fleet_ops += 1;
+        self.fleet.as_mut().expect("checked above").step();
+        self.fleet_sync_tenants();
     }
 
     /// Executes one `Migrate` op.
@@ -957,11 +1171,19 @@ impl Exec {
     fn audit(&mut self, op_index: usize) -> Result<(), TortureFailure> {
         self.report.audits += 1;
         let report = audit_vm(&self.vm);
-        if report.is_clean() {
-            Ok(())
-        } else {
-            Err(TortureFailure::AuditFindings { op_index, detail: format!("{report}") })
+        if !report.is_clean() {
+            return Err(TortureFailure::AuditFindings { op_index, detail: format!("{report}") });
         }
+        if let Some(fleet) = &self.fleet {
+            let fleet_report = fleet.audit();
+            if !fleet_report.is_clean() {
+                return Err(TortureFailure::FleetFailure {
+                    op_index,
+                    detail: format!("fleet audit: {fleet_report}"),
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -996,6 +1218,19 @@ pub fn generate_ops(cfg: &TortureConfig) -> Vec<TortureOp> {
                 seed: a,
             },
             9 if cfg.migrate => TortureOp::ClearTransport,
+            // With the fleet enabled, carve tenant ops out of the same
+            // touch-heavy band; fleet-free streams are untouched.
+            10..=11 if cfg.fleet => {
+                TortureOp::FleetWrite { sel: a, page: b, tag: a.rotate_left(32) }
+            }
+            12 if cfg.fleet => TortureOp::FleetRead { sel: a, page: b },
+            13 if cfg.fleet => {
+                if b.is_multiple_of(3) {
+                    TortureOp::FleetStep
+                } else {
+                    TortureOp::FleetDiscard { sel: a, page: b }
+                }
+            }
             0..=29 => TortureOp::Touch { sel: a, page: b },
             30..=49 => TortureOp::TouchWrite { sel: a, page: b },
             50..=61 => TortureOp::MapAnon { sel: a, pages: b },
@@ -1022,13 +1257,12 @@ pub fn generate_ops(cfg: &TortureConfig) -> Vec<TortureOp> {
 /// This is the entry point replays and the minimizer use; [`run_torture`]
 /// is the generate-then-run convenience wrapper.
 pub fn run_ops(cfg: &TortureConfig, ops: &[TortureOp]) -> TortureReport {
-    let mut exec = Exec::new(cfg);
-    // With poison or migration on, watch the `poison.*`/`migrate.*` probes
+    // With poison, migration, or the fleet on, watch the subsystem probes
     // so the report can prove trace totals equal the stats ledgers. The
     // ring is kept small — only the metrics registry (exact whole-run
     // counters) is read back. Crash replays and migration baselines run
     // untraced, so replayed work never double-counts.
-    let full_trace = cfg.poison || cfg.migrate;
+    let full_trace = cfg.poison || cfg.migrate || cfg.fleet;
     let session = if full_trace {
         TraceSession::ring(1024)
     } else {
@@ -1037,9 +1271,10 @@ pub fn run_ops(cfg: &TortureConfig, ops: &[TortureOp]) -> TortureReport {
         // carries its final moments, and the metrics registry still counts.
         TraceSession::flight_only(FLIGHT_CAPACITY)
     };
+    let mut exec = Exec::new_with_tracer(cfg, session.tracer());
     exec.vm.set_tracer(session.tracer());
-    exec.tracer = session.tracer();
-    let mut checkpoint = (exec.vm.snapshot(), exec.st.clone(), 0usize);
+    let mut checkpoint =
+        (exec.vm.snapshot(), exec.fleet.as_ref().map(Fleet::snapshot), exec.st.clone(), 0usize);
     for (i, op) in ops.iter().enumerate() {
         exec.apply(op);
         if exec.report.failure.is_some() {
@@ -1059,7 +1294,12 @@ pub fn run_ops(cfg: &TortureConfig, ops: &[TortureOp]) -> TortureReport {
             }
         }
         if cfg.snapshot_interval > 0 && step.is_multiple_of(cfg.snapshot_interval) {
-            checkpoint = (exec.vm.snapshot(), exec.st.clone(), step);
+            checkpoint = (
+                exec.vm.snapshot(),
+                exec.fleet.as_ref().map(Fleet::snapshot),
+                exec.st.clone(),
+                step,
+            );
         }
         if let Err(failure) = outcome {
             exec.report.failure = Some(failure);
@@ -1087,6 +1327,11 @@ pub fn run_ops(cfg: &TortureConfig, ops: &[TortureOp]) -> TortureReport {
         .chain(final_snap.host.machine.zones.iter())
         .map(|z| z.badframes.len() as u64)
         .sum();
+    if let Some(fleet) = &exec.fleet {
+        exec.report.fleet_alive = fleet.tenant_ids().len() as u64;
+        exec.report.fleet_stats = *fleet.stats();
+        exec.report.fleet_digest = digest_fleet(&fleet.snapshot());
+    }
     exec.report.trace_enabled = full_trace && session.tracer().is_enabled();
     exec.report.spans = session.spans();
     if exec.report.failure.is_some() {
@@ -1113,6 +1358,21 @@ pub fn run_ops(cfg: &TortureConfig, ops: &[TortureOp]) -> TortureReport {
             aborts: metrics.counter("migrate.abort"),
             cutovers: metrics.counter("migrate.cutover"),
         };
+        exec.report.trace_fleet = FleetStats {
+            balloon_inflates: metrics.counter("balloon.inflate"),
+            balloon_deflates: metrics.counter("balloon.deflate"),
+            balloon_retries: metrics.counter("balloon.retry"),
+            balloon_unbacked: metrics.counter("balloon.unbacked"),
+            ksm_merges: metrics.counter("ksm.merge"),
+            ksm_unmerges: metrics.counter("ksm.unmerge"),
+            ksm_scans: metrics.counter("ksm.scan"),
+            admits: metrics.counter("fleet.admit"),
+            pressure_events: metrics.counter("fleet.pressure"),
+            pressure_resolved: metrics.counter("fleet.resolved"),
+            evacuations: metrics.counter("fleet.evacuate"),
+            evacuation_aborts: metrics.counter("fleet.evacuate_abort"),
+            victim_kills: metrics.counter("fleet.victim_kill"),
+        };
     }
     exec.report.metrics = session.metrics();
     exec.report
@@ -1124,14 +1384,14 @@ pub fn run_ops(cfg: &TortureConfig, ops: &[TortureOp]) -> TortureReport {
 fn crash_check(
     cfg: &TortureConfig,
     exec: &mut Exec,
-    checkpoint: &(VmSnapshot, RunnerState, usize),
+    checkpoint: &(VmSnapshot, Option<FleetSnapshot>, RunnerState, usize),
     ops: &[TortureOp],
     i: usize,
 ) -> Result<(), TortureFailure> {
     exec.report.crash_checks += 1;
     let live = digest_vm(&exec.vm.snapshot());
-    let (snap, st, from) = checkpoint;
-    let mut replay = Exec::from_checkpoint(cfg, snap, st);
+    let (snap, fleet_snap, st, from) = checkpoint;
+    let mut replay = Exec::from_checkpoint(cfg, snap, fleet_snap.as_ref(), st);
     for op in &ops[*from..=i] {
         replay.apply(op);
     }
@@ -1142,6 +1402,20 @@ fn crash_check(
             expected: live,
             actual: recovered,
         });
+    }
+    // The fleet recovers through the same journal: the replayed multi-tenant
+    // image — hosts, guests, balloons, sharing registries, RNG — must land
+    // byte-identical to the live one.
+    if let (Some(live_fleet), Some(replayed)) = (&exec.fleet, &replay.fleet) {
+        let live_digest = digest_fleet(&live_fleet.snapshot());
+        let recovered_digest = digest_fleet(&replayed.snapshot());
+        if recovered_digest != live_digest {
+            return Err(TortureFailure::CrashDivergence {
+                op_index: i,
+                expected: live_digest,
+                actual: recovered_digest,
+            });
+        }
     }
     let report = audit_vm(&replay.vm);
     if !report.is_clean() {
@@ -1350,6 +1624,157 @@ mod tests {
         assert!(report.crash_checks > 0);
         if report.trace_enabled {
             assert_eq!(report.migrate_stats, report.trace_migrate);
+        }
+    }
+
+    /// Deterministic fleet warmup: every tenant writes its full working set
+    /// (pushing both hosts past their physical capacity, so the pressure
+    /// ladder must fire), discards a slice (host-backed but guest-free —
+    /// balloon fodder), then rewrites the rest with fresh tags (breaking the
+    /// KSM merges the first pressure wave created).
+    fn fleet_warmup() -> Vec<TortureOp> {
+        let tenants = FLEET_TENANTS as u64;
+        let pages = FLEET_GUEST_MIB * 256 * 3 / 4;
+        let discard = pages / 4;
+        let mut ops = Vec::new();
+        // Phase A: every tenant writes its whole workload, page-major, with
+        // per-page tags shared across tenants. Each host overcommits at
+        // ~8/9 of the pass; the OOM's relieve finds nothing guest-free to
+        // balloon and resolves on the KSM rung (16-way same-tag groups
+        // collapse to one frame each).
+        for p in 0..pages {
+            for t in 0..tenants {
+                ops.push(TortureOp::FleetWrite { sel: t, page: p, tag: 1 + p });
+            }
+        }
+        // Phase B: discard a low slice — those frames become guest-free but
+        // stay host-backed, which is exactly the balloon rung's fodder.
+        for t in 0..tenants {
+            for p in 0..discard {
+                ops.push(TortureOp::FleetDiscard { sel: t, page: p });
+            }
+        }
+        // Phase C: rewrite the still-mapped remainder with per-(page,
+        // tenant) unique tags: every write breaks its 16-way share onto a
+        // fresh private frame, refilling the hosts close to capacity.
+        for p in discard..pages {
+            for t in 0..tenants {
+                ops.push(TortureOp::FleetWrite { sel: t, page: p, tag: 1_000 + p * 17 + t });
+            }
+        }
+        // Phase D: rewrite the discarded slice with unique tags. Private
+        // frame demand now outruns the few hundred free frames left after
+        // phase C, so an OOM lands mid-phase — while the rest of the slice
+        // still sits discarded and host-backed, giving the balloon rung
+        // real frames to claim (the previously asserted
+        // `balloon_inflates > 0`).
+        for p in 0..discard {
+            for t in 0..tenants {
+                ops.push(TortureOp::FleetWrite { sel: t, page: p, tag: 50_000 + p * 17 + t });
+            }
+        }
+        ops
+    }
+
+    #[test]
+    fn fleet_torture_is_deterministic_and_stats_match_trace() {
+        let cfg = TortureConfig {
+            fleet: true,
+            ..TortureConfig::with_seed_and_ops(31, 800)
+        };
+        let mut ops: Vec<TortureOp> = (0..64)
+            .flat_map(|p| {
+                (0..FLEET_TENANTS as u64)
+                    .map(move |t| TortureOp::FleetWrite { sel: t, page: p, tag: t + p })
+            })
+            .collect();
+        ops.extend(generate_ops(&cfg));
+        let a = run_ops(&cfg, &ops);
+        let b = run_ops(&cfg, &ops);
+        assert!(a.is_ok(), "{:?}", a.failure);
+        assert!(a.fleet_ops > 0, "the stream never reached the fleet");
+        assert_eq!(a.final_digest, b.final_digest);
+        assert_eq!(a.fleet_digest, b.fleet_digest);
+        assert_eq!(a.fleet_stats, b.fleet_stats);
+        assert_eq!(a.fleet_alive, b.fleet_alive);
+        if a.trace_enabled {
+            assert_eq!(a.fleet_stats, a.trace_fleet);
+        }
+    }
+
+    #[test]
+    fn fleet_survives_crash_replay_boundaries() {
+        // Crash checks restore the whole multi-tenant image — hosts, guests,
+        // balloons, sharing registries, RNG — from the last checkpoint,
+        // replay the journal, and demand the fleet digest matches the
+        // never-crashed state bit for bit.
+        let cfg = TortureConfig {
+            fleet: true,
+            crash_interval: Some(67),
+            snapshot_interval: 32,
+            ..TortureConfig::with_seed_and_ops(17, 600)
+        };
+        let mut ops: Vec<TortureOp> = (0..64)
+            .flat_map(|p| {
+                (0..FLEET_TENANTS as u64)
+                    .map(move |t| TortureOp::FleetWrite { sel: t, page: p, tag: t ^ p })
+            })
+            .collect();
+        ops.extend(generate_ops(&cfg));
+        let report = run_ops(&cfg, &ops);
+        assert!(report.is_ok(), "{:?}", report.failure);
+        assert!(report.crash_checks > 0);
+        assert!(report.fleet_ops > 0);
+    }
+
+    #[test]
+    fn acceptance_fleet_torture_10k_ops_overcommitted() {
+        // The PR's acceptance bar: 32 tenants at 1.5× memory overcommit on
+        // two hosts, driven through a deterministic oversubscribing warmup
+        // and then 10 000 random ops mixing tenant traffic with migrations,
+        // poison, and pcp caches on the primary VM. The run must complete
+        // with every periodic fleet audit clean (sharing registry exact,
+        // no double-owned frames, committed ≤ limit), zero host-fatal OOMs
+        // (any tenant op error is an immediate failure), and the fleet
+        // stats ledger exactly equal to the `balloon.*`/`ksm.*`/`fleet.*`
+        // trace totals.
+        let cfg = TortureConfig {
+            fleet: true,
+            poison: true,
+            migrate: true,
+            pcp: true,
+            sweep_interval: 256,
+            audit_interval: 512,
+            snapshot_interval: 512,
+            crash_interval: Some(4003),
+            ..TortureConfig::with_seed_and_ops(2020, 10_000)
+        };
+        let mut ops = fleet_warmup();
+        ops.extend(generate_ops(&cfg));
+        let report = run_ops(&cfg, &ops);
+        assert!(report.is_ok(), "{:?}", report.failure);
+        assert!(report.fleet_ops > 0);
+        assert!(report.fleet_alive > 0, "the ladder killed every tenant");
+        assert_eq!(report.fleet_stats.admits, FLEET_TENANTS as u64);
+        assert!(
+            report.fleet_stats.pressure_events > 0,
+            "overcommit never pressured the hosts: {:?}",
+            report.fleet_stats
+        );
+        assert!(
+            report.fleet_stats.ksm_merges > 0,
+            "same-page merging never fired: {:?}",
+            report.fleet_stats
+        );
+        assert!(
+            report.fleet_stats.balloon_inflates > 0,
+            "ballooning never reclaimed a discarded frame: {:?}",
+            report.fleet_stats
+        );
+        assert!(report.crash_checks > 0);
+        assert!(report.audits > 0);
+        if report.trace_enabled {
+            assert_eq!(report.fleet_stats, report.trace_fleet);
         }
     }
 

@@ -38,6 +38,52 @@ pub struct FaultOutcome {
     pub already_mapped: bool,
 }
 
+/// Outcome of a successful [`System::ksm_merge`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KsmMergeOutcome {
+    /// The frame both mappings now share (the keeper's).
+    pub kept: Pfn,
+    /// The frame the donor mapping dropped.
+    pub dropped: Pfn,
+    /// Whether the dropped frame actually returned to the buddy (false when
+    /// it remains COW-shared with other mappings).
+    pub donor_freed: bool,
+}
+
+/// Why a [`System::ksm_merge`] was refused. Merges are best-effort — the
+/// scanner simply skips a refused pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KsmError {
+    /// One of the pids does not exist.
+    UnknownPid,
+    /// One of the addresses has no leaf mapping.
+    NotMapped,
+    /// One of the leaves is a huge page; KSM only merges 4 KiB leaves.
+    NotBasePage,
+    /// One of the mappings is file-backed; the page cache owns those frames.
+    FileBacked,
+    /// The keeper's frame is hardware-poisoned.
+    PoisonedKeeper,
+    /// The pair already shares one frame.
+    AlreadyMerged,
+}
+
+impl core::fmt::Display for KsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let what = match self {
+            KsmError::UnknownPid => "unknown pid",
+            KsmError::NotMapped => "address not mapped",
+            KsmError::NotBasePage => "not a 4 KiB leaf",
+            KsmError::FileBacked => "file-backed mapping",
+            KsmError::PoisonedKeeper => "keeper frame poisoned",
+            KsmError::AlreadyMerged => "already sharing one frame",
+        };
+        write!(f, "ksm merge refused: {what}")
+    }
+}
+
+impl std::error::Error for KsmError {}
+
 /// Construction parameters for a [`System`].
 #[derive(Clone, Debug)]
 pub struct SystemConfig {
@@ -1082,6 +1128,119 @@ impl System {
             } else {
                 self.machine.free_page(m.pte.pfn, m.size);
             }
+        }
+    }
+
+    /// Public wrapper over the seeded retry backoff: sleeps (in simulated
+    /// time) before the `attempt`-th retry of an external operation — the
+    /// balloon driver's deflate re-backing reuses the exact recovery-path
+    /// jitter so fleet retries stay deterministic per seed. Returns the
+    /// delay paid, in nanoseconds.
+    pub fn backoff_sleep(&mut self, attempt: u32) -> u64 {
+        self.retry_backoff(attempt)
+    }
+
+    /// KSM-style same-page merge: points the `donor` mapping at the
+    /// `keeper`'s frame and write-protects both behind the existing COW
+    /// break path, so the next write to either lands on a fresh private
+    /// copy via [`System::touch_write`]. The donor's old frame is released
+    /// through the COW reference table (freed outright when it was
+    /// exclusively owned).
+    ///
+    /// The caller asserts content equality — this simulator tracks frame
+    /// *identity*, not bytes, so the fleet layer's content tags are the
+    /// ground truth the oracle checks.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown pids, unmapped or huge-leaf addresses, file-backed
+    /// mappings (the page cache owns those frames), a poisoned keeper
+    /// frame, and a pair already sharing one frame.
+    pub fn ksm_merge(
+        &mut self,
+        keeper: (Pid, VirtAddr),
+        donor: (Pid, VirtAddr),
+    ) -> Result<KsmMergeOutcome, KsmError> {
+        let kt = self
+            .processes
+            .get(&keeper.0)
+            .ok_or(KsmError::UnknownPid)?
+            .page_table()
+            .translate(keeper.1)
+            .map_err(|_| KsmError::NotMapped)?;
+        let dt = self
+            .processes
+            .get(&donor.0)
+            .ok_or(KsmError::UnknownPid)?
+            .page_table()
+            .translate(donor.1)
+            .map_err(|_| KsmError::NotMapped)?;
+        if kt.size != PageSize::Base4K || dt.size != PageSize::Base4K {
+            return Err(KsmError::NotBasePage);
+        }
+        if kt.flags.contains(PteFlags::FILE) || dt.flags.contains(PteFlags::FILE) {
+            return Err(KsmError::FileBacked);
+        }
+        if self.machine.is_poisoned(kt.pfn) {
+            return Err(KsmError::PoisonedKeeper);
+        }
+        if kt.pfn == dt.pfn {
+            return Err(KsmError::AlreadyMerged);
+        }
+        let keeper_va = keeper.1.align_down(PageSize::Base4K);
+        let donor_va = donor.1.align_down(PageSize::Base4K);
+        self.processes
+            .get_mut(&keeper.0)
+            .expect("keeper pid")
+            .page_table_mut()
+            .update_flags(keeper_va, |f| f.difference(PteFlags::WRITE) | PteFlags::COW);
+        self.processes
+            .get_mut(&donor.0)
+            .expect("donor pid")
+            .page_table_mut()
+            .remap(
+                donor_va,
+                Pte::new(kt.pfn, dt.flags.difference(PteFlags::WRITE) | PteFlags::COW),
+            );
+        *self.shared.entry(kt.pfn).or_insert(1) += 1;
+        let donor_freed = if dt.flags.contains(PteFlags::COW) {
+            let freed = !matches!(self.shared.get(&dt.pfn), Some(c) if *c > 1);
+            self.unshare_frame(dt.pfn, PageSize::Base4K);
+            freed
+        } else {
+            self.machine.free_page(dt.pfn, PageSize::Base4K);
+            true
+        };
+        self.tracer
+            .emit(TraceEvent::KsmMerge { kept: kt.pfn.raw(), dropped: dt.pfn.raw() });
+        Ok(KsmMergeOutcome { kept: kt.pfn, dropped: dt.pfn, donor_freed })
+    }
+
+    /// Tears one 4 KiB leaf out of `pid`'s page table, releasing its frame
+    /// through the same ownership rules as [`System::exit`]: page-cache
+    /// frames stay cached, COW frames go through the reference table, and
+    /// exclusively owned frames return to the buddy. This is the balloon
+    /// driver's reclaim primitive — the guest keeps the (now unbacked) VMA.
+    ///
+    /// Returns the frame the leaf pointed at and whether it actually
+    /// reached the free lists, or `None` when `va` has no 4 KiB leaf.
+    pub fn unmap_base_page(&mut self, pid: Pid, va: VirtAddr) -> Option<(Pfn, bool)> {
+        let aspace = self.processes.get_mut(&pid)?;
+        let t = aspace.page_table().translate(va).ok()?;
+        if t.size != PageSize::Base4K {
+            return None;
+        }
+        let (pte, _) = aspace.page_table_mut().unmap(va.align_down(PageSize::Base4K))?;
+        if pte.flags.contains(PteFlags::FILE) {
+            return Some((pte.pfn, false));
+        }
+        if pte.flags.contains(PteFlags::COW) {
+            let freed = !matches!(self.shared.get(&pte.pfn), Some(c) if *c > 1);
+            self.unshare_frame(pte.pfn, PageSize::Base4K);
+            Some((pte.pfn, freed))
+        } else {
+            self.machine.free_page(pte.pfn, PageSize::Base4K);
+            Some((pte.pfn, true))
         }
     }
 

@@ -438,6 +438,112 @@ pub enum TraceEvent {
         /// Stop-and-copy downtime, simulated ns.
         downtime_ns: u64,
     },
+    /// `balloon.inflate` — a tenant's balloon driver reclaimed guest frames
+    /// and returned their host backing to the shared host buddy.
+    BalloonInflate {
+        /// Tenant whose balloon grew.
+        tenant: u64,
+        /// Guest frames reclaimed by this inflate step.
+        frames: u64,
+    },
+    /// `balloon.deflate` — a tenant's balloon released guest frames back to
+    /// the guest buddy and re-backed them on the host.
+    BalloonDeflate {
+        /// Tenant whose balloon shrank.
+        tenant: u64,
+        /// Guest frames released by this deflate step.
+        frames: u64,
+    },
+    /// `balloon.retry` — re-backing a deflated frame hit host OOM and the
+    /// driver retried after a jittered exponential backoff.
+    BalloonRetry {
+        /// Tenant whose deflate retried.
+        tenant: u64,
+        /// Retry attempt, counting from 1.
+        attempt: u32,
+        /// Backoff the host clock paid before this attempt, ns.
+        backoff_ns: u64,
+    },
+    /// `balloon.unbacked` — a deflated guest frame could not be re-backed
+    /// after bounded retries; it is left as a legal unbacked hole that heals
+    /// on the next touch.
+    BalloonUnbacked {
+        /// Tenant that owns the hole.
+        tenant: u64,
+        /// Guest frame left unbacked.
+        gframe: u64,
+    },
+    /// `ksm.merge` — two identical read-only pages were merged onto one host
+    /// frame behind the COW write-fault break path.
+    KsmMerge {
+        /// Host frame now shared by both mappings.
+        kept: u64,
+        /// Host frame the donor mapping dropped.
+        dropped: u64,
+    },
+    /// `ksm.unmerge` — a write fault broke a KSM share; the writer landed on
+    /// a fresh private frame via the COW break path.
+    KsmUnmerge {
+        /// The formerly shared host frame.
+        pfn: u64,
+        /// The fresh private frame the writer now maps.
+        fresh: u64,
+    },
+    /// `ksm.scan` — one same-page scan pass over a host's backed frames.
+    KsmScan {
+        /// Candidate pages the pass inspected.
+        scanned: u64,
+        /// Pages merged by the pass.
+        merged: u64,
+    },
+    /// `fleet.admit` — the fleet admitted a tenant onto a host under the
+    /// overcommit limit.
+    FleetAdmit {
+        /// The admitted tenant.
+        tenant: u64,
+        /// Host index the tenant landed on.
+        host: u64,
+    },
+    /// `fleet.pressure` — a host's free frames fell below the low watermark;
+    /// a pressure episode began.
+    FleetPressure {
+        /// The pressured host.
+        host: u64,
+        /// Free host frames at episode start.
+        free: u64,
+    },
+    /// `fleet.resolved` — a pressure episode ended with the host back above
+    /// its watermark.
+    FleetResolved {
+        /// The recovered host.
+        host: u64,
+        /// Free host frames at episode end.
+        free: u64,
+    },
+    /// `fleet.evacuate` — live migration moved a tenant to a less-loaded
+    /// host and its source-side footprint was released.
+    FleetEvacuate {
+        /// The evacuated tenant.
+        tenant: u64,
+        /// Source host index.
+        from: u64,
+        /// Destination host index.
+        to: u64,
+    },
+    /// `fleet.evacuate_abort` — the evacuation migration aborted through the
+    /// lossy transport; the tenant stayed on its source host, audit-clean.
+    FleetEvacuateAbort {
+        /// The tenant that stayed put.
+        tenant: u64,
+    },
+    /// `fleet.victim_kill` — the last escalation rung tore one tenant down
+    /// leak-free to relieve host pressure.
+    FleetVictimKill {
+        /// The killed tenant.
+        tenant: u64,
+        /// Host frames the teardown returned to the buddy.
+        freed: u64,
+    },
     /// `audit.report` — a cross-layer invariant audit ran.
     AuditReport {
         /// Number of violations found (0 for a clean system).
@@ -506,6 +612,19 @@ impl TraceEvent {
             TraceEvent::MigrateResume { .. } => "migrate.resume",
             TraceEvent::MigrateAbort { .. } => "migrate.abort",
             TraceEvent::MigrateCutover { .. } => "migrate.cutover",
+            TraceEvent::BalloonInflate { .. } => "balloon.inflate",
+            TraceEvent::BalloonDeflate { .. } => "balloon.deflate",
+            TraceEvent::BalloonRetry { .. } => "balloon.retry",
+            TraceEvent::BalloonUnbacked { .. } => "balloon.unbacked",
+            TraceEvent::KsmMerge { .. } => "ksm.merge",
+            TraceEvent::KsmUnmerge { .. } => "ksm.unmerge",
+            TraceEvent::KsmScan { .. } => "ksm.scan",
+            TraceEvent::FleetAdmit { .. } => "fleet.admit",
+            TraceEvent::FleetPressure { .. } => "fleet.pressure",
+            TraceEvent::FleetResolved { .. } => "fleet.resolved",
+            TraceEvent::FleetEvacuate { .. } => "fleet.evacuate",
+            TraceEvent::FleetEvacuateAbort { .. } => "fleet.evacuate_abort",
+            TraceEvent::FleetVictimKill { .. } => "fleet.victim_kill",
             TraceEvent::TlbMiss { .. } => "tlb.miss",
             TraceEvent::AuditReport { .. } => "audit.report",
             TraceEvent::TimelinePoint { .. } => "metrics.timeline_point",
@@ -513,8 +632,8 @@ impl TraceEvent {
     }
 
     /// The subsystem prefix of [`TraceEvent::name`] (`buddy`, `mm`,
-    /// `recovery`, `ca`, `virt`, `poison`, `migrate`, `tlb`, `audit`,
-    /// `inject`, `metrics`).
+    /// `recovery`, `ca`, `virt`, `poison`, `migrate`, `balloon`, `ksm`,
+    /// `fleet`, `tlb`, `audit`, `inject`, `metrics`).
     pub fn subsystem(&self) -> &'static str {
         let name = self.name();
         name.split_once('.').map_or(name, |(sub, _)| sub)

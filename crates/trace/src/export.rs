@@ -184,6 +184,47 @@ fn fields(event: &TraceEvent) -> Vec<(&'static str, Value)> {
             ("pages", V::U64(pages)),
             ("downtime_ns", V::U64(downtime_ns)),
         ],
+        E::BalloonInflate { tenant, frames } => {
+            vec![("tenant", V::U64(tenant)), ("frames", V::U64(frames))]
+        }
+        E::BalloonDeflate { tenant, frames } => {
+            vec![("tenant", V::U64(tenant)), ("frames", V::U64(frames))]
+        }
+        E::BalloonRetry { tenant, attempt, backoff_ns } => vec![
+            ("tenant", V::U64(tenant)),
+            ("attempt", V::U64(attempt.into())),
+            ("backoff_ns", V::U64(backoff_ns)),
+        ],
+        E::BalloonUnbacked { tenant, gframe } => {
+            vec![("tenant", V::U64(tenant)), ("gframe", V::U64(gframe))]
+        }
+        E::KsmMerge { kept, dropped } => {
+            vec![("kept", V::U64(kept)), ("dropped", V::U64(dropped))]
+        }
+        E::KsmUnmerge { pfn, fresh } => {
+            vec![("pfn", V::U64(pfn)), ("fresh", V::U64(fresh))]
+        }
+        E::KsmScan { scanned, merged } => {
+            vec![("scanned", V::U64(scanned)), ("merged", V::U64(merged))]
+        }
+        E::FleetAdmit { tenant, host } => {
+            vec![("tenant", V::U64(tenant)), ("host", V::U64(host))]
+        }
+        E::FleetPressure { host, free } => {
+            vec![("host", V::U64(host)), ("free", V::U64(free))]
+        }
+        E::FleetResolved { host, free } => {
+            vec![("host", V::U64(host)), ("free", V::U64(free))]
+        }
+        E::FleetEvacuate { tenant, from, to } => vec![
+            ("tenant", V::U64(tenant)),
+            ("from", V::U64(from)),
+            ("to", V::U64(to)),
+        ],
+        E::FleetEvacuateAbort { tenant } => vec![("tenant", V::U64(tenant))],
+        E::FleetVictimKill { tenant, freed } => {
+            vec![("tenant", V::U64(tenant)), ("freed", V::U64(freed))]
+        }
         E::TlbMiss { va, refs, cycles } => vec![
             ("va", V::U64(va)),
             ("refs", V::U64(refs.into())),
@@ -342,6 +383,42 @@ fn event_from(name: &str, f: &FieldMap<'_>) -> Result<TraceEvent, ParseError> {
             rounds: f.u32("rounds")?,
             pages: f.u64("pages")?,
             downtime_ns: f.u64("downtime_ns")?,
+        },
+        "balloon.inflate" => E::BalloonInflate {
+            tenant: f.u64("tenant")?,
+            frames: f.u64("frames")?,
+        },
+        "balloon.deflate" => E::BalloonDeflate {
+            tenant: f.u64("tenant")?,
+            frames: f.u64("frames")?,
+        },
+        "balloon.retry" => E::BalloonRetry {
+            tenant: f.u64("tenant")?,
+            attempt: f.u32("attempt")?,
+            backoff_ns: f.u64("backoff_ns")?,
+        },
+        "balloon.unbacked" => E::BalloonUnbacked {
+            tenant: f.u64("tenant")?,
+            gframe: f.u64("gframe")?,
+        },
+        "ksm.merge" => E::KsmMerge { kept: f.u64("kept")?, dropped: f.u64("dropped")? },
+        "ksm.unmerge" => E::KsmUnmerge { pfn: f.u64("pfn")?, fresh: f.u64("fresh")? },
+        "ksm.scan" => E::KsmScan {
+            scanned: f.u64("scanned")?,
+            merged: f.u64("merged")?,
+        },
+        "fleet.admit" => E::FleetAdmit { tenant: f.u64("tenant")?, host: f.u64("host")? },
+        "fleet.pressure" => E::FleetPressure { host: f.u64("host")?, free: f.u64("free")? },
+        "fleet.resolved" => E::FleetResolved { host: f.u64("host")?, free: f.u64("free")? },
+        "fleet.evacuate" => E::FleetEvacuate {
+            tenant: f.u64("tenant")?,
+            from: f.u64("from")?,
+            to: f.u64("to")?,
+        },
+        "fleet.evacuate_abort" => E::FleetEvacuateAbort { tenant: f.u64("tenant")? },
+        "fleet.victim_kill" => E::FleetVictimKill {
+            tenant: f.u64("tenant")?,
+            freed: f.u64("freed")?,
         },
         "tlb.miss" => E::TlbMiss {
             va: f.u64("va")?,
@@ -612,6 +689,19 @@ mod tests {
             TraceEvent::MigrateResume { round: 2 },
             TraceEvent::MigrateAbort { round: 3 },
             TraceEvent::MigrateCutover { rounds: 4, pages: 2048, downtime_ns: 90_000 },
+            TraceEvent::BalloonInflate { tenant: 3, frames: 64 },
+            TraceEvent::BalloonDeflate { tenant: 3, frames: 32 },
+            TraceEvent::BalloonRetry { tenant: 3, attempt: 2, backoff_ns: 1600 },
+            TraceEvent::BalloonUnbacked { tenant: 3, gframe: 99 },
+            TraceEvent::KsmMerge { kept: 400, dropped: 401 },
+            TraceEvent::KsmUnmerge { pfn: 400, fresh: 402 },
+            TraceEvent::KsmScan { scanned: 128, merged: 5 },
+            TraceEvent::FleetAdmit { tenant: 3, host: 1 },
+            TraceEvent::FleetPressure { host: 1, free: 12 },
+            TraceEvent::FleetResolved { host: 1, free: 200 },
+            TraceEvent::FleetEvacuate { tenant: 3, from: 1, to: 0 },
+            TraceEvent::FleetEvacuateAbort { tenant: 4 },
+            TraceEvent::FleetVictimKill { tenant: 5, freed: 700 },
             TraceEvent::TlbMiss { va: 0x2000, refs: 4, cycles: 48 },
             TraceEvent::AuditReport { violations: 0 },
             TraceEvent::TimelinePoint { t: 5, top32: 0.875, mapped_bytes: 1 << 20 },

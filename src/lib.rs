@@ -51,6 +51,7 @@ pub use contig_buddy as buddy;
 pub use contig_check as check;
 pub use contig_core as core;
 pub use contig_engine as engine;
+pub use contig_fleet as fleet;
 pub use contig_metrics as metrics;
 pub use contig_mm as mm;
 pub use contig_sim as sim;
@@ -73,11 +74,15 @@ pub mod prelude {
         run_seeded, run_seeded_with_stats, ContentionStats, PoolConfig, TaskCtx, TaskReport,
         WorkerStats,
     };
+    pub use contig_fleet::{
+        Fleet, FleetAuditReport, FleetConfig, FleetError, FleetHost, FleetSnapshot, FleetStats,
+        Tenant, TenantId, TenantSnapshot,
+    };
     pub use contig_metrics::{CoverageStats, PerfModel};
     pub use contig_mm::{
         contiguous_mappings, AddressSpace, BasePagesPolicy, DefaultThpPolicy, FailureAction,
-        FaultKind, MemoryFailureOutcome, PageTable, Pid, Placement, PlacementPolicy, PoisonStats,
-        Pte, PteFlags, System, SystemConfig, VmaId, VmaKind,
+        FaultKind, KsmError, KsmMergeOutcome, MemoryFailureOutcome, PageTable, Pid, Placement,
+        PlacementPolicy, PoisonStats, Pte, PteFlags, System, SystemConfig, VmaId, VmaKind,
     };
     pub use contig_sim::{Env, PolicyKind, TranslationConfig};
     pub use contig_tlb::{Access, MemorySim, MissHandler, MissHandling, TlbConfig};

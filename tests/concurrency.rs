@@ -139,7 +139,7 @@ fn threaded_faults_on_shared_system() {
 // Parallel experiment engine: worker-count-independent determinism.
 // ---------------------------------------------------------------------------
 
-use contig::check::digest_system;
+use contig::check::{digest_fleet, digest_system};
 use contig::engine::task_seed;
 use contig_buddy::PcpConfig;
 use contig_types::splitmix64;
@@ -366,6 +366,74 @@ fn migration_workloads_are_worker_count_independent() {
     };
     assert_eq!(run_at(1), serial, "1-worker migration run diverged from serial execution");
     assert_eq!(run_at(8), serial, "8-worker migration run diverged from serial execution");
+}
+
+/// A fleet-enabled variant: each task boots a seeded overcommit-capable
+/// fleet (one 16 MiB host, four 2 MiB tenants) and drives a seeded mix of
+/// tenant writes/reads/discards, balloon traffic, KSM scans, and controller
+/// ticks. Returns the fleet state digest plus the reclaim engagement count
+/// (merges + inflates + unmerges) so the test can prove the ladder actually
+/// ran, and the final audit must be clean in every task.
+fn fleet_engine_experiment(seed: u64) -> (u64, u64) {
+    let mut rng = seed;
+    let mut fleet =
+        Fleet::new(FleetConfig { seed: splitmix64(&mut rng), ..FleetConfig::new(1, 16, 2) });
+    for _ in 0..4 {
+        fleet.admit().expect("one 16 MiB host admits four 2 MiB tenants");
+    }
+    let ids = fleet.tenant_ids();
+    let pages = fleet.tenant(ids[0]).unwrap().workload_pages();
+    for _ in 0..200 {
+        let id = ids[(splitmix64(&mut rng) % ids.len() as u64) as usize];
+        let page = splitmix64(&mut rng) % pages;
+        // Small tag pool so KSM scans find same-content groups to merge.
+        let tag = 1 + splitmix64(&mut rng) % 5;
+        match splitmix64(&mut rng) % 10 {
+            0..=4 => fleet.tenant_write(id, page, tag).expect("write"),
+            5 => {
+                fleet.tenant_read(id, page).expect("read");
+            }
+            6 => {
+                fleet.tenant_discard(id, page).expect("discard");
+            }
+            7 => {
+                fleet.balloon_inflate_tenant(id, 8);
+            }
+            8 => {
+                fleet.ksm_scan_host(0);
+            }
+            _ => fleet.step(),
+        }
+    }
+    let audit = fleet.audit();
+    assert!(audit.is_clean(), "fleet audit must be clean:\n{audit}");
+    let s = fleet.stats();
+    let engaged = s.ksm_merges + s.balloon_inflates + s.ksm_unmerges;
+    (digest_fleet(&fleet.snapshot()), engaged)
+}
+
+/// The fleet satellite acceptance property: multi-tenant fleet workloads —
+/// overcommitted tenants, ballooning, same-page merging, write-breaks — are
+/// just as worker-count independent as the single-VM workloads.
+#[test]
+fn fleet_workloads_are_worker_count_independent() {
+    let serial: Vec<(u64, u64)> = (0..ENGINE_TASKS)
+        .map(|i| fleet_engine_experiment(task_seed(ENGINE_SEED, i)))
+        .collect();
+    assert!(
+        serial.iter().all(|&(_, engaged)| engaged > 0),
+        "a task never merged, ballooned or broke a share — the reclaim ladder never engaged"
+    );
+    let run_at = |workers: usize| -> Vec<(u64, u64)> {
+        run_seeded(PoolConfig::new(workers), ENGINE_SEED, ENGINE_TASKS, |ctx| {
+            fleet_engine_experiment(ctx.seed)
+        })
+        .iter()
+        .map(|r| *r.ok().expect("fleet experiment task panicked"))
+        .collect()
+    };
+    assert_eq!(run_at(1), serial, "1-worker fleet run diverged from serial execution");
+    assert_eq!(run_at(8), serial, "8-worker fleet run diverged from serial execution");
 }
 
 /// Intermediate worker counts agree too, and repeated runs are stable.

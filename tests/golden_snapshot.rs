@@ -1,12 +1,14 @@
 //! Backward-compatibility guard for the snapshot format: a version-1
-//! snapshot file (predating the per-zone `pcp` member) and a version-2 file
-//! (predating the hwpoison sections) are checked into `tests/golden/` and
-//! must keep decoding forever; the current-format golden lives in
-//! `tests/golden/snapshot_v3.jsonl` and pins encoder determinism. Format
+//! snapshot file (predating the per-zone `pcp` member), a version-2 file
+//! (predating the hwpoison sections), and a version-3 file (predating the
+//! balloon/KSM members) are checked into `tests/golden/` and must keep
+//! decoding forever; the current-format golden lives in
+//! `tests/golden/snapshot_v4.jsonl` and pins encoder determinism. Format
 //! changes that would orphan existing snapshot files fail here; a deliberate
 //! format bump must keep decoding old versions (or regenerate the current
 //! golden *and* bump `SNAPSHOT_VERSION`).
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use contig::check::{decode_vm_file, digest_vm, encode_vm_file};
@@ -21,9 +23,9 @@ fn golden_path(name: &str) -> PathBuf {
 /// fork, and one armed fault injector — every snapshot section populated.
 /// Deliberately pcp-free so the identical workload stands behind both the
 /// v1 and v2 fixtures.
-fn golden_vm() -> VirtualMachine {
+fn golden_vm_with(config: VmConfig) -> VirtualMachine {
     let mut vm = VirtualMachine::new(
-        VmConfig::with_mib(16, 64),
+        config,
         Box::new(DefaultThpPolicy),
         Box::new(DefaultThpPolicy),
     );
@@ -51,8 +53,8 @@ fn golden_vm() -> VirtualMachine {
 /// so every new section of the format — per-zone badframe lists, quarantine
 /// counters, the seeded poison policy, and the recovery stats — is populated
 /// with non-default values in the checked-in file.
-fn golden_vm_v3() -> VirtualMachine {
-    let mut vm = golden_vm();
+fn golden_vm_v3_with(config: VmConfig) -> VirtualMachine {
+    let mut vm = golden_vm_with(config);
     // A healed host-side strike on a frame backing guest memory, plus a
     // guest-side strike and a soft-offline: exercises quarantine on both
     // dimensions deterministically (no RNG involved).
@@ -84,6 +86,30 @@ fn golden_vm_v3() -> VirtualMachine {
         rate_ppm: 2_500,
         seed: 2020,
     }));
+    vm
+}
+
+/// The version-4 golden workload: the v3 fixture re-run with THP disabled
+/// on both dimensions (KSM merges only 4 KiB host leaves), plus balloon and
+/// KSM activity, so both new sections of the format — the ballooned-frame
+/// list and the host-frame sharing registry — carry non-default values in
+/// the checked-in file.
+fn golden_vm_v4() -> VirtualMachine {
+    let mut config = VmConfig::with_mib(16, 64);
+    config.guest.thp = false;
+    config.host.thp = false;
+    let mut vm = golden_vm_v3_with(config);
+    let claimed = vm.balloon_inflate(8);
+    assert!(claimed > 0, "fixture must balloon at least one guest frame");
+    // Declare every backed anonymous guest page content-equal; the scan
+    // merges each 4 KiB-host-backed one onto a single shared frame behind
+    // the COW break path (the simulator trusts the caller's tag model).
+    let tags: BTreeMap<u64, u64> = vm.backed_gframes().into_iter().map(|g| (g, 1)).collect();
+    let (scanned, merged) = vm.ksm_scan(&tags);
+    assert!(
+        scanned > 0 && merged > 0,
+        "fixture must KSM-merge ({scanned} scanned, {merged} merged)"
+    );
     vm
 }
 
@@ -144,15 +170,46 @@ fn golden_v3_restores_poison_state() {
 }
 
 #[test]
+fn golden_v4_snapshot_still_decodes() {
+    check_golden("snapshot_v4.jsonl");
+}
+
+#[test]
+fn golden_v4_restores_balloon_and_sharing_state() {
+    // The balloon frame list and the KSM sharing registry must survive the
+    // round trip with their exact values, not just re-default.
+    let text = std::fs::read_to_string(golden_path("snapshot_v4.jsonl"))
+        .expect("tests/golden/snapshot_v4.jsonl must be checked in");
+    let snap = decode_vm_file(&text).expect("decode v4 golden");
+    let mut vm = VirtualMachine::new(
+        VmConfig::with_mib(16, 64),
+        Box::new(DefaultThpPolicy),
+        Box::new(DefaultThpPolicy),
+    );
+    vm.restore(&snap);
+    assert!(!vm.ballooned_gframes().is_empty(), "balloon list lost in round trip");
+    let sharing = vm.sharing_registry();
+    assert!(!sharing.is_empty(), "sharing registry lost in round trip");
+    for (host_frame, members) in sharing {
+        assert!(
+            members.len() >= 2,
+            "registry record for host frame {host_frame} has {} member(s); \
+             records exist only while shared",
+            members.len()
+        );
+    }
+}
+
+#[test]
 fn golden_workload_is_still_deterministic() {
     // The encoder applied to the fixed golden workload must reproduce the
     // checked-in bytes exactly. If this fails while the decode tests pass,
     // the format evolved compatibly — regenerate via
     // `cargo test --test golden_snapshot -- --ignored` and review the diff.
-    let text = std::fs::read_to_string(golden_path("snapshot_v3.jsonl"))
-        .expect("tests/golden/snapshot_v3.jsonl must be checked in");
+    let text = std::fs::read_to_string(golden_path("snapshot_v4.jsonl"))
+        .expect("tests/golden/snapshot_v4.jsonl must be checked in");
     assert_eq!(
-        encode_vm_file(&golden_vm_v3().snapshot()),
+        encode_vm_file(&golden_vm_v4().snapshot()),
         text,
         "encoder output drifted from the golden file"
     );
@@ -161,7 +218,7 @@ fn golden_workload_is_still_deterministic() {
 #[test]
 #[ignore = "regenerates the current-format golden fixture; run explicitly after a reviewed format change"]
 fn regenerate_golden_file() {
-    let path = golden_path("snapshot_v3.jsonl");
+    let path = golden_path("snapshot_v4.jsonl");
     std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir tests/golden");
-    std::fs::write(&path, encode_vm_file(&golden_vm_v3().snapshot())).expect("write golden");
+    std::fs::write(&path, encode_vm_file(&golden_vm_v4().snapshot())).expect("write golden");
 }
