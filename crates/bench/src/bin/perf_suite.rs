@@ -27,13 +27,13 @@
 use std::time::Instant;
 
 use contig_buddy::{MachineConfig, PcpConfig};
-use contig_check::{digest_system, run_torture, Json, TortureConfig};
+use contig_check::{digest_system, fold_digests, run_torture, Json, TortureConfig};
 use contig_core::CaPaging;
 use contig_engine::{run_seeded_with_stats, ContentionStats, PoolConfig};
 use contig_metrics::{ScalabilityFit, ScalabilityPoint};
 use contig_mm::{System, SystemConfig, VmaKind};
 use contig_sim::{contiguity, overhead, Env, PolicyKind};
-use contig_trace::{declare_canonical_metrics, MetricsRegistry, Tracer};
+use contig_trace::{declare_canonical_metrics, MetricsRegistry, TraceSession, Tracer};
 use contig_types::{splitmix64, VirtAddr, VirtRange};
 use contig_workloads::{Scale, Workload};
 
@@ -91,20 +91,46 @@ struct SweepOut {
     faults: u64,
     alloc_ops: u64,
     digest: u64,
+    /// Simulated nanoseconds the task's fault work consumed (the system's
+    /// latency-model clock) — the time base of the sharded scaling proof.
+    sim_ns: u64,
 }
 
 /// One independent simulated machine: pcp-enabled system, CA-paged anon
 /// VMA, batched populate, page-cache readahead, a COW fork, and a seeded
 /// touch storm rotating over simulated CPUs. Deterministic per seed.
-fn sweep_task(seed: u64, quick: bool, tracer: Option<&Tracer>) -> SweepOut {
+///
+/// `topo` selects the machine shape: `None` is the classic single-zone
+/// machine; `Some((zones, shard))` splits the machine into `zones` NUMA
+/// zones and homes every process on zone `shard` — the zone-sharded engine
+/// mode, where tasks pinned to different shards drive disjoint zones.
+fn sweep_task(
+    seed: u64,
+    quick: bool,
+    tracer: Option<&Tracer>,
+    topo: Option<(usize, usize)>,
+) -> SweepOut {
     let mut rng = seed;
     let mib = 48 + (splitmix64(&mut rng) % 3) * 16;
-    let mut sys = System::new(SystemConfig::new(MachineConfig::single_node_mib(mib)));
+    let config = match topo {
+        None => MachineConfig::single_node_mib(mib),
+        Some((zones, _)) => {
+            let zones = zones.max(1) as u64;
+            let per = mib / zones;
+            let mut sizes = vec![per; zones as usize];
+            *sizes.last_mut().expect("at least one zone") += mib - per * zones;
+            MachineConfig::with_node_mib(&sizes)
+        }
+    };
+    let mut sys = System::new(SystemConfig::new(config));
     if let Some(t) = tracer {
         sys.set_tracer(t.clone());
     }
     sys.enable_pcp(PcpConfig { cpus: 4, batch: 16, high: 64 });
     let pid = sys.spawn();
+    if let Some((zones, shard)) = topo {
+        sys.set_home_node(pid, Some(shard % zones.max(1)));
+    }
 
     // CA-paged primary VMA (8–14 MiB).
     let mut ca = CaPaging::new();
@@ -130,6 +156,9 @@ fn sweep_task(seed: u64, quick: bool, tracer: Option<&Tracer>) -> SweepOut {
 
     // COW fork + write storm breaking a slice of the shared pages.
     let child = sys.fork_vma(pid, vma);
+    if let Some((zones, shard)) = topo {
+        sys.set_home_node(child, Some(shard % zones.max(1)));
+    }
     let breaks = if quick { 64 } else { 256 };
     for i in 0..breaks {
         sys.set_cpu((i % 4) as usize);
@@ -166,6 +195,7 @@ fn sweep_task(seed: u64, quick: bool, tracer: Option<&Tracer>) -> SweepOut {
         faults,
         alloc_ops: counters.allocs + counters.targeted_allocs + counters.frees,
         digest: digest_system(&sys.snapshot()),
+        sim_ns: sys.now_ns(),
     }
 }
 
@@ -193,7 +223,7 @@ fn main() {
     let quick = args.quick;
     let serial_start = Instant::now();
     let serial: Vec<SweepOut> = (0..args.tasks)
-        .map(|i| sweep_task(contig_engine::task_seed(args.seed, i), quick, None))
+        .map(|i| sweep_task(contig_engine::task_seed(args.seed, i), quick, None, None))
         .collect();
     let serial_wall = serial_start.elapsed().as_nanos() as u64;
     let faults_total: u64 = serial.iter().map(|t| t.faults).sum();
@@ -208,13 +238,17 @@ fn main() {
     );
 
     let mut worker_rows = Vec::new();
-    let mut contention_rows: Vec<(u64, ContentionStats)> = Vec::new();
+    // (mode, workers, engine stats, per-zone (touches, conflicts) rows).
+    // Work-stealing sweep tasks report no zones, so their rows are empty;
+    // the pinned sharded sweep fills them in below.
+    type ContentionRow = (&'static str, u64, ContentionStats, Vec<(u64, u64)>);
+    let mut contention_rows: Vec<ContentionRow> = Vec::new();
     let mut points = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         let start = Instant::now();
         let (reports, contention) =
             run_seeded_with_stats(PoolConfig::new(workers), args.seed, args.tasks, |ctx| {
-                sweep_task(ctx.seed, quick, None)
+                sweep_task(ctx.seed, quick, None, None)
             });
         let wall = start.elapsed().as_nanos() as u64;
         let digests: Vec<u64> =
@@ -231,7 +265,7 @@ fn main() {
             fps
         );
         worker_rows.push((workers as u64, wall, fps, per_sec(ops_total, wall)));
-        contention_rows.push((workers as u64, contention));
+        contention_rows.push(("worksteal", workers as u64, contention, Vec::new()));
     }
     let wall_1w = worker_rows[0].1;
     let usl = ScalabilityFit::fit(&points);
@@ -243,7 +277,7 @@ fn main() {
         let (reports, _) =
             run_seeded_with_stats(PoolConfig::new(8), args.seed, args.tasks, |ctx| {
                 let tracer = ctx.trace.tracer();
-                sweep_task(ctx.seed, quick, Some(&tracer))
+                sweep_task(ctx.seed, quick, Some(&tracer), None)
             });
         let mut merged = MetricsRegistry::new();
         let mut digests = Vec::new();
@@ -275,6 +309,147 @@ fn main() {
     } else {
         None
     };
+
+    // ---- Sharded sweep: shard-pinned engine over zone-split machines. ---
+    // The same multi-VM workload, but every task homes its processes on
+    // shard `index % SHARDS` of a SHARDS-zone machine and the pool pins
+    // tasks to the worker owning that shard (no stealing). Scaling is
+    // proven on the simulated clock, where it is deterministic and
+    // independent of how many host cores the bench machine happens to
+    // have: a zone's timeline is the sum of its tasks' latency-model
+    // time, a worker's timeline the sum of its zones' timelines, and the
+    // run wall the max over workers.
+    const SHARDS: usize = 8;
+    let sharded_serial: Vec<SweepOut> = (0..args.tasks)
+        .map(|i| {
+            sweep_task(
+                contig_engine::task_seed(args.seed, i),
+                quick,
+                None,
+                Some((SHARDS, i % SHARDS)),
+            )
+        })
+        .collect();
+    let sharded_digests: Vec<u64> = sharded_serial.iter().map(|t| t.digest).collect();
+    let sharded_faults: u64 = sharded_serial.iter().map(|t| t.faults).sum();
+    let mut zone_sim_ns = [0u64; SHARDS];
+    for (i, t) in sharded_serial.iter().enumerate() {
+        zone_sim_ns[i % SHARDS] += t.sim_ns;
+    }
+    // Canonical run digest: per-shard digests folded in task order, then
+    // the shard folds folded in shard-id order. Every worker count below
+    // must reproduce it bit for bit.
+    let fold_run = |digests: &[u64]| -> u64 {
+        let per_shard: Vec<u64> = (0..SHARDS)
+            .map(|s| {
+                let shard: Vec<u64> = digests
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % SHARDS == s)
+                    .map(|(_, &d)| d)
+                    .collect();
+                fold_digests(&shard)
+            })
+            .collect();
+        fold_digests(&per_shard)
+    };
+    let shard_digest = fold_run(&sharded_digests);
+
+    let mut sharded_rows = Vec::new();
+    let mut sim_points = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let (reports, contention) = run_seeded_with_stats(
+            PoolConfig::pinned(workers, SHARDS),
+            args.seed,
+            args.tasks,
+            |ctx| {
+                let shard = ctx.shard.expect("pinned pool hands every task its shard");
+                ctx.note_zone_touch(shard as u64);
+                sweep_task(ctx.seed, quick, None, Some((SHARDS, shard)))
+            },
+        );
+        let digests: Vec<u64> = reports
+            .iter()
+            .map(|r| r.ok().expect("sharded sweep task panicked").digest)
+            .collect();
+        assert_eq!(
+            digests, sharded_digests,
+            "sharded run at {workers} workers diverged from the serial reference"
+        );
+        assert_eq!(
+            fold_run(&digests),
+            shard_digest,
+            "per-shard digest fold diverged at {workers} workers"
+        );
+        // Per-zone touch/conflict rows from the task reports: zone `z` is
+        // touched by every task pinned to shard `z`, and its conflicts are
+        // the tasks beyond the first piling onto it.
+        let mut touches = [0u64; SHARDS];
+        for r in &reports {
+            for &z in &r.zones {
+                touches[z as usize] += 1;
+            }
+        }
+        let zone_rows: Vec<(u64, u64)> =
+            touches.iter().map(|&t| (t, t.saturating_sub(1))).collect();
+        // The engine's global fold must agree with the per-zone breakdown…
+        assert_eq!(
+            contention.zones_touched,
+            touches.iter().filter(|&&t| t > 0).count() as u64,
+            "per-zone touch rows disagree with the engine fold"
+        );
+        assert_eq!(
+            contention.zone_conflicts,
+            zone_rows.iter().map(|&(_, c)| c).sum::<u64>(),
+            "per-zone conflict rows disagree with the engine fold"
+        );
+        // …and emitting the stats through a tracer must reproduce them
+        // counter for counter (the stats↔trace equality contract).
+        let session = TraceSession::ring(32);
+        contention.emit(&session.tracer());
+        if session.tracer().is_enabled() {
+            let metrics = session.metrics();
+            for (name, value) in contention.as_named() {
+                assert_eq!(metrics.counter(name), value, "stats↔trace divergence on {name}");
+            }
+        }
+        // Simulated wall: worker `w` owns shards `s ≡ w (mod workers)` and
+        // runs their zone timelines back to back; the run ends when the
+        // slowest worker does.
+        let sim_wall = (0..workers)
+            .map(|w| (w..SHARDS).step_by(workers).map(|s| zone_sim_ns[s]).sum::<u64>())
+            .max()
+            .unwrap_or(0);
+        let fps = per_sec(sharded_faults, sim_wall);
+        sim_points
+            .push(ScalabilityPoint { workers: workers as f64, throughput: fps.max(1) as f64 });
+        println!(
+            "sharded {workers} workers: {} sim ms, {} sim faults/sec",
+            sim_wall / 1_000_000,
+            fps
+        );
+        sharded_rows.push((workers as u64, sim_wall, fps));
+        contention_rows.push(("pinned", workers as u64, contention, zone_rows));
+    }
+    let sim_wall_1w = sharded_rows[0].1;
+    let (fps_1w, fps_8w) = (sharded_rows[0].2, sharded_rows[3].2);
+    assert!(
+        fps_8w >= 4 * fps_1w,
+        "sharded sweep must scale ≥4× from 1 to 8 workers (got {fps_1w} → {fps_8w})"
+    );
+    let sharded_usl = ScalabilityFit::fit(&sim_points);
+    if let Some(fit) = &sharded_usl {
+        println!(
+            "sharded usl: sigma_micro {}  kappa_micro {}",
+            (fit.sigma * 1e6) as i128,
+            (fit.kappa * 1e6) as i128
+        );
+        assert!(
+            fit.sigma < 0.25,
+            "sharded sweep is contention-dominated (sigma {})",
+            fit.sigma
+        );
+    }
 
     // ---- Fig. 10: multi-programmed contiguity. --------------------------
     let fig10_start = Instant::now();
@@ -317,8 +492,9 @@ fn main() {
     let contention_json = Json::Arr(
         contention_rows
             .iter()
-            .map(|(workers, stats)| {
+            .map(|(mode, workers, stats, zone_rows)| {
                 let mut members: Vec<(&str, Json)> = vec![
+                    ("mode", Json::Str((*mode).into())),
                     ("workers", Json::num(*workers)),
                     ("exec_skew_milli", Json::num(stats.exec_skew_milli())),
                     ("task_skew_milli", Json::num(stats.task_skew_milli())),
@@ -326,6 +502,25 @@ fn main() {
                 members.extend(
                     stats.as_named().iter().map(|&(name, value)| (name, Json::num(value))),
                 );
+                // Per-zone breakdown of the global zone_touch/zone_conflict
+                // counters (pinned sharded rows only; work-stealing sweep
+                // tasks report no zones).
+                members.push((
+                    "zones",
+                    Json::Arr(
+                        zone_rows
+                            .iter()
+                            .enumerate()
+                            .map(|(zone, &(touches, conflicts))| {
+                                obj(vec![
+                                    ("zone", Json::num(zone as u64)),
+                                    ("touches", Json::num(touches)),
+                                    ("conflicts", Json::num(conflicts)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
                 obj(members)
             })
             .collect(),
@@ -400,6 +595,54 @@ fn main() {
                 ("wall_ns", Json::num(torture_wall)),
                 ("ops", Json::num(report.ops_executed as u64)),
                 ("failures", Json::num(u64::from(!report.is_ok()))),
+            ]),
+        ),
+        (
+            "sharded",
+            obj(vec![
+                ("shards", Json::num(SHARDS as u64)),
+                ("tasks", Json::num(args.tasks as u64)),
+                ("faults_total", Json::num(sharded_faults)),
+                ("digest", Json::num(shard_digest)),
+                (
+                    "zone_sim_ns",
+                    Json::Arr(zone_sim_ns.iter().map(|&ns| Json::num(ns)).collect()),
+                ),
+                (
+                    "workers",
+                    Json::Arr(
+                        sharded_rows
+                            .iter()
+                            .map(|&(w, sim_wall, fps)| {
+                                obj(vec![
+                                    ("workers", Json::num(w)),
+                                    ("sim_wall_ns", Json::num(sim_wall)),
+                                    ("sim_faults_per_sec", Json::num(fps)),
+                                    (
+                                        "speedup_sim_milli",
+                                        Json::num(if sim_wall == 0 {
+                                            0u64
+                                        } else {
+                                            ((sim_wall_1w as u128) * 1000 / sim_wall as u128)
+                                                as u64
+                                        }),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "usl",
+                    match &sharded_usl {
+                        Some(fit) => obj(vec![
+                            ("lambda_milli", Json::num((fit.lambda * 1000.0) as i128)),
+                            ("sigma_micro", Json::num((fit.sigma * 1e6) as i128)),
+                            ("kappa_micro", Json::num((fit.kappa * 1e6) as i128)),
+                        ]),
+                        None => Json::Null,
+                    },
+                ),
             ]),
         ),
         ("contention", contention_json),

@@ -28,6 +28,7 @@ struct Args {
     migrate: bool,
     pcp: bool,
     fleet: bool,
+    shards: usize,
     replay: Option<String>,
     emit: String,
 }
@@ -41,6 +42,7 @@ fn parse_args() -> Args {
         migrate: false,
         pcp: false,
         fleet: false,
+        shards: 0,
         replay: None,
         emit: "torture_min.jsonl".to_string(),
     };
@@ -52,7 +54,7 @@ fn parse_args() -> Args {
             argv.get(*i).cloned().unwrap_or_else(|| {
                 panic!(
                     "usage: [--seed N] [--ops N] [--no-faults] [--poison] [--migrate] [--pcp] \
-                     [--fleet] [--replay PATH] [--emit PATH]"
+                     [--fleet] [--shards N] [--replay PATH] [--emit PATH]"
                 )
             })
         };
@@ -64,6 +66,7 @@ fn parse_args() -> Args {
             "--migrate" => args.migrate = true,
             "--pcp" => args.pcp = true,
             "--fleet" => args.fleet = true,
+            "--shards" => args.shards = value(&mut i).parse().expect("--shards expects a number"),
             "--replay" => args.replay = Some(value(&mut i)),
             "--emit" => args.emit = value(&mut i),
             other => eprintln!("ignoring unknown flag {other}"),
@@ -177,11 +180,14 @@ fn main() -> ExitCode {
                 migrate: args.migrate,
                 pcp: args.pcp,
                 fleet: args.fleet,
+                shards: args.shards,
                 ..TortureConfig::with_seed_and_ops(args.seed, args.ops)
             };
             println!(
-                "torture run: seed {}  ops {}  faults {}  poison {}  migrate {}  pcp {}  fleet {}",
-                cfg.seed, cfg.ops, cfg.faults, cfg.poison, cfg.migrate, cfg.pcp, cfg.fleet
+                "torture run: seed {}  ops {}  faults {}  poison {}  migrate {}  pcp {}  \
+                 fleet {}  shards {}",
+                cfg.seed, cfg.ops, cfg.faults, cfg.poison, cfg.migrate, cfg.pcp, cfg.fleet,
+                cfg.shards
             );
             let ops = generate_ops(&cfg);
             (cfg, ops)

@@ -321,6 +321,40 @@ impl Machine {
         Err(AllocError::OutOfMemory { order })
     }
 
+    /// Allocates a block of `1 << order` frames preferring `home`, falling
+    /// back to the other nodes in deterministic wrap-around order
+    /// (`home, home+1, …, n-1, 0, …, home-1`) — the NUMA-local placement
+    /// path. Callers detect a cross-node fallback by comparing
+    /// [`Machine::node_of`] on the result against `home`.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::OutOfMemory`] when every node is exhausted; any other
+    /// error (e.g. an injected failure) propagates from the first node that
+    /// raised it.
+    pub fn alloc_on(&mut self, home: NodeId, order: u32) -> Result<Pfn, AllocError> {
+        let n = self.zones.len();
+        for k in 0..n {
+            let idx = (home.0 + k) % n;
+            match self.zones[idx].alloc(order) {
+                Ok(pfn) => return Ok(pfn),
+                Err(AllocError::OutOfMemory { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(AllocError::OutOfMemory { order })
+    }
+
+    /// Allocates one page of the given size preferring `home` (see
+    /// [`Machine::alloc_on`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AllocError`] from [`Machine::alloc_on`].
+    pub fn alloc_page_on(&mut self, home: NodeId, size: PageSize) -> Result<Pfn, AllocError> {
+        self.alloc_on(home, size.order())
+    }
+
     /// Allocates `count` order-0 frames in one pass, remembering which node
     /// last had space instead of rescanning exhausted nodes per frame — the
     /// batched path behind populate/readahead.
@@ -354,6 +388,43 @@ impl Machine {
                         break;
                     }
                     Err(AllocError::OutOfMemory { .. }) => zone += 1,
+                    Err(e) => return (got, Some(e)),
+                }
+            }
+        }
+        (got, None)
+    }
+
+    /// Batched order-0 allocation preferring `home`: like
+    /// [`Machine::alloc_bulk`], but the node cursor starts at `home` and
+    /// wraps deterministically instead of always starting at node 0. With an
+    /// armed fault-injection policy this degrades to the per-frame
+    /// [`Machine::alloc_on`] loop, for the same reason `alloc_bulk` does.
+    pub fn alloc_bulk_on(&mut self, home: NodeId, count: u64) -> (Vec<Pfn>, Option<AllocError>) {
+        let n = self.zones.len();
+        let mut got = Vec::with_capacity(count.min(65_536) as usize);
+        let armed = self.zones.iter().any(|z| z.fail_policy().is_armed());
+        if armed {
+            for _ in 0..count {
+                match self.alloc_on(home, 0) {
+                    Ok(p) => got.push(p),
+                    Err(e) => return (got, Some(e)),
+                }
+            }
+            return (got, None);
+        }
+        let mut step = 0usize;
+        for _ in 0..count {
+            loop {
+                if step == n {
+                    return (got, Some(AllocError::OutOfMemory { order: 0 }));
+                }
+                match self.zones[(home.0 + step) % n].alloc(0) {
+                    Ok(p) => {
+                        got.push(p);
+                        break;
+                    }
+                    Err(AllocError::OutOfMemory { .. }) => step += 1,
                     Err(e) => return (got, Some(e)),
                 }
             }
@@ -575,6 +646,44 @@ mod tests {
         let b = m.alloc(10).unwrap();
         assert_eq!(m.node_of(b), Some(NodeId(1)));
         assert!(m.alloc(10).is_err());
+    }
+
+    #[test]
+    fn alloc_on_prefers_home_node() {
+        let mut m = Machine::new(MachineConfig::with_node_mib(&[4, 4, 4]));
+        let a = m.alloc_on(NodeId(1), 0).unwrap();
+        assert_eq!(m.node_of(a), Some(NodeId(1)));
+        let b = m.alloc_on(NodeId(2), 0).unwrap();
+        assert_eq!(m.node_of(b), Some(NodeId(2)));
+        m.verify_integrity();
+    }
+
+    #[test]
+    fn alloc_on_falls_back_in_wraparound_order() {
+        let mut m = Machine::new(MachineConfig::with_node_mib(&[4, 4, 4]));
+        // Drain node 1 and node 2 (one top-order block each).
+        m.zone_mut(NodeId(1)).alloc(10).unwrap();
+        m.zone_mut(NodeId(2)).alloc(10).unwrap();
+        // Home 1 is full; wrap-around tries 2 (also full) then 0.
+        let p = m.alloc_on(NodeId(1), 0).unwrap();
+        assert_eq!(m.node_of(p), Some(NodeId(0)));
+        // Order-10 is now impossible everywhere: nodes 1 and 2 are drained
+        // and node 0's top block is split by `p`.
+        let q = m.alloc_on(NodeId(1), 10);
+        assert!(matches!(q, Err(AllocError::OutOfMemory { order: 10 })));
+    }
+
+    #[test]
+    fn alloc_bulk_on_starts_at_home_and_wraps() {
+        let mut m = Machine::new(MachineConfig::with_node_mib(&[4, 4]));
+        let (got, err) = m.alloc_bulk_on(NodeId(1), 1030);
+        assert!(err.is_none());
+        assert_eq!(got.len(), 1030);
+        // First 1024 frames come from node 1, the spill from node 0.
+        assert_eq!(m.node_of(got[0]), Some(NodeId(1)));
+        assert_eq!(m.node_of(got[1023]), Some(NodeId(1)));
+        assert_eq!(m.node_of(got[1024]), Some(NodeId(0)));
+        m.verify_integrity();
     }
 
     #[test]

@@ -22,8 +22,9 @@ use contig_buddy::{
     MachineSnapshot, PcpCounters, PcpSnapshot, ZoneConfig, ZoneCounters, ZoneSnapshot,
 };
 use contig_mm::{
-    CacheAllocMode, FaultStatsSnapshot, FileCacheSnapshot, LatencyModel, PageCacheSnapshot,
-    ProcessSnapshot, RecoveryConfig, RecoveryStats, SystemSnapshot, VmaSnapshot,
+    CacheAllocMode, FaultStatsSnapshot, FileCacheSnapshot, LatencyModel, NumaStats,
+    PageCacheSnapshot, ProcessSnapshot, RecoveryConfig, RecoveryStats, SystemSnapshot,
+    VmaSnapshot,
 };
 use contig_buddy::PoisonCounters;
 use contig_mm::PoisonStats;
@@ -38,10 +39,12 @@ use crate::json::{parse, Json};
 /// per-zone `pcp` member (per-CPU frame caches); version 3 added the
 /// memory-failure state (per-zone `badframes` + `poison` counters, and the
 /// system-level `poison_policy` + `poison_stats`); version 4 added the
-/// per-VM `balloon` frame list and KSM `sharing` registry. Files from any
-/// older version still decode: the absent members mean "no poison, no pcp,
-/// empty balloon, nothing KSM-merged".
-pub const SNAPSHOT_VERSION: i128 = 4;
+/// per-VM `balloon` frame list and KSM `sharing` registry; version 5 added
+/// the multi-zone NUMA topology state (per-process `home` node and the
+/// system-level `numa_stats` counters). Files from any older version still
+/// decode: the absent members mean "no poison, no pcp, empty balloon,
+/// nothing KSM-merged, no home nodes".
+pub const SNAPSHOT_VERSION: i128 = 5;
 /// Oldest snapshot file format version this decoder still accepts.
 pub const SNAPSHOT_MIN_VERSION: i128 = 1;
 /// `format` tag of snapshot files.
@@ -572,6 +575,7 @@ fn process_to_json(p: &ProcessSnapshot) -> Json {
             ),
         ),
         ("stats", stats_to_json(&p.stats)),
+        ("home", opt_num(p.home)),
     ])
 }
 
@@ -594,6 +598,11 @@ fn process_from_json(v: &Json) -> DecodeResult<ProcessSnapshot> {
             })
             .collect::<DecodeResult<_>>()?,
         stats: stats_from_json(field(v, "stats")?)?,
+        // Absent before version 5: processes had no NUMA home node.
+        home: match v.get("home") {
+            None | Some(Json::Null) => None,
+            Some(other) => Some(as_u64(other, "home")?),
+        },
     })
 }
 
@@ -727,6 +736,23 @@ fn poison_stats_from_json(v: &Json) -> DecodeResult<PoisonStats> {
     })
 }
 
+/// Field order of the [`NumaStats`] counter array encoding.
+const NUMA_STAT_FIELDS: usize = 3;
+
+fn numa_stats_to_json(s: &NumaStats) -> Json {
+    let counters = [s.local_allocs, s.fallback_allocs, s.migrations];
+    Json::Arr(counters.iter().map(|&c| Json::num(c)).collect())
+}
+
+fn numa_stats_from_json(v: &Json) -> DecodeResult<NumaStats> {
+    let raw = v.as_arr().ok_or("numa stats is not an array")?;
+    if raw.len() != NUMA_STAT_FIELDS {
+        return Err(format!("numa stats must have {NUMA_STAT_FIELDS} entries"));
+    }
+    let c = |i: usize| as_u64(&raw[i], "numa stat");
+    Ok(NumaStats { local_allocs: c(0)?, fallback_allocs: c(1)?, migrations: c(2)? })
+}
+
 /// Field order of the [`RecoveryStats`] counter array encoding.
 const RECOVERY_STAT_FIELDS: usize = 15;
 
@@ -801,6 +827,7 @@ pub fn system_to_json(s: &SystemSnapshot) -> Json {
         ("backoff_rng", Json::num(s.backoff_rng)),
         ("poison_policy", poison_policy_to_json(&s.poison_policy)),
         ("poison_stats", poison_stats_to_json(&s.poison_stats)),
+        ("numa_stats", numa_stats_to_json(&s.numa_stats)),
     ])
 }
 
@@ -846,6 +873,11 @@ pub fn system_from_json(v: &Json) -> DecodeResult<SystemSnapshot> {
         poison_stats: match v.get("poison_stats") {
             None | Some(Json::Null) => PoisonStats::default(),
             Some(other) => poison_stats_from_json(other)?,
+        },
+        // Absent before version 5: the machine had no NUMA zone accounting.
+        numa_stats: match v.get("numa_stats") {
+            None | Some(Json::Null) => NumaStats::default(),
+            Some(other) => numa_stats_from_json(other)?,
         },
     })
 }
@@ -963,6 +995,7 @@ pub fn fleet_to_json(s: &contig_fleet::FleetSnapshot) -> Json {
                 ("evac_storm_ppm", Json::num(cfg.evac_storm_ppm)),
                 ("evac_attempts", Json::num(cfg.evac_attempts)),
                 ("seed", Json::num(cfg.seed)),
+                ("host_nodes", Json::num(cfg.host_nodes as u64)),
             ]),
         ),
         ("hosts", Json::Arr(s.hosts.iter().map(system_to_json).collect())),

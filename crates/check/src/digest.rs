@@ -35,6 +35,19 @@ pub fn digest_fleet(snap: &FleetSnapshot) -> u64 {
     fnv1a64(fleet_to_json(snap).to_line().as_bytes())
 }
 
+/// Folds per-shard digests into one, hashing each digest's 8 little-endian
+/// bytes in slice order. Callers must present shards in canonical (shard-id)
+/// order; given that, the fold is independent of which worker produced which
+/// digest when — the property that lets a sharded engine run keep the
+/// 1-vs-N-worker bit-identical determinism guarantee.
+pub fn fold_digests(digests: &[u64]) -> u64 {
+    let mut bytes = Vec::with_capacity(digests.len() * 8);
+    for d in digests {
+        bytes.extend_from_slice(&d.to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,5 +63,20 @@ mod tests {
     #[test]
     fn digest_is_sensitive_to_single_bit() {
         assert_ne!(fnv1a64(b"state-a"), fnv1a64(b"state-b"));
+    }
+
+    #[test]
+    fn fold_digests_is_order_sensitive_and_canonical() {
+        let a = fold_digests(&[1, 2, 3]);
+        let b = fold_digests(&[3, 2, 1]);
+        assert_ne!(a, b, "shard order must matter");
+        assert_eq!(a, fold_digests(&[1, 2, 3]), "same shards, same fold");
+        // The fold is exactly FNV-1a over the concatenated LE bytes.
+        let mut bytes = Vec::new();
+        for d in [1u64, 2, 3] {
+            bytes.extend_from_slice(&d.to_le_bytes());
+        }
+        assert_eq!(a, fnv1a64(&bytes));
+        assert_eq!(fold_digests(&[]), fnv1a64(b""));
     }
 }

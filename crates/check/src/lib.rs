@@ -42,7 +42,7 @@ pub use codec::{
     tlb_from_json, tlb_to_json, vm_from_json, vm_to_json, write_vm_file, SnapshotGuestCodec,
     SNAPSHOT_FORMAT, SNAPSHOT_MIN_VERSION, SNAPSHOT_VERSION,
 };
-pub use digest::{digest_fleet, digest_system, digest_vm, fnv1a64};
+pub use digest::{digest_fleet, digest_system, digest_vm, fnv1a64, fold_digests};
 pub use json::Json;
 pub use minimize::{minimize, Minimized};
 pub use replay::{decode_repro, encode_repro, read_repro, write_repro, REPRO_FORMAT, REPRO_VERSION};

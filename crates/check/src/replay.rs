@@ -200,6 +200,7 @@ pub fn encode_repro(cfg: &TortureConfig, ops: &[TortureOp]) -> String {
         ("migrate", Json::Bool(cfg.migrate)),
         ("pcp", Json::Bool(cfg.pcp)),
         ("fleet", Json::Bool(cfg.fleet)),
+        ("shards", Json::num(cfg.shards as u64)),
     ]);
     let mut out = header.to_line();
     out.push('\n');
@@ -262,6 +263,13 @@ pub fn decode_repro(text: &str) -> Result<(TortureConfig, Vec<TortureOp>), Strin
         // Absent in repro files written before the multi-tenant fleet:
         // default off so old artifacts replay byte-identically.
         fleet: header.get("fleet").and_then(Json::as_bool).unwrap_or(false),
+        // Absent in repro files written before zone sharding: default 0
+        // (single-zone) so old artifacts replay byte-identically.
+        shards: header
+            .get("shards")
+            .and_then(Json::as_u64)
+            .and_then(|n| usize::try_from(n).ok())
+            .unwrap_or(0),
     };
     let mut ops = Vec::new();
     for line in lines {
@@ -342,6 +350,21 @@ mod tests {
         let ops = generate_ops(&cfg);
         let (_, ops2) = decode_repro(&encode_repro(&cfg, &ops)).unwrap();
         assert_eq!(ops2, ops);
+    }
+
+    #[test]
+    fn shard_count_survives_the_repro_header() {
+        // A minimized artifact from a sharded run must replay on the same
+        // topology; headers written before the field existed default to 0
+        // (flat), keeping old repro files replayable.
+        let cfg = TortureConfig { shards: 4, ..TortureConfig::with_seed_and_ops(5, 50) };
+        let ops = generate_ops(&cfg);
+        let (cfg2, _) = decode_repro(&encode_repro(&cfg, &ops)).unwrap();
+        assert_eq!(cfg2.shards, 4);
+        let legacy = encode_repro(&TortureConfig::with_seed_and_ops(5, 50), &ops)
+            .replace(",\"shards\":0", "");
+        let (cfg3, _) = decode_repro(&legacy).expect("pre-shards header must decode");
+        assert_eq!(cfg3.shards, 0);
     }
 
     #[test]

@@ -50,17 +50,54 @@ const TASK_TRACE_CAPACITY: usize = 4096;
 /// ignores the report.
 pub const FLIGHT_DIR_ENV: &str = "CONTIG_FLIGHT_DIR";
 
+/// How tasks bind to workers in one [`run_seeded`] sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Affinity {
+    /// Tasks are dealt round-robin and idle workers steal from siblings —
+    /// the latency-optimal default for uneven task durations.
+    #[default]
+    WorkSteal,
+    /// Task `i` belongs to shard `i % shards` and always runs on the worker
+    /// owning that shard (`shard % workers`); stealing is disabled, so a
+    /// shard's tasks execute in index order on one thread. This is the zone
+    /// sharding mode: tasks homed on the same machine zone never contend
+    /// with another worker's shard.
+    ShardPinned {
+        /// Shard count. Clamped to at least 1.
+        shards: usize,
+    },
+}
+
 /// Pool shape for one [`run_seeded`] sweep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PoolConfig {
     /// Worker threads to spawn. Clamped to at least 1.
     pub workers: usize,
+    /// Task-to-worker binding policy.
+    pub affinity: Affinity,
 }
 
 impl PoolConfig {
-    /// A pool of `workers` threads.
+    /// A pool of `workers` threads with work-stealing affinity.
     pub fn new(workers: usize) -> Self {
-        Self { workers: workers.max(1) }
+        Self { workers: workers.max(1), affinity: Affinity::WorkSteal }
+    }
+
+    /// A pool of `workers` threads where tasks pin to `shards` shards
+    /// ([`Affinity::ShardPinned`]).
+    pub fn pinned(workers: usize, shards: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            affinity: Affinity::ShardPinned { shards: shards.max(1) },
+        }
+    }
+
+    /// The shard task `index` belongs to, or `None` under work stealing.
+    pub fn shard_of(&self, index: usize) -> Option<usize> {
+        match self.affinity {
+            Affinity::WorkSteal => None,
+            Affinity::ShardPinned { shards } => Some(index % shards.max(1)),
+        }
     }
 }
 
@@ -73,6 +110,10 @@ pub struct TaskCtx {
     /// Deterministic seed: `splitmix64(base_seed + index)`. Independent of
     /// worker count and scheduling order.
     pub seed: u64,
+    /// The shard this task is pinned to under [`Affinity::ShardPinned`]
+    /// (`index % shards`); `None` under work stealing. Depends only on the
+    /// pool config and index, so it is safe to key simulation state on.
+    pub shard: Option<usize>,
     /// This task's private trace session (ring sink).
     pub trace: TraceSession,
     /// Zone/shard ids this task reported touching (see
@@ -298,13 +339,19 @@ where
     F: Fn(&mut TaskCtx) -> R + Sync,
 {
     let workers = config.workers.min(tasks.max(1));
-    // Deal tasks round-robin onto per-worker deques up front; there is no
-    // dynamic submission, so no condvar is needed — a worker exits once
-    // every deque is empty.
+    let stealing = matches!(config.affinity, Affinity::WorkSteal);
+    // Deal tasks onto per-worker deques up front; there is no dynamic
+    // submission, so no condvar is needed — a worker exits once every deque
+    // is empty. Work stealing deals round-robin by task index; shard
+    // pinning deals every task of shard `s` to worker `s % workers`.
     let queues: Vec<Mutex<VecDeque<usize>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
     for index in 0..tasks {
-        queues[index % workers].lock().expect("queue poisoned").push_back(index);
+        let worker = match config.shard_of(index) {
+            None => index % workers,
+            Some(shard) => shard % workers,
+        };
+        queues[worker].lock().expect("queue poisoned").push_back(index);
     }
     let slots: Vec<Mutex<Option<TaskReport<R>>>> =
         (0..tasks).map(|_| Mutex::new(None)).collect();
@@ -333,8 +380,10 @@ where
                         }
                         popped
                     };
-                    if next.is_none() {
+                    if next.is_none() && stealing {
                         // …then steal from the back of a sibling's queue.
+                        // Pinned pools never steal: a shard's tasks must
+                        // stay on their owning worker.
                         for (other, queue) in queues.iter().enumerate() {
                             if other == me {
                                 continue;
@@ -351,6 +400,7 @@ where
                     let mut ctx = TaskCtx {
                         index,
                         seed: task_seed(base_seed, index),
+                        shard: config.shard_of(index),
                         trace: TraceSession::ring(TASK_TRACE_CAPACITY),
                         zone_touches: Vec::new(),
                     };
@@ -496,6 +546,55 @@ mod tests {
         });
         assert_eq!(reports.len(), 8);
         assert!(reports.iter().all(|r| r.outcome.is_ok()));
+    }
+
+    #[test]
+    fn pinned_pool_never_steals_and_keeps_shard_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // 4 shards on 2 workers: shards {0,2} run on worker 0, {1,3} on
+        // worker 1. Record a per-shard execution sequence and check each
+        // shard's tasks ran in index order.
+        let order: Vec<Mutex<Vec<usize>>> = (0..4).map(|_| Mutex::new(Vec::new())).collect();
+        let ran = AtomicUsize::new(0);
+        let (reports, stats) =
+            run_seeded_with_stats(PoolConfig::pinned(2, 4), 11, 16, |ctx| {
+                let shard = ctx.shard.expect("pinned ctx carries its shard");
+                assert_eq!(shard, ctx.index % 4);
+                order[shard].lock().unwrap().push(ctx.index);
+                ran.fetch_add(1, Ordering::Relaxed);
+                ctx.index
+            });
+        assert_eq!(reports.len(), 16);
+        assert_eq!(ran.load(Ordering::Relaxed), 16);
+        assert_eq!(stats.steals_attempted(), 0, "pinned pools must not steal");
+        for (shard, seq) in order.iter().enumerate() {
+            let seq = seq.lock().unwrap();
+            let expect: Vec<usize> = (0..16).filter(|i| i % 4 == shard).collect();
+            assert_eq!(*seq, expect, "shard {shard} ran out of order");
+        }
+    }
+
+    #[test]
+    fn pinned_results_match_worksteal_results() {
+        let steal = run_seeded(PoolConfig::new(4), 77, 24, |ctx| ctx.seed ^ ctx.index as u64);
+        let pinned =
+            run_seeded(PoolConfig::pinned(4, 8), 77, 24, |ctx| ctx.seed ^ ctx.index as u64);
+        for (a, b) in steal.iter().zip(&pinned) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.ok(), b.ok(), "affinity changed a task result");
+        }
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_none_under_worksteal() {
+        let ws = PoolConfig::new(4);
+        assert_eq!(ws.shard_of(5), None);
+        let pinned = PoolConfig::pinned(4, 3);
+        assert_eq!(pinned.shard_of(0), Some(0));
+        assert_eq!(pinned.shard_of(4), Some(1));
+        assert_eq!(pinned.shard_of(5), Some(2));
+        // Degenerate shard counts clamp instead of dividing by zero.
+        assert_eq!(PoolConfig::pinned(2, 0).shard_of(9), Some(0));
     }
 
     #[test]

@@ -55,5 +55,8 @@ pub use pte::{Pte, PteFlags};
 pub use recovery::{CompactOutcome, RecoveryConfig, RecoveryStats};
 pub use snapshot::{FaultStatsSnapshot, ProcessSnapshot, SystemSnapshot, VmaSnapshot};
 pub use stats::{FaultStats, LatencyModel};
-pub use system::{FaultOutcome, KsmError, KsmMergeOutcome, Pid, System, SystemConfig};
+pub use system::{
+    FaultOutcome, KsmError, KsmMergeOutcome, NodeMigrateError, NumaStats, Pid, System,
+    SystemConfig,
+};
 pub use vma::{OffsetSet, Vma, VmaKind, MAX_OFFSETS_PER_VMA};

@@ -25,7 +25,7 @@ use crate::pte::{Pte, PteFlags};
 use crate::poison::PoisonStats;
 use crate::recovery::{RecoveryConfig, RecoveryStats};
 use crate::stats::{FaultStats, LatencyModel};
-use crate::system::{Pid, System};
+use crate::system::{NumaStats, Pid, System};
 use crate::vma::VmaKind;
 
 /// Plain-data image of one VMA, including CA paging metadata.
@@ -69,6 +69,8 @@ pub struct ProcessSnapshot {
     pub mappings: Vec<(u64, u64, u8, bool)>,
     /// Fault statistics.
     pub stats: FaultStatsSnapshot,
+    /// NUMA home node, if one is assigned (codec v5).
+    pub home: Option<u64>,
 }
 
 /// Plain-data image of a whole [`System`].
@@ -104,6 +106,8 @@ pub struct SystemSnapshot {
     pub poison_policy: PoisonPolicy,
     /// Cumulative memory-failure counters.
     pub poison_stats: PoisonStats,
+    /// Cumulative NUMA placement counters (codec v5).
+    pub numa_stats: NumaStats,
 }
 
 fn stats_snapshot(stats: &FaultStats) -> FaultStatsSnapshot {
@@ -166,6 +170,7 @@ impl System {
                 vmas,
                 mappings,
                 stats: stats_snapshot(aspace.stats()),
+                home: self.home_node(pid).map(|n| n as u64),
             });
         }
         let mut shared: Vec<(u64, u32)> =
@@ -187,6 +192,7 @@ impl System {
             backoff_rng: self.backoff_rng,
             poison_policy: self.poison_policy.clone(),
             poison_stats: self.poison_stats,
+            numa_stats: self.numa_stats,
         }
     }
 
@@ -228,6 +234,11 @@ impl System {
             *aspace.stats_mut() = stats_restore(&proc.stats);
             processes.insert(Pid(proc.pid), aspace);
         }
+        let homes = snap
+            .processes
+            .iter()
+            .filter_map(|p| p.home.map(|h| (Pid(p.pid), h as usize)))
+            .collect();
         System {
             machine: Machine::from_snapshot(&snap.machine),
             processes,
@@ -244,7 +255,9 @@ impl System {
             backoff_rng: snap.backoff_rng,
             poison_policy: snap.poison_policy.clone(),
             poison_stats: snap.poison_stats,
+            numa_stats: snap.numa_stats,
             dirty_log: None,
+            homes,
             tracer: Tracer::disabled(),
         }
     }

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use contig_buddy::{Machine, MachineConfig};
+use contig_buddy::{Machine, MachineConfig, NodeId};
 use contig_trace::{stage, FaultClass, RecoveryStage, TraceEvent, Tracer};
 use contig_types::{
     splitmix64, AllocError, ContigError, FailPolicy, FaultError, PageSize, Pfn, PoisonPolicy,
@@ -83,6 +83,54 @@ impl core::fmt::Display for KsmError {
 }
 
 impl std::error::Error for KsmError {}
+
+/// Cumulative NUMA placement counters: how often home-node placement stayed
+/// local, spilled to another zone, and how many pages were migrated between
+/// zones. Only pids with an assigned home (see [`System::set_home_node`])
+/// count toward `local_allocs`/`fallback_allocs`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NumaStats {
+    /// Default-placement allocations served from the faulting pid's home
+    /// node.
+    pub local_allocs: u64,
+    /// Default-placement allocations that spilled to another node because
+    /// the home zone was exhausted.
+    pub fallback_allocs: u64,
+    /// Pages moved between zones by [`System::migrate_page_to_node`].
+    pub migrations: u64,
+}
+
+/// Why a [`System::migrate_page_to_node`] was refused. Migrations are
+/// best-effort — callers typically skip a refused page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeMigrateError {
+    /// The pid does not exist.
+    UnknownPid,
+    /// The address has no leaf mapping.
+    NotMapped,
+    /// The target node does not exist on this machine.
+    BadNode,
+    /// The mapping is COW-shared or file-backed; moving the frame would
+    /// desync the sharing table or the page cache.
+    Shared,
+    /// The target zone could not supply a frame of the mapping's size.
+    OutOfMemory,
+}
+
+impl core::fmt::Display for NodeMigrateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let what = match self {
+            NodeMigrateError::UnknownPid => "unknown pid",
+            NodeMigrateError::NotMapped => "address not mapped",
+            NodeMigrateError::BadNode => "no such node",
+            NodeMigrateError::Shared => "frame shared or file-backed",
+            NodeMigrateError::OutOfMemory => "target zone exhausted",
+        };
+        write!(f, "zone migration refused: {what}")
+    }
+}
+
+impl std::error::Error for NodeMigrateError {}
 
 /// Construction parameters for a [`System`].
 #[derive(Clone, Debug)]
@@ -172,6 +220,12 @@ pub struct System {
     /// design — snapshots do not capture it and [`System::restore`] clears
     /// it, because a migration epoch never spans a checkpoint.
     pub(crate) dirty_log: Option<std::collections::BTreeSet<u64>>,
+    /// NUMA home nodes: pids with an assigned home fault into that zone
+    /// first (default placement only; CA targets override). Absent pids use
+    /// machine-wide first-fill placement.
+    pub(crate) homes: HashMap<Pid, usize>,
+    /// Cumulative NUMA placement counters.
+    pub(crate) numa_stats: NumaStats,
     /// Observability probes over the fault path; disabled by default.
     pub(crate) tracer: Tracer,
 }
@@ -196,6 +250,8 @@ impl System {
             poison_policy: PoisonPolicy::never(),
             poison_stats: PoisonStats::default(),
             dirty_log: None,
+            homes: HashMap::new(),
+            numa_stats: NumaStats::default(),
             tracer: Tracer::disabled(),
         }
     }
@@ -282,6 +338,109 @@ impl System {
         aspace.set_page_table_levels(self.pt_levels);
         self.processes.insert(pid, aspace);
         pid
+    }
+
+    /// Creates an empty process homed on NUMA node `node`: its default
+    /// placement allocates from that zone first, spilling to other zones in
+    /// deterministic wrap-around order only when the home is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` does not exist on this machine.
+    pub fn spawn_on(&mut self, node: usize) -> Pid {
+        let pid = self.spawn();
+        self.set_home_node(pid, Some(node));
+        pid
+    }
+
+    /// Sets or clears a process's NUMA home node (see [`System::spawn_on`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown pid or a node the machine does not have.
+    pub fn set_home_node(&mut self, pid: Pid, node: Option<usize>) {
+        assert!(self.processes.contains_key(&pid), "unknown pid {pid:?}");
+        match node {
+            Some(n) => {
+                assert!(n < self.machine.nodes(), "node {n} beyond machine topology");
+                self.homes.insert(pid, n);
+            }
+            None => {
+                self.homes.remove(&pid);
+            }
+        }
+    }
+
+    /// The process's NUMA home node, if one is assigned.
+    pub fn home_node(&self, pid: Pid) -> Option<usize> {
+        self.homes.get(&pid).copied()
+    }
+
+    /// Cumulative NUMA placement counters.
+    pub fn numa_stats(&self) -> NumaStats {
+        self.numa_stats
+    }
+
+    /// Moves one mapped page (base or huge) onto a frame of `target`'s
+    /// zone and remaps the leaf in place — the inter-zone migration
+    /// primitive behind NUMA rebalancing. The allocation is *strict*: it
+    /// does not fall back to other nodes (a migration that lands elsewhere
+    /// would be pointless). A page already on the target node is a no-op
+    /// success. Emits `mm.zone_migrate` and advances the simulated clock by
+    /// one copy cost.
+    ///
+    /// # Errors
+    ///
+    /// See [`NodeMigrateError`]; COW-shared and file-backed pages are
+    /// refused because their frames are owned by the sharing table or the
+    /// page cache.
+    pub fn migrate_page_to_node(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        target: usize,
+    ) -> Result<Pfn, NodeMigrateError> {
+        if target >= self.machine.nodes() {
+            return Err(NodeMigrateError::BadNode);
+        }
+        let aspace = self.processes.get(&pid).ok_or(NodeMigrateError::UnknownPid)?;
+        let t = aspace
+            .page_table()
+            .translate(va)
+            .map_err(|_| NodeMigrateError::NotMapped)?;
+        if t.flags.contains(PteFlags::FILE)
+            || t.flags.contains(PteFlags::COW)
+            || self.shared.contains_key(&t.pfn)
+        {
+            return Err(NodeMigrateError::Shared);
+        }
+        let from = self.machine.node_of(t.pfn).expect("mapped frame belongs to a node");
+        if from.0 == target {
+            return Ok(t.pfn);
+        }
+        let new_pfn = self
+            .machine
+            .zone_mut(NodeId(target))
+            .alloc(t.size.order())
+            .map_err(|_| NodeMigrateError::OutOfMemory)?;
+        let page_va = va.align_down(t.size);
+        self.processes
+            .get_mut(&pid)
+            .expect("pid checked above")
+            .page_table_mut()
+            .remap(page_va, Pte::new(new_pfn, t.flags));
+        self.machine.free_page(t.pfn, t.size);
+        self.mark_dirty(new_pfn, t.size);
+        self.numa_stats.migrations += 1;
+        let copy_ns = self.latency.fault_ns(t.size.base_pages(), 0);
+        self.advance_clock(copy_ns);
+        self.tracer.emit(TraceEvent::ZoneMigrate {
+            pid: pid.0,
+            va: page_va.raw(),
+            from: from.0 as u64,
+            to: target as u64,
+        });
+        Ok(new_pfn)
     }
 
     /// The machine's physical memory.
@@ -693,6 +852,7 @@ impl System {
         // A clone of the handle: `ctx` below borrows the machine and page
         // cache mutably, which would otherwise pin all of `self`.
         let tracer = self.tracer.clone();
+        let home = self.homes.get(&pid).copied();
         let aspace = self.processes.get_mut(&pid).expect("unknown pid");
         {
             let _pt_span = tracer.span(stage::PT_WALK);
@@ -750,8 +910,27 @@ impl System {
                 }
                 Placement::Default => {
                     let _alloc_span = tracer.span(stage::BUDDY_ALLOC);
-                    match ctx.machine.alloc_page(size) {
-                        Ok(pfn) => break pfn,
+                    let attempt = match home {
+                        Some(h) => ctx.machine.alloc_page_on(NodeId(h), size),
+                        None => ctx.machine.alloc_page(size),
+                    };
+                    match attempt {
+                        Ok(pfn) => {
+                            if let Some(h) = home {
+                                match ctx.machine.node_of(pfn) {
+                                    Some(node) if node.0 != h => {
+                                        self.numa_stats.fallback_allocs += 1;
+                                        tracer.emit(TraceEvent::ZoneFallback {
+                                            home: h as u64,
+                                            got: node.0 as u64,
+                                            order: size.order(),
+                                        });
+                                    }
+                                    _ => self.numa_stats.local_allocs += 1,
+                                }
+                            }
+                            break pfn;
+                        }
                         Err(_) => return Err(FaultError::OutOfMemory { addr: va, size }),
                     }
                 }
@@ -860,6 +1039,7 @@ impl System {
         va: VirtAddr,
     ) -> Result<FaultOutcome, FaultError> {
         let tracer = self.tracer.clone();
+        let home = self.homes.get(&pid).copied();
         let aspace = self.processes.get_mut(&pid).expect("unknown pid");
         let t = {
             let _pt_span = tracer.span(stage::PT_WALK);
@@ -899,8 +1079,27 @@ impl System {
             match decision {
                 Placement::Handled | Placement::Default => {
                     let _alloc_span = tracer.span(stage::BUDDY_ALLOC);
-                    match ctx.machine.alloc_page(size) {
-                        Ok(pfn) => break pfn,
+                    let attempt = match home {
+                        Some(h) => ctx.machine.alloc_page_on(NodeId(h), size),
+                        None => ctx.machine.alloc_page(size),
+                    };
+                    match attempt {
+                        Ok(pfn) => {
+                            if let Some(h) = home {
+                                match ctx.machine.node_of(pfn) {
+                                    Some(node) if node.0 != h => {
+                                        self.numa_stats.fallback_allocs += 1;
+                                        tracer.emit(TraceEvent::ZoneFallback {
+                                            home: h as u64,
+                                            got: node.0 as u64,
+                                            order: size.order(),
+                                        });
+                                    }
+                                    _ => self.numa_stats.local_allocs += 1,
+                                }
+                            }
+                            break pfn;
+                        }
                         Err(_) => return Err(FaultError::OutOfMemory { addr: va, size }),
                     }
                 }
@@ -1118,6 +1317,7 @@ impl System {
     ///
     /// Panics on an unknown pid.
     pub fn exit(&mut self, pid: Pid) {
+        self.homes.remove(&pid);
         let aspace = self.processes.remove(&pid).expect("unknown pid");
         for m in aspace.page_table().iter_mappings() {
             if m.pte.flags.contains(PteFlags::FILE) {
@@ -1304,7 +1504,32 @@ impl System {
         if missing.is_empty() {
             return Ok(0);
         }
-        let (frames, err) = self.machine.alloc_bulk(missing.len() as u64);
+        let (frames, err) = match self.homes.get(&pid) {
+            Some(&h) => self.machine.alloc_bulk_on(NodeId(h), missing.len() as u64),
+            None => self.machine.alloc_bulk(missing.len() as u64),
+        };
+        if let Some(&h) = self.homes.get(&pid) {
+            let local = frames
+                .iter()
+                .filter(|&&p| self.machine.node_of(p) == Some(NodeId(h)))
+                .count() as u64;
+            let spilled = frames.len() as u64 - local;
+            self.numa_stats.local_allocs += local;
+            self.numa_stats.fallback_allocs += spilled;
+            if spilled > 0 {
+                // One event per batch, not per frame: the count lives in
+                // `NumaStats`, the trace marks that the spill happened.
+                let got = frames
+                    .iter()
+                    .find_map(|&p| self.machine.node_of(p).filter(|n| n.0 != h))
+                    .expect("spilled frames exist");
+                self.tracer.emit(TraceEvent::ZoneFallback {
+                    home: h as u64,
+                    got: got.0 as u64,
+                    order: 0,
+                });
+            }
+        }
         let (_, page_table, stats) = aspace.fault_parts(vma_id);
         let mut batch_ns = 0u64;
         for (&va, &pfn) in missing.iter().zip(&frames) {
@@ -1526,5 +1751,116 @@ mod tests {
         assert_eq!(sys.now_ns(), 0);
         sys.touch(&mut policy, pid, VirtAddr::new(0x40_0000)).unwrap();
         assert!(sys.now_ns() > 0);
+    }
+
+    fn numa_system(nodes: &[u64]) -> System {
+        // THP off: every touch is one 4 KiB allocation, so per-fault zone
+        // accounting is exact.
+        System::new(SystemConfig {
+            thp: false,
+            ..SystemConfig::new(MachineConfig::with_node_mib(nodes))
+        })
+    }
+
+    #[test]
+    fn homed_faults_land_on_the_home_zone() {
+        let mut sys = numa_system(&[16, 16, 16, 16]);
+        let pid = sys.spawn_on(2);
+        assert_eq!(sys.home_node(pid), Some(2));
+        anon_vma(&mut sys, pid, 0x40_0000, 0x40_0000);
+        let mut policy = BasePagesPolicy;
+        for i in 0..16u64 {
+            let out = sys.touch(&mut policy, pid, VirtAddr::new(0x40_0000 + i * 4096)).unwrap();
+            assert_eq!(sys.machine().node_of(out.pfn), Some(NodeId(2)));
+        }
+        let stats = sys.numa_stats();
+        assert_eq!(stats.local_allocs, 16);
+        assert_eq!(stats.fallback_allocs, 0);
+    }
+
+    #[test]
+    fn exhausted_home_zone_spills_and_counts_fallbacks() {
+        // Two 1 MiB zones (256 frames each); home everything on zone 1 and
+        // touch past its capacity.
+        let mut sys = numa_system(&[1, 1]);
+        let pid = sys.spawn_on(1);
+        anon_vma(&mut sys, pid, 0x40_0000, 0x40_0000);
+        let mut policy = BasePagesPolicy;
+        for i in 0..300u64 {
+            sys.touch(&mut policy, pid, VirtAddr::new(0x40_0000 + i * 4096)).unwrap();
+        }
+        let stats = sys.numa_stats();
+        assert_eq!(stats.local_allocs + stats.fallback_allocs, 300);
+        assert!(stats.local_allocs >= 256 - 8, "home zone should fill first");
+        assert!(stats.fallback_allocs > 0, "overflow must spill to the other zone");
+    }
+
+    #[test]
+    fn migrate_page_moves_mapping_and_frame() {
+        let mut sys = numa_system(&[4, 4]);
+        let pid = sys.spawn_on(0);
+        anon_vma(&mut sys, pid, 0x40_0000, 0x40_0000);
+        let mut policy = BasePagesPolicy;
+        let va = VirtAddr::new(0x40_0000);
+        let out = sys.touch(&mut policy, pid, va).unwrap();
+        assert_eq!(sys.machine().node_of(out.pfn), Some(NodeId(0)));
+        let before_ns = sys.now_ns();
+
+        let new_pfn = sys.migrate_page_to_node(pid, va, 1).unwrap();
+        assert_eq!(sys.machine().node_of(new_pfn), Some(NodeId(1)));
+        let t = sys.aspace(pid).page_table().translate(va).unwrap();
+        assert_eq!(t.pfn, new_pfn, "page table must point at the migrated frame");
+        assert_eq!(sys.numa_stats().migrations, 1);
+        assert!(sys.now_ns() > before_ns, "migration costs simulated time");
+        // Already on target: a no-op success, not a second migration.
+        assert_eq!(sys.migrate_page_to_node(pid, va, 1), Ok(new_pfn));
+        assert_eq!(sys.numa_stats().migrations, 1);
+        sys.machine().verify_integrity();
+    }
+
+    #[test]
+    fn migrate_page_rejects_bad_targets_and_shared_pages() {
+        let mut sys = numa_system(&[4, 4]);
+        let pid = sys.spawn_on(0);
+        let vma = anon_vma(&mut sys, pid, 0x40_0000, 0x40_0000);
+        let mut policy = BasePagesPolicy;
+        let va = VirtAddr::new(0x40_0000);
+        sys.touch(&mut policy, pid, va).unwrap();
+        assert_eq!(
+            sys.migrate_page_to_node(pid, va, 9),
+            Err(NodeMigrateError::BadNode)
+        );
+        assert_eq!(
+            sys.migrate_page_to_node(pid, VirtAddr::new(0x7000_0000), 1),
+            Err(NodeMigrateError::NotMapped)
+        );
+        assert_eq!(
+            sys.migrate_page_to_node(Pid(999), va, 1),
+            Err(NodeMigrateError::UnknownPid)
+        );
+        // COW-shared after fork: moving the frame under one sharer would
+        // desync the other.
+        let child = sys.fork_vma(pid, vma);
+        assert_eq!(sys.migrate_page_to_node(pid, va, 1), Err(NodeMigrateError::Shared));
+        sys.exit(child);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_homes_and_numa_stats() {
+        let mut sys = numa_system(&[8, 8]);
+        let homed = sys.spawn_on(1);
+        let free = sys.spawn();
+        anon_vma(&mut sys, homed, 0x40_0000, 0x40_0000);
+        let mut policy = BasePagesPolicy;
+        for i in 0..4u64 {
+            sys.touch(&mut policy, homed, VirtAddr::new(0x40_0000 + i * 4096)).unwrap();
+        }
+        sys.migrate_page_to_node(homed, VirtAddr::new(0x40_0000), 0).unwrap();
+        let snap = sys.snapshot();
+        let restored = System::restore(&snap);
+        assert_eq!(restored.home_node(homed), Some(1));
+        assert_eq!(restored.home_node(free), None);
+        assert_eq!(restored.numa_stats(), sys.numa_stats());
+        assert_eq!(restored.snapshot(), snap, "restore must be exact");
     }
 }

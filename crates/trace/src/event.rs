@@ -225,6 +225,28 @@ pub enum TraceEvent {
         /// Window length in pages (1 after pressure shrinks).
         pages: u64,
     },
+    /// `mm.zone_fallback` — a home-node allocation spilled to another
+    /// NUMA node (the home zone was exhausted).
+    ZoneFallback {
+        /// The faulting process's home node.
+        home: u64,
+        /// The node the frame actually came from.
+        got: u64,
+        /// Buddy order of the allocation that spilled.
+        order: u32,
+    },
+    /// `mm.zone_migrate` — an inter-zone page migration: a mapped page was
+    /// copied to a frame on another node and remapped.
+    ZoneMigrate {
+        /// Owning process.
+        pid: u32,
+        /// Migrated virtual address (page-aligned).
+        va: u64,
+        /// Node the old frame lived on.
+        from: u64,
+        /// Node the new frame lives on.
+        to: u64,
+    },
     /// `recovery.<stage>` — one step of the OOM recovery escalation. The
     /// per-stage meaning of `amount`/`extra` is documented on
     /// [`RecoveryStage`].
@@ -577,6 +599,8 @@ impl TraceEvent {
             TraceEvent::FaultFailed { .. } => "mm.fault_failed",
             TraceEvent::CowBreak { .. } => "mm.cow_break",
             TraceEvent::Readahead { .. } => "mm.readahead",
+            TraceEvent::ZoneFallback { .. } => "mm.zone_fallback",
+            TraceEvent::ZoneMigrate { .. } => "mm.zone_migrate",
             TraceEvent::Recovery { stage, .. } => match stage {
                 RecoveryStage::OomEvent => "recovery.oom_event",
                 RecoveryStage::ReclaimPass => "recovery.reclaim_pass",

@@ -118,6 +118,17 @@ fn fields(event: &TraceEvent) -> Vec<(&'static str, Value)> {
             ("index", V::U64(index)),
             ("pages", V::U64(pages)),
         ],
+        E::ZoneFallback { home, got, order } => vec![
+            ("home", V::U64(home)),
+            ("got", V::U64(got)),
+            ("order", V::U64(order.into())),
+        ],
+        E::ZoneMigrate { pid, va, from, to } => vec![
+            ("pid", V::U64(pid.into())),
+            ("va", V::U64(va)),
+            ("from", V::U64(from)),
+            ("to", V::U64(to)),
+        ],
         E::Recovery { stage: _, amount, extra, latency_ns } => vec![
             ("amount", V::U64(amount)),
             ("extra", V::U64(extra)),
@@ -323,6 +334,17 @@ fn event_from(name: &str, f: &FieldMap<'_>) -> Result<TraceEvent, ParseError> {
             file: f.u64("file")?,
             index: f.u64("index")?,
             pages: f.u64("pages")?,
+        },
+        "mm.zone_fallback" => E::ZoneFallback {
+            home: f.u64("home")?,
+            got: f.u64("got")?,
+            order: f.u32("order")?,
+        },
+        "mm.zone_migrate" => E::ZoneMigrate {
+            pid: f.u32("pid")?,
+            va: f.u64("va")?,
+            from: f.u64("from")?,
+            to: f.u64("to")?,
         },
         "ca.placement" => E::Placement {
             key_bytes: f.u64("key_bytes")?,
@@ -653,6 +675,8 @@ mod tests {
             TraceEvent::FaultFailed { pid: 7, va: 0x41_0000 },
             TraceEvent::CowBreak { pid: 8, va: 0x42_0000 },
             TraceEvent::Readahead { file: 1, index: 16, pages: 8 },
+            TraceEvent::ZoneFallback { home: 1, got: 0, order: 9 },
+            TraceEvent::ZoneMigrate { pid: 7, va: 0x40_0000, from: 0, to: 1 },
             TraceEvent::Recovery {
                 stage: RecoveryStage::ReclaimPass,
                 amount: 32,

@@ -35,12 +35,29 @@ impl VmConfig {
     /// A VM with `guest_mib` of guest memory on a host with `host_mib`,
     /// both single-node with default (THP) configurations.
     pub fn with_mib(guest_mib: u64, host_mib: u64) -> Self {
+        Self::with_mib_nodes(guest_mib, host_mib, 1)
+    }
+
+    /// A VM whose guest and host machines are each split into `nodes`
+    /// equal-size NUMA zones (`nodes` clamped to at least 1). Total memory
+    /// stays `guest_mib`/`host_mib`; sizes that do not divide evenly give
+    /// the remainder to the last zone.
+    pub fn with_mib_nodes(guest_mib: u64, host_mib: u64, nodes: usize) -> Self {
         Self {
-            guest: SystemConfig::new(MachineConfig::single_node_mib(guest_mib)),
-            host: SystemConfig::new(MachineConfig::single_node_mib(host_mib)),
+            guest: SystemConfig::new(split_mib(guest_mib, nodes)),
+            host: SystemConfig::new(split_mib(host_mib, nodes)),
             host_vma_base: VirtAddr::new(0x7f00_0000_0000),
         }
     }
+}
+
+/// Splits `mib` of memory into `nodes` equal zones (remainder to the last).
+fn split_mib(mib: u64, nodes: usize) -> MachineConfig {
+    let nodes = nodes.max(1) as u64;
+    let per = mib / nodes;
+    let mut sizes = vec![per; nodes as usize];
+    *sizes.last_mut().expect("at least one node") += mib - per * nodes;
+    MachineConfig::with_node_mib(&sizes)
 }
 
 /// A nested-paging virtual machine: guest [`System`] + host [`System`].

@@ -66,13 +66,13 @@ pub mod prelude {
     pub use contig_audit::{audit_vm, AuditReport, AuditViolation, VmAuditReport};
     pub use contig_buddy::{Hog, Machine, MachineConfig, NodeId, PcpConfig, Zone, ZoneConfig};
     pub use contig_check::{
-        digest_vm, minimize, run_torture, SnapshotGuestCodec, TortureConfig, TortureFailure,
-        TortureReport,
+        digest_system, digest_vm, fold_digests, minimize, run_torture, SnapshotGuestCodec,
+        TortureConfig, TortureFailure, TortureReport,
     };
     pub use contig_core::{CaConfig, CaPaging, SpotConfig, SpotPredictor};
     pub use contig_engine::{
-        run_seeded, run_seeded_with_stats, ContentionStats, PoolConfig, TaskCtx, TaskReport,
-        WorkerStats,
+        run_seeded, run_seeded_with_stats, Affinity, ContentionStats, PoolConfig, TaskCtx,
+        TaskReport, WorkerStats,
     };
     pub use contig_fleet::{
         Fleet, FleetAuditReport, FleetConfig, FleetError, FleetHost, FleetSnapshot, FleetStats,
@@ -81,8 +81,9 @@ pub mod prelude {
     pub use contig_metrics::{CoverageStats, PerfModel};
     pub use contig_mm::{
         contiguous_mappings, AddressSpace, BasePagesPolicy, DefaultThpPolicy, FailureAction,
-        FaultKind, KsmError, KsmMergeOutcome, MemoryFailureOutcome, PageTable, Pid, Placement,
-        PlacementPolicy, PoisonStats, Pte, PteFlags, System, SystemConfig, VmaId, VmaKind,
+        FaultKind, KsmError, KsmMergeOutcome, MemoryFailureOutcome, NodeMigrateError, NumaStats,
+        PageTable, Pid, Placement, PlacementPolicy, PoisonStats, Pte, PteFlags, System,
+        SystemConfig, VmaId, VmaKind,
     };
     pub use contig_sim::{Env, PolicyKind, TranslationConfig};
     pub use contig_tlb::{Access, MemorySim, MissHandler, MissHandling, TlbConfig};

@@ -490,6 +490,115 @@ fn contention_counters_round_trip_through_the_trace_registry() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Sharded (zone-pinned) engine mode: 1-vs-N bit-identical determinism.
+// ---------------------------------------------------------------------------
+
+const SHARDS: usize = 4;
+
+/// Folds per-task digests the way the sharded engine does: tasks group by
+/// shard (`index % SHARDS`), each shard folds in task order, and the run
+/// digest folds the shard digests in shard-id order — canonical regardless
+/// of which worker owned which shard.
+fn fold_sharded_run(digests: &[u64]) -> u64 {
+    let shard_folds: Vec<u64> = (0..SHARDS)
+        .map(|s| {
+            let lane: Vec<u64> = digests
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % SHARDS == s)
+                .map(|(_, &d)| d)
+                .collect();
+            fold_digests(&lane)
+        })
+        .collect();
+    fold_digests(&shard_folds)
+}
+
+fn sharded_digests_at(workers: usize) -> Vec<u64> {
+    let (reports, contention) = run_seeded_with_stats(
+        PoolConfig::pinned(workers, SHARDS),
+        ENGINE_SEED,
+        ENGINE_TASKS,
+        |ctx| {
+            let shard = ctx.shard.expect("pinned mode must expose the task's shard");
+            assert_eq!(shard, ctx.index % SHARDS, "shard assignment must be positional");
+            ctx.note_zone_touch(shard as u64);
+            engine_experiment(ctx.seed)
+        },
+    );
+    assert_eq!(contention.steals_attempted(), 0, "pinned mode must never steal");
+    reports.iter().map(|r| *r.ok().expect("sharded task panicked")).collect()
+}
+
+/// Sharded-mode acceptance: zone-pinned scheduling at 1, 2, 4, and 8
+/// workers produces bit-identical per-task digests AND a bit-identical
+/// canonical run fold — the property the perf suite's scaling sweep rides
+/// on.
+#[test]
+fn sharded_engine_digests_are_worker_count_independent() {
+    let serial: Vec<u64> =
+        (0..ENGINE_TASKS).map(|i| engine_experiment(task_seed(ENGINE_SEED, i))).collect();
+    let reference_fold = fold_sharded_run(&serial);
+    for workers in [1usize, 2, 4, 8] {
+        let digests = sharded_digests_at(workers);
+        assert_eq!(digests, serial, "{workers}-worker sharded run diverged from serial");
+        assert_eq!(
+            fold_sharded_run(&digests),
+            reference_fold,
+            "{workers}-worker canonical fold diverged"
+        );
+    }
+    // The fold is genuinely order-sensitive: permuting lanes must not
+    // silently produce the same digest.
+    let mut permuted = serial.clone();
+    permuted.swap(0, 1);
+    assert_ne!(fold_sharded_run(&permuted), reference_fold, "fold ignored task order");
+}
+
+/// Fleet and migration workloads survive shard pinning too: the heaviest
+/// multi-layer tasks (overcommit fleets, lossy live migrations) fold to the
+/// same canonical digest at every worker count.
+#[test]
+fn sharded_fleet_and_migration_workloads_fold_identically() {
+    let fleet_serial: Vec<u64> = (0..ENGINE_TASKS)
+        .map(|i| fleet_engine_experiment(task_seed(ENGINE_SEED, i)).0)
+        .collect();
+    let migration_serial: Vec<u64> = (0..ENGINE_TASKS)
+        .map(|i| migration_engine_experiment(task_seed(ENGINE_SEED, i)).0)
+        .collect();
+    for workers in [1usize, 4, 8] {
+        let fleet_run: Vec<u64> = run_seeded(
+            PoolConfig::pinned(workers, SHARDS),
+            ENGINE_SEED,
+            ENGINE_TASKS,
+            |ctx| fleet_engine_experiment(ctx.seed).0,
+        )
+        .iter()
+        .map(|r| *r.ok().expect("sharded fleet task panicked"))
+        .collect();
+        assert_eq!(
+            fold_sharded_run(&fleet_run),
+            fold_sharded_run(&fleet_serial),
+            "{workers}-worker sharded fleet fold diverged"
+        );
+        let migration_run: Vec<u64> = run_seeded(
+            PoolConfig::pinned(workers, SHARDS),
+            ENGINE_SEED,
+            ENGINE_TASKS,
+            |ctx| migration_engine_experiment(ctx.seed).0,
+        )
+        .iter()
+        .map(|r| *r.ok().expect("sharded migration task panicked"))
+        .collect();
+        assert_eq!(
+            fold_sharded_run(&migration_run),
+            fold_sharded_run(&migration_serial),
+            "{workers}-worker sharded migration fold diverged"
+        );
+    }
+}
+
 /// A panicking task is isolated: its report carries the panic message while
 /// every other task still completes with the deterministic digest.
 #[test]

@@ -1,9 +1,10 @@
 //! Backward-compatibility guard for the snapshot format: a version-1
 //! snapshot file (predating the per-zone `pcp` member), a version-2 file
-//! (predating the hwpoison sections), and a version-3 file (predating the
-//! balloon/KSM members) are checked into `tests/golden/` and must keep
-//! decoding forever; the current-format golden lives in
-//! `tests/golden/snapshot_v4.jsonl` and pins encoder determinism. Format
+//! (predating the hwpoison sections), a version-3 file (predating the
+//! balloon/KSM members), and a version-4 file (predating the NUMA topology
+//! members) are checked into `tests/golden/` and must keep decoding
+//! forever; the current-format golden lives in
+//! `tests/golden/snapshot_v5.jsonl` and pins encoder determinism. Format
 //! changes that would orphan existing snapshot files fail here; a deliberate
 //! format bump must keep decoding old versions (or regenerate the current
 //! golden *and* bump `SNAPSHOT_VERSION`).
@@ -89,16 +90,11 @@ fn golden_vm_v3_with(config: VmConfig) -> VirtualMachine {
     vm
 }
 
-/// The version-4 golden workload: the v3 fixture re-run with THP disabled
-/// on both dimensions (KSM merges only 4 KiB host leaves), plus balloon and
-/// KSM activity, so both new sections of the format — the ballooned-frame
-/// list and the host-frame sharing registry — carry non-default values in
-/// the checked-in file.
-fn golden_vm_v4() -> VirtualMachine {
-    let mut config = VmConfig::with_mib(16, 64);
-    config.guest.thp = false;
-    config.host.thp = false;
-    let mut vm = golden_vm_v3_with(config);
+/// The balloon + KSM tail introduced by the version-4 workload (the v3
+/// fixture re-run with THP disabled on both dimensions — KSM merges only
+/// 4 KiB host leaves — so the ballooned-frame list and the host-frame
+/// sharing registry carry non-default values), retained verbatim by v5.
+fn balloon_and_ksm(vm: &mut VirtualMachine) {
     let claimed = vm.balloon_inflate(8);
     assert!(claimed > 0, "fixture must balloon at least one guest frame");
     // Declare every backed anonymous guest page content-equal; the scan
@@ -110,6 +106,44 @@ fn golden_vm_v4() -> VirtualMachine {
         scanned > 0 && merged > 0,
         "fixture must KSM-merge ({scanned} scanned, {merged} merged)"
     );
+}
+
+/// The version-5 golden workload: the v4 fixture rebuilt on a two-zone
+/// guest/host topology, with both guest processes homed on different zones,
+/// fresh zone-local faults, and one cross-zone page migration before the
+/// balloon/KSM tail — so the new format members (per-process `home`, the
+/// system `numa_stats` counters, and the multi-zone machine layout) all
+/// carry non-default values in the checked-in file.
+fn golden_vm_v5() -> VirtualMachine {
+    let mut config = VmConfig::with_mib_nodes(16, 64, 2);
+    config.guest.thp = false;
+    config.host.thp = false;
+    let mut vm = golden_vm_v3_with(config);
+    let (parent, child) = (Pid(1), Pid(2));
+    vm.guest_mut().set_home_node(parent, Some(0));
+    vm.guest_mut().set_home_node(child, Some(1));
+    // Fresh faults after homing populate the zone-local counters.
+    vm.guest_mut()
+        .aspace_mut(parent)
+        .map_vma(VirtRange::new(VirtAddr::new(0x6000_0000), 64 << 10), VmaKind::Anon);
+    for i in 0..4u64 {
+        vm.touch(parent, VirtAddr::new(0x6000_0000 + i * 4096)).expect("homed touch");
+    }
+    // One cross-zone migration of the child's private post-COW copy (done
+    // before the KSM tail — a merged page would refuse to migrate).
+    let va = VirtAddr::new(0x4000_0000);
+    let pfn = vm
+        .guest()
+        .aspace(child)
+        .page_table()
+        .translate(va)
+        .expect("cow copy mapped")
+        .frame_for(va);
+    let from = vm.guest().machine().node_of(pfn).expect("frame owned by a zone");
+    vm.guest_mut().migrate_page_to_node(child, va, 1 - from.0).expect("cross-zone migrate");
+    assert_eq!(vm.guest().numa_stats().migrations, 1);
+    assert!(vm.guest().numa_stats().local_allocs > 0, "homed faults must count");
+    balloon_and_ksm(&mut vm);
     vm
 }
 
@@ -201,15 +235,44 @@ fn golden_v4_restores_balloon_and_sharing_state() {
 }
 
 #[test]
+fn golden_v5_snapshot_still_decodes() {
+    check_golden("snapshot_v5.jsonl");
+}
+
+#[test]
+fn golden_v5_restores_zone_topology_and_homes() {
+    // The NUMA members must survive the round trip with their exact values:
+    // the two-zone machine layout, both process homes, and the placement
+    // counters (local faults plus the one cross-zone migration).
+    let text = std::fs::read_to_string(golden_path("snapshot_v5.jsonl"))
+        .expect("tests/golden/snapshot_v5.jsonl must be checked in");
+    let snap = decode_vm_file(&text).expect("decode v5 golden");
+    let mut vm = VirtualMachine::new(
+        VmConfig::with_mib(16, 64),
+        Box::new(DefaultThpPolicy),
+        Box::new(DefaultThpPolicy),
+    );
+    vm.restore(&snap);
+    assert_eq!(vm.guest().machine().nodes(), 2, "zone topology lost in round trip");
+    assert_eq!(vm.guest().home_node(Pid(1)), Some(0), "parent home lost");
+    assert_eq!(vm.guest().home_node(Pid(2)), Some(1), "child home lost");
+    let stats = vm.guest().numa_stats();
+    assert!(stats.local_allocs > 0, "local-alloc counter lost in round trip");
+    assert_eq!(stats.migrations, 1, "migration counter lost in round trip");
+    // The fixture workload itself is reproducible on top of the restore.
+    assert_eq!(digest_vm(&golden_vm_v5().snapshot()), digest_vm(&snap));
+}
+
+#[test]
 fn golden_workload_is_still_deterministic() {
     // The encoder applied to the fixed golden workload must reproduce the
     // checked-in bytes exactly. If this fails while the decode tests pass,
     // the format evolved compatibly — regenerate via
     // `cargo test --test golden_snapshot -- --ignored` and review the diff.
-    let text = std::fs::read_to_string(golden_path("snapshot_v4.jsonl"))
-        .expect("tests/golden/snapshot_v4.jsonl must be checked in");
+    let text = std::fs::read_to_string(golden_path("snapshot_v5.jsonl"))
+        .expect("tests/golden/snapshot_v5.jsonl must be checked in");
     assert_eq!(
-        encode_vm_file(&golden_vm_v4().snapshot()),
+        encode_vm_file(&golden_vm_v5().snapshot()),
         text,
         "encoder output drifted from the golden file"
     );
@@ -218,7 +281,7 @@ fn golden_workload_is_still_deterministic() {
 #[test]
 #[ignore = "regenerates the current-format golden fixture; run explicitly after a reviewed format change"]
 fn regenerate_golden_file() {
-    let path = golden_path("snapshot_v4.jsonl");
+    let path = golden_path("snapshot_v5.jsonl");
     std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir tests/golden");
-    std::fs::write(&path, encode_vm_file(&golden_vm_v4().snapshot())).expect("write golden");
+    std::fs::write(&path, encode_vm_file(&golden_vm_v5().snapshot())).expect("write golden");
 }
