@@ -31,10 +31,11 @@ use contig_check::{digest_system, fold_digests, run_torture, Json, TortureConfig
 use contig_core::CaPaging;
 use contig_engine::{run_seeded_with_stats, ContentionStats, PoolConfig};
 use contig_metrics::{ScalabilityFit, ScalabilityPoint};
-use contig_mm::{System, SystemConfig, VmaKind};
+use contig_mm::{BasePagesPolicy, DaemonConfig, DaemonStats, System, SystemConfig, VmaKind};
 use contig_sim::{contiguity, overhead, Env, PolicyKind};
 use contig_trace::{declare_canonical_metrics, MetricsRegistry, TraceSession, Tracer};
 use contig_types::{splitmix64, VirtAddr, VirtRange};
+use contig_virt::{contig_profile, ContigProfile, VirtualMachine, VmConfig};
 use contig_workloads::{Scale, Workload};
 
 /// Exit code when the regression gate trips.
@@ -197,6 +198,123 @@ fn sweep_task(
         digest: digest_system(&sys.snapshot()),
         sim_ns: sys.now_ns(),
     }
+}
+
+/// One arm of the long-horizon churn sweep: aggregated contiguity profile
+/// plus the daemon ledger that produced it.
+struct ChurnArm {
+    /// Daemon aggressiveness (0 = daemon off).
+    aggressiveness: u8,
+    profile: ContigProfile,
+    stats: DaemonStats,
+    ticks: u64,
+}
+
+/// Guest pages each churn VM touches (4 MiB of 4 KiB pages — two aligned
+/// 2 MiB promotion windows in the host backing).
+const CHURN_GUEST_PAGES: u64 = 1024;
+/// Pages per transient host-side churn process (2 MiB).
+const CHURN_PROC_PAGES: u64 = 512;
+
+/// One VM of the churn sweep: boots a base-pages VM (fault-path THP off in
+/// both dimensions, so the maintenance daemon is the only collapser), then
+/// interleaves guest backing faults with transient host-side churn
+/// processes whose exits leave the backing riddled with scattered holes —
+/// the monotone contiguity decay of ROADMAP item 4. With `aggressiveness`
+/// set, the host daemon ticks at deterministic boundaries and gets a
+/// convergence tail to compact and promote the backing it can reach; the
+/// daemon-off arm runs the *identical* op stream (its ticks are strict
+/// no-ops). Returns the final host-backing profile and the daemon ledger.
+fn churn_vm(seed: u64, rounds: u64, aggressiveness: u8) -> (ContigProfile, DaemonStats, u64) {
+    let mut rng = seed;
+    // Fault-path THP off in both dimensions (Ingens-style 4 KiB fault
+    // service): the maintenance daemon's async promotion is the only way
+    // the backing can ever collapse to huge runs.
+    let mut config = VmConfig::with_mib(8, 32);
+    config.guest = SystemConfig { thp: false, ..config.guest };
+    config.host = SystemConfig { thp: false, ..config.host };
+    let mut vm =
+        VirtualMachine::new(config, Box::new(BasePagesPolicy), Box::new(BasePagesPolicy));
+    if aggressiveness > 0 {
+        // Host dimension only: the figure measures what the hypervisor's
+        // kcompactd/khugepaged does to the VM backing, so the guest keeps
+        // its frames still and the profile isolates host-side repair.
+        vm.host_mut().enable_daemon(DaemonConfig {
+            aggressiveness,
+            epoch_budget: 128,
+            ..DaemonConfig::default()
+        });
+    }
+    let pid = vm.guest_mut().spawn();
+    vm.guest_mut().aspace_mut(pid).map_vma(
+        VirtRange::new(VirtAddr::new(0x4000_0000), CHURN_GUEST_PAGES << 12),
+        VmaKind::Anon,
+    );
+    let mut ticks = 0u64;
+    let mut cursor = 0u64;
+    let mut churn = BasePagesPolicy;
+    for _ in 0..rounds {
+        // A transient host process allocates base pages interleaved with
+        // the VM's backing faults, then exits: its frames come back free,
+        // but the backing placed between them stays scattered.
+        let churn_pid = vm.host_mut().spawn();
+        vm.host_mut().aspace_mut(churn_pid).map_vma(
+            VirtRange::new(VirtAddr::new(0x4000_0000), CHURN_PROC_PAGES << 12),
+            VmaKind::Anon,
+        );
+        for i in 0..CHURN_PROC_PAGES {
+            vm.host_mut()
+                .touch(&mut churn, churn_pid, VirtAddr::new(0x4000_0000 + i * 4096))
+                .expect("churn touch");
+            // Sequential sweep guarantees full promotion windows exist;
+            // the seeded extra write keeps the interleaving irregular.
+            let page = cursor % CHURN_GUEST_PAGES;
+            cursor += 1;
+            vm.touch_write(pid, VirtAddr::new(0x4000_0000 + page * 4096)).expect("guest touch");
+            let extra = splitmix64(&mut rng) % CHURN_GUEST_PAGES;
+            vm.touch_write(pid, VirtAddr::new(0x4000_0000 + extra * 4096))
+                .expect("guest extra touch");
+            if i % 128 == 64 {
+                vm.host_mut().daemon_tick();
+                ticks += 1;
+            }
+        }
+        vm.host_mut().exit(churn_pid);
+    }
+    // Convergence tail: the long horizon where background maintenance gets
+    // to repair what the churn shattered.
+    for _ in 0..48 {
+        vm.host_mut().daemon_tick();
+        ticks += 1;
+    }
+    (contig_profile(&vm), *vm.host().daemon_stats(), ticks)
+}
+
+/// Runs the churn sweep arm: `vms` seeded VMs, identical op streams across
+/// arms, profiles and daemon ledgers summed.
+fn churn_arm(seed: u64, vms: usize, rounds: u64, aggressiveness: u8) -> ChurnArm {
+    let mut profile = ContigProfile::default();
+    let mut stats = DaemonStats::default();
+    let mut ticks = 0u64;
+    for v in 0..vms {
+        let (p, s, t) = churn_vm(contig_engine::task_seed(seed, v), rounds, aggressiveness);
+        profile.backed_pages += p.backed_pages;
+        profile.runs += p.runs;
+        profile.largest_run_pages = profile.largest_run_pages.max(p.largest_run_pages);
+        profile.top32_coverage_ppm += p.top32_coverage_ppm;
+        stats.accumulate(&s);
+        ticks += t;
+    }
+    profile.top32_coverage_ppm /= vms.max(1) as u64;
+    ChurnArm { aggressiveness, profile, stats, ticks }
+}
+
+/// Mean contiguity-run length in milli-pages — the figure's y-axis.
+fn mean_run_milli(p: &ContigProfile) -> u64 {
+    if p.runs == 0 {
+        return 0;
+    }
+    p.backed_pages * 1000 / p.runs
 }
 
 /// Integer ops/sec from totals and a wall-clock duration.
@@ -481,6 +599,45 @@ fn main() {
     assert!(report.is_ok(), "torture run failed: {:?}", report.failure);
     println!("torture: {} ops, {} ms", report.ops_executed, torture_wall / 1_000_000);
 
+    // ---- Churn sweep: daemon off vs. three aggressiveness settings. -----
+    // Long-horizon contiguity decay under identical churn, with the
+    // maintenance daemon as the only collapser. Purely a figure: the gate
+    // below still reads only aggregate.faults_per_sec.
+    let churn_start = Instant::now();
+    let churn_vms = if args.quick { 2 } else { 4 };
+    let churn_rounds = if args.quick { 4 } else { 8 };
+    let churn_arms: Vec<ChurnArm> = [0u8, 1, 2, 3]
+        .iter()
+        .map(|&a| churn_arm(args.seed ^ 0xC4A2, churn_vms, churn_rounds, a))
+        .collect();
+    let churn_wall = churn_start.elapsed().as_nanos() as u64;
+    for arm in &churn_arms {
+        println!(
+            "churn aggr {}: {} runs, mean {} milli-pages, largest {} pages, \
+             {} moves / {} promoted / {} repairs over {} ticks",
+            arm.aggressiveness,
+            arm.profile.runs,
+            mean_run_milli(&arm.profile),
+            arm.profile.largest_run_pages,
+            arm.stats.compact_moves,
+            arm.stats.promoted,
+            arm.stats.repairs,
+            arm.ticks
+        );
+    }
+    let off_mean = mean_run_milli(&churn_arms[0].profile);
+    let best_armed_mean =
+        churn_arms[1..].iter().map(|a| mean_run_milli(&a.profile)).max().unwrap_or(0);
+    assert!(
+        churn_arms[1..].iter().any(|a| a.stats.compact_moves + a.stats.promoted > 0),
+        "no armed churn arm ever compacted or promoted — the daemon never engaged"
+    );
+    assert!(
+        best_armed_mean > off_mean,
+        "the daemon must measurably recover contiguity after identical churn \
+         (daemon-off mean run {off_mean} milli-pages, best armed {best_armed_mean})"
+    );
+
     // ---- Aggregate + JSON. ----------------------------------------------
     let best_wall = worker_rows.iter().map(|r| r.1).min().unwrap_or(serial_wall);
     let aggregate_fps = per_sec(faults_total, best_wall);
@@ -642,6 +799,47 @@ fn main() {
                         ]),
                         None => Json::Null,
                     },
+                ),
+            ]),
+        ),
+        (
+            "churn",
+            obj(vec![
+                ("wall_ns", Json::num(churn_wall)),
+                ("vms", Json::num(churn_vms as u64)),
+                ("rounds", Json::num(churn_rounds)),
+                ("guest_pages", Json::num(CHURN_GUEST_PAGES)),
+                (
+                    "arms",
+                    Json::Arr(
+                        churn_arms
+                            .iter()
+                            .map(|arm| {
+                                obj(vec![
+                                    ("aggressiveness", Json::num(u64::from(arm.aggressiveness))),
+                                    ("ticks", Json::num(arm.ticks)),
+                                    ("runs", Json::num(arm.profile.runs)),
+                                    ("backed_pages", Json::num(arm.profile.backed_pages)),
+                                    (
+                                        "largest_run_pages",
+                                        Json::num(arm.profile.largest_run_pages),
+                                    ),
+                                    (
+                                        "mean_run_pages_milli",
+                                        Json::num(mean_run_milli(&arm.profile)),
+                                    ),
+                                    (
+                                        "top32_coverage_ppm",
+                                        Json::num(arm.profile.top32_coverage_ppm),
+                                    ),
+                                    ("epochs", Json::num(arm.stats.epochs)),
+                                    ("compact_moves", Json::num(arm.stats.compact_moves)),
+                                    ("promoted", Json::num(arm.stats.promoted)),
+                                    ("repairs", Json::num(arm.stats.repairs)),
+                                ])
+                            })
+                            .collect(),
+                    ),
                 ),
             ]),
         ),

@@ -29,6 +29,7 @@ struct Args {
     pcp: bool,
     fleet: bool,
     shards: usize,
+    daemon: bool,
     replay: Option<String>,
     emit: String,
 }
@@ -43,6 +44,7 @@ fn parse_args() -> Args {
         pcp: false,
         fleet: false,
         shards: 0,
+        daemon: false,
         replay: None,
         emit: "torture_min.jsonl".to_string(),
     };
@@ -54,7 +56,7 @@ fn parse_args() -> Args {
             argv.get(*i).cloned().unwrap_or_else(|| {
                 panic!(
                     "usage: [--seed N] [--ops N] [--no-faults] [--poison] [--migrate] [--pcp] \
-                     [--fleet] [--shards N] [--replay PATH] [--emit PATH]"
+                     [--fleet] [--shards N] [--daemon] [--replay PATH] [--emit PATH]"
                 )
             })
         };
@@ -67,6 +69,7 @@ fn parse_args() -> Args {
             "--pcp" => args.pcp = true,
             "--fleet" => args.fleet = true,
             "--shards" => args.shards = value(&mut i).parse().expect("--shards expects a number"),
+            "--daemon" => args.daemon = true,
             "--replay" => args.replay = Some(value(&mut i)),
             "--emit" => args.emit = value(&mut i),
             other => eprintln!("ignoring unknown flag {other}"),
@@ -137,6 +140,24 @@ fn print_report(report: &TortureReport) {
         );
         println!("fleet digest {:#018x}", report.fleet_digest);
     }
+    if report.daemon_ticks > 0 {
+        let d = &report.daemon_stats;
+        println!(
+            "daemon: ticks {}  epochs {}  compact moves {} ({} frames)  promoted {}  \
+             repairs {}  shed p/c {}/{}  backoffs {}  yields {}  retunes {}",
+            d.ticks,
+            d.epochs,
+            d.compact_moves,
+            d.compact_frames,
+            d.promoted,
+            d.repairs,
+            d.shed_promote,
+            d.shed_compact,
+            d.backoff_skips,
+            d.yields,
+            d.policy_updates
+        );
+    }
     println!("final digest {:#018x}", report.final_digest);
 }
 
@@ -181,13 +202,14 @@ fn main() -> ExitCode {
                 pcp: args.pcp,
                 fleet: args.fleet,
                 shards: args.shards,
+                daemon: args.daemon,
                 ..TortureConfig::with_seed_and_ops(args.seed, args.ops)
             };
             println!(
                 "torture run: seed {}  ops {}  faults {}  poison {}  migrate {}  pcp {}  \
-                 fleet {}  shards {}",
+                 fleet {}  shards {}  daemon {}",
                 cfg.seed, cfg.ops, cfg.faults, cfg.poison, cfg.migrate, cfg.pcp, cfg.fleet,
-                cfg.shards
+                cfg.shards, cfg.daemon
             );
             let ops = generate_ops(&cfg);
             (cfg, ops)

@@ -145,6 +145,29 @@ impl FrameTable {
             _ => None,
         })
     }
+
+    /// Iterates at most `limit` allocated blocks whose head lies at or above
+    /// `from`, in address order — the budgeted, cursor-resumable migrate scan
+    /// the background maintenance daemon walks one epoch slice at a time.
+    /// A `from` below the zone base starts at the base; a `from` past the
+    /// zone end yields nothing.
+    pub fn allocated_blocks_from(
+        &self,
+        from: Pfn,
+        limit: u64,
+    ) -> impl Iterator<Item = (Pfn, u32)> + '_ {
+        let start = from.raw().saturating_sub(self.base.raw()).min(self.len()) as usize;
+        self.states[start..]
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| match s {
+                FrameState::AllocatedHead { order } => {
+                    Some((self.base.add((start + i) as u64), *order))
+                }
+                _ => None,
+            })
+            .take(limit as usize)
+    }
 }
 
 struct FreeRuns<'a> {
@@ -216,6 +239,22 @@ mod tests {
         t.mark_free_block(Pfn::new(128), 5);
         assert_eq!(t.free_block_containing(Pfn::new(100), 5), Some((Pfn::new(96), 4)));
         assert_eq!(t.free_block_containing(Pfn::new(140), 5), Some((Pfn::new(128), 5)));
+    }
+
+    #[test]
+    fn cursored_scan_is_budgeted_and_resumable() {
+        let mut t = FrameTable::new(Pfn::new(100), 64);
+        t.mark_free_block(Pfn::new(100), 5);
+        t.mark_allocated_block(Pfn::new(132), 2);
+        t.mark_allocated_block(Pfn::new(136), 2);
+        t.mark_allocated_block(Pfn::new(140), 0);
+        let all: Vec<_> = t.allocated_blocks().collect();
+        let first: Vec<_> = t.allocated_blocks_from(Pfn::new(0), 2).collect();
+        assert_eq!(first, all[..2]);
+        // Resuming just past the last head picks up the remainder exactly.
+        let resumed: Vec<_> = t.allocated_blocks_from(first[1].0.add(1), 64).collect();
+        assert_eq!(resumed, all[2..]);
+        assert!(t.allocated_blocks_from(Pfn::new(500), 64).next().is_none());
     }
 
     #[test]

@@ -505,6 +505,30 @@ impl Machine {
         best
     }
 
+    /// Topology-aware next-fit placement preferring `home`: tries the home
+    /// node's contiguity map first, then the remaining nodes in deterministic
+    /// wrap-around order (`home, home+1, …, n-1, 0, …, home-1`) — the same
+    /// fallback sequence as [`Machine::alloc_on`], so a contiguity-driven
+    /// placement spills to the node its base-page allocations would spill to.
+    /// Returns the first cluster able to fit `bytes`; if none fits entirely,
+    /// returns the largest cluster found machine-wide.
+    pub fn next_fit_cluster_on(&mut self, home: NodeId, bytes: u64) -> Option<PhysRange> {
+        let n = self.zones.len();
+        let mut best: Option<PhysRange> = None;
+        for k in 0..n {
+            let idx = (home.0 + k) % n;
+            if let Some(r) = self.zones[idx].next_fit_cluster(bytes) {
+                if r.len() >= bytes {
+                    return Some(r);
+                }
+                if best.as_ref().is_none_or(|b| r.len() > b.len()) {
+                    best = Some(r);
+                }
+            }
+        }
+        best
+    }
+
     /// Records a contiguity reservation for `owner`: other owners'
     /// reservation-aware placements ([`Machine::next_fit_cluster_excluding`])
     /// will avoid this region. Ordinary allocations are unaffected.

@@ -608,6 +608,21 @@ impl Zone {
         best
     }
 
+    /// Lowest free block of at least `order` whose head is at or above
+    /// `from` — the maintenance daemon's fallback migration target when a
+    /// poisoned neighbourhood has no free space below it.
+    pub fn lowest_free_block_at_or_above(&self, order: u32, from: Pfn) -> Option<Pfn> {
+        let mut best: Option<Pfn> = None;
+        for o in order..=self.config.top_order {
+            for head in self.free_lists[o as usize].iter() {
+                if head >= from && best.is_none_or(|b| head < b) {
+                    best = Some(head);
+                }
+            }
+        }
+        best
+    }
+
     /// Allocates a block of `1 << order` frames wherever the free lists
     /// provide one, splitting larger blocks as needed — the kernel-default
     /// "random" placement that CA paging replaces.

@@ -22,9 +22,9 @@ use contig_buddy::{
     MachineSnapshot, PcpCounters, PcpSnapshot, ZoneConfig, ZoneCounters, ZoneSnapshot,
 };
 use contig_mm::{
-    CacheAllocMode, FaultStatsSnapshot, FileCacheSnapshot, LatencyModel, NumaStats,
-    PageCacheSnapshot, ProcessSnapshot, RecoveryConfig, RecoveryStats, SystemSnapshot,
-    VmaSnapshot,
+    CacheAllocMode, DaemonConfig, DaemonPhase, DaemonState, DaemonStats, FaultStatsSnapshot,
+    FileCacheSnapshot, LatencyModel, NumaStats, PageCacheSnapshot, ProcessSnapshot,
+    RecoveryConfig, RecoveryStats, SystemSnapshot, VmaSnapshot,
 };
 use contig_buddy::PoisonCounters;
 use contig_mm::PoisonStats;
@@ -41,10 +41,13 @@ use crate::json::{parse, Json};
 /// system-level `poison_policy` + `poison_stats`); version 4 added the
 /// per-VM `balloon` frame list and KSM `sharing` registry; version 5 added
 /// the multi-zone NUMA topology state (per-process `home` node and the
-/// system-level `numa_stats` counters). Files from any older version still
-/// decode: the absent members mean "no poison, no pcp, empty balloon,
-/// nothing KSM-merged, no home nodes".
-pub const SNAPSHOT_VERSION: i128 = 5;
+/// system-level `numa_stats` counters); version 6 added the background
+/// maintenance daemon's mid-epoch state (the system-level `daemon` member:
+/// policy, scan cursors, remaining budget, promotion candidates, backoff
+/// RNG, counters). Files from any older version still decode: the absent
+/// members mean "no poison, no pcp, empty balloon, nothing KSM-merged, no
+/// home nodes, daemon disabled".
+pub const SNAPSHOT_VERSION: i128 = 6;
 /// Oldest snapshot file format version this decoder still accepts.
 pub const SNAPSHOT_MIN_VERSION: i128 = 1;
 /// `format` tag of snapshot files.
@@ -753,6 +756,144 @@ fn numa_stats_from_json(v: &Json) -> DecodeResult<NumaStats> {
     Ok(NumaStats { local_allocs: c(0)?, fallback_allocs: c(1)?, migrations: c(2)? })
 }
 
+/// Field order of the [`DaemonStats`] counter array encoding: the eleven
+/// traced counters in `as_named()` order, then the two untraced frame
+/// totals.
+const DAEMON_STAT_FIELDS: usize = 13;
+
+fn daemon_stats_to_json(s: &DaemonStats) -> Json {
+    let counters = [
+        s.ticks,
+        s.epochs,
+        s.compact_moves,
+        s.promoted,
+        s.promote_failed,
+        s.repairs,
+        s.shed_promote,
+        s.shed_compact,
+        s.backoff_skips,
+        s.yields,
+        s.policy_updates,
+        s.compact_frames,
+        s.repair_frames,
+    ];
+    Json::Arr(counters.iter().map(|&c| Json::num(c)).collect())
+}
+
+fn daemon_stats_from_json(v: &Json) -> DecodeResult<DaemonStats> {
+    let raw = v.as_arr().ok_or("daemon stats is not an array")?;
+    if raw.len() != DAEMON_STAT_FIELDS {
+        return Err(format!("daemon stats must have {DAEMON_STAT_FIELDS} entries"));
+    }
+    let c = |i: usize| as_u64(&raw[i], "daemon stat");
+    Ok(DaemonStats {
+        ticks: c(0)?,
+        epochs: c(1)?,
+        compact_moves: c(2)?,
+        promoted: c(3)?,
+        promote_failed: c(4)?,
+        repairs: c(5)?,
+        shed_promote: c(6)?,
+        shed_compact: c(7)?,
+        backoff_skips: c(8)?,
+        yields: c(9)?,
+        policy_updates: c(10)?,
+        compact_frames: c(11)?,
+        repair_frames: c(12)?,
+    })
+}
+
+fn daemon_config_to_json(c: &DaemonConfig) -> Json {
+    obj(vec![
+        ("scan_interval", Json::num(c.scan_interval)),
+        ("epoch_budget", Json::num(c.epoch_budget)),
+        ("aggressiveness", Json::num(c.aggressiveness)),
+        ("thp_threshold_pages", Json::num(c.thp_threshold_pages)),
+        ("repair_poison", Json::Bool(c.repair_poison)),
+        ("shed_promote_pct", Json::num(c.shed_promote_pct)),
+        ("shed_compact_pct", Json::num(c.shed_compact_pct)),
+        ("yield_pct", Json::num(c.yield_pct)),
+        ("poison_storm_frames", Json::num(c.poison_storm_frames)),
+        ("backoff_base_ns", Json::num(c.backoff_base_ns)),
+        ("backoff_cap_ns", Json::num(c.backoff_cap_ns)),
+        ("backoff_seed", Json::num(c.backoff_seed)),
+        ("watchdog_vetoes", Json::num(c.watchdog_vetoes)),
+    ])
+}
+
+fn daemon_config_from_json(v: &Json) -> DecodeResult<DaemonConfig> {
+    Ok(DaemonConfig {
+        scan_interval: get_u64(v, "scan_interval")?,
+        epoch_budget: get_u64(v, "epoch_budget")?,
+        aggressiveness: u8::try_from(get_u64(v, "aggressiveness")?)
+            .map_err(|_| "daemon aggressiveness out of range")?,
+        thp_threshold_pages: get_u64(v, "thp_threshold_pages")?,
+        repair_poison: get_bool(v, "repair_poison")?,
+        shed_promote_pct: get_u64(v, "shed_promote_pct")?,
+        shed_compact_pct: get_u64(v, "shed_compact_pct")?,
+        yield_pct: get_u64(v, "yield_pct")?,
+        poison_storm_frames: get_u64(v, "poison_storm_frames")?,
+        backoff_base_ns: get_u64(v, "backoff_base_ns")?,
+        backoff_cap_ns: get_u64(v, "backoff_cap_ns")?,
+        backoff_seed: get_u64(v, "backoff_seed")?,
+        watchdog_vetoes: get_u64(v, "watchdog_vetoes")?,
+    })
+}
+
+/// Encodes the full mid-epoch daemon state (codec v6): policy, scan
+/// cursors, budget, phase, remembered promotion candidates, backoff RNG,
+/// and counters.
+fn daemon_to_json(d: &DaemonState) -> Json {
+    obj(vec![
+        ("enabled", Json::Bool(d.enabled)),
+        ("config", daemon_config_to_json(&d.config)),
+        ("compact_node", Json::num(d.compact_node)),
+        ("compact_cursor", Json::num(d.compact_cursor)),
+        ("promote_pid", Json::num(d.promote_pid)),
+        ("promote_va", Json::num(d.promote_va)),
+        ("candidate_cursor", Json::num(d.candidate_cursor)),
+        ("repair_cursor", Json::num(d.repair_cursor)),
+        ("budget_left", Json::num(d.budget_left)),
+        ("phase", Json::num(d.phase.as_u64())),
+        (
+            "candidates",
+            Json::Arr(d.candidates.iter().map(|&(pid, va)| pair(pid, va)).collect()),
+        ),
+        ("backoff_rng", Json::num(d.backoff_rng)),
+        ("backoff_until_ns", Json::num(d.backoff_until_ns)),
+        ("yield_streak", Json::num(d.yield_streak)),
+        ("epoch", Json::num(d.epoch)),
+        ("stats", daemon_stats_to_json(&d.stats)),
+    ])
+}
+
+fn daemon_from_json(v: &Json) -> DecodeResult<DaemonState> {
+    Ok(DaemonState {
+        enabled: get_bool(v, "enabled")?,
+        config: daemon_config_from_json(field(v, "config")?)?,
+        compact_node: get_u64(v, "compact_node")?,
+        compact_cursor: get_u64(v, "compact_cursor")?,
+        promote_pid: get_u64(v, "promote_pid")?,
+        promote_va: get_u64(v, "promote_va")?,
+        candidate_cursor: get_u64(v, "candidate_cursor")?,
+        repair_cursor: get_u64(v, "repair_cursor")?,
+        budget_left: get_u64(v, "budget_left")?,
+        phase: DaemonPhase::from_u64(get_u64(v, "phase")?),
+        candidates: get_arr(v, "candidates")?
+            .iter()
+            .map(|p| {
+                let (pid, va) = decode_pair_u64(p, "daemon candidate")?;
+                Ok((u32::try_from(pid).map_err(|_| "candidate pid out of range")?, va))
+            })
+            .collect::<DecodeResult<_>>()?,
+        backoff_rng: get_u64(v, "backoff_rng")?,
+        backoff_until_ns: get_u64(v, "backoff_until_ns")?,
+        yield_streak: get_u64(v, "yield_streak")?,
+        epoch: get_u64(v, "epoch")?,
+        stats: daemon_stats_from_json(field(v, "stats")?)?,
+    })
+}
+
 /// Field order of the [`RecoveryStats`] counter array encoding.
 const RECOVERY_STAT_FIELDS: usize = 15;
 
@@ -828,6 +969,7 @@ pub fn system_to_json(s: &SystemSnapshot) -> Json {
         ("poison_policy", poison_policy_to_json(&s.poison_policy)),
         ("poison_stats", poison_stats_to_json(&s.poison_stats)),
         ("numa_stats", numa_stats_to_json(&s.numa_stats)),
+        ("daemon", daemon_to_json(&s.daemon)),
     ])
 }
 
@@ -878,6 +1020,12 @@ pub fn system_from_json(v: &Json) -> DecodeResult<SystemSnapshot> {
         numa_stats: match v.get("numa_stats") {
             None | Some(Json::Null) => NumaStats::default(),
             Some(other) => numa_stats_from_json(other)?,
+        },
+        // Absent before version 6: no background maintenance daemon. The
+        // default is disabled, which is behaviour-identical.
+        daemon: match v.get("daemon") {
+            None | Some(Json::Null) => DaemonState::default(),
+            Some(other) => daemon_from_json(other)?,
         },
     })
 }

@@ -104,6 +104,12 @@ fn op_to_json(op: &TortureOp) -> Json {
             ("page", Json::num(page)),
         ]),
         TortureOp::FleetStep => obj(vec![("op", Json::Str("fleet_step".into()))]),
+        TortureOp::DaemonTick => obj(vec![("op", Json::Str("daemon_tick".into()))]),
+        TortureOp::SetDaemonPolicy { level, budget } => obj(vec![
+            ("op", Json::Str("set_daemon_policy".into())),
+            ("level", Json::num(level)),
+            ("budget", Json::num(budget)),
+        ]),
     }
 }
 
@@ -171,6 +177,11 @@ fn op_from_json(v: &Json) -> Result<TortureOp, String> {
             TortureOp::FleetDiscard { sel: get_u64(v, "sel")?, page: get_u64(v, "page")? }
         }
         "fleet_step" => TortureOp::FleetStep,
+        "daemon_tick" => TortureOp::DaemonTick,
+        "set_daemon_policy" => TortureOp::SetDaemonPolicy {
+            level: get_u64(v, "level")?,
+            budget: get_u64(v, "budget")?,
+        },
         other => return Err(format!("unknown op `{other}`")),
     })
 }
@@ -201,6 +212,7 @@ pub fn encode_repro(cfg: &TortureConfig, ops: &[TortureOp]) -> String {
         ("pcp", Json::Bool(cfg.pcp)),
         ("fleet", Json::Bool(cfg.fleet)),
         ("shards", Json::num(cfg.shards as u64)),
+        ("daemon", Json::Bool(cfg.daemon)),
     ]);
     let mut out = header.to_line();
     out.push('\n');
@@ -270,6 +282,9 @@ pub fn decode_repro(text: &str) -> Result<(TortureConfig, Vec<TortureOp>), Strin
             .and_then(Json::as_u64)
             .and_then(|n| usize::try_from(n).ok())
             .unwrap_or(0),
+        // Absent in repro files written before the maintenance daemon:
+        // default off so old artifacts replay byte-identically.
+        daemon: header.get("daemon").and_then(Json::as_bool).unwrap_or(false),
     };
     let mut ops = Vec::new();
     for line in lines {
@@ -337,6 +352,8 @@ mod tests {
             TortureOp::FleetRead { sel: 24, page: 25 },
             TortureOp::FleetDiscard { sel: 26, page: 27 },
             TortureOp::FleetStep,
+            TortureOp::DaemonTick,
+            TortureOp::SetDaemonPolicy { level: 28, budget: 29 },
         ];
         let text = encode_repro(&cfg, &ops);
         let (cfg2, ops2) = decode_repro(&text).unwrap();
@@ -365,6 +382,23 @@ mod tests {
             .replace(",\"shards\":0", "");
         let (cfg3, _) = decode_repro(&legacy).expect("pre-shards header must decode");
         assert_eq!(cfg3.shards, 0);
+    }
+
+    #[test]
+    fn daemon_arming_survives_the_repro_header() {
+        // A minimized artifact from a daemon-armed run must replay with the
+        // daemons armed (the `DaemonTick` ops in the stream are no-ops
+        // otherwise); headers written before the field existed default to
+        // off, keeping old repro files replayable.
+        let cfg = TortureConfig { daemon: true, ..TortureConfig::with_seed_and_ops(5, 50) };
+        let ops = generate_ops(&cfg);
+        assert!(ops.contains(&TortureOp::DaemonTick), "band 14..=16 never rolled");
+        let (cfg2, _) = decode_repro(&encode_repro(&cfg, &ops)).unwrap();
+        assert!(cfg2.daemon);
+        let legacy = encode_repro(&TortureConfig::with_seed_and_ops(5, 50), &ops)
+            .replace(",\"daemon\":false", "");
+        let (cfg3, _) = decode_repro(&legacy).expect("pre-daemon header must decode");
+        assert!(!cfg3.daemon);
     }
 
     #[test]

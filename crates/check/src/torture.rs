@@ -33,7 +33,10 @@ use std::collections::BTreeMap;
 
 use contig_audit::audit_vm;
 use contig_buddy::PcpConfig;
-use contig_mm::{DefaultThpPolicy, FailureAction, Pid, PoisonStats, PteFlags, VmaId, VmaKind};
+use contig_mm::{
+    DaemonConfig, DaemonStats, DefaultThpPolicy, FailureAction, Pid, PoisonStats, PteFlags, VmaId,
+    VmaKind,
+};
 use contig_trace::{MetricsRegistry, SpanStack, TraceSession, FLIGHT_CAPACITY};
 use contig_types::{
     splitmix64, FailMode, FailPolicy, Pfn, PoisonMode, PoisonPolicy, VirtAddr, VirtRange,
@@ -88,6 +91,14 @@ const FLEET_TENANTS: usize = 32;
 /// Content-tag pool for fleet writes; small enough that cross-tenant
 /// duplicates are common and same-page merging has real work.
 const FLEET_TAG_POOL: u64 = 16;
+
+/// The daemon policy armed at run start when [`TortureConfig::daemon`] is
+/// on: library defaults, so the torture stream exercises exactly what a
+/// plainly-enabled daemon ships with until a `SetDaemonPolicy` op retunes
+/// it.
+fn torture_daemon_config() -> DaemonConfig {
+    DaemonConfig::default()
+}
 
 /// One generated operation against the stack.
 ///
@@ -228,6 +239,21 @@ pub enum TortureOp {
     /// One fleet controller tick: watermark-driven pressure relief, balloon
     /// deflate on idle hosts, and the background KSM scan cursor.
     FleetStep,
+    /// One deterministic maintenance-daemon tick on the primary VM: the
+    /// guest dimension's khugepaged/kcompactd runs first, then the host's —
+    /// budgeted compaction, THP promotion, and poison-run repair racing the
+    /// surrounding foreground faults at a well-defined op boundary.
+    DaemonTick,
+    /// Re-tune every armed daemon's policy (both VM dimensions and, when
+    /// the fleet is up, every fleet host): aggressiveness, epoch budget,
+    /// and the poison-repair toggle all derive from the seeds.
+    SetDaemonPolicy {
+        /// Aggressiveness seed (reduced to 1..=3) that also decides the
+        /// repair toggle.
+        level: u64,
+        /// Epoch-budget seed (reduced to a progress-safe range).
+        budget: u64,
+    },
 }
 
 /// Configuration of one torture run.
@@ -275,6 +301,11 @@ pub struct TortureConfig {
     /// guest processes round-robin onto them. 0 by default so shard-free op
     /// streams stay bit-identical to pre-shard builds.
     pub shards: usize,
+    /// Whether the runner arms the background maintenance daemon (both VM
+    /// dimensions and every fleet host) and the generator weaves
+    /// `DaemonTick`/`SetDaemonPolicy` ops into the stream. Off by default
+    /// so daemon-free op streams stay bit-identical to pre-daemon builds.
+    pub daemon: bool,
 }
 
 impl Default for TortureConfig {
@@ -295,6 +326,7 @@ impl Default for TortureConfig {
             crash_interval: Some(101),
             inject_model_bug: false,
             shards: 0,
+            daemon: false,
         }
     }
 }
@@ -453,6 +485,18 @@ pub struct TortureReport {
     pub trace_fleet: FleetStats,
     /// Digest of the final fleet state (0 unless [`TortureConfig::fleet`]).
     pub fleet_digest: u64,
+    /// `DaemonTick` ops executed (0 unless [`TortureConfig::daemon`]).
+    pub daemon_ticks: u64,
+    /// Maintenance-daemon counters summed over the guest and host
+    /// dimensions, every fleet host, and hosts retired at migration
+    /// cutovers (their traced work must stay in the ledger after the
+    /// runner moves to the destination). All zero unless
+    /// [`TortureConfig::daemon`].
+    pub daemon_stats: DaemonStats,
+    /// Whole-run `daemon.*` trace totals (all zero unless `trace_enabled`).
+    /// The acceptance bar is `trace_daemon.as_named() ==
+    /// daemon_stats.as_named()`, counter for counter.
+    pub trace_daemon: DaemonStats,
     /// Digest of the final state.
     pub final_digest: u64,
     /// Whole-run metrics snapshot (event counters plus `span.*` stage
@@ -547,6 +591,13 @@ impl Exec {
         if cfg.pcp {
             vm.enable_pcp(PcpConfig::with_cpus(1));
         }
+        // Arm the daemons with the tracer already attached so the arming
+        // `daemon.policy` probes land in the session metrics and the
+        // stats-equals-trace bar holds from op zero.
+        vm.set_tracer(tracer.clone());
+        if cfg.daemon {
+            vm.enable_daemon(torture_daemon_config());
+        }
         let fleet = cfg.fleet.then(|| {
             let fcfg = FleetConfig {
                 seed: cfg.seed ^ 0x00F1_EE7F_1EE7,
@@ -554,6 +605,9 @@ impl Exec {
             };
             let mut fleet = Fleet::new(fcfg);
             fleet.set_tracer(tracer.clone());
+            if cfg.daemon {
+                fleet.enable_host_daemons(torture_daemon_config());
+            }
             for _ in 0..FLEET_TENANTS {
                 fleet.admit().expect("fleet geometry admits the full tenant set");
             }
@@ -830,6 +884,26 @@ impl Exec {
             TortureOp::FleetRead { sel, page } => self.fleet_read(sel, page),
             TortureOp::FleetDiscard { sel, page } => self.fleet_discard(sel, page),
             TortureOp::FleetStep => self.fleet_step(),
+            TortureOp::DaemonTick => {
+                // A strict no-op while the daemon is disarmed, so any
+                // subsequence of a daemon-armed stream stays a valid run.
+                self.report.daemon_ticks += 1;
+                self.vm.daemon_tick();
+            }
+            TortureOp::SetDaemonPolicy { level, budget } => {
+                if self.cfg.daemon {
+                    let config = DaemonConfig {
+                        aggressiveness: (1 + level % 3) as u8,
+                        epoch_budget: 32 + budget % 225,
+                        repair_poison: !level.is_multiple_of(4),
+                        ..torture_daemon_config()
+                    };
+                    self.vm.enable_daemon(config);
+                    if let Some(fleet) = self.fleet.as_mut() {
+                        fleet.enable_host_daemons(config);
+                    }
+                }
+            }
         }
         // Op boundaries are the well-defined strike points of an armed poison
         // storm (free when no policy is armed, which is the default).
@@ -1053,12 +1127,25 @@ impl Exec {
                         ),
                     );
                 }
+                // The outgoing host's daemon retires at cutover: its traced
+                // work stays in the run ledger, and the destination host
+                // starts a fresh daemon under the policy in force (the
+                // guest dimension's daemon crossed in the state chunk).
+                let retiring = self
+                    .vm
+                    .host()
+                    .daemon_enabled()
+                    .then(|| (*self.vm.host().daemon_stats(), self.vm.host().daemon_state().config));
                 self.vm = *vm;
                 self.vm.set_tracer(self.tracer.clone());
                 // The guest dimension carried its pcp layer across in the
                 // state chunk; only the fresh destination host needs one.
                 if self.cfg.pcp {
                     self.vm.host_mut().enable_pcp(PcpConfig::with_cpus(1));
+                }
+                if let Some((stats, config)) = retiring {
+                    self.report.daemon_stats.accumulate(&stats);
+                    self.vm.host_mut().enable_daemon(config);
                 }
                 let audit = audit_vm(&self.vm);
                 if !audit.is_clean() {
@@ -1243,6 +1330,12 @@ pub fn generate_ops(cfg: &TortureConfig) -> Vec<TortureOp> {
                     TortureOp::FleetDiscard { sel: a, page: b }
                 }
             }
+            // With the daemon armed, carve tick/policy ops out of the same
+            // touch-heavy band; daemon-free streams are untouched. Ticks
+            // dominate policy changes ~3:1 so epochs usually get to run
+            // under one policy before the next retune resets them.
+            14..=16 if cfg.daemon => TortureOp::DaemonTick,
+            17 if cfg.daemon => TortureOp::SetDaemonPolicy { level: a, budget: b },
             0..=29 => TortureOp::Touch { sel: a, page: b },
             30..=49 => TortureOp::TouchWrite { sel: a, page: b },
             50..=61 => TortureOp::MapAnon { sel: a, pages: b },
@@ -1274,7 +1367,7 @@ pub fn run_ops(cfg: &TortureConfig, ops: &[TortureOp]) -> TortureReport {
     // ring is kept small — only the metrics registry (exact whole-run
     // counters) is read back. Crash replays and migration baselines run
     // untraced, so replayed work never double-counts.
-    let full_trace = cfg.poison || cfg.migrate || cfg.fleet;
+    let full_trace = cfg.poison || cfg.migrate || cfg.fleet || cfg.daemon;
     let session = if full_trace {
         TraceSession::ring(1024)
     } else {
@@ -1344,6 +1437,17 @@ pub fn run_ops(cfg: &TortureConfig, ops: &[TortureOp]) -> TortureReport {
         exec.report.fleet_stats = *fleet.stats();
         exec.report.fleet_digest = digest_fleet(&fleet.snapshot());
     }
+    if cfg.daemon {
+        // `daemon_stats` already holds hosts retired at migration cutovers;
+        // fold in every daemon still live at run end.
+        let mut total = exec.report.daemon_stats;
+        total.accumulate(exec.vm.guest().daemon_stats());
+        total.accumulate(exec.vm.host().daemon_stats());
+        if let Some(fleet) = &exec.fleet {
+            total.accumulate(&fleet.host_daemon_stats());
+        }
+        exec.report.daemon_stats = total;
+    }
     exec.report.trace_enabled = full_trace && session.tracer().is_enabled();
     exec.report.spans = session.spans();
     if exec.report.failure.is_some() {
@@ -1369,6 +1473,20 @@ pub fn run_ops(cfg: &TortureConfig, ops: &[TortureOp]) -> TortureReport {
             resumes: metrics.counter("migrate.resume"),
             aborts: metrics.counter("migrate.abort"),
             cutovers: metrics.counter("migrate.cutover"),
+        };
+        exec.report.trace_daemon = DaemonStats {
+            ticks: metrics.counter("daemon.tick"),
+            epochs: metrics.counter("daemon.epoch"),
+            compact_moves: metrics.counter("daemon.compact_move"),
+            promoted: metrics.counter("daemon.promote"),
+            promote_failed: metrics.counter("daemon.promote_fail"),
+            repairs: metrics.counter("daemon.repair"),
+            shed_promote: metrics.counter("daemon.shed_promote"),
+            shed_compact: metrics.counter("daemon.shed_compact"),
+            backoff_skips: metrics.counter("daemon.backoff"),
+            yields: metrics.counter("daemon.yield"),
+            policy_updates: metrics.counter("daemon.policy"),
+            ..DaemonStats::default()
         };
         exec.report.trace_fleet = FleetStats {
             balloon_inflates: metrics.counter("balloon.inflate"),
@@ -1787,6 +1905,84 @@ mod tests {
         assert!(report.audits > 0);
         if report.trace_enabled {
             assert_eq!(report.fleet_stats, report.trace_fleet);
+        }
+    }
+
+    #[test]
+    fn daemon_torture_is_deterministic_and_stats_match_trace() {
+        let cfg = TortureConfig {
+            daemon: true,
+            ..TortureConfig::with_seed_and_ops(13, 800)
+        };
+        let a = run_torture(&cfg);
+        let b = run_torture(&cfg);
+        assert!(a.is_ok(), "{:?}", a.failure);
+        assert_eq!(a.final_digest, b.final_digest);
+        assert_eq!(a.daemon_stats, b.daemon_stats);
+        assert!(a.daemon_ticks > 0, "the generator never ticked the daemon");
+        assert!(a.daemon_stats.ticks > 0, "armed daemon never did a tick's work");
+        if a.trace_enabled {
+            assert_eq!(a.daemon_stats.as_named(), a.trace_daemon.as_named());
+        }
+    }
+
+    #[test]
+    fn daemon_survives_crash_replay_boundaries() {
+        // Crash checks restore mid-epoch daemon state — cursors, budget,
+        // candidates, backoff RNG — from the checkpoint, replay the journal
+        // (ticks included), and demand digest equality with the
+        // never-crashed state. A daemon that is not a pure function of
+        // (system state, its own persisted state) diverges here.
+        let cfg = TortureConfig {
+            daemon: true,
+            crash_interval: Some(37),
+            snapshot_interval: 16,
+            ..TortureConfig::with_seed_and_ops(5, 600)
+        };
+        let report = run_torture(&cfg);
+        assert!(report.is_ok(), "{:?}", report.failure);
+        assert!(report.crash_checks > 0);
+        assert!(report.daemon_ticks > 0);
+    }
+
+    #[test]
+    fn acceptance_daemon_torture_10k_ops_poison_pcp_sharded() {
+        // The PR's acceptance bar: a seeded 10 000-op run with the
+        // maintenance daemon racing foreground faults on a two-zone nested
+        // stack with poison storms and per-CPU caches armed completes with
+        // zero findings — every oracle sweep proving no daemon action
+        // changed a guest-visible translation or write bit, every audit
+        // clean, every crash replay (mid-epoch daemon state included)
+        // digest-identical — and the summed `DaemonStats` ledger equal to
+        // the `daemon.*` trace totals counter for counter.
+        let cfg = TortureConfig {
+            daemon: true,
+            poison: true,
+            pcp: true,
+            shards: 2,
+            sweep_interval: 256,
+            audit_interval: 512,
+            snapshot_interval: 256,
+            crash_interval: Some(509),
+            ..TortureConfig::with_seed_and_ops(2020, 10_000)
+        };
+        let report = run_torture(&cfg);
+        assert!(report.is_ok(), "{:?}", report.failure);
+        assert_eq!(report.ops_executed, 10_000);
+        assert!(report.daemon_ticks > 0, "the generator never ticked the daemon");
+        assert!(report.daemon_stats.ticks > 0);
+        assert!(
+            report.daemon_stats.policy_updates > 2,
+            "no SetDaemonPolicy op ever retuned the daemons"
+        );
+        assert!(
+            report.daemon_stats.epochs > 0,
+            "no epoch ever completed: {:?}",
+            report.daemon_stats
+        );
+        assert!(report.crash_checks > 0);
+        if report.trace_enabled {
+            assert_eq!(report.daemon_stats.as_named(), report.trace_daemon.as_named());
         }
     }
 

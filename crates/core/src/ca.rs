@@ -206,6 +206,12 @@ impl CaPaging {
             // Re-placements drop the VMA's previous claim before searching.
             ctx.machine.release_reservations(owner);
             ctx.machine.next_fit_cluster_excluding(owner, key_bytes)
+        } else if let Some(home) = ctx.home {
+            // A pinned process searches its home node's contiguity map
+            // first and only then the remaining nodes in wrap-around
+            // order, so CA placements spill exactly where base-page
+            // allocations would instead of raiding remote zones blindly.
+            ctx.machine.next_fit_cluster_on(contig_buddy::NodeId(home), key_bytes)
         } else {
             ctx.machine.next_fit_cluster(key_bytes)
         };

@@ -50,7 +50,8 @@ use std::fmt;
 
 use contig_buddy::MachineConfig;
 use contig_mm::{
-    BasePagesPolicy, FaultOutcome, Pid, PteFlags, System, SystemConfig, SystemSnapshot, VmaKind,
+    BasePagesPolicy, DaemonConfig, DaemonStats, FaultOutcome, Pid, PteFlags, System, SystemConfig,
+    SystemSnapshot, VmaKind,
 };
 use contig_trace::{Dim, TraceEvent, Tracer};
 use contig_types::{
@@ -1014,10 +1015,34 @@ impl Fleet {
 
     // -- Pressure ladder ----------------------------------------------------
 
+    /// Arms the background contiguity-maintenance daemon on every host.
+    /// Hosts then take one deterministic daemon tick every
+    /// `config.scan_interval` controller [`Fleet::step`]s, in host index
+    /// order, between the reclaim rungs and foreground tenant faults.
+    pub fn enable_host_daemons(&mut self, config: DaemonConfig) {
+        for host in &mut self.hosts {
+            host.system.enable_daemon(config);
+        }
+    }
+
+    /// Sum of the per-host daemon counters, hosts in index order.
+    pub fn host_daemon_stats(&self) -> DaemonStats {
+        let mut total = DaemonStats::default();
+        for host in &self.hosts {
+            total.accumulate(host.system.daemon_stats());
+        }
+        total
+    }
+
     /// One controller tick: relieves any host below its low watermark,
-    /// deflates balloons on hosts with plenty, and runs the background KSM
-    /// scan cursor over one host.
+    /// deflates balloons on hosts with plenty, runs the background KSM
+    /// scan cursor over one host, and steps each armed host maintenance
+    /// daemon that is due this tick.
     pub fn step(&mut self) {
+        // The KSM cursor doubles as the controller's step clock: it is
+        // already snapshot-persisted, so daemon cadence survives
+        // save/restore without a second counter.
+        let tick = self.ksm_cursor;
         for h in 0..self.hosts.len() {
             let low = self.watermark(h, self.cfg.low_watermark_ppm);
             let high = self.watermark(h, self.cfg.high_watermark_ppm);
@@ -1040,6 +1065,16 @@ impl Fleet {
             let h = (self.ksm_cursor as usize) % self.hosts.len();
             self.ksm_cursor += 1;
             self.ksm_scan_host(h);
+        }
+        for h in 0..self.hosts.len() {
+            let system = &mut self.hosts[h].system;
+            if !system.daemon_enabled() {
+                continue;
+            }
+            let interval = system.daemon_state().config.scan_interval.max(1);
+            if tick.is_multiple_of(interval) {
+                system.daemon_tick();
+            }
         }
     }
 

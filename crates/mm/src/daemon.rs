@@ -1,0 +1,1120 @@
+//! Background contiguity maintenance: a deterministic khugepaged/kcompactd.
+//!
+//! The paper's Translation Ranger baseline relies on *delayed background
+//! defragmentation*; until this module the repo only compacted synchronously
+//! inside OOM recovery, so contiguity runs decayed monotonically under churn.
+//! [`System::daemon_tick`] is the repo's khugepaged + kcompactd rolled into
+//! one epoch-driven state machine:
+//!
+//! * **Budgeted compaction** — a cursor-resumable migrate scan
+//!   ([`contig_buddy::FrameTable::allocated_blocks_from`]) walks each zone's
+//!   allocated blocks and migrates movable ones downward toward the lowest
+//!   free block, assembling runs of the configured target order.
+//! * **THP promotion** — fully-populated, flag-uniform, 2 MiB-aligned runs
+//!   of anonymous base pages inside one VMA are collapsed onto a freshly
+//!   allocated huge frame (khugepaged's collapse). Partially populated
+//!   windows above [`DaemonConfig::thp_threshold_pages`] are remembered as
+//!   *promotion candidates* and re-checked first on later epochs.
+//! * **Poison-run repair** — movable blocks trapped in the 2 MiB
+//!   neighbourhood of a quarantined frame are migrated out, so the damage a
+//!   poisoned frame does to unaligned contiguity stays confined to itself.
+//!
+//! The daemon is **never a thread**. A tick is a pure function of system
+//! state plus the daemon's own seeded RNG, woven into torture/engine op
+//! streams as a `DaemonTick` op, so 1-vs-N-worker digests stay bit-identical
+//! and crash replay reproduces every daemon action exactly. All mid-epoch
+//! state — scan cursors, budget remaining, promotion candidates, the backoff
+//! RNG — lives in [`DaemonState`] and rides the snapshot codec, so a restore
+//! continues the interrupted epoch bit-identically.
+//!
+//! Robustness is the point: epochs are bounded by a work budget, aborted by
+//! a watchdog when allocation vetoes pile up, and **shed gracefully** under
+//! pressure — promotion work first (it *consumes* huge blocks), then
+//! compaction, and below the hard floor the daemon yields entirely and arms
+//! a jittered exponential backoff so it never races OOM recovery for the
+//! last free frames. Every [`DaemonStats`] counter bump emits exactly one
+//! `daemon.*` trace event beside it, so trace counts equal stats totals.
+
+use std::collections::{BTreeMap, HashMap};
+
+use contig_buddy::{FrameState, NodeId};
+use contig_trace::{stage, DaemonStage, TraceEvent};
+use contig_types::{splitmix64, PageSize, Pfn, VirtAddr};
+
+use crate::page_cache::FileId;
+use crate::pte::{Pte, PteFlags};
+use crate::recovery::MoveKind;
+use crate::system::{Pid, System};
+use crate::vma::VmaKind;
+
+/// Frames in a 2 MiB huge page.
+const HUGE_PAGES: u64 = 512;
+/// Most blocks one repair unit migrates out of a poisoned neighbourhood.
+const REPAIR_MOVES_PER_UNIT: u64 = 4;
+/// Promotion candidates remembered across epochs at most (oldest dropped
+/// first); keeps the snapshot payload bounded under adversarial churn.
+const MAX_CANDIDATES: usize = 32;
+
+/// Policy surface of the background contiguity-maintenance daemon.
+///
+/// All fields are plain integers/bools so the config rides the snapshot
+/// codec verbatim and the torture generator can draw arbitrary policies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DaemonConfig {
+    /// External steps between ticks for callers that drive the daemon on a
+    /// cadence (`Fleet::step`); torture arms explicit `DaemonTick` ops
+    /// instead.
+    pub scan_interval: u64,
+    /// Work units one epoch may spend across all its ticks. An epoch ends
+    /// when the budget is exhausted or every phase's cursor wrapped.
+    pub epoch_budget: u64,
+    /// 0–3. Scales the per-tick work quantum and the compaction target
+    /// order; 0 idles the daemon entirely (ticks still count).
+    pub aggressiveness: u8,
+    /// Populated base pages a 2 MiB window needs before the scanner records
+    /// it as a promotion candidate (512 = only fully-populated windows).
+    /// Promotion itself always requires all 512: the daemon must never
+    /// fault-in pages, only re-arrange ones that exist.
+    pub thp_threshold_pages: u64,
+    /// Run the poison-neighbourhood repair phase.
+    pub repair_poison: bool,
+    /// Free-memory percentage below which promotion work is shed.
+    pub shed_promote_pct: u64,
+    /// Free-memory percentage below which compaction is shed too.
+    pub shed_compact_pct: u64,
+    /// Free-memory percentage below which the daemon yields the whole epoch
+    /// to foreground recovery and backs off.
+    pub yield_pct: u64,
+    /// Quarantined frames machine-wide that count as a poison storm: the
+    /// daemon sheds promotion and focuses on repair.
+    pub poison_storm_frames: u64,
+    /// First yield's backoff delay; doubles per consecutive yield. Zero
+    /// disables the backoff window entirely.
+    pub backoff_base_ns: u64,
+    /// Ceiling on the exponential term of one backoff delay.
+    pub backoff_cap_ns: u64,
+    /// Seed of the deterministic jitter added to each backoff delay.
+    pub backoff_seed: u64,
+    /// Allocation vetoes (injected failures on migration targets) one tick
+    /// tolerates before the watchdog aborts the epoch.
+    pub watchdog_vetoes: u64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            scan_interval: 4,
+            epoch_budget: 128,
+            aggressiveness: 2,
+            thp_threshold_pages: HUGE_PAGES,
+            repair_poison: true,
+            shed_promote_pct: 15,
+            shed_compact_pct: 8,
+            yield_pct: 4,
+            poison_storm_frames: 64,
+            backoff_base_ns: 2_000,
+            backoff_cap_ns: 500_000,
+            backoff_seed: 0x0DAE_C0DE,
+            watchdog_vetoes: 8,
+        }
+    }
+}
+
+impl DaemonConfig {
+    /// The buddy order compaction assembles toward at this aggressiveness.
+    pub fn target_order(&self) -> u32 {
+        match self.aggressiveness {
+            0 => 0,
+            1 => 4,
+            2 => 7,
+            _ => PageSize::Huge2M.order(),
+        }
+    }
+
+    /// Work units one tick may spend (bounded further by the epoch budget).
+    pub fn tick_quantum(&self) -> u64 {
+        match self.aggressiveness {
+            0 => 0,
+            1 => 8,
+            2 => 16,
+            _ => 32,
+        }
+    }
+}
+
+/// Which phase of the maintenance epoch the daemon's cursor is in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DaemonPhase {
+    /// Budgeted background compaction (kcompactd).
+    #[default]
+    Compact,
+    /// THP promotion of fully-populated aligned runs (khugepaged).
+    Promote,
+    /// Contiguity-run repair around poisoned frames.
+    Repair,
+}
+
+impl DaemonPhase {
+    /// Stable integer tag for the snapshot codec.
+    pub fn as_u64(self) -> u64 {
+        match self {
+            DaemonPhase::Compact => 0,
+            DaemonPhase::Promote => 1,
+            DaemonPhase::Repair => 2,
+        }
+    }
+
+    /// Parses the codec tag back; unknown tags restore as `Compact` (the
+    /// epoch start, always a safe continuation point).
+    pub fn from_u64(v: u64) -> Self {
+        match v {
+            1 => DaemonPhase::Promote,
+            2 => DaemonPhase::Repair,
+            _ => DaemonPhase::Compact,
+        }
+    }
+}
+
+/// Monotonic counters of daemon work. Each counter in
+/// [`DaemonStats::as_named`] has exactly one `daemon.*` trace emission next
+/// to every bump, so per-kind trace counts equal these totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Ticks that ran (excludes ticks skipped inside a backoff window).
+    pub ticks: u64,
+    /// Maintenance epochs completed (budget exhausted or cursors wrapped).
+    pub epochs: u64,
+    /// Blocks migrated by background compaction.
+    pub compact_moves: u64,
+    /// Fully-populated runs collapsed onto huge frames.
+    pub promoted: u64,
+    /// Promotions that failed at commit (no huge block, or vetoed).
+    pub promote_failed: u64,
+    /// Blocks migrated out of poisoned neighbourhoods.
+    pub repairs: u64,
+    /// Ticks that shed promotion work under pressure or poison storm.
+    pub shed_promote: u64,
+    /// Ticks that shed compaction work under deeper pressure.
+    pub shed_compact: u64,
+    /// Ticks skipped entirely inside a backoff window.
+    pub backoff_skips: u64,
+    /// Epochs aborted by the yield ladder or the veto watchdog.
+    pub yields: u64,
+    /// Runtime policy swaps ([`System::set_daemon_config`]).
+    pub policy_updates: u64,
+    /// Base frames moved by compaction (payload of `compact_moves` events;
+    /// not a traced counter of its own).
+    pub compact_frames: u64,
+    /// Base frames moved by repair (payload of `repairs` events; not a
+    /// traced counter of its own).
+    pub repair_frames: u64,
+}
+
+impl DaemonStats {
+    /// The traced counters as `(event name, total)` pairs, in
+    /// [`DaemonStage::ALL`] order — the exact-equality contract between
+    /// stats and `daemon.*` trace counts.
+    pub fn as_named(&self) -> [(&'static str, u64); 11] {
+        [
+            ("daemon.tick", self.ticks),
+            ("daemon.epoch", self.epochs),
+            ("daemon.compact_move", self.compact_moves),
+            ("daemon.promote", self.promoted),
+            ("daemon.promote_fail", self.promote_failed),
+            ("daemon.repair", self.repairs),
+            ("daemon.shed_promote", self.shed_promote),
+            ("daemon.shed_compact", self.shed_compact),
+            ("daemon.backoff", self.backoff_skips),
+            ("daemon.yield", self.yields),
+            ("daemon.policy", self.policy_updates),
+        ]
+    }
+
+    /// Folds another system's counters into this one (fleet roll-ups).
+    pub fn accumulate(&mut self, other: &DaemonStats) {
+        self.ticks += other.ticks;
+        self.epochs += other.epochs;
+        self.compact_moves += other.compact_moves;
+        self.promoted += other.promoted;
+        self.promote_failed += other.promote_failed;
+        self.repairs += other.repairs;
+        self.shed_promote += other.shed_promote;
+        self.shed_compact += other.shed_compact;
+        self.backoff_skips += other.backoff_skips;
+        self.yields += other.yields;
+        self.policy_updates += other.policy_updates;
+        self.compact_frames += other.compact_frames;
+        self.repair_frames += other.repair_frames;
+    }
+}
+
+/// The daemon's complete persistent state: policy, mid-epoch cursors, the
+/// remembered promotion candidates, the backoff RNG, and the counters.
+/// Everything here rides the snapshot codec (v6), so a snapshot taken
+/// between ticks of a half-finished epoch restores to a bit-identical
+/// continuation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DaemonState {
+    /// Whether ticks do anything at all. Disabled is the default and is
+    /// byte-identical to the pre-daemon system in snapshots and digests.
+    pub enabled: bool,
+    /// The policy in force.
+    pub config: DaemonConfig,
+    /// Compaction: node index the migrate scan is on.
+    pub compact_node: u64,
+    /// Compaction: next frame number the migrate scan will look at.
+    pub compact_cursor: u64,
+    /// Promotion: smallest process id not yet scanned this epoch.
+    pub promote_pid: u64,
+    /// Promotion: next 2 MiB window start within that process.
+    pub promote_va: u64,
+    /// Promotion: next remembered candidate to re-check this epoch.
+    pub candidate_cursor: u64,
+    /// Repair: index into the sorted quarantined-frame list.
+    pub repair_cursor: u64,
+    /// Work units left in the current epoch.
+    pub budget_left: u64,
+    /// Which phase the epoch cursor is in.
+    pub phase: DaemonPhase,
+    /// Partially-populated windows remembered for fast re-checks:
+    /// `(pid, window start va)`, insertion-ordered, bounded.
+    pub candidates: Vec<(u32, u64)>,
+    /// Seeded jitter source for yield backoff delays.
+    pub backoff_rng: u64,
+    /// Simulated time before which ticks are skipped (backoff window).
+    pub backoff_until_ns: u64,
+    /// Consecutive yields; scales the exponential backoff term.
+    pub yield_streak: u64,
+    /// Completed epochs (mirrors `stats.epochs`, kept for cursor logic).
+    pub epoch: u64,
+    /// The work counters.
+    pub stats: DaemonStats,
+}
+
+impl Default for DaemonState {
+    fn default() -> Self {
+        let config = DaemonConfig::default();
+        Self {
+            enabled: false,
+            config,
+            compact_node: 0,
+            compact_cursor: 0,
+            promote_pid: 0,
+            promote_va: 0,
+            candidate_cursor: 0,
+            repair_cursor: 0,
+            budget_left: config.epoch_budget,
+            phase: DaemonPhase::Compact,
+            candidates: Vec::new(),
+            backoff_rng: config.backoff_seed,
+            backoff_until_ns: 0,
+            yield_streak: 0,
+            epoch: 0,
+            stats: DaemonStats::default(),
+        }
+    }
+}
+
+impl DaemonState {
+    /// Resets every epoch cursor to the start of a fresh epoch (used on
+    /// epoch completion and on watchdog/yield aborts). Candidates survive:
+    /// they are observations about the address space, not cursor state.
+    fn reset_epoch(&mut self) {
+        self.compact_node = 0;
+        self.compact_cursor = 0;
+        self.promote_pid = 0;
+        self.promote_va = 0;
+        self.candidate_cursor = 0;
+        self.repair_cursor = 0;
+        self.budget_left = self.config.epoch_budget;
+        self.phase = DaemonPhase::Compact;
+    }
+}
+
+/// Reverse maps a tick builds once and keeps fresh across its own moves, so
+/// movability checks stay exact without re-walking every page table per
+/// work unit.
+struct RevMaps {
+    ptes: HashMap<Pfn, Vec<(Pid, VirtAddr, PageSize, PteFlags)>>,
+    cache: HashMap<Pfn, (FileId, u64)>,
+}
+
+/// Per-pid promotion-window cache a tick builds lazily: window start →
+/// `(va, pfn, flags)` per present base page, va-sorted.
+type WindowCache = HashMap<Pid, BTreeMap<u64, Vec<(u64, Pfn, PteFlags)>>>;
+
+/// Verdict on one 2 MiB promotion window.
+enum WindowVerdict {
+    /// Collapsible now: the 512 `(va, pfn)` pairs plus their uniform flags.
+    Promote(Vec<(u64, Pfn)>, PteFlags),
+    /// Populated past the threshold but not yet collapsible: remember it.
+    Candidate,
+    /// Not interesting.
+    No,
+}
+
+impl System {
+    /// The daemon state (cursors, policy, counters).
+    pub fn daemon_state(&self) -> &DaemonState {
+        &self.daemon
+    }
+
+    /// The daemon's work counters.
+    pub fn daemon_stats(&self) -> &DaemonStats {
+        &self.daemon.stats
+    }
+
+    /// Whether ticks currently do maintenance work.
+    pub fn daemon_enabled(&self) -> bool {
+        self.daemon.enabled
+    }
+
+    /// Enables the daemon under `config`, reseeding the backoff jitter
+    /// source so two systems given the same config behave identically from
+    /// here on. Counts as a policy update (one `daemon.policy` event).
+    pub fn enable_daemon(&mut self, config: DaemonConfig) {
+        self.daemon.enabled = true;
+        self.set_daemon_config(config);
+    }
+
+    /// Disables ticks without discarding state or counters.
+    pub fn disable_daemon(&mut self) {
+        self.daemon.enabled = false;
+    }
+
+    /// Swaps the daemon policy at runtime. The in-flight epoch is restarted
+    /// under the new budget (cursors reset — a policy change re-scopes what
+    /// an epoch even means), remembered candidates survive, and the backoff
+    /// RNG is reseeded from the new config.
+    pub fn set_daemon_config(&mut self, config: DaemonConfig) {
+        self.daemon.config = config;
+        self.daemon.backoff_rng = config.backoff_seed;
+        self.daemon.reset_epoch();
+        self.daemon.stats.policy_updates += 1;
+        self.trace_daemon(DaemonStage::Policy, u64::from(config.aggressiveness), config.epoch_budget);
+    }
+
+    /// Emits one `daemon.<stage>` event. Every traced [`DaemonStats`] bump
+    /// has exactly one call next to it, so per-stage trace counts equal the
+    /// stats totals — the same ledger contract `RecoveryStats` keeps.
+    pub(crate) fn trace_daemon(&self, stage: DaemonStage, amount: u64, extra: u64) {
+        self.tracer.emit(TraceEvent::Daemon { stage, amount, extra });
+    }
+
+    /// Runs one bounded, abortable epoch slice of background maintenance.
+    /// Returns the work units spent (0 when disabled, idling, backing off,
+    /// or yielding).
+    ///
+    /// Deterministic: the outcome is a pure function of system state and
+    /// the daemon's seeded RNG. Never faults pages in, never changes any
+    /// per-VA translation outcome (presence and writability are preserved
+    /// exactly); it only re-arranges which physical frames back them.
+    pub fn daemon_tick(&mut self) -> u64 {
+        if !self.daemon.enabled {
+            return 0;
+        }
+        let _tick_span = self.tracer.span(stage::DAEMON_TICK);
+        let cfg = self.daemon.config;
+
+        // Backoff window: skip the whole tick, visibly.
+        if self.now_ns < self.daemon.backoff_until_ns {
+            self.daemon.stats.backoff_skips += 1;
+            let remaining = self.daemon.backoff_until_ns - self.now_ns;
+            self.trace_daemon(DaemonStage::Backoff, remaining, self.daemon.backoff_until_ns);
+            return 0;
+        }
+
+        self.daemon.stats.ticks += 1;
+        self.trace_daemon(DaemonStage::Tick, self.daemon.budget_left, self.daemon.epoch);
+
+        // Pressure ladder: yield below the hard floor, shed work above it.
+        let total = self.machine.total_frames().max(1);
+        let free_pct = self.machine.free_frames() * 100 / total;
+        if free_pct < cfg.yield_pct {
+            self.daemon_yield(free_pct);
+            return 0;
+        }
+        self.daemon.yield_streak = 0;
+        let storm = self.machine.poisoned_frames() >= cfg.poison_storm_frames;
+        let shed_promote = free_pct < cfg.shed_promote_pct || storm;
+        let shed_compact = free_pct < cfg.shed_compact_pct;
+        if shed_promote {
+            self.daemon.stats.shed_promote += 1;
+            self.trace_daemon(DaemonStage::ShedPromote, free_pct, u64::from(storm));
+        }
+        if shed_compact {
+            self.daemon.stats.shed_compact += 1;
+            self.trace_daemon(DaemonStage::ShedCompact, free_pct, 0);
+        }
+
+        let quantum = cfg.tick_quantum().min(self.daemon.budget_left);
+        let mut spent = 0u64;
+        let mut vetoes = 0u64;
+        let mut epoch_done = false;
+        // Tick-scratch state, built lazily on first use.
+        let mut maps: Option<RevMaps> = None;
+        let mut windows = WindowCache::new();
+        let mut badlist: Option<Vec<Pfn>> = None;
+
+        while spent < quantum {
+            if vetoes >= cfg.watchdog_vetoes {
+                // Watchdog: something (injection, hostile fragmentation) is
+                // vetoing every migration target; stop burning budget.
+                self.daemon_yield(free_pct);
+                return spent;
+            }
+            match self.daemon.phase {
+                DaemonPhase::Compact if shed_compact || cfg.aggressiveness == 0 => {
+                    self.daemon.phase = DaemonPhase::Promote;
+                }
+                DaemonPhase::Compact => {
+                    let maps = maps.get_or_insert_with(|| self.build_rev_maps());
+                    spent += 1;
+                    self.compact_step(maps, &mut vetoes);
+                }
+                DaemonPhase::Promote if shed_promote || cfg.aggressiveness == 0 => {
+                    self.daemon.phase = DaemonPhase::Repair;
+                }
+                DaemonPhase::Promote => {
+                    spent += 1;
+                    self.promote_step(&mut windows, &mut vetoes);
+                }
+                DaemonPhase::Repair if !cfg.repair_poison => {
+                    epoch_done = true;
+                    break;
+                }
+                DaemonPhase::Repair => {
+                    let bad = badlist.get_or_insert_with(|| {
+                        let mut v: Vec<Pfn> = self.machine.badframes().collect();
+                        v.sort_unstable();
+                        v
+                    });
+                    if self.daemon.repair_cursor >= bad.len() as u64 {
+                        epoch_done = true;
+                        break;
+                    }
+                    let pfn = bad[self.daemon.repair_cursor as usize];
+                    self.daemon.repair_cursor += 1;
+                    let maps = maps.get_or_insert_with(|| self.build_rev_maps());
+                    spent += 1;
+                    self.repair_step(pfn, maps, &mut vetoes);
+                }
+            }
+        }
+
+        self.daemon.budget_left = self.daemon.budget_left.saturating_sub(spent);
+        if epoch_done || self.daemon.budget_left == 0 {
+            let used = cfg.epoch_budget - self.daemon.budget_left;
+            self.daemon.epoch += 1;
+            self.daemon.stats.epochs += 1;
+            self.trace_daemon(DaemonStage::Epoch, used, self.daemon.epoch);
+            if epoch_done {
+                // Full maintenance pass: restart every scan from the top.
+                self.daemon.reset_epoch();
+            } else {
+                // Budget exhausted mid-pass: refill, but keep the cursors —
+                // the next epoch resumes the scan where this one stopped, so
+                // zones larger than one budget still get covered end-to-end.
+                self.daemon.budget_left = cfg.epoch_budget;
+            }
+        }
+        spent
+    }
+
+    /// Aborts the in-flight epoch and arms a jittered exponential backoff —
+    /// the daemon's answer to memory pressure and veto storms. One `yield`
+    /// event per call.
+    fn daemon_yield(&mut self, free_pct: u64) {
+        self.daemon.stats.yields += 1;
+        self.daemon.yield_streak += 1;
+        self.daemon.reset_epoch();
+        let cfg = self.daemon.config;
+        let ns = if cfg.backoff_base_ns == 0 {
+            0
+        } else {
+            let exp = cfg
+                .backoff_base_ns
+                .saturating_mul(1u64 << (self.daemon.yield_streak - 1).min(16))
+                .min(cfg.backoff_cap_ns);
+            exp + splitmix64(&mut self.daemon.backoff_rng) % (exp / 2 + 1)
+        };
+        self.daemon.backoff_until_ns = self.now_ns + ns;
+        self.trace_daemon(DaemonStage::Yield, free_pct, ns);
+    }
+
+    /// Builds the tick's reverse maps: mapping-head frame → referencing
+    /// PTEs, and cached frame → page-cache slot (same shape the synchronous
+    /// compactor builds per pass).
+    fn build_rev_maps(&self) -> RevMaps {
+        let mut ptes: HashMap<Pfn, Vec<(Pid, VirtAddr, PageSize, PteFlags)>> = HashMap::new();
+        for pid in self.pids() {
+            for m in self.processes[&pid].page_table().iter_mappings() {
+                ptes.entry(m.pte.pfn).or_default().push((pid, m.va, m.size, m.pte.flags));
+            }
+        }
+        let mut cache: HashMap<Pfn, (FileId, u64)> = HashMap::new();
+        for f in 0..self.page_cache.file_count() {
+            let file = FileId(f);
+            for (idx, pfn) in self.page_cache.pages_of(file) {
+                cache.insert(pfn, (file, idx));
+            }
+        }
+        RevMaps { ptes, cache }
+    }
+
+    /// Migrates the movable block `(head, order)` to `dest`, fixing every
+    /// reference and keeping `maps` fresh. Returns the frames moved, or
+    /// `None` when the destination claim was vetoed.
+    fn move_block(
+        &mut self,
+        node: NodeId,
+        head: Pfn,
+        order: u32,
+        dest: Pfn,
+        maps: &mut RevMaps,
+    ) -> Option<u64> {
+        let kind = self.classify_movable(head, order, &maps.ptes, &maps.cache)?;
+        if self.machine.zone_mut(node).alloc_specific(dest, order).is_err() {
+            return None;
+        }
+        match kind {
+            MoveKind::Anon { pid, va, flags } => {
+                if let Some(aspace) = self.processes.get_mut(&pid) {
+                    aspace.page_table_mut().remap(va, Pte::new(dest, flags));
+                }
+                if let Some(refs) = maps.ptes.remove(&head) {
+                    maps.ptes.insert(dest, refs);
+                }
+            }
+            MoveKind::Cache { file, index, ptes } => {
+                self.page_cache.relocate_page(file, index, dest);
+                for (pid, va, flags) in ptes {
+                    if let Some(aspace) = self.processes.get_mut(&pid) {
+                        aspace.page_table_mut().remap(va, Pte::new(dest, flags));
+                    }
+                }
+                if let Some(refs) = maps.ptes.remove(&head) {
+                    maps.ptes.insert(dest, refs);
+                }
+                maps.cache.remove(&head);
+                maps.cache.insert(dest, (file, index));
+            }
+        }
+        self.machine.zone_mut(node).free(head, order);
+        let frames = 1u64 << order;
+        // Migration copies the block's contents.
+        self.advance_clock(frames * self.latency.zero_page_ns);
+        Some(frames)
+    }
+
+    /// One compaction work unit: examine the next allocated block at or
+    /// above the cursor and migrate it downward if movable.
+    fn compact_step(&mut self, maps: &mut RevMaps, vetoes: &mut u64) {
+        let nodes = self.machine.nodes() as u64;
+        if self.daemon.compact_node >= nodes {
+            self.daemon.compact_node = 0;
+            self.daemon.compact_cursor = 0;
+            self.daemon.phase = DaemonPhase::Promote;
+            return;
+        }
+        let node = NodeId(self.daemon.compact_node as usize);
+        // Compaction works *toward* the configured target order: once this
+        // zone can already satisfy it, further migration is churn (and would
+        // fight the repair phase for the same frames) — move on.
+        if self.machine.zone(node).has_free_block(self.daemon.config.target_order()) {
+            self.daemon.compact_node += 1;
+            self.daemon.compact_cursor = 0;
+            if self.daemon.compact_node >= nodes {
+                self.daemon.compact_node = 0;
+                self.daemon.phase = DaemonPhase::Promote;
+            }
+            return;
+        }
+        let next = self
+            .machine
+            .zone(node)
+            .frame_table()
+            .allocated_blocks_from(Pfn::new(self.daemon.compact_cursor), 1)
+            .next();
+        let Some((head, order)) = next else {
+            // This node's scan wrapped: move to the next node (or phase).
+            self.daemon.compact_node += 1;
+            self.daemon.compact_cursor = 0;
+            if self.daemon.compact_node >= nodes {
+                self.daemon.compact_node = 0;
+                self.daemon.phase = DaemonPhase::Promote;
+            }
+            return;
+        };
+        self.daemon.compact_cursor = head.raw() + (1u64 << order);
+        let Some(dest) = self.machine.zone(node).lowest_free_block(order, head) else {
+            return;
+        };
+        match self.move_block(node, head, order, dest, maps) {
+            Some(frames) => {
+                self.daemon.stats.compact_moves += 1;
+                self.daemon.stats.compact_frames += frames;
+                self.trace_daemon(DaemonStage::CompactMove, frames, dest.raw());
+            }
+            None => *vetoes += 1,
+        }
+    }
+
+    /// One promotion work unit: re-check the next remembered candidate, or
+    /// examine the next 2 MiB window of the pid/va cursor walk.
+    fn promote_step(
+        &mut self,
+        windows: &mut WindowCache,
+        vetoes: &mut u64,
+    ) {
+        // Remembered candidates first: the fast path khugepaged's scan gives
+        // recently-hot regions.
+        if (self.daemon.candidate_cursor as usize) < self.daemon.candidates.len() {
+            let (pid_raw, w) = self.daemon.candidates[self.daemon.candidate_cursor as usize];
+            self.daemon.candidate_cursor += 1;
+            let pid = Pid(pid_raw);
+            if !self.processes.contains_key(&pid) {
+                self.daemon.candidates.retain(|&(p, v)| (p, v) != (pid_raw, w));
+                self.daemon.candidate_cursor -= 1;
+                return;
+            }
+            let win = self.collect_windows(pid, windows).get(&w).cloned();
+            match self.check_window(pid, w, win.as_deref().unwrap_or(&[])) {
+                WindowVerdict::Promote(run, flags) => {
+                    self.commit_promotion(pid, w, &run, flags, vetoes);
+                    self.drop_candidate(pid_raw, w);
+                }
+                WindowVerdict::Candidate => {} // still warm, keep it
+                WindowVerdict::No => self.drop_candidate(pid_raw, w),
+            }
+            return;
+        }
+
+        // Cursor walk over every process's populated windows.
+        let pids = self.pids();
+        let Some(&pid) = pids.iter().find(|p| u64::from(p.0) >= self.daemon.promote_pid) else {
+            self.daemon.promote_pid = 0;
+            self.daemon.promote_va = 0;
+            self.daemon.phase = DaemonPhase::Repair;
+            return;
+        };
+        if u64::from(pid.0) > self.daemon.promote_pid {
+            self.daemon.promote_va = 0;
+        }
+        self.daemon.promote_pid = u64::from(pid.0);
+        let next = self
+            .collect_windows(pid, windows)
+            .range(self.daemon.promote_va..)
+            .next()
+            .map(|(&w, run)| (w, run.clone()));
+        let Some((w, run)) = next else {
+            self.daemon.promote_pid = u64::from(pid.0) + 1;
+            self.daemon.promote_va = 0;
+            return;
+        };
+        self.daemon.promote_va = w + PageSize::Huge2M.bytes();
+        match self.check_window(pid, w, &run) {
+            WindowVerdict::Promote(run, flags) => {
+                self.commit_promotion(pid, w, &run, flags, vetoes);
+                self.drop_candidate(pid.0, w);
+            }
+            WindowVerdict::Candidate => {
+                if !self.daemon.candidates.contains(&(pid.0, w)) {
+                    if self.daemon.candidates.len() >= MAX_CANDIDATES {
+                        self.daemon.candidates.remove(0);
+                        self.daemon.candidate_cursor = self.daemon.candidate_cursor.saturating_sub(1);
+                    }
+                    self.daemon.candidates.push((pid.0, w));
+                }
+            }
+            WindowVerdict::No => {}
+        }
+    }
+
+    /// The 2 MiB windows of `pid` holding base-page mappings, grouped and
+    /// cached for the tick: window start → `(va, pfn, flags)` per present
+    /// base page, va-sorted.
+    fn collect_windows<'a>(
+        &self,
+        pid: Pid,
+        cache: &'a mut WindowCache,
+    ) -> &'a BTreeMap<u64, Vec<(u64, Pfn, PteFlags)>> {
+        cache.entry(pid).or_insert_with(|| {
+            let mut windows: BTreeMap<u64, Vec<(u64, Pfn, PteFlags)>> = BTreeMap::new();
+            if let Some(aspace) = self.processes.get(&pid) {
+                for m in aspace.page_table().iter_mappings() {
+                    if m.size != PageSize::Base4K {
+                        continue; // already huge
+                    }
+                    let w = m.va.raw() & !(PageSize::Huge2M.bytes() - 1);
+                    windows.entry(w).or_default().push((m.va.raw(), m.pte.pfn, m.pte.flags));
+                }
+            }
+            windows
+        })
+    }
+
+    /// Judges one window: collapsible now, worth remembering, or neither.
+    ///
+    /// Promotion preserves observational semantics exactly, so the bar is
+    /// high: all 512 base pages present with identical flags, none
+    /// COW/FILE/shared, each backed by its own order-0 allocation, and the
+    /// whole window inside a single anonymous VMA. The daemon never
+    /// faults-in missing pages — windows past the candidacy threshold but
+    /// below 512 are only *remembered*.
+    fn check_window(&self, pid: Pid, w: u64, run: &[(u64, Pfn, PteFlags)]) -> WindowVerdict {
+        let cfg = &self.daemon.config;
+        let count = run.len() as u64;
+        if count == 0 || count < cfg.thp_threshold_pages.min(HUGE_PAGES) {
+            return WindowVerdict::No;
+        }
+        if count < HUGE_PAGES {
+            return WindowVerdict::Candidate;
+        }
+        let flags = run[0].2;
+        if flags.contains(PteFlags::COW) || flags.contains(PteFlags::FILE) {
+            return WindowVerdict::No;
+        }
+        let Some(aspace) = self.processes.get(&pid) else { return WindowVerdict::No };
+        let last = VirtAddr::new(w + PageSize::Huge2M.bytes() - PageSize::Base4K.bytes());
+        let Some(vma_id) = aspace.vma_containing(VirtAddr::new(w)) else {
+            return WindowVerdict::No;
+        };
+        let vma = aspace.vma(vma_id);
+        if vma.kind() != VmaKind::Anon || !vma.contains(last) {
+            return WindowVerdict::No;
+        }
+        for &(_, pfn, f) in run {
+            if f != flags || self.shared.contains_key(&pfn) {
+                return WindowVerdict::No;
+            }
+            let Some(node) = self.machine.node_of(pfn) else { return WindowVerdict::No };
+            if self.machine.zone(node).frame_table().state(pfn)
+                != (FrameState::AllocatedHead { order: 0 })
+            {
+                return WindowVerdict::No;
+            }
+        }
+        WindowVerdict::Promote(run.iter().map(|&(va, pfn, _)| (va, pfn)).collect(), flags)
+    }
+
+    /// Collapses a fully-populated window: allocates a huge frame on the
+    /// owner's home node, swings the 512 base PTEs to one huge PTE, and
+    /// frees the scattered source frames.
+    fn commit_promotion(
+        &mut self,
+        pid: Pid,
+        w: u64,
+        run: &[(u64, Pfn)],
+        flags: PteFlags,
+        vetoes: &mut u64,
+    ) {
+        let home = NodeId(self.homes.get(&pid).copied().unwrap_or(0));
+        let block = match self.machine.alloc_on(home, PageSize::Huge2M.order()) {
+            Ok(b) => b,
+            Err(_) => {
+                self.daemon.stats.promote_failed += 1;
+                self.trace_daemon(DaemonStage::PromoteFail, HUGE_PAGES, w);
+                *vetoes += 1;
+                return;
+            }
+        };
+        let Some(aspace) = self.processes.get_mut(&pid) else {
+            self.machine.free(block, PageSize::Huge2M.order());
+            self.daemon.stats.promote_failed += 1;
+            self.trace_daemon(DaemonStage::PromoteFail, HUGE_PAGES, w);
+            return;
+        };
+        let pt = aspace.page_table_mut();
+        for &(va, _) in run {
+            pt.unmap(VirtAddr::new(va));
+        }
+        pt.map(VirtAddr::new(w), Pte::new(block, flags), PageSize::Huge2M);
+        for &(_, pfn) in run {
+            self.machine.free(pfn, 0);
+        }
+        self.daemon.stats.promoted += 1;
+        self.trace_daemon(DaemonStage::Promote, HUGE_PAGES, block.raw());
+        // Collapse copies all 512 source pages into the huge frame.
+        self.advance_clock(HUGE_PAGES * self.latency.zero_page_ns);
+    }
+
+    /// Forgets a remembered candidate (promoted, stale, or ineligible).
+    fn drop_candidate(&mut self, pid: u32, w: u64) {
+        if let Some(i) = self.daemon.candidates.iter().position(|&c| c == (pid, w)) {
+            self.daemon.candidates.remove(i);
+            if (i as u64) < self.daemon.candidate_cursor {
+                self.daemon.candidate_cursor -= 1;
+            }
+        }
+    }
+
+    /// One repair work unit: migrate movable blocks out of the 2 MiB
+    /// neighbourhood of one quarantined frame, so unaligned contiguity runs
+    /// re-form around the hole instead of staying shattered by it.
+    fn repair_step(&mut self, bad: Pfn, maps: &mut RevMaps, vetoes: &mut u64) {
+        let Some(node) = self.machine.node_of(bad) else { return };
+        let wstart = bad.raw() & !(HUGE_PAGES - 1);
+        let wend = wstart + HUGE_PAGES;
+        let blocks: Vec<(Pfn, u32)> = self
+            .machine
+            .zone(node)
+            .frame_table()
+            .allocated_blocks_from(Pfn::new(wstart), HUGE_PAGES)
+            .take_while(|(h, _)| h.raw() < wend)
+            .collect();
+        let mut moved = 0u64;
+        for (head, order) in blocks {
+            if moved >= REPAIR_MOVES_PER_UNIT {
+                break;
+            }
+            // Relocate out of the poisoned window: below it when possible,
+            // above it otherwise — never back inside, so the move cannot
+            // re-fragment the same neighbourhood.
+            let zone = self.machine.zone(node);
+            let Some(dest) = zone
+                .lowest_free_block(order, Pfn::new(wstart))
+                .or_else(|| zone.lowest_free_block_at_or_above(order, Pfn::new(wend)))
+            else {
+                break;
+            };
+            match self.move_block(node, head, order, dest, maps) {
+                Some(frames) => {
+                    moved += 1;
+                    self.daemon.stats.repairs += 1;
+                    self.daemon.stats.repair_frames += frames;
+                    self.trace_daemon(DaemonStage::Repair, frames, bad.raw());
+                }
+                None => *vetoes += 1,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::BasePagesPolicy;
+    use crate::system::{System, SystemConfig};
+    use contig_buddy::MachineConfig;
+    use contig_trace::TraceSession;
+    use contig_types::VirtRange;
+
+    fn system_mib(mib: u64) -> System {
+        // Fault-path THP off: async daemon promotion is the only collapser
+        // (the Ingens-style split the daemon exists to serve).
+        let config = SystemConfig::new(MachineConfig::single_node_mib(mib));
+        System::new(SystemConfig { thp: false, ..config })
+    }
+
+    /// Interleaved faults from two pids, one exits: fragmented free space.
+    fn fragmented(sys: &mut System) -> Pid {
+        let a = sys.spawn();
+        let b = sys.spawn();
+        for (pid, base) in [(a, 0x40_1000u64), (b, 0x100_1000u64)] {
+            sys.aspace_mut(pid).map_vma(
+                VirtRange::new(VirtAddr::new(base), 0x20_0000),
+                VmaKind::Anon,
+            );
+        }
+        let mut policy = BasePagesPolicy;
+        for i in 0..512u64 {
+            sys.touch(&mut policy, a, VirtAddr::new(0x40_1000 + i * 4096)).unwrap();
+            sys.touch(&mut policy, b, VirtAddr::new(0x100_1000 + i * 4096)).unwrap();
+        }
+        sys.exit(b);
+        a
+    }
+
+    fn run_epochs(sys: &mut System, ticks: usize) -> u64 {
+        (0..ticks).map(|_| sys.daemon_tick()).sum()
+    }
+
+    #[test]
+    fn disabled_daemon_is_a_strict_noop() {
+        let mut sys = system_mib(4);
+        let a = fragmented(&mut sys);
+        let before = sys.aspace(a).page_table().iter_mappings().collect::<Vec<_>>();
+        let now = sys.now_ns();
+        assert_eq!(sys.daemon_tick(), 0);
+        assert_eq!(sys.now_ns(), now);
+        assert_eq!(sys.daemon_stats(), &DaemonStats::default());
+        assert_eq!(before, sys.aspace(a).page_table().iter_mappings().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn background_compaction_assembles_huge_blocks_and_stays_clean() {
+        let mut sys = system_mib(4);
+        let a = fragmented(&mut sys);
+        let huge = PageSize::Huge2M.order();
+        assert!(!sys.machine().has_free_block(huge), "not fragmented");
+        let before: Vec<_> = (0..512u64)
+            .map(|i| {
+                let t = sys
+                    .aspace(a)
+                    .page_table()
+                    .translate(VirtAddr::new(0x40_1000 + i * 4096))
+                    .unwrap();
+                t.flags
+            })
+            .collect();
+        sys.enable_daemon(DaemonConfig { aggressiveness: 3, ..DaemonConfig::default() });
+        let spent = run_epochs(&mut sys, 200);
+        assert!(spent > 0);
+        assert!(sys.machine().has_free_block(huge), "daemon never defragmented");
+        let stats = *sys.daemon_stats();
+        assert!(stats.compact_moves > 0, "{stats:?}");
+        assert!(stats.epochs > 0, "{stats:?}");
+        // Observational equivalence: every translation still present with
+        // identical flags.
+        for (i, flags) in before.iter().enumerate() {
+            let t = sys
+                .aspace(a)
+                .page_table()
+                .translate(VirtAddr::new(0x40_1000 + i as u64 * 4096))
+                .unwrap();
+            assert_eq!(t.flags, *flags);
+        }
+        assert!(sys.audit().is_clean(), "{}", sys.audit());
+        sys.machine().verify_integrity();
+    }
+
+    #[test]
+    fn promotion_collapses_aligned_runs_into_huge_pages() {
+        let mut sys = system_mib(8);
+        let pid = sys.spawn();
+        sys.aspace_mut(pid)
+            .map_vma(VirtRange::new(VirtAddr::new(0x40_0000), 4 << 20), VmaKind::Anon);
+        let mut policy = BasePagesPolicy;
+        for i in 0..1024u64 {
+            sys.touch(&mut policy, pid, VirtAddr::new(0x40_0000 + i * 4096)).unwrap();
+        }
+        assert_eq!(sys.aspace(pid).page_table().mapped_huge_pages(), 0);
+        sys.enable_daemon(DaemonConfig::default());
+        run_epochs(&mut sys, 400);
+        let stats = *sys.daemon_stats();
+        assert_eq!(stats.promoted, 2, "both aligned windows collapse: {stats:?}");
+        assert_eq!(sys.aspace(pid).page_table().mapped_huge_pages(), 2);
+        assert_eq!(sys.aspace(pid).page_table().mapped_base_pages(), 0);
+        for i in 0..1024u64 {
+            let t = sys
+                .aspace(pid)
+                .page_table()
+                .translate(VirtAddr::new(0x40_0000 + i * 4096))
+                .unwrap();
+            assert_eq!(t.size, PageSize::Huge2M);
+        }
+        assert!(sys.audit().is_clean(), "{}", sys.audit());
+        sys.machine().verify_integrity();
+    }
+
+    #[test]
+    fn partially_populated_windows_become_candidates_not_promotions() {
+        let mut sys = system_mib(8);
+        let pid = sys.spawn();
+        sys.aspace_mut(pid)
+            .map_vma(VirtRange::new(VirtAddr::new(0x40_0000), 2 << 20), VmaKind::Anon);
+        let mut policy = BasePagesPolicy;
+        for i in 0..500u64 {
+            sys.touch(&mut policy, pid, VirtAddr::new(0x40_0000 + i * 4096)).unwrap();
+        }
+        sys.enable_daemon(DaemonConfig {
+            thp_threshold_pages: 256,
+            ..DaemonConfig::default()
+        });
+        run_epochs(&mut sys, 50);
+        assert_eq!(sys.daemon_stats().promoted, 0, "must never fault pages in");
+        assert_eq!(sys.daemon_state().candidates, vec![(pid.0, 0x40_0000)]);
+        // Filling the window flips the candidate into a fast promotion.
+        for i in 500..512u64 {
+            sys.touch(&mut policy, pid, VirtAddr::new(0x40_0000 + i * 4096)).unwrap();
+        }
+        run_epochs(&mut sys, 50);
+        assert_eq!(sys.daemon_stats().promoted, 1);
+        assert!(sys.daemon_state().candidates.is_empty());
+        assert!(sys.audit().is_clean(), "{}", sys.audit());
+    }
+
+    #[test]
+    fn pressure_sheds_promotion_then_compaction_then_yields() {
+        let mut sys = system_mib(4);
+        let _a = fragmented(&mut sys);
+        // Eat almost all remaining memory so free % drops under the ladder.
+        let hog = sys.spawn();
+        sys.aspace_mut(hog)
+            .map_vma(VirtRange::new(VirtAddr::new(0x4000_0000), 4 << 20), VmaKind::Anon);
+        let mut policy = BasePagesPolicy;
+        let mut i = 0u64;
+        while sys.machine().free_frames() * 100 / sys.machine().total_frames() >= 3 {
+            if sys.touch(&mut policy, hog, VirtAddr::new(0x4000_0000 + i * 4096)).is_err() {
+                break;
+            }
+            i += 1;
+        }
+        sys.enable_daemon(DaemonConfig::default());
+        sys.daemon_tick();
+        let stats = *sys.daemon_stats();
+        assert_eq!(stats.yields, 1, "{stats:?}");
+        assert!(sys.daemon_state().backoff_until_ns > sys.now_ns());
+        // Ticks inside the backoff window are visible skips.
+        sys.daemon_tick();
+        assert_eq!(sys.daemon_stats().backoff_skips, 1);
+        assert!(sys.audit().is_clean(), "{}", sys.audit());
+    }
+
+    #[test]
+    fn stats_equal_trace_counts_one_to_one() {
+        let mut sys = system_mib(4);
+        let session = TraceSession::ring(1 << 16);
+        sys.set_tracer(session.tracer());
+        let _a = fragmented(&mut sys);
+        sys.enable_daemon(DaemonConfig { aggressiveness: 3, ..DaemonConfig::default() });
+        run_epochs(&mut sys, 100);
+        let metrics = session.metrics();
+        for (name, total) in sys.daemon_stats().as_named() {
+            assert_eq!(metrics.counter(name), total, "counter {name}");
+        }
+        assert_eq!(session.dropped(), 0);
+    }
+
+    #[test]
+    fn ticks_are_deterministic_across_identical_runs() {
+        let run = || {
+            let mut sys = system_mib(4);
+            let _a = fragmented(&mut sys);
+            sys.enable_daemon(DaemonConfig { aggressiveness: 3, ..DaemonConfig::default() });
+            let spent = run_epochs(&mut sys, 64);
+            (spent, *sys.daemon_stats(), sys.now_ns(), sys.daemon_state().clone())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn repair_clears_the_neighbourhood_of_a_poisoned_frame() {
+        let mut sys = system_mib(8);
+        let pid = sys.spawn();
+        sys.aspace_mut(pid)
+            .map_vma(VirtRange::new(VirtAddr::new(0x40_1000), 2 << 20), VmaKind::Anon);
+        let mut policy = BasePagesPolicy;
+        for i in 0..500u64 {
+            sys.touch(&mut policy, pid, VirtAddr::new(0x40_1000 + i * 4096)).unwrap();
+        }
+        // Poison a *free* frame just past the populated run: it quarantines
+        // in place, stranding the allocated neighbourhood around the hole.
+        let top = sys
+            .aspace(pid)
+            .page_table()
+            .iter_mappings()
+            .map(|m| m.pte.pfn)
+            .max()
+            .unwrap();
+        let _ = sys.memory_failure(top.add(1));
+        assert!(sys.machine().poisoned_frames() > 0);
+        sys.enable_daemon(DaemonConfig { aggressiveness: 1, ..DaemonConfig::default() });
+        run_epochs(&mut sys, 400);
+        let stats = *sys.daemon_stats();
+        assert!(stats.repairs > 0, "no repair migrations ran: {stats:?}");
+        assert!(sys.audit().is_clean(), "{}", sys.audit());
+        sys.machine().verify_integrity();
+    }
+}

@@ -32,6 +32,7 @@
 
 mod aspace;
 mod audit;
+mod daemon;
 mod extract;
 mod page_cache;
 mod page_table;
@@ -46,6 +47,7 @@ mod vma;
 
 pub use aspace::{AddressSpace, VmaId};
 pub use audit::{AuditReport, AuditViolation};
+pub use daemon::{DaemonConfig, DaemonPhase, DaemonState, DaemonStats};
 pub use extract::{compose_mappings, contiguous_mappings};
 pub use page_cache::{CacheAllocMode, FileCacheSnapshot, FileId, PageCache, PageCacheSnapshot};
 pub use page_table::{MappedPage, PageTable, Translation, ENTRIES_PER_TABLE, LEVELS, LEVELS_LA57};

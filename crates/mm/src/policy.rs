@@ -54,6 +54,9 @@ pub struct FaultCtx<'a> {
     pub size: PageSize,
     /// Fault class.
     pub kind: FaultKind,
+    /// The faulting process's NUMA home node, when pinned — placement
+    /// policies prefer this zone's contiguity map before spilling.
+    pub home: Option<usize>,
     /// Per-address-space fault statistics.
     pub stats: &'a mut FaultStats,
     /// Base pages the policy zeroed *beyond* the faulting page (eager paging

@@ -120,7 +120,8 @@ pub struct CompactOutcome {
 }
 
 /// How one migrated block is referenced, so the move can fix every pointer.
-enum MoveKind {
+/// Shared with the background maintenance daemon's migrate scans.
+pub(crate) enum MoveKind {
     /// Exactly one anonymous PTE covering the whole block.
     Anon { pid: Pid, va: VirtAddr, flags: PteFlags },
     /// A page-cache page (order 0) plus any FILE PTEs referencing it.
@@ -343,7 +344,7 @@ impl System {
 
     /// Decides whether the allocated block `[head, head + 2^order)` can be
     /// migrated, and how to fix its references if so.
-    fn classify_movable(
+    pub(crate) fn classify_movable(
         &self,
         head: Pfn,
         order: u32,

@@ -20,6 +20,7 @@ use contig_trace::Tracer;
 use contig_types::{MapOffset, PageSize, Pfn, PoisonPolicy, VirtAddr, VirtRange};
 
 use crate::aspace::AddressSpace;
+use crate::daemon::DaemonState;
 use crate::page_cache::{PageCache, PageCacheSnapshot};
 use crate::pte::{Pte, PteFlags};
 use crate::poison::PoisonStats;
@@ -108,6 +109,9 @@ pub struct SystemSnapshot {
     pub poison_stats: PoisonStats,
     /// Cumulative NUMA placement counters (codec v5).
     pub numa_stats: NumaStats,
+    /// Background maintenance daemon: policy, mid-epoch cursors, counters
+    /// (codec v6). Defaulted (disabled) when restoring older images.
+    pub daemon: DaemonState,
 }
 
 fn stats_snapshot(stats: &FaultStats) -> FaultStatsSnapshot {
@@ -193,6 +197,7 @@ impl System {
             poison_policy: self.poison_policy.clone(),
             poison_stats: self.poison_stats,
             numa_stats: self.numa_stats,
+            daemon: self.daemon.clone(),
         }
     }
 
@@ -258,6 +263,7 @@ impl System {
             numa_stats: snap.numa_stats,
             dirty_log: None,
             homes,
+            daemon: snap.daemon.clone(),
             tracer: Tracer::disabled(),
         }
     }

@@ -226,6 +226,9 @@ pub struct System {
     pub(crate) homes: HashMap<Pid, usize>,
     /// Cumulative NUMA placement counters.
     pub(crate) numa_stats: NumaStats,
+    /// Background contiguity-maintenance daemon (khugepaged/kcompactd):
+    /// policy, mid-epoch cursors, and counters. Disabled by default.
+    pub(crate) daemon: crate::daemon::DaemonState,
     /// Observability probes over the fault path; disabled by default.
     pub(crate) tracer: Tracer,
 }
@@ -252,6 +255,7 @@ impl System {
             dirty_log: None,
             homes: HashMap::new(),
             numa_stats: NumaStats::default(),
+            daemon: crate::daemon::DaemonState::default(),
             tracer: Tracer::disabled(),
         }
     }
@@ -869,6 +873,7 @@ impl System {
             va: fault_va,
             size,
             kind,
+            home,
             stats,
             extra_zeroed_pages: 0,
         };
@@ -1066,6 +1071,7 @@ impl System {
             va: page_va,
             size,
             kind: FaultKind::Cow,
+            home,
             stats,
             extra_zeroed_pages: 0,
         };
@@ -1235,6 +1241,7 @@ impl System {
             .lookup(file, file_index)
             .ok_or(FaultError::OutOfMemory { addr: va, size: PageSize::Base4K })?;
         let tracer = self.tracer.clone();
+        let home = self.homes.get(&pid).copied();
         let aspace = self.processes.get_mut(&pid).expect("unknown pid");
         {
             let _pt_span = tracer.span(stage::PT_WALK);
@@ -1257,6 +1264,7 @@ impl System {
             va: page_va,
             size: PageSize::Base4K,
             kind: FaultKind::FileRead,
+            home,
             stats,
             extra_zeroed_pages: 0,
         };

@@ -133,6 +133,79 @@ impl RecoveryStage {
     }
 }
 
+/// One kind of work (or deliberate non-work) performed by the background
+/// contiguity-maintenance daemon. Each variant maps one-to-one onto a
+/// `DaemonStats` counter in `contig-mm`, so the number of `Daemon` events of
+/// a stage in a trace equals that counter's total.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DaemonStage {
+    /// One daemon tick ran (budgeted epoch slice).
+    Tick,
+    /// A maintenance epoch completed (scan cursors wrapped).
+    Epoch,
+    /// Background compaction migrated one block (`amount` = frames moved).
+    CompactMove,
+    /// A fully-populated aligned run was promoted to a huge page.
+    Promote,
+    /// A promotion candidate failed at commit time (no free huge block, or
+    /// the run changed under the daemon's feet).
+    PromoteFail,
+    /// One movable block was migrated out of a poisoned neighbourhood
+    /// (`amount` = frames moved).
+    Repair,
+    /// Pressure shed THP-promotion work for this tick.
+    ShedPromote,
+    /// Deeper pressure shed compaction work too.
+    ShedCompact,
+    /// The tick was skipped entirely: the daemon is inside a jittered
+    /// backoff window after yielding to pressure.
+    Backoff,
+    /// The watchdog aborted the epoch mid-flight (sustained allocation
+    /// vetoes or free memory under the hard floor) and armed a backoff.
+    Yield,
+    /// The daemon policy was swapped at runtime (`SetDaemonPolicy`).
+    Policy,
+}
+
+impl DaemonStage {
+    /// All stages, in ladder order (useful for report tables).
+    pub const ALL: [DaemonStage; 11] = [
+        DaemonStage::Tick,
+        DaemonStage::Epoch,
+        DaemonStage::CompactMove,
+        DaemonStage::Promote,
+        DaemonStage::PromoteFail,
+        DaemonStage::Repair,
+        DaemonStage::ShedPromote,
+        DaemonStage::ShedCompact,
+        DaemonStage::Backoff,
+        DaemonStage::Yield,
+        DaemonStage::Policy,
+    ];
+
+    /// The stage's suffix inside the event name (`daemon.<suffix>`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DaemonStage::Tick => "tick",
+            DaemonStage::Epoch => "epoch",
+            DaemonStage::CompactMove => "compact_move",
+            DaemonStage::Promote => "promote",
+            DaemonStage::PromoteFail => "promote_fail",
+            DaemonStage::Repair => "repair",
+            DaemonStage::ShedPromote => "shed_promote",
+            DaemonStage::ShedCompact => "shed_compact",
+            DaemonStage::Backoff => "backoff",
+            DaemonStage::Yield => "yield",
+            DaemonStage::Policy => "policy",
+        }
+    }
+
+    /// Parses the suffix back.
+    pub fn from_tag(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|stage| stage.as_str() == s)
+    }
+}
+
 /// A structured trace event. See each variant for the probe site emitting it.
 ///
 /// Event *names* are `subsystem.kind` strings ([`TraceEvent::name`]); the
@@ -259,6 +332,17 @@ pub enum TraceEvent {
         extra: u64,
         /// Simulated cost of the stage in cost-model nanoseconds.
         latency_ns: u64,
+    },
+    /// `daemon.<stage>` — one unit of background contiguity-maintenance
+    /// work (or a deliberate shed/backoff). The per-stage meaning of
+    /// `amount`/`extra` is documented on [`DaemonStage`].
+    Daemon {
+        /// Daemon work stage.
+        stage: DaemonStage,
+        /// Stage-specific magnitude (frames moved, budget spent, order).
+        amount: u64,
+        /// Stage-specific secondary magnitude (cursor frame, backoff ns).
+        extra: u64,
     },
     /// `ca.placement` — CA paging ran a placement decision over the
     /// contiguity map.
@@ -612,6 +696,19 @@ impl TraceEvent {
                 RecoveryStage::HardOom => "recovery.hard_oom",
                 RecoveryStage::Livelock => "recovery.livelock",
             },
+            TraceEvent::Daemon { stage, .. } => match stage {
+                DaemonStage::Tick => "daemon.tick",
+                DaemonStage::Epoch => "daemon.epoch",
+                DaemonStage::CompactMove => "daemon.compact_move",
+                DaemonStage::Promote => "daemon.promote",
+                DaemonStage::PromoteFail => "daemon.promote_fail",
+                DaemonStage::Repair => "daemon.repair",
+                DaemonStage::ShedPromote => "daemon.shed_promote",
+                DaemonStage::ShedCompact => "daemon.shed_compact",
+                DaemonStage::Backoff => "daemon.backoff",
+                DaemonStage::Yield => "daemon.yield",
+                DaemonStage::Policy => "daemon.policy",
+            },
             TraceEvent::Placement { .. } => "ca.placement",
             TraceEvent::TargetBusy { .. } => "ca.target_busy",
             TraceEvent::ContigRun { .. } => "ca.contig_run",
@@ -656,8 +753,8 @@ impl TraceEvent {
     }
 
     /// The subsystem prefix of [`TraceEvent::name`] (`buddy`, `mm`,
-    /// `recovery`, `ca`, `virt`, `poison`, `migrate`, `balloon`, `ksm`,
-    /// `fleet`, `tlb`, `audit`, `inject`, `metrics`).
+    /// `recovery`, `daemon`, `ca`, `virt`, `poison`, `migrate`, `balloon`,
+    /// `ksm`, `fleet`, `tlb`, `audit`, `inject`, `metrics`).
     pub fn subsystem(&self) -> &'static str {
         let name = self.name();
         name.split_once('.').map_or(name, |(sub, _)| sub)
@@ -717,6 +814,13 @@ mod tests {
             assert_eq!(RecoveryStage::from_tag(stage.as_str()), Some(stage));
         }
         assert_eq!(RecoveryStage::from_tag("nope"), None);
+        for stage in DaemonStage::ALL {
+            assert_eq!(DaemonStage::from_tag(stage.as_str()), Some(stage));
+            let e = TraceEvent::Daemon { stage, amount: 0, extra: 0 };
+            assert_eq!(e.subsystem(), "daemon");
+            assert_eq!(e.name(), format!("daemon.{}", stage.as_str()));
+        }
+        assert_eq!(DaemonStage::from_tag("nope"), None);
     }
 
     #[test]

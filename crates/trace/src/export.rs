@@ -12,7 +12,7 @@
 //!   instants. Lossy but drag-and-droppable into `chrome://tracing` or
 //!   Perfetto.
 
-use crate::event::{Dim, FaultClass, Record, RecoveryStage, TraceEvent};
+use crate::event::{DaemonStage, Dim, FaultClass, Record, RecoveryStage, TraceEvent};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -134,6 +134,9 @@ fn fields(event: &TraceEvent) -> Vec<(&'static str, Value)> {
             ("extra", V::U64(extra)),
             ("latency_ns", V::U64(latency_ns)),
         ],
+        E::Daemon { stage: _, amount, extra } => {
+            vec![("amount", V::U64(amount)), ("extra", V::U64(extra))]
+        }
         E::Placement { key_bytes, target, degraded } => vec![
             ("key_bytes", V::U64(key_bytes)),
             ("target", V::U64(target)),
@@ -453,15 +456,21 @@ fn event_from(name: &str, f: &FieldMap<'_>) -> Result<TraceEvent, ParseError> {
             top32: f.f64("top32")?,
             mapped_bytes: f.u64("mapped_bytes")?,
         },
-        other => match other.strip_prefix("recovery.") {
-            Some(suffix) => E::Recovery {
+        other => match (other.strip_prefix("recovery."), other.strip_prefix("daemon.")) {
+            (Some(suffix), _) => E::Recovery {
                 stage: RecoveryStage::from_tag(suffix)
                     .ok_or_else(|| f.err(format!("unknown recovery stage `{suffix}`")))?,
                 amount: f.u64("amount")?,
                 extra: f.u64("extra")?,
                 latency_ns: f.u64("latency_ns")?,
             },
-            None => return Err(f.err(format!("unknown event `{other}`"))),
+            (None, Some(suffix)) => E::Daemon {
+                stage: DaemonStage::from_tag(suffix)
+                    .ok_or_else(|| f.err(format!("unknown daemon stage `{suffix}`")))?,
+                amount: f.u64("amount")?,
+                extra: f.u64("extra")?,
+            },
+            (None, None) => return Err(f.err(format!("unknown event `{other}`"))),
         },
     };
     Ok(ev)
@@ -689,6 +698,13 @@ mod tests {
                 extra: 0,
                 latency_ns: 0,
             },
+            TraceEvent::Daemon { stage: crate::event::DaemonStage::Tick, amount: 16, extra: 3 },
+            TraceEvent::Daemon {
+                stage: crate::event::DaemonStage::CompactMove,
+                amount: 4,
+                extra: 512,
+            },
+            TraceEvent::Daemon { stage: crate::event::DaemonStage::Promote, amount: 512, extra: 0 },
             TraceEvent::Placement { key_bytes: 2 << 20, target: 77, degraded: false },
             TraceEvent::TargetBusy { target: 77 },
             TraceEvent::ContigRun { pages: 512 },

@@ -44,7 +44,7 @@ mod sink;
 mod span;
 mod tracer;
 
-pub use event::{Dim, FaultClass, Record, RecoveryStage, TraceEvent};
+pub use event::{DaemonStage, Dim, FaultClass, Record, RecoveryStage, TraceEvent};
 pub use export::{export_chrome, export_jsonl, parse_jsonl, record_to_jsonl, ParseError};
 pub use flight::{FlightRecorder, FLIGHT_CAPACITY};
 pub use registry::{Log2Histogram, MetricsRegistry, LOG2_BUCKETS};

@@ -39,6 +39,9 @@ pub mod stage {
     pub const PCP_HIT: &str = "pcp_hit";
     /// Order-0 allocation that had to refill the per-CPU list first.
     pub const PCP_MISS: &str = "pcp_miss";
+    /// One background contiguity-maintenance daemon tick (budgeted epoch
+    /// slice: compaction, THP promotion, poison-run repair).
+    pub const DAEMON_TICK: &str = "daemon_tick";
     /// PTE install + policy `post_map` + the modelled fault latency.
     pub const MAP: &str = "map";
     /// One OOM-recovery escalation round (`try_recover`).
@@ -63,6 +66,7 @@ pub const SPAN_STAGES: &[&str] = &[
     stage::BUDDY_ALLOC,
     stage::CA_PLACE,
     stage::COMPACTION,
+    stage::DAEMON_TICK,
     stage::FAULT,
     stage::GFAULT,
     stage::MAP,

@@ -180,6 +180,22 @@ impl VirtualMachine {
         &mut self.host
     }
 
+    /// Arms the background contiguity-maintenance daemon in both
+    /// dimensions, mirroring khugepaged/kcompactd running in the guest
+    /// kernel and the hypervisor at once.
+    pub fn enable_daemon(&mut self, config: contig_mm::DaemonConfig) {
+        self.guest.enable_daemon(config);
+        self.host.enable_daemon(config);
+    }
+
+    /// One deterministic maintenance-daemon tick: guest dimension first,
+    /// then host, exactly like the two kernels' daemons racing the same
+    /// foreground faults. Disarmed dimensions are strict no-ops. Returns
+    /// the total work units spent across both dimensions.
+    pub fn daemon_tick(&mut self) -> u64 {
+        self.guest.daemon_tick() + self.host.daemon_tick()
+    }
+
     /// Enables per-CPU frame caches in *both* dimensions: the guest buddy
     /// allocator and the host's (see [`contig_buddy::PcpConfig`]) — the
     /// paper's virtualized setting, where pcp lists exist in guest and host

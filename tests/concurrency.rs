@@ -368,6 +368,91 @@ fn migration_workloads_are_worker_count_independent() {
     assert_eq!(run_at(8), serial, "8-worker migration run diverged from serial execution");
 }
 
+/// A daemon-enabled variant: each task boots a system with the background
+/// maintenance daemon armed, fragments it with a seeded COW/touch storm,
+/// ticks the daemon at deterministic op boundaries, retunes its policy
+/// mid-run, and strikes one mapped frame so proactive run repair has work.
+/// Returns the state digest plus the daemon engagement count (epochs +
+/// moves + promotions + repairs) so the test can prove maintenance ran.
+fn daemon_engine_experiment(seed: u64) -> (u64, u64) {
+    let mut rng = seed;
+    let base = SystemConfig::new(MachineConfig::single_node_mib(32));
+    // Fault-path THP off: the daemon's asynchronous promotion is the only
+    // collapser, so the digest reflects its work alone.
+    let mut sys = System::new(SystemConfig { thp: false, ..base });
+    sys.enable_daemon(DaemonConfig {
+        aggressiveness: (1 + seed % 3) as u8,
+        epoch_budget: 64,
+        thp_threshold_pages: 64,
+        ..DaemonConfig::default()
+    });
+    let pid = sys.spawn();
+    let mut ca = CaPaging::new();
+    let vma_bytes = (4u64 << 20) + (splitmix64(&mut rng) % 4) * (1 << 20);
+    let vma = sys
+        .aspace_mut(pid)
+        .map_vma(VirtRange::new(VirtAddr::new(0x4000_0000), vma_bytes), VmaKind::Anon);
+    sys.populate_vma(&mut ca, pid, vma).expect("populate");
+    let child = sys.fork_vma(pid, vma);
+    for i in 0..200u64 {
+        let page = splitmix64(&mut rng) % (vma_bytes / 4096);
+        let target = if i % 3 == 0 { child } else { pid };
+        sys.touch_write(&mut ca, target, VirtAddr::new(0x4000_0000 + page * 4096))
+            .expect("touch");
+        if i % 16 == 7 {
+            sys.daemon_tick();
+        }
+        if i == 60 {
+            // Strike whatever currently backs the first page — derived from
+            // simulator state, identical across runs of the same seed — so
+            // the repair phase has a poisoned run to heal around.
+            let pfn = sys
+                .aspace(pid)
+                .page_table()
+                .translate(VirtAddr::new(0x4000_0000))
+                .expect("populated")
+                .frame_for(VirtAddr::new(0x4000_0000));
+            sys.memory_failure(pfn);
+        }
+        if i == 120 {
+            // Mid-run retune: the policy swap resets the epoch machine and
+            // reseeds the backoff RNG, all of which must stay positional.
+            sys.set_daemon_config(DaemonConfig {
+                aggressiveness: (1 + (seed >> 8) % 3) as u8,
+                epoch_budget: 48,
+                ..DaemonConfig::default()
+            });
+        }
+    }
+    let s = *sys.daemon_stats();
+    let engaged = s.epochs + s.compact_moves + s.promoted + s.repairs;
+    (digest_system(&sys.snapshot()), engaged)
+}
+
+/// The daemon satellite acceptance property: maintenance-daemon workloads —
+/// budgeted compaction, async promotion, poison-run repair, mid-run policy
+/// retunes — are just as worker-count independent as every other layer.
+#[test]
+fn daemon_workloads_are_worker_count_independent() {
+    let serial: Vec<(u64, u64)> = (0..ENGINE_TASKS)
+        .map(|i| daemon_engine_experiment(task_seed(ENGINE_SEED, i)))
+        .collect();
+    assert!(
+        serial.iter().any(|&(_, engaged)| engaged > 0),
+        "no task ever compacted, promoted or repaired — the daemon never engaged"
+    );
+    let run_at = |workers: usize| -> Vec<(u64, u64)> {
+        run_seeded(PoolConfig::new(workers), ENGINE_SEED, ENGINE_TASKS, |ctx| {
+            daemon_engine_experiment(ctx.seed)
+        })
+        .iter()
+        .map(|r| *r.ok().expect("daemon experiment task panicked"))
+        .collect()
+    };
+    assert_eq!(run_at(1), serial, "1-worker daemon run diverged from serial execution");
+    assert_eq!(run_at(8), serial, "8-worker daemon run diverged from serial execution");
+}
+
 /// A fleet-enabled variant: each task boots a seeded overcommit-capable
 /// fleet (one 16 MiB host, four 2 MiB tenants) and drives a seeded mix of
 /// tenant writes/reads/discards, balloon traffic, KSM scans, and controller

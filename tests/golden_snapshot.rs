@@ -1,13 +1,14 @@
 //! Backward-compatibility guard for the snapshot format: a version-1
 //! snapshot file (predating the per-zone `pcp` member), a version-2 file
 //! (predating the hwpoison sections), a version-3 file (predating the
-//! balloon/KSM members), and a version-4 file (predating the NUMA topology
-//! members) are checked into `tests/golden/` and must keep decoding
-//! forever; the current-format golden lives in
-//! `tests/golden/snapshot_v5.jsonl` and pins encoder determinism. Format
-//! changes that would orphan existing snapshot files fail here; a deliberate
-//! format bump must keep decoding old versions (or regenerate the current
-//! golden *and* bump `SNAPSHOT_VERSION`).
+//! balloon/KSM members), a version-4 file (predating the NUMA topology
+//! members), and a version-5 file (predating the maintenance-daemon state)
+//! are checked into `tests/golden/` and must keep decoding forever; the
+//! current-format golden lives in `tests/golden/snapshot_v6.jsonl` and pins
+//! encoder determinism. Format changes that would orphan existing snapshot
+//! files fail here; a deliberate format bump must keep decoding old
+//! versions (or regenerate the current golden *and* bump
+//! `SNAPSHOT_VERSION`).
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -147,6 +148,35 @@ fn golden_vm_v5() -> VirtualMachine {
     vm
 }
 
+/// The version-6 golden workload: the v5 fixture with the background
+/// maintenance daemon enabled on both dimensions and ticked mid-epoch — so
+/// the new `daemon` member carries live cursors, a partially spent budget,
+/// a remembered promotion candidate (the 4-page homed window clears the
+/// lowered threshold), and non-zero counters in the checked-in file.
+fn golden_vm_v6() -> VirtualMachine {
+    let mut vm = golden_vm_v5();
+    let config = DaemonConfig {
+        epoch_budget: 32,
+        thp_threshold_pages: 4,
+        ..DaemonConfig::default()
+    };
+    vm.guest_mut().enable_daemon(config);
+    vm.host_mut().enable_daemon(config);
+    for _ in 0..3 {
+        vm.guest_mut().daemon_tick();
+    }
+    for _ in 0..2 {
+        vm.host_mut().daemon_tick();
+    }
+    let daemon = vm.guest().daemon_state();
+    assert!(daemon.stats.ticks > 0, "fixture daemon must have run");
+    assert!(
+        daemon.budget_left < config.epoch_budget || daemon.stats.epochs > 0,
+        "fixture must capture mid-epoch or post-epoch daemon state"
+    );
+    vm
+}
+
 /// Decode a golden file, restore it, and check digest-exactness + audit.
 fn check_golden(name: &str) {
     let text = std::fs::read_to_string(golden_path(name))
@@ -236,6 +266,8 @@ fn golden_v4_restores_balloon_and_sharing_state() {
 
 #[test]
 fn golden_v5_snapshot_still_decodes() {
+    // Decode-only since the v6 format bump: the file's bytes are frozen;
+    // the current encoder no longer reproduces them (it appends `daemon`).
     check_golden("snapshot_v5.jsonl");
 }
 
@@ -259,8 +291,43 @@ fn golden_v5_restores_zone_topology_and_homes() {
     let stats = vm.guest().numa_stats();
     assert!(stats.local_allocs > 0, "local-alloc counter lost in round trip");
     assert_eq!(stats.migrations, 1, "migration counter lost in round trip");
-    // The fixture workload itself is reproducible on top of the restore.
+    // The fixture workload itself is reproducible on top of the restore
+    // (an undecoded v5 file defaults the daemon member, as does the v5
+    // workload — the snapshot structs digest identically).
     assert_eq!(digest_vm(&golden_vm_v5().snapshot()), digest_vm(&snap));
+}
+
+#[test]
+fn golden_v6_snapshot_still_decodes() {
+    check_golden("snapshot_v6.jsonl");
+}
+
+#[test]
+fn golden_v6_restores_daemon_state() {
+    // The mid-epoch daemon member must survive the round trip with its
+    // exact values — live cursors, partially spent budget, the remembered
+    // promotion candidate, counters — not just re-default.
+    let text = std::fs::read_to_string(golden_path("snapshot_v6.jsonl"))
+        .expect("tests/golden/snapshot_v6.jsonl must be checked in");
+    let snap = decode_vm_file(&text).expect("decode v6 golden");
+    let mut vm = VirtualMachine::new(
+        VmConfig::with_mib(16, 64),
+        Box::new(DefaultThpPolicy),
+        Box::new(DefaultThpPolicy),
+    );
+    vm.restore(&snap);
+    let daemon = vm.guest().daemon_state();
+    assert!(daemon.enabled, "daemon arming lost in round trip");
+    assert!(daemon.stats.ticks > 0, "daemon tick counter lost in round trip");
+    assert_eq!(daemon.config.thp_threshold_pages, 4, "daemon policy lost in round trip");
+    assert!(vm.host().daemon_state().enabled, "host daemon arming lost");
+    // Restored mid-epoch state must continue bit-identically to the
+    // original fixture: one more tick on each yields the same state.
+    let mut fixture = golden_vm_v6();
+    fixture.guest_mut().daemon_tick();
+    vm.guest_mut().daemon_tick();
+    assert_eq!(vm.guest().daemon_state(), fixture.guest().daemon_state());
+    assert_eq!(digest_vm(&vm.snapshot()), digest_vm(&fixture.snapshot()));
 }
 
 #[test]
@@ -269,10 +336,10 @@ fn golden_workload_is_still_deterministic() {
     // checked-in bytes exactly. If this fails while the decode tests pass,
     // the format evolved compatibly — regenerate via
     // `cargo test --test golden_snapshot -- --ignored` and review the diff.
-    let text = std::fs::read_to_string(golden_path("snapshot_v5.jsonl"))
-        .expect("tests/golden/snapshot_v5.jsonl must be checked in");
+    let text = std::fs::read_to_string(golden_path("snapshot_v6.jsonl"))
+        .expect("tests/golden/snapshot_v6.jsonl must be checked in");
     assert_eq!(
-        encode_vm_file(&golden_vm_v5().snapshot()),
+        encode_vm_file(&golden_vm_v6().snapshot()),
         text,
         "encoder output drifted from the golden file"
     );
@@ -281,7 +348,7 @@ fn golden_workload_is_still_deterministic() {
 #[test]
 #[ignore = "regenerates the current-format golden fixture; run explicitly after a reviewed format change"]
 fn regenerate_golden_file() {
-    let path = golden_path("snapshot_v5.jsonl");
+    let path = golden_path("snapshot_v6.jsonl");
     std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir tests/golden");
-    std::fs::write(&path, encode_vm_file(&golden_vm_v5().snapshot())).expect("write golden");
+    std::fs::write(&path, encode_vm_file(&golden_vm_v6().snapshot())).expect("write golden");
 }

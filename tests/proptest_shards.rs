@@ -231,6 +231,34 @@ fn assert_equivalent(flat: &System, zoned: &System) {
     );
 }
 
+/// Regression (ROADMAP item-1 leftover): CA placement was fallback-blind
+/// under multi-zone spill — `place` searched the contiguity maps from zone
+/// 0 regardless of the faulting process's home, so a process homed on a
+/// later zone had its contiguity run carved out of zone 0 while its
+/// base-page allocations landed locally. A homed process whose home zone
+/// can hold the whole VMA must get every CA-placed page from that zone.
+#[test]
+fn ca_placement_prefers_the_home_zone() {
+    for home in 0..2usize {
+        let mut sys = zoned_system(2);
+        let mut policy = CaPaging::new();
+        let pid = sys.spawn();
+        sys.aspace_mut(pid).map_vma(
+            VirtRange::new(VirtAddr::new(vma_base(0)), VMA_PAGES << 12),
+            VmaKind::Anon,
+        );
+        sys.set_home_node(pid, Some(home));
+        for i in 0..VMA_PAGES {
+            let va = VirtAddr::new(vma_base(0) + i * 4096);
+            let out = sys.touch(&mut policy, pid, va).expect("touch");
+            let node = sys.machine().node_of(out.pfn).expect("mapped pfn is in a zone");
+            assert_eq!(node.0, home, "page {i} of a homed VMA placed off the home zone");
+        }
+        let report = sys.audit();
+        assert!(report.is_clean(), "audit dirty: {report}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
